@@ -1,0 +1,113 @@
+"""Ablations A–C over the adaptive controller's design choices."""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+from conftest import emit
+
+
+def test_ablation_detector_signals(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        ablations.detector_ablation, rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "ablation_a_detector",
+        ablations.format_rows(rows, "Ablation A — detector signals"),
+    )
+    by_name = {r.variant: r for r in rows}
+    fused = by_name["fused (all)"]
+    # Fusion never loses to the worst single signal.
+    assert fused.mean_latency <= max(
+        r.mean_latency for r in rows if r.variant != "fused (all)"
+    )
+
+
+def test_ablation_strategies(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        ablations.strategy_ablation, rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "ablation_b_strategies",
+        ablations.format_rows(rows, "Ablation B — strategies"),
+    )
+    by_name = {r.variant: r for r in rows}
+    # Strategies compose: each addition lowers the mean latency.
+    assert (
+        by_name["+ drain budget"].mean_latency
+        < by_name["renormalize only"].mean_latency
+    )
+    assert (
+        by_name["+ skip (full)"].mean_latency
+        < by_name["+ drain budget"].mean_latency
+    )
+    # Dropping renormalize from the full stack hurts.
+    assert (
+        by_name["no renormalize"].mean_latency
+        > by_name["+ skip (full)"].mean_latency
+    )
+
+
+def test_ablation_rtt_sensitivity(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        ablations.rtt_sensitivity, rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "ablation_c_rtt",
+        ablations.format_rows(rows, "Ablation C1 — RTT sensitivity"),
+    )
+    # Reaction time is feedback-bound: latency grows with RTT.
+    assert rows[-1].mean_latency > rows[0].mean_latency
+
+
+def test_ablation_queue_depth(benchmark, results_dir):
+    pairs = benchmark.pedantic(
+        ablations.queue_depth_sensitivity, rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "ablation_d_queue_depth",
+        ablations.format_paired_rows(
+            pairs, "Ablation D1 — bottleneck buffer depth"
+        ),
+    )
+    # Deeper buffers make the baseline spike taller...
+    base_latencies = [base.mean_latency for _, base, _ in pairs]
+    assert base_latencies[-1] > base_latencies[0]
+    # ...while the adaptive controller stays bounded everywhere.
+    for _, base, adap in pairs:
+        assert adap.mean_latency < base.mean_latency
+
+
+def test_ablation_content_classes(benchmark, results_dir):
+    pairs = benchmark.pedantic(
+        ablations.content_sensitivity, rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "ablation_d_content",
+        ablations.format_paired_rows(
+            pairs, "Ablation D2 — content classes"
+        ),
+    )
+    # The adaptive win holds for every content archetype.
+    for _, base, adap in pairs:
+        assert adap.mean_latency < base.mean_latency
+        assert adap.mean_ssim > base.mean_ssim - 0.02
+
+
+def test_ablation_feedback_interval(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        ablations.feedback_interval_sensitivity, rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "ablation_c_feedback",
+        ablations.format_rows(
+            rows, "Ablation C2 — feedback-interval sensitivity"
+        ),
+    )
+    assert rows[-1].mean_latency >= rows[0].mean_latency * 0.8

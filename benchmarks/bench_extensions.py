@@ -1,0 +1,170 @@
+"""Extension experiments (Abl. E, Ext. F–I)."""
+
+from __future__ import annotations
+
+from repro.experiments import extensions
+
+from conftest import emit
+
+
+def test_estimator_comparison(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        extensions.estimator_comparison, rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "extension_e_estimators",
+        extensions.format_extension_rows(
+            rows, "Abl. E — GCC delay estimator (trendline vs Kalman)"
+        ),
+    )
+    by_name = {r.variant: r for r in rows}
+    # The adaptive controller wins with either estimator.
+    for estimator in ("trendline", "kalman"):
+        assert (
+            by_name[f"{estimator}/adaptive"].mean_latency
+            < by_name[f"{estimator}/webrtc"].mean_latency
+        )
+
+
+def test_recovery_mechanisms(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        extensions.recovery_mechanism_comparison, rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "extension_f_recovery",
+        extensions.format_extension_rows(
+            rows,
+            "Ext. F — loss recovery: PLI vs NACK vs FEC (2% loss, "
+            "40 ms RTT)",
+        ),
+    )
+    by_name = {r.variant: r for r in rows}
+    # NACK trades freezes for (bounded) latency and spares keyframes.
+    assert by_name["NACK"].freeze_fraction < (
+        0.3 * by_name["PLI only"].freeze_fraction
+    )
+    assert by_name["NACK"].pli_count < by_name["PLI only"].pli_count
+    assert by_name["NACK"].mean_ssim > by_name["PLI only"].mean_ssim
+    # FEC softens the damage without retransmission round trips.
+    assert by_name["FEC"].freeze_fraction < (
+        by_name["PLI only"].freeze_fraction
+    )
+    assert by_name["FEC"].mean_ssim > by_name["PLI only"].mean_ssim
+    # The combination is at worst a whisker behind the best single
+    # mechanism (FEC's bandwidth overhead costs some encoded quality
+    # at this low RTT) and far ahead of PLI-only.
+    best = max(r.mean_ssim for r in rows)
+    assert by_name["FEC+NACK"].mean_ssim > 0.99 * best
+    assert by_name["FEC+NACK"].mean_ssim > (
+        by_name["PLI only"].mean_ssim
+    )
+
+
+def test_aqm_comparison(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        extensions.aqm_comparison, rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "extension_g_aqm",
+        extensions.format_extension_rows(
+            rows, "Ext. G — bottleneck discipline: drop-tail vs CoDel"
+        ),
+    )
+    by_name = {r.variant: r for r in rows}
+    # CoDel bounds the adaptive sender's tail latency further...
+    assert (
+        by_name["codel/adaptive"].p95_latency
+        < by_name["droptail/adaptive"].p95_latency
+    )
+    # ...but converts the slow baseline's overload into loss/keyframes.
+    assert (
+        by_name["codel/webrtc"].pli_count
+        >= by_name["droptail/webrtc"].pli_count
+    )
+
+
+def test_fast_recovery(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        extensions.fast_recovery_comparison, rounds=1, iterations=1
+    )
+    lines = [
+        "Ext. H — post-drop recovery (t = 25–35 s, capacity restored "
+        "at t = 20 s)",
+        f"{'variant':<12} {'bitrate':>10} {'latency':>9} {'SSIM':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.variant:<12} "
+            f"{row.post_recovery_bitrate / 1e3:>7.0f}kbps "
+            f"{row.post_recovery_latency * 1e3:>7.1f}ms "
+            f"{row.post_recovery_ssim:>8.4f}"
+        )
+    emit(results_dir, "extension_h_recovery", "\n".join(lines))
+    by_name = {r.variant: r for r in rows}
+    assert by_name["fast probe"].post_recovery_bitrate > (
+        1.2 * by_name["AIMD ramp"].post_recovery_bitrate
+    )
+    assert by_name["fast probe"].post_recovery_latency < 0.15
+
+
+def test_fairness(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        extensions.fairness_comparison, rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "extension_j_fairness",
+        extensions.format_fairness_rows(
+            rows,
+            "Ext. J — two flows sharing a 4→1 Mbps bottleneck "
+            "(post-drop split, drop-window latency)",
+        ),
+    )
+    by_name = {r.pairing: r for r in rows}
+    # Two adaptive flows converge to a near-even split (and are never
+    # less fair than two baselines)...
+    assert by_name["adaptive+adaptive"].fairness > 0.85
+    assert (
+        by_name["adaptive+adaptive"].fairness
+        >= by_name["webrtc+webrtc"].fairness
+    )
+    # ...and both keep drop-window latency low.
+    assert by_name["adaptive+adaptive"].latency_a < 0.5
+    assert by_name["adaptive+adaptive"].latency_b < 0.5
+    # Mixed pairing: the adaptive flow does not starve the baseline.
+    assert by_name["adaptive+webrtc"].fairness > 0.7
+    # And competing against an adaptive flow is *better* for the
+    # baseline than competing against another baseline.
+    assert (
+        by_name["adaptive+webrtc"].latency_b
+        < by_name["webrtc+webrtc"].latency_b
+    )
+
+
+def test_audio_impact(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        extensions.audio_impact, rounds=1, iterations=1
+    )
+    lines = [
+        "Ext. I — audio latency during the video drop (to 20%)",
+        f"{'policy':<10} {'steady':>9} {'in drop':>9} {'loss':>7}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.policy:<10} "
+            f"{row.steady_audio_latency * 1e3:>7.1f}ms "
+            f"{row.drop_audio_latency * 1e3:>7.1f}ms "
+            f"{row.audio_loss:>7.3f}"
+        )
+    emit(results_dir, "extension_i_audio", "\n".join(lines))
+    by_name = {r.policy: r for r in rows}
+    # The baseline's video queue drowns the audio; adaptive protects it.
+    assert by_name["webrtc"].drop_audio_latency > (
+        3 * by_name["webrtc"].steady_audio_latency
+    )
+    assert by_name["adaptive"].drop_audio_latency < (
+        0.5 * by_name["webrtc"].drop_audio_latency
+    )

@@ -1,0 +1,93 @@
+"""Figures 1–4: the poster's plots regenerated as data series.
+
+* Fig. 1 — motivation timeline (capacity vs GCC target vs latency).
+* Fig. 2 — frame-latency timeline, baseline vs adaptive.
+* Fig. 3 — latency CDFs over a five-drop session.
+* Fig. 4 — latency reduction & SSIM change vs drop severity.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+from repro.metrics.summary import format_series
+
+from conftest import emit
+
+
+def _series_text(title: str, series_map) -> str:
+    blocks = [title]
+    for name, series in series_map.items():
+        blocks.append(format_series(name, series.x, series.y, "x", "y"))
+    return "\n\n".join(blocks)
+
+
+def test_figure1_motivation(benchmark, results_dir):
+    series = benchmark.pedantic(figures.figure1, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "figure1",
+        _series_text(
+            "Figure 1 — baseline timeline during a drop to 20%", series
+        ),
+    )
+    capacity = series["capacity"]
+    target = series["target"]
+    latency = series["latency"]
+    # The mismatch: when capacity drops, the target lags above it...
+    drop_index = next(
+        i for i, y in enumerate(capacity.y) if y < max(capacity.y)
+    )
+    lag_window = range(drop_index, min(drop_index + 5, len(target.y)))
+    assert any(target.y[i] > capacity.y[i] for i in lag_window)
+    # ...and the latency spike follows.
+    assert max(latency.y) > 1.0
+
+
+def test_figure2_latency_timeline(benchmark, results_dir):
+    series = benchmark.pedantic(figures.figure2, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "figure2",
+        _series_text(
+            "Figure 2 — frame latency, baseline vs adaptive", series
+        ),
+    )
+    assert max(series["adaptive"].y) < 0.5 * max(series["baseline"].y)
+
+
+def test_figure3_latency_cdf(benchmark, results_dir):
+    series = benchmark.pedantic(figures.figure3, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "figure3",
+        _series_text(
+            "Figure 3 — latency CDF over a five-drop session", series
+        ),
+    )
+    base, adap = series["webrtc"], series["adaptive"]
+    # The adaptive CDF dominates in the tail.
+    assert max(adap.x) < max(base.x)
+
+    def p95(line):
+        index = next(i for i, p in enumerate(line.y) if p >= 0.95)
+        return line.x[index]
+
+    assert p95(adap) < p95(base)
+
+
+def test_figure4_severity_sweep(benchmark, results_dir):
+    series = benchmark.pedantic(figures.figure4, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "figure4",
+        _series_text(
+            "Figure 4 — reduction & quality delta vs severity", series
+        ),
+    )
+    reduction = series["reduction"]
+    # x descends from mild (0.8) to severe (0.12): reduction grows.
+    assert reduction.y[-1] > reduction.y[0]
+    # Crossover: a mild 20% drop yields a small reduction, a severe one
+    # a large reduction — the paper's 28.66–78.87% band lives inside.
+    assert min(reduction.y) < 40
+    assert max(reduction.y) > 70

@@ -1,0 +1,27 @@
+"""Benchmark harness helpers.
+
+Every experiment benchmark prints its table/series (the rows the paper
+reports) and also writes them under ``benchmarks/results/`` so the
+artifact survives output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a reproduction artifact and persist it."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

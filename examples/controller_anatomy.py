@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Anatomy of one drop episode, signal by signal.
+
+Runs the adaptive controller on a severe drop and narrates what its
+detector and strategies did: when each signal fired, what capacity it
+measured, how many frames were capped or skipped, and how fast the
+backlog drained — the control loop of the paper made visible.
+
+Run:  python examples/controller_anatomy.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import PolicyName
+from repro.experiments import scenarios
+from repro.pipeline.session import RtcSession
+
+
+def main() -> None:
+    config = scenarios.step_drop_config(0.15, seed=1)
+    config = dataclasses.replace(config, policy=PolicyName.ADAPTIVE)
+    session = RtcSession(config)
+    result = session.run()
+    controller = session.policy
+
+    print("Scenario: 2.5 Mbps -> 375 kbps at t=10 s (drop to 15%)\n")
+    print("Drop events detected:")
+    for event in controller.episodes:
+        print(
+            f"  t={event.time:6.2f}s  "
+            f"capacity≈{event.estimated_capacity_bps / 1e3:7.0f} kbps  "
+            f"severity={event.severity:.2f}  "
+            f"signals={'+'.join(event.signals)}"
+        )
+    first = controller.episodes[0]
+    print(f"\ndetection delay after the t=10 s drop: "
+          f"{(first.time - 10.0) * 1e3:.0f} ms")
+    print(f"frames skipped for queue drain: {controller.frames_skipped}")
+
+    print("\nLatency profile around the drop:")
+    for t in (9.5, 10.25, 10.5, 11.0, 12.0, 14.0, 18.0):
+        window = result.latencies(t - 0.25, t + 0.25)
+        if window.size:
+            print(f"  t≈{t:5.2f}s   mean {window.mean() * 1e3:7.1f} ms")
+
+    print(f"\nwhole-session mean latency "
+          f"{result.mean_latency() * 1e3:.1f} ms, "
+          f"displayed SSIM {result.mean_displayed_ssim():.4f}, "
+          f"freezes {result.freeze_fraction():.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Recovery mechanisms on a lossy link: PLI vs NACK, plus audio.
+
+A 2 Mbps link with 2% random channel loss (e.g., interference on WiFi).
+Shows the trade RTC stacks navigate:
+
+* **PLI only** — every confirmed loss breaks the reference chain and
+  requests a recovery keyframe: freezes pile up, keyframes cost bits.
+* **NACK** — missing packets are retransmitted; most losses heal with
+  one extra RTT of latency and the keyframe path stays quiet.
+* **FEC** — XOR parity recovers single losses with zero extra round
+  trips, at a constant bandwidth overhead.
+* **FEC + NACK** — parity catches most losses instantly, NACK mops up
+  the rest: the quality winner.
+
+The session also carries an Opus-like audio flow, reported separately.
+
+Run:  python examples/lossy_network.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import NetworkConfig, PolicyName, SessionConfig, run_session
+from repro.traces.bandwidth import BandwidthTrace
+from repro.units import mbps
+
+
+def main() -> None:
+    config = SessionConfig(
+        network=NetworkConfig(
+            capacity=BandwidthTrace.constant(mbps(2)),
+            queue_bytes=140_000,
+            iid_loss=0.02,
+        ),
+        policy=PolicyName.WEBRTC,
+        duration=20.0,
+        seed=4,
+        enable_audio=True,
+    )
+
+    print("2 Mbps link, 2% channel loss, 20 s session\n")
+    print(f"{'recovery':<10} {'video lat':>10} {'p99':>9} {'SSIM':>8} "
+          f"{'freeze':>7} {'PLI':>4} {'audio lat':>10} {'audio loss':>11}")
+    variants = (
+        ("PLI only", False, False),
+        ("NACK", True, False),
+        ("FEC", False, True),
+        ("FEC+NACK", True, True),
+    )
+    for label, nack, fec in variants:
+        result = run_session(
+            dataclasses.replace(
+                config, enable_nack=nack, enable_fec=fec
+            )
+        )
+        print(
+            f"{label:<10} "
+            f"{result.mean_latency() * 1e3:>8.1f}ms "
+            f"{result.percentile_latency(99) * 1e3:>7.1f}ms "
+            f"{result.mean_displayed_ssim():>8.4f} "
+            f"{result.freeze_fraction():>7.3f} "
+            f"{result.pli_count:>4} "
+            f"{result.mean_audio_latency() * 1e3:>8.1f}ms "
+            f"{result.audio_loss_fraction():>10.3%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

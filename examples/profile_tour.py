@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Tour of the canned network profiles.
+
+Runs baseline vs adaptive over every built-in profile — WiFi
+interference, LTE handovers, a congested DSL uplink, and the paper's
+canonical conference drop — and prints one comparison row per profile.
+
+Run:  python examples/profile_tour.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import NetworkConfig, PolicyName, SessionConfig, run_session
+from repro.simcore.rng import RngStreams
+from repro.traces import profiles
+
+
+def main() -> None:
+    rng = RngStreams(seed=21)
+    duration = 45.0
+    tour = [
+        profiles.wifi_interference(rng, duration),
+        profiles.lte_handover(rng, duration),
+        profiles.congested_uplink(duration),
+        profiles.conference_drop(duration),
+    ]
+
+    print(f"{'profile':<20} {'policy':<9} {'mean lat':>9} {'p95':>9} "
+          f"{'SSIM':>8} {'freeze':>7}")
+    for profile in tour:
+        config = SessionConfig(
+            network=NetworkConfig(
+                capacity=profile.capacity,
+                propagation_delay=profile.propagation_delay,
+                queue_bytes=profile.queue_bytes,
+                iid_loss=profile.iid_loss,
+            ),
+            duration=duration - 5,
+            seed=21,
+            enable_nack=True,
+        )
+        for policy in (PolicyName.WEBRTC, PolicyName.ADAPTIVE):
+            result = run_session(
+                dataclasses.replace(config, policy=policy)
+            )
+            print(
+                f"{profile.name:<20} {policy.value:<9} "
+                f"{result.mean_latency() * 1e3:>7.1f}ms "
+                f"{result.percentile_latency(95) * 1e3:>7.1f}ms "
+                f"{result.mean_displayed_ssim():>8.4f} "
+                f"{result.freeze_fraction():>7.3f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: one bandwidth drop, baseline vs adaptive.
+
+Runs the canonical scenario of the paper — steady 2.5 Mbps, a sudden
+drop to 500 kbps at t=10 s for 10 s — once with the libwebrtc-like
+baseline and once with the adaptive encoder controller, then prints the
+headline metrics side by side.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import NetworkConfig, PolicyName, SessionConfig, run_session
+from repro.traces import generators
+from repro.units import mbps
+
+
+def main() -> None:
+    capacity = generators.step_drop(
+        base_bps=mbps(2.5),
+        drop_bps=mbps(0.5),
+        drop_at=10.0,
+        drop_duration=10.0,
+    )
+    config = SessionConfig(
+        network=NetworkConfig(capacity=capacity, queue_bytes=140_000),
+        duration=25.0,
+        seed=1,
+    )
+
+    print(f"{'policy':<10} {'mean lat':>10} {'p95 lat':>10} "
+          f"{'peak lat':>10} {'SSIM':>8} {'PLI':>4}")
+    for policy in (PolicyName.WEBRTC, PolicyName.ADAPTIVE):
+        result = run_session(dataclasses.replace(config, policy=policy))
+        print(
+            f"{policy.value:<10} "
+            f"{result.mean_latency(10, 20) * 1e3:>8.1f}ms "
+            f"{result.percentile_latency(95, 10, 20) * 1e3:>8.1f}ms "
+            f"{result.peak_latency(10, 20) * 1e3:>8.1f}ms "
+            f"{result.mean_displayed_ssim():>8.4f} "
+            f"{result.pli_count:>4}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Content sensitivity: how the adaptive gain depends on the video.
+
+A screen share (tiny frames, rare cuts) barely saturates the link, so a
+bandwidth drop hurts less; sports footage (large, bursty frames) rides
+the capacity limit and suffers the full spike. This example runs the
+same 80%-drop under all four content classes and reports the adaptive
+improvement per class.
+
+Run:  python examples/screen_share_vs_sports.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import PolicyName, run_session
+from repro.experiments import scenarios
+from repro.traces.content import ContentClass
+
+
+def main() -> None:
+    start, end = scenarios.DROP_WINDOW
+    print("Drop to 20% of capacity, per content class "
+          "(baseline → adaptive)\n")
+    print(f"{'content':<15} {'base lat':>10} {'adpt lat':>10} "
+          f"{'reduction':>10} {'ssim change':>12}")
+    for content in ContentClass:
+        config = scenarios.step_drop_config(0.2, seed=3, content=content)
+        base = run_session(
+            dataclasses.replace(config, policy=PolicyName.WEBRTC)
+        )
+        adap = run_session(
+            dataclasses.replace(config, policy=PolicyName.ADAPTIVE)
+        )
+        base_lat = base.mean_latency(start, end)
+        adap_lat = adap.mean_latency(start, end)
+        dssim = (
+            adap.mean_displayed_ssim() / base.mean_displayed_ssim() - 1
+        ) * 100
+        print(
+            f"{content.value:<15} "
+            f"{base_lat * 1e3:>8.1f}ms "
+            f"{adap_lat * 1e3:>8.1f}ms "
+            f"{(1 - adap_lat / base_lat) * 100:>9.1f}% "
+            f"{dssim:>+11.2f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

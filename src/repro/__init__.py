@@ -1,0 +1,64 @@
+"""repro — Adaptive Video Encoder for Network Bandwidth Drops in RTC.
+
+A from-scratch Python reproduction of the SIGCOMM'25 poster by Meng,
+Huang & Meng (HKUST): a complete simulated RTC stack (x264-like encoder
+model, RTP transport with TWCC feedback, Google Congestion Control,
+variable-capacity bottleneck) plus the paper's fast adaptive encoder
+controller and the baselines it is compared against.
+
+Quick start::
+
+    from repro import (
+        NetworkConfig, PolicyName, SessionConfig, run_session,
+    )
+    from repro.traces import generators
+    from repro.units import mbps
+
+    capacity = generators.step_drop(mbps(2.5), mbps(0.5), 10.0, 10.0)
+    config = SessionConfig(
+        network=NetworkConfig(capacity=capacity),
+        policy=PolicyName.ADAPTIVE,
+        duration=25.0,
+    )
+    result = run_session(config)
+    print(result.mean_latency(), result.mean_displayed_ssim())
+"""
+
+from .pipeline import (
+    ComparisonRow,
+    MediaFlow,
+    MultiFlowSession,
+    NetworkConfig,
+    PolicyName,
+    RtcSession,
+    SessionConfig,
+    SessionResult,
+    VideoConfig,
+    compare_point,
+    jain_fairness,
+    run_policies,
+    run_repetitions,
+    run_session,
+    sweep,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComparisonRow",
+    "MediaFlow",
+    "MultiFlowSession",
+    "NetworkConfig",
+    "PolicyName",
+    "RtcSession",
+    "SessionConfig",
+    "SessionResult",
+    "VideoConfig",
+    "compare_point",
+    "jain_fairness",
+    "run_policies",
+    "run_repetitions",
+    "run_session",
+    "sweep",
+    "__version__",
+]

@@ -1,0 +1,87 @@
+"""Seed aggregation with confidence intervals.
+
+Experiments average over seeds; these helpers report the mean together
+with a Student-t confidence interval so tables can carry honest error
+bars.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from scipy import stats
+
+from ..errors import ReproError
+from ..pipeline.config import PolicyName, SessionConfig
+from ..pipeline.results import SessionResult
+from ..pipeline.runner import run_session
+
+
+@dataclass(frozen=True)
+class MeanCi:
+    """A mean with its two-sided confidence interval."""
+
+    mean: float
+    low: float
+    high: float
+    n: int
+
+    @property
+    def half_width(self) -> float:
+        """Half the CI width (the ± in mean ± x)."""
+        return (self.high - self.low) / 2
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.2g} (n={self.n})"
+
+
+def mean_ci(values: list[float], confidence: float = 0.95) -> MeanCi:
+    """Student-t confidence interval for the mean of ``values``."""
+    if not values:
+        raise ReproError("no samples")
+    if not 0 < confidence < 1:
+        raise ReproError(f"confidence must be in (0,1), got {confidence!r}")
+    array = np.asarray(values, dtype=float)
+    mean = float(array.mean())
+    if array.size == 1:
+        return MeanCi(mean, mean, mean, 1)
+    sem = float(stats.sem(array))
+    if sem == 0:
+        return MeanCi(mean, mean, mean, array.size)
+    half = sem * float(stats.t.ppf((1 + confidence) / 2, array.size - 1))
+    return MeanCi(mean, mean - half, mean + half, array.size)
+
+
+def metric_over_seeds(
+    config: SessionConfig,
+    metric: Callable[[SessionResult], float],
+    seeds: tuple[int, ...],
+    confidence: float = 0.95,
+) -> MeanCi:
+    """Run ``config`` under each seed and aggregate one metric."""
+    values = []
+    for seed in seeds:
+        result = run_session(dataclasses.replace(config, seed=seed))
+        values.append(metric(result))
+    return mean_ci(values, confidence)
+
+
+def compare_with_ci(
+    config: SessionConfig,
+    metric: Callable[[SessionResult], float],
+    seeds: tuple[int, ...],
+    baseline: PolicyName = PolicyName.WEBRTC,
+    treatment: PolicyName = PolicyName.ADAPTIVE,
+) -> dict[str, MeanCi]:
+    """Baseline-vs-treatment aggregation of one metric."""
+    return {
+        baseline.value: metric_over_seeds(
+            dataclasses.replace(config, policy=baseline), metric, seeds
+        ),
+        treatment.value: metric_over_seeds(
+            dataclasses.replace(config, policy=treatment), metric, seeds
+        ),
+    }

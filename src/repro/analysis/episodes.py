@@ -1,0 +1,140 @@
+"""Latency-episode analysis of session results.
+
+Turns a :class:`~repro.pipeline.results.SessionResult` into the
+quantities a paper reports about a drop: when the spike started, how
+high it went, how long until recovery, and — when the session ran the
+adaptive controller — the detection delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+from ..metrics.latency import spike_episodes
+from ..pipeline.results import SessionResult
+
+
+@dataclass(frozen=True)
+class LatencyEpisode:
+    """One contiguous run of elevated frame latency."""
+
+    start: float
+    end: float
+    peak: float
+
+    @property
+    def duration(self) -> float:
+        """Episode length in seconds."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class DropResponse:
+    """How a session weathered one capacity drop.
+
+    Attributes:
+        drop_time: when capacity fell (ground truth, from the scenario).
+        steady_latency: median latency before the drop.
+        spike_start: first frame whose latency exceeded 2× steady.
+        peak_latency: worst latency in the aftermath.
+        recovered_at: first time latency stays below 1.5× steady again
+            (None if it never recovers within the session).
+        detection_time: first drop event of the adaptive controller
+            (None for baselines).
+    """
+
+    drop_time: float
+    steady_latency: float
+    spike_start: float | None
+    peak_latency: float
+    recovered_at: float | None
+    detection_time: float | None
+
+    @property
+    def spike_duration(self) -> float | None:
+        """Seconds from spike start to recovery."""
+        if self.spike_start is None or self.recovered_at is None:
+            return None
+        return self.recovered_at - self.spike_start
+
+    @property
+    def detection_delay(self) -> float | None:
+        """Drop → first detector event (adaptive sessions only)."""
+        if self.detection_time is None:
+            return None
+        return self.detection_time - self.drop_time
+
+
+def latency_episodes(
+    result: SessionResult, threshold: float
+) -> list[LatencyEpisode]:
+    """Contiguous spans where frame latency exceeds ``threshold``."""
+    times, latencies = _latency_series(result)
+    return [
+        LatencyEpisode(start, end, peak)
+        for start, end, peak in spike_episodes(times, latencies, threshold)
+    ]
+
+
+def drop_response(
+    result: SessionResult,
+    drop_time: float,
+    settle_window: float = 5.0,
+) -> DropResponse:
+    """Characterize the reaction to a capacity drop at ``drop_time``."""
+    times, latencies = _latency_series(result)
+    if times.size == 0:
+        raise ReproError("no displayed frames to analyze")
+    before = latencies[(times > drop_time - settle_window)
+                       & (times < drop_time)]
+    if before.size == 0:
+        raise ReproError("no frames before the drop to set a baseline")
+    steady = float(np.median(before))
+
+    after_mask = times >= drop_time
+    after_times = times[after_mask]
+    after_lat = latencies[after_mask]
+    if after_lat.size == 0:
+        raise ReproError("no frames after the drop")
+
+    spike_start = None
+    exceed = after_lat > 2.0 * steady
+    if exceed.any():
+        spike_start = float(after_times[int(np.argmax(exceed))])
+
+    recovered_at = None
+    if spike_start is not None:
+        calm = (after_times > spike_start) & (after_lat < 1.5 * steady)
+        if calm.any():
+            recovered_at = float(after_times[int(np.argmax(calm))])
+
+    detection_time = None
+    events_after = [t for t in result.drop_events if t >= drop_time]
+    if events_after:
+        detection_time = min(events_after)
+
+    return DropResponse(
+        drop_time=drop_time,
+        steady_latency=steady,
+        spike_start=spike_start,
+        peak_latency=float(after_lat.max()),
+        recovered_at=recovered_at,
+        detection_time=detection_time,
+    )
+
+
+def _latency_series(
+    result: SessionResult,
+) -> tuple[np.ndarray, np.ndarray]:
+    pairs = [
+        (outcome.capture_time, outcome.latency())
+        for outcome in result.frames
+        if outcome.displayed
+    ]
+    if not pairs:
+        return np.array([]), np.array([])
+    times, latencies = zip(*pairs)
+    return np.asarray(times), np.asarray(latencies)

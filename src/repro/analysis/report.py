@@ -1,0 +1,83 @@
+"""Human-readable session reports."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..pipeline.results import SessionResult
+from .episodes import latency_episodes
+
+
+def session_report(result: SessionResult, spike_threshold: float = 0.3) -> str:
+    """A multi-section text report of one session run."""
+    lines = [
+        "=" * 64,
+        f"Session report — policy={result.policy} seed={result.seed}",
+        "=" * 64,
+    ]
+
+    frames = result.frames
+    displayed = [f for f in frames if f.displayed]
+    skipped = sum(1 for f in frames if f.skipped)
+    lost = sum(1 for f in frames if f.lost)
+    undecodable = sum(1 for f in frames if f.undecodable)
+
+    lines.append("")
+    lines.append("Frames")
+    lines.append(f"  captured     : {len(frames)}")
+    lines.append(f"  displayed    : {len(displayed)}")
+    lines.append(f"  skipped      : {skipped}")
+    lines.append(f"  lost         : {lost}")
+    lines.append(f"  undecodable  : {undecodable}")
+    lines.append(f"  PLI requests : {result.pli_count}")
+
+    if displayed:
+        latencies = result.latencies()
+        lines.append("")
+        lines.append("Latency (capture → display)")
+        lines.append(f"  mean : {latencies.mean() * 1e3:8.1f} ms")
+        lines.append(
+            f"  p50  : {np.percentile(latencies, 50) * 1e3:8.1f} ms"
+        )
+        lines.append(
+            f"  p95  : {np.percentile(latencies, 95) * 1e3:8.1f} ms"
+        )
+        lines.append(
+            f"  p99  : {np.percentile(latencies, 99) * 1e3:8.1f} ms"
+        )
+        lines.append(f"  max  : {latencies.max() * 1e3:8.1f} ms")
+
+        episodes = latency_episodes(result, spike_threshold)
+        lines.append("")
+        lines.append(
+            f"Latency episodes above {spike_threshold * 1e3:.0f} ms: "
+            f"{len(episodes)}"
+        )
+        for episode in episodes[:10]:
+            lines.append(
+                f"  t={episode.start:7.2f}s .. {episode.end:7.2f}s "
+                f"(dur {episode.duration:5.2f}s, "
+                f"peak {episode.peak * 1e3:7.1f} ms)"
+            )
+
+    lines.append("")
+    lines.append("Quality")
+    lines.append(f"  displayed SSIM : {result.mean_displayed_ssim():.4f}")
+    lines.append(f"  freeze ratio   : {result.freeze_fraction():.3f}")
+    lines.append(f"  displayed fps  : {result.displayed_fps():.1f}")
+
+    if result.drop_events:
+        lines.append("")
+        lines.append("Adaptive controller drop events")
+        for t in result.drop_events[:10]:
+            lines.append(f"  t={t:7.2f}s")
+
+    if result.timeseries:
+        targets = [s.target_bps for s in result.timeseries]
+        lines.append("")
+        lines.append("Congestion control target")
+        lines.append(f"  min  : {min(targets) / 1e3:8.0f} kbps")
+        lines.append(f"  mean : {np.mean(targets) / 1e3:8.0f} kbps")
+        lines.append(f"  max  : {max(targets) / 1e3:8.0f} kbps")
+
+    return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""Baseline encoder-adaptation policies the paper compares against."""
+
+from .default_abr import DefaultAbrPolicy
+from .salsify_like import SalsifyLikePolicy
+from .webrtc_like import WebrtcLikePolicy
+
+__all__ = ["DefaultAbrPolicy", "SalsifyLikePolicy", "WebrtcLikePolicy"]

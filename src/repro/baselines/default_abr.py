@@ -1,0 +1,63 @@
+"""Baseline: stock x264 ABR with periodic application-level reconfig.
+
+This is the "current video encoders adjust bitrates too slowly" strawman
+of the paper, modelled after applications that read the congestion
+controller's target and reconfigure the encoder on a timer (once per
+second by default):
+
+* the *application loop* adds up to ``update_interval`` of staleness;
+* the *encoder loop* (x264 ABR windows, qp_step clamp) then needs on
+  the order of a second more to actually move the output bitrate.
+
+The pacer follows the congestion controller continuously (as libwebrtc's
+does), so during the lag the mismatch shows up as pacer + bottleneck
+queueing — i.e., latency.
+"""
+
+from __future__ import annotations
+
+from ..codec.encoder import SimulatedEncoder
+from ..core.interface import EncoderAdaptation, FrameDirective
+from ..errors import ConfigError
+from ..cc.interface import CongestionController
+from ..rtp.feedback import FeedbackReport, PacketResult
+from ..rtp.pacer import Pacer
+
+
+class DefaultAbrPolicy(EncoderAdaptation):
+    """Slow, timer-driven encoder reconfiguration."""
+
+    def __init__(
+        self,
+        encoder: SimulatedEncoder,
+        pacer: Pacer,
+        controller: CongestionController,
+        update_interval: float = 1.0,
+    ) -> None:
+        if update_interval <= 0:
+            raise ConfigError("update_interval must be positive")
+        self._encoder = encoder
+        self._pacer = pacer
+        self._cc = controller
+        self._interval = update_interval
+        self._last_reconfig = float("-inf")
+        self.reconfig_count = 0
+
+    def on_feedback(
+        self,
+        now: float,
+        report: FeedbackReport,
+        results: list[PacketResult],
+    ) -> None:
+        """Pacer tracks CC continuously; encoder only on the timer."""
+        self._pacer.set_target_rate(self._cc.target_bps())
+        if now - self._last_reconfig >= self._interval:
+            self._last_reconfig = now
+            self._encoder.set_target_bitrate(self._cc.target_bps())
+            self.reconfig_count += 1
+
+    def before_frame(
+        self, now: float, capture_index: int = 0
+    ) -> FrameDirective:
+        """No per-frame intervention."""
+        return FrameDirective()

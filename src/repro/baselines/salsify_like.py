@@ -1,0 +1,100 @@
+"""Baseline: Salsify-like functional per-frame adaptation.
+
+Salsify (NSDI'18) couples the encoder and transport per frame: every
+frame is sized to what the transport believes the network can take right
+now. We model its *functional* behaviour — a per-frame hard size budget
+derived from a fast throughput estimate, plus pausing when the network
+is backlogged — without Salsify's dual-encoder implementation trick.
+
+This is an always-on version of the paper's per-frame budgeting, useful
+as an upper-baseline: it reacts as fast, but pays a small steady-state
+efficiency/quality cost because *every* frame is hard-capped against
+transient estimate dips (and its budget ignores rate-control smoothing
+entirely).
+"""
+
+from __future__ import annotations
+
+from ..cc.gcc.gcc import GoogCcController
+from ..codec.encoder import SimulatedEncoder
+from ..core.detector import Ewma, NetworkStateEstimator
+from ..core.interface import EncoderAdaptation, FrameDirective
+from ..errors import ConfigError
+from ..rtp.feedback import FeedbackReport, PacketResult
+from ..rtp.pacer import Pacer
+
+
+class SalsifyLikePolicy(EncoderAdaptation):
+    """Per-frame budgeting from a fast delivered-rate estimate."""
+
+    def __init__(
+        self,
+        encoder: SimulatedEncoder,
+        pacer: Pacer,
+        gcc: GoogCcController,
+        fps: float,
+        margin: float = 0.85,
+        pause_queuing_delay: float = 0.10,
+        max_consecutive_skips: int = 5,
+    ) -> None:
+        if fps <= 0:
+            raise ConfigError("fps must be positive")
+        if not 0 < margin <= 1:
+            raise ConfigError("margin must be in (0, 1]")
+        self._encoder = encoder
+        self._pacer = pacer
+        self._gcc = gcc
+        self._fps = fps
+        self._margin = margin
+        self._pause_threshold = pause_queuing_delay
+        self._max_skips = max_consecutive_skips
+        self._fast_rate = Ewma(0.15)
+        self._network = NetworkStateEstimator()
+        self._consecutive_skips = 0
+        self.frames_skipped = 0
+
+    def on_feedback(
+        self,
+        now: float,
+        report: FeedbackReport,
+        results: list[PacketResult],
+    ) -> None:
+        """Track delivered rate and queuing delay."""
+        self._network.on_results(now, results)
+        acked = self._gcc.acked_bps(now)
+        if acked is not None:
+            self._fast_rate.update(acked, now)
+        estimate = self._current_estimate()
+        self._pacer.set_target_rate(estimate)
+        self._encoder.set_target_bitrate(estimate)
+
+    def before_frame(
+        self, now: float, capture_index: int = 0
+    ) -> FrameDirective:
+        """Hard-cap every frame; pause when the path is backlogged."""
+        backlog = (
+            self._network.queuing_delay(now) + self._pacer.queue_delay()
+        )
+        if (
+            backlog > self._pause_threshold
+            and self._consecutive_skips < self._max_skips
+        ):
+            self._consecutive_skips += 1
+            self.frames_skipped += 1
+            return FrameDirective(skip=True)
+        self._consecutive_skips = 0
+        budget = self._margin * self._current_estimate() / self._fps
+        return FrameDirective(max_bits=max(budget, 1.0))
+
+    def _current_estimate(self) -> float:
+        # The delivered rate only measures capacity while the path is
+        # backlogged; an app-limited flow must trust the CC target, or
+        # the estimate feeds back on itself and spirals down.
+        congested = (
+            self._network.queuing_delay() > 0.02
+            or self._pacer.queue_delay() > 0.02
+        )
+        fast = self._fast_rate.value
+        if congested and fast is not None and fast > 0:
+            return min(fast, self._gcc.target_bps())
+        return self._gcc.target_bps()

@@ -1,0 +1,48 @@
+"""Baseline: libwebrtc-like coupling (continuous SetRates).
+
+The encoder target is refreshed from the congestion controller on every
+feedback batch — no application staleness — but the update goes through
+the *standard* x264 reconfig path, so the encoder's internal rate-control
+windows still converge over many frames. This isolates the encoder-side
+slowness the paper attacks: even with a perfect app loop, the output
+bitrate lags the target.
+"""
+
+from __future__ import annotations
+
+from ..cc.interface import CongestionController
+from ..codec.encoder import SimulatedEncoder
+from ..core.interface import EncoderAdaptation, FrameDirective
+from ..rtp.feedback import FeedbackReport, PacketResult
+from ..rtp.pacer import Pacer
+
+
+class WebrtcLikePolicy(EncoderAdaptation):
+    """Continuous target propagation through the slow encoder path."""
+
+    def __init__(
+        self,
+        encoder: SimulatedEncoder,
+        pacer: Pacer,
+        controller: CongestionController,
+    ) -> None:
+        self._encoder = encoder
+        self._pacer = pacer
+        self._cc = controller
+
+    def on_feedback(
+        self,
+        now: float,
+        report: FeedbackReport,
+        results: list[PacketResult],
+    ) -> None:
+        """Apply the CC target immediately (standard reconfig)."""
+        target = self._cc.target_bps()
+        self._pacer.set_target_rate(target)
+        self._encoder.set_target_bitrate(target)
+
+    def before_frame(
+        self, now: float, capture_index: int = 0
+    ) -> FrameDirective:
+        """No per-frame intervention."""
+        return FrameDirective()

@@ -1,0 +1,30 @@
+"""Congestion control / bandwidth estimation.
+
+:class:`GoogCcController` is the realistic estimator (GCC); the fixed and
+oracle controllers bound the comparison from below and above.
+"""
+
+from .fixed import FixedRateController
+from .gcc import (
+    AimdRateControl,
+    BandwidthUsage,
+    GoogCcController,
+    LossBasedEstimator,
+    OveruseDetector,
+    TrendlineEstimator,
+)
+from .interface import AckedBitrateEstimator, CongestionController
+from .oracle import OracleController
+
+__all__ = [
+    "AckedBitrateEstimator",
+    "AimdRateControl",
+    "BandwidthUsage",
+    "CongestionController",
+    "FixedRateController",
+    "GoogCcController",
+    "LossBasedEstimator",
+    "OracleController",
+    "OveruseDetector",
+    "TrendlineEstimator",
+]

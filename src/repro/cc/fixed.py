@@ -1,0 +1,29 @@
+"""Fixed-rate controller: no adaptation at all.
+
+Useful as the most naive baseline and in unit tests — it maximally
+exposes what the network does when the encoder never adjusts.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..rtp.feedback import PacketResult
+from .interface import CongestionController
+
+
+class FixedRateController(CongestionController):
+    """Always reports the same target."""
+
+    def __init__(self, rate_bps: float) -> None:
+        if rate_bps <= 0:
+            raise ConfigError(f"rate must be positive, got {rate_bps!r}")
+        self._rate = rate_bps
+
+    def on_packet_results(
+        self, now: float, results: list[PacketResult]
+    ) -> None:
+        """Feedback is ignored."""
+
+    def target_bps(self) -> float:
+        """The configured constant rate."""
+        return self._rate

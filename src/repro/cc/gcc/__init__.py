@@ -1,0 +1,23 @@
+"""Google Congestion Control, send-side, built from its published parts."""
+
+from .aimd import AimdRateControl, RateControlState
+from .arrival_filter import DelaySample, InterArrival
+from .gcc import GoogCcController
+from .kalman import KalmanFilter, KalmanOveruseDetector
+from .loss_based import LossBasedEstimator
+from .overuse import BandwidthUsage, OveruseDetector
+from .trendline import TrendlineEstimator
+
+__all__ = [
+    "AimdRateControl",
+    "BandwidthUsage",
+    "DelaySample",
+    "GoogCcController",
+    "InterArrival",
+    "KalmanFilter",
+    "KalmanOveruseDetector",
+    "LossBasedEstimator",
+    "OveruseDetector",
+    "RateControlState",
+    "TrendlineEstimator",
+]

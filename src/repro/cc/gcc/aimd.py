@@ -1,0 +1,156 @@
+"""AIMD rate controller (GCC draft §4.3 / libwebrtc AimdRateControl).
+
+State machine driven by the overuse detector:
+
+* OVERUSE → **Decrease**: target = beta × acked bitrate (beta = 0.85).
+* UNDERUSE → **Hold** (queues draining; don't push yet).
+* NORMAL → **Increase**: multiplicative (~8%/s) far from the last
+  decrease point, additive (about one packet per response time) near it.
+
+The controller remembers the acked bitrate at decrease time ("link
+capacity estimate"); increases switch from multiplicative to additive
+when the current acked rate is within 3 standard deviations of it.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+
+from ...errors import ConfigError
+from .overuse import BandwidthUsage
+
+BETA = 0.85
+
+
+class RateControlState(Enum):
+    """AIMD internal state."""
+
+    HOLD = "hold"
+    INCREASE = "increase"
+    DECREASE = "decrease"
+
+
+class AimdRateControl:
+    """Target-rate state machine."""
+
+    def __init__(
+        self,
+        initial_bps: float,
+        min_bps: float = 50_000.0,
+        max_bps: float = 30_000_000.0,
+    ) -> None:
+        if not 0 < min_bps <= initial_bps <= max_bps:
+            raise ConfigError(
+                "need 0 < min <= initial <= max bitrate, got "
+                f"{min_bps}, {initial_bps}, {max_bps}"
+            )
+        self._target = initial_bps
+        self._min = min_bps
+        self._max = max_bps
+        self._state = RateControlState.INCREASE
+        self._last_update: float | None = None
+        self._last_decrease_time: float | None = None
+        self._link_capacity: float | None = None
+        self._link_capacity_var = 0.4  # relative variance, libwebrtc init
+        self._rtt = 0.2
+
+    @property
+    def state(self) -> RateControlState:
+        """Current AIMD state."""
+        return self._state
+
+    @property
+    def link_capacity_estimate(self) -> float | None:
+        """Acked bitrate remembered at the last decrease."""
+        return self._link_capacity
+
+    def set_rtt(self, rtt: float) -> None:
+        """Inform the controller of the current round-trip estimate."""
+        if rtt > 0:
+            self._rtt = rtt
+
+    def target_bps(self) -> float:
+        """Current target."""
+        return self._target
+
+    def set_estimate(self, bps: float) -> None:
+        """Externally clamp/seed the target (used at startup)."""
+        self._target = min(max(bps, self._min), self._max)
+
+    def update(
+        self,
+        usage: BandwidthUsage,
+        acked_bps: float | None,
+        now: float,
+    ) -> float:
+        """Advance the state machine; returns the new target."""
+        self._transition(usage)
+        delta = 0.0
+        if self._last_update is not None:
+            delta = max(0.0, now - self._last_update)
+        self._last_update = now
+
+        if self._state is RateControlState.INCREASE:
+            self._target = self._increase(acked_bps, delta)
+        elif self._state is RateControlState.DECREASE:
+            self._target = self._decrease(acked_bps, now)
+            # After acting on a decrease, hold until the next signal.
+            self._state = RateControlState.HOLD
+        # HOLD: target unchanged.
+
+        # Never run far ahead of what the path demonstrably delivers.
+        if acked_bps is not None:
+            self._target = min(self._target, 1.5 * acked_bps + 10_000)
+        self._target = min(max(self._target, self._min), self._max)
+        return self._target
+
+    # ------------------------------------------------------------------
+    def _transition(self, usage: BandwidthUsage) -> None:
+        if usage is BandwidthUsage.OVERUSE:
+            self._state = RateControlState.DECREASE
+        elif usage is BandwidthUsage.UNDERUSE:
+            self._state = RateControlState.HOLD
+        else:
+            # NORMAL: hold -> increase; increase stays; decrease handled
+            # in update() (it immediately returns to hold).
+            if self._state is RateControlState.HOLD:
+                self._state = RateControlState.INCREASE
+        return
+
+    def _increase(self, acked_bps: float | None, delta: float) -> float:
+        near_capacity = (
+            self._link_capacity is not None
+            and acked_bps is not None
+            and abs(acked_bps - self._link_capacity)
+            <= 3
+            * math.sqrt(self._link_capacity_var)
+            * self._link_capacity
+        )
+        if near_capacity:
+            # Additive: about one packet per response time.
+            packet_bits = 1200 * 8
+            response_time = self._rtt + 0.1
+            additive = packet_bits / response_time
+            return self._target + additive * delta
+        # Multiplicative: 8% per second (capped per update).
+        factor = 1.08 ** min(delta, 1.0)
+        return self._target * factor
+
+    def _decrease(self, acked_bps: float | None, now: float) -> float:
+        anchor = acked_bps if acked_bps is not None else self._target
+        new_target = BETA * anchor
+        # Update the link-capacity belief with the pre-decrease acked rate.
+        if acked_bps is not None:
+            if self._link_capacity is None:
+                self._link_capacity = acked_bps
+            else:
+                deviation = (
+                    acked_bps - self._link_capacity
+                ) / self._link_capacity
+                self._link_capacity_var = (
+                    0.95 * self._link_capacity_var + 0.05 * deviation**2
+                )
+                self._link_capacity += 0.05 * (acked_bps - self._link_capacity)
+        self._last_decrease_time = now
+        return min(new_target, self._target)

@@ -1,0 +1,100 @@
+"""Inter-arrival delta computation (GCC's arrival-time filter front end).
+
+Packets are grouped into *bursts* by send time (5 ms windows, as in
+libwebrtc's ``InterArrival``); for each consecutive pair of groups the
+filter emits the delay variation
+
+    d(i) = (arrival_i - arrival_{i-1}) - (send_i - send_{i-1})
+
+A positive d(i) means the path delayed the later group more — the raw
+signal of queue growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...rtp.feedback import PacketResult
+
+#: Send-time window that groups packets into one burst (libwebrtc: 5 ms).
+BURST_WINDOW = 0.005
+
+
+@dataclass(frozen=True)
+class DelaySample:
+    """One inter-group delay-variation observation."""
+
+    arrival_time: float
+    delta: float
+    send_delta: float
+
+
+@dataclass
+class _Group:
+    first_send: float
+    last_send: float
+    last_arrival: float
+    size_bytes: int
+
+
+class InterArrival:
+    """Groups packet results into bursts and emits delay variations."""
+
+    def __init__(self, burst_window: float = BURST_WINDOW) -> None:
+        self._window = burst_window
+        self._current: _Group | None = None
+        self._previous: _Group | None = None
+
+    def add_packets(self, results: list[PacketResult]) -> list[DelaySample]:
+        """Feed acked packets (in seq order); returns new delay samples."""
+        samples: list[DelaySample] = []
+        for result in results:
+            if result.lost:
+                continue
+            sample = self._add_one(result)
+            if sample is not None:
+                samples.append(sample)
+        return samples
+
+    def _add_one(self, result: PacketResult) -> DelaySample | None:
+        if self._current is None:
+            self._current = _Group(
+                result.send_time,
+                result.send_time,
+                result.arrival_time,
+                result.size_bytes,
+            )
+            return None
+        if result.send_time - self._current.first_send <= self._window:
+            # Same burst: extend.
+            self._current.last_send = max(
+                self._current.last_send, result.send_time
+            )
+            self._current.last_arrival = max(
+                self._current.last_arrival, result.arrival_time
+            )
+            self._current.size_bytes += result.size_bytes
+            return None
+        # New group begins; compute the delta against the previous pair.
+        sample = None
+        if self._previous is not None:
+            send_delta = (
+                self._current.last_send - self._previous.last_send
+            )
+            arrival_delta = (
+                self._current.last_arrival - self._previous.last_arrival
+            )
+            if send_delta > 0:
+                sample = DelaySample(
+                    arrival_time=self._current.last_arrival,
+                    delta=arrival_delta - send_delta,
+                    send_delta=send_delta,
+                )
+        self._previous = self._current
+        self._current = _Group(
+            result.send_time,
+            result.send_time,
+            result.arrival_time,
+            result.size_bytes,
+        )
+        return sample

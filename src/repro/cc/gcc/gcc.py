@@ -1,0 +1,120 @@
+"""The combined Google Congestion Control (send-side BWE).
+
+Per feedback batch:
+
+1. join results → acked-bitrate estimator + loss accounting;
+2. arrival filter → delay samples → trendline → overuse detector;
+3. AIMD consumes the detector state; loss-based estimator consumes the
+   loss fraction;
+4. target = min(delay-based, loss-based).
+
+The controller also exposes the raw signals (:attr:`last_usage`,
+:meth:`acked_bps`, :attr:`last_trend`) because the paper's drop detector
+taps them directly instead of waiting for the target to converge.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigError
+from ...rtp.feedback import PacketResult
+from ..interface import AckedBitrateEstimator, CongestionController
+from .aimd import AimdRateControl
+from .arrival_filter import InterArrival
+from .kalman import KalmanOveruseDetector
+from .loss_based import LossBasedEstimator
+from .overuse import BandwidthUsage, OveruseDetector
+from .trendline import TrendlineEstimator
+
+
+class GoogCcController(CongestionController):
+    """Delay + loss based GCC estimator."""
+
+    def __init__(
+        self,
+        initial_bps: float,
+        min_bps: float = 50_000.0,
+        max_bps: float = 30_000_000.0,
+        base_rtt: float = 0.05,
+        estimator: str = "trendline",
+    ) -> None:
+        if initial_bps <= 0:
+            raise ConfigError("initial bitrate must be positive")
+        if estimator not in ("trendline", "kalman"):
+            raise ConfigError(
+                f"estimator must be 'trendline' or 'kalman', got {estimator!r}"
+            )
+        self.estimator_kind = estimator
+        self._inter_arrival = InterArrival()
+        self._trendline = TrendlineEstimator()
+        self._detector = OveruseDetector()
+        self._kalman: KalmanOveruseDetector | None = None
+        if estimator == "kalman":
+            self._kalman = KalmanOveruseDetector()
+        self._aimd = AimdRateControl(initial_bps, min_bps, max_bps)
+        self._loss_based = LossBasedEstimator(initial_bps, min_bps, max_bps)
+        self._acked = AckedBitrateEstimator()
+        self._aimd.set_rtt(base_rtt)
+        self.last_usage = BandwidthUsage.NORMAL
+        self.last_trend = 0.0
+        self.last_loss_fraction = 0.0
+        self._last_overuse_time: float | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def last_overuse_time(self) -> float | None:
+        """When OVERUSE was last signalled (None if never)."""
+        return self._last_overuse_time
+
+    def acked_bps(self, now: float) -> float | None:
+        """Delivered-rate estimate from acked bytes."""
+        return self._acked.rate_bps(now)
+
+    def target_bps(self) -> float:
+        """min(delay-based, loss-based) target."""
+        return min(self._aimd.target_bps(), self._loss_based.target_bps())
+
+    # ------------------------------------------------------------------
+    def on_packet_results(
+        self, now: float, results: list[PacketResult]
+    ) -> None:
+        """Consume one joined feedback batch."""
+        if not results:
+            return
+        received = [r for r in results if not r.lost]
+        lost = [r for r in results if r.lost]
+        for result in received:
+            self._acked.on_ack(result.arrival_time, result.size_bytes)
+        if results:
+            self.last_loss_fraction = len(lost) / len(results)
+
+        if self._kalman is not None:
+            usage = self._kalman.state
+            for sample in self._inter_arrival.add_packets(received):
+                usage = self._kalman.update(sample)
+            self.last_trend = self._kalman.offset
+        else:
+            usage = self._detector.state
+            for sample in self._inter_arrival.add_packets(received):
+                modified = self._trendline.update(sample)
+                usage = self._detector.detect(
+                    modified, sample.arrival_time
+                )
+            self.last_trend = self._trendline.trend
+        self.last_usage = usage
+        if usage is BandwidthUsage.OVERUSE:
+            self._last_overuse_time = now
+
+        acked = self._acked.rate_bps(now)
+        self._aimd.update(usage, acked, now)
+        self._loss_based.update(self.last_loss_fraction, now)
+        # Keep the loss-based branch from holding a stale high estimate
+        # above the delay-based one forever.
+        if self._loss_based.target_bps() > 2.0 * self._aimd.target_bps():
+            self._loss_based.set_estimate(2.0 * self._aimd.target_bps())
+
+    # ------------------------------------------------------------------
+    def force_estimate(self, bps: float) -> None:
+        """Hard-set both branches (used by the adaptive fast path when
+        the detector has independent evidence of the new capacity)."""
+        self._aimd.set_estimate(bps)
+        self._loss_based.set_estimate(bps)

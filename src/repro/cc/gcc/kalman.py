@@ -1,0 +1,159 @@
+"""The original GCC arrival-time filter (draft-ietf-rmcat-gcc §4.1).
+
+Before libwebrtc switched to the trendline estimator, GCC filtered the
+per-group delay variation ``d(i)`` with a scalar Kalman filter to
+estimate the queuing-delay gradient ``m(i)``, and thresholded *that*
+(with the same adaptive-gamma machinery) to detect overuse.
+
+Both estimators are available in :class:`~repro.cc.gcc.gcc
+.GoogCcController` (``estimator="trendline" | "kalman"``); the
+benchmark suite compares them (Ablation E).
+
+Units: we work in seconds throughout, so the draft's millisecond
+constants are scaled accordingly.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigError
+from .arrival_filter import DelaySample
+from .overuse import BandwidthUsage
+
+#: Initial threshold on |m(i)| — the draft's 12.5 ms.
+INITIAL_GAMMA = 12.5e-3
+
+#: Threshold adaptation gains per second of update spacing
+#: (draft: K_u = 0.01, K_d = 0.00018 per update at ~ms cadence;
+#: expressed here per second of elapsed time between updates).
+K_UP = 10.0
+K_DOWN = 0.18
+
+#: State noise (s² per update) and initial estimate variance. The
+#: process noise keeps the gain from collapsing so the filter can track
+#: regime changes (a frozen-variance Kalman never sees the drop).
+PROCESS_NOISE = 1e-7
+INITIAL_VARIANCE = 1e-4
+
+#: EWMA factor for the measurement-noise variance estimate.
+NOISE_ALPHA = 0.95
+
+#: Sustained time above gamma before declaring overuse.
+OVERUSE_TIME_THRESHOLD = 0.01
+
+
+class KalmanFilter:
+    """Scalar Kalman filter over the delay-variation samples."""
+
+    def __init__(self) -> None:
+        self._m = 0.0
+        self._variance = INITIAL_VARIANCE
+        self._noise_var = 1e-6
+
+    @property
+    def offset(self) -> float:
+        """Current queuing-delay-gradient estimate m(i), seconds."""
+        return self._m
+
+    @property
+    def noise_variance(self) -> float:
+        """Estimated measurement-noise variance."""
+        return self._noise_var
+
+    def update(self, delta: float) -> float:
+        """Fold in one delay-variation observation; returns m(i)."""
+        residual = delta - self._m
+        # Adapt the noise estimate from the residual (robust: clamp the
+        # contribution of huge outliers to 3 sigma).
+        bounded = residual
+        limit = 3.0 * (self._noise_var**0.5)
+        if abs(bounded) > limit and limit > 0:
+            bounded = limit if bounded > 0 else -limit
+        self._noise_var = (
+            NOISE_ALPHA * self._noise_var
+            + (1 - NOISE_ALPHA) * bounded * bounded
+        )
+        self._noise_var = max(self._noise_var, 1e-8)
+
+        predicted_variance = self._variance + PROCESS_NOISE
+        gain = predicted_variance / (predicted_variance + self._noise_var)
+        self._m += gain * residual
+        self._variance = (1 - gain) * predicted_variance
+        return self._m
+
+
+class KalmanOveruseDetector:
+    """Overuse detection on the Kalman offset (draft §4.2 semantics).
+
+    Exposes the same ``detect``/``state`` interface as the trendline
+    pipeline so the controller can swap estimators.
+    """
+
+    def __init__(self, initial_gamma: float = INITIAL_GAMMA) -> None:
+        if initial_gamma <= 0:
+            raise ConfigError("initial gamma must be positive")
+        self._filter = KalmanFilter()
+        self._gamma = initial_gamma
+        self._state = BandwidthUsage.NORMAL
+        self._last_update: float | None = None
+        self._time_over_using = -1.0
+        self._overuse_counter = 0
+        self._prev_offset = 0.0
+
+    @property
+    def state(self) -> BandwidthUsage:
+        """Most recent detector state."""
+        return self._state
+
+    @property
+    def gamma(self) -> float:
+        """Current adaptive threshold (seconds)."""
+        return self._gamma
+
+    @property
+    def offset(self) -> float:
+        """Current Kalman offset estimate."""
+        return self._filter.offset
+
+    def update(self, sample: DelaySample) -> BandwidthUsage:
+        """Consume one delay sample; returns the detector state."""
+        offset = self._filter.update(sample.delta)
+        now = sample.arrival_time
+        delta_t = 0.0
+        if self._last_update is not None:
+            delta_t = max(0.0, now - self._last_update)
+        self._last_update = now
+
+        if offset > self._gamma:
+            if self._time_over_using < 0:
+                self._time_over_using = delta_t / 2
+            else:
+                self._time_over_using += delta_t
+            self._overuse_counter += 1
+            if (
+                self._time_over_using > OVERUSE_TIME_THRESHOLD
+                and self._overuse_counter > 1
+                and offset >= self._prev_offset
+            ):
+                self._time_over_using = 0.0
+                self._overuse_counter = 0
+                self._state = BandwidthUsage.OVERUSE
+        elif offset < -self._gamma:
+            self._time_over_using = -1.0
+            self._overuse_counter = 0
+            self._state = BandwidthUsage.UNDERUSE
+        else:
+            self._time_over_using = -1.0
+            self._overuse_counter = 0
+            self._state = BandwidthUsage.NORMAL
+
+        self._adapt_gamma(offset, delta_t)
+        self._prev_offset = offset
+        return self._state
+
+    def _adapt_gamma(self, offset: float, delta_t: float) -> None:
+        magnitude = abs(offset)
+        if magnitude > self._gamma + 15e-3:
+            return  # ignore far outliers (draft rule)
+        k = K_UP if magnitude > self._gamma else K_DOWN
+        self._gamma += k * delta_t * (magnitude - self._gamma)
+        self._gamma = min(max(self._gamma, 6e-3), 600e-3)

@@ -1,0 +1,64 @@
+"""Loss-based bandwidth estimation (GCC draft §5 / libwebrtc legacy).
+
+Per feedback window:
+
+* loss fraction > 10%  → decrease: rate × (1 − 0.5·loss)
+* loss fraction <  2%  → gentle increase: rate × 1.05
+* otherwise            → hold
+
+The combined GCC target is ``min(delay_based, loss_based)``.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigError
+
+LOSS_DECREASE_THRESHOLD = 0.10
+LOSS_INCREASE_THRESHOLD = 0.02
+INCREASE_FACTOR = 1.05
+#: Minimum spacing between successive loss-based adjustments.
+UPDATE_INTERVAL = 0.2
+
+
+class LossBasedEstimator:
+    """Loss-rate driven target, updated per feedback batch."""
+
+    def __init__(
+        self,
+        initial_bps: float,
+        min_bps: float = 50_000.0,
+        max_bps: float = 30_000_000.0,
+    ) -> None:
+        if not 0 < min_bps <= initial_bps <= max_bps:
+            raise ConfigError("need 0 < min <= initial <= max bitrate")
+        self._target = initial_bps
+        self._min = min_bps
+        self._max = max_bps
+        self._last_update: float | None = None
+
+    def target_bps(self) -> float:
+        """Current loss-based target."""
+        return self._target
+
+    def set_estimate(self, bps: float) -> None:
+        """Re-anchor (e.g., when the delay-based estimate drops below)."""
+        self._target = min(max(bps, self._min), self._max)
+
+    def update(self, loss_fraction: float, now: float) -> float:
+        """Consume a loss measurement for the last feedback window."""
+        if not 0 <= loss_fraction <= 1:
+            raise ConfigError(
+                f"loss fraction must be in [0,1], got {loss_fraction!r}"
+            )
+        if (
+            self._last_update is not None
+            and now - self._last_update < UPDATE_INTERVAL
+        ):
+            return self._target
+        self._last_update = now
+        if loss_fraction > LOSS_DECREASE_THRESHOLD:
+            self._target *= 1.0 - 0.5 * loss_fraction
+        elif loss_fraction < LOSS_INCREASE_THRESHOLD:
+            self._target *= INCREASE_FACTOR
+        self._target = min(max(self._target, self._min), self._max)
+        return self._target

@@ -1,0 +1,109 @@
+"""Overuse detector with adaptive threshold (GCC draft §4.2).
+
+Compares the modified trend against an adaptive threshold gamma.
+Sustained positive excursions signal OVERUSE (queues growing); negative
+excursions signal UNDERUSE (queues draining); otherwise NORMAL.
+
+Gamma adapts toward |modified trend| with asymmetric gains so that a
+single large excursion widens the threshold slowly (k_up) but it relaxes
+faster (k_down) — libwebrtc's protection against threshold drift locking
+the detector open.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class BandwidthUsage(Enum):
+    """Detector output states."""
+
+    NORMAL = "normal"
+    OVERUSE = "overuse"
+    UNDERUSE = "underuse"
+
+
+#: libwebrtc defaults. The modified trend is ``min(samples, 60) × slope
+#: × gain`` where the slope is dimensionless (delay per unit time), so
+#: the threshold is the same dimensionless quantity: 12.5 corresponds to
+#: a sustained delay growth of ~52 ms per second at the 60-sample cap.
+INITIAL_THRESHOLD = 12.5
+#: Adaptation gains per *second* (libwebrtc's 0.0087/0.039 are per ms).
+K_UP = 8.7
+K_DOWN = 39.0
+OVERUSE_TIME_THRESHOLD = 0.01  # sustained duration before declaring
+MAX_ADAPT_OFFSET = 15.0
+
+
+class OveruseDetector:
+    """Stateful threshold detector over the modified trend."""
+
+    def __init__(
+        self,
+        initial_threshold: float = INITIAL_THRESHOLD,
+        k_up: float = K_UP,
+        k_down: float = K_DOWN,
+        overuse_time_threshold: float = OVERUSE_TIME_THRESHOLD,
+    ) -> None:
+        self._threshold = initial_threshold
+        self._k_up = k_up
+        self._k_down = k_down
+        self._overuse_time_threshold = overuse_time_threshold
+        self._last_update: float | None = None
+        self._time_over_using = -1.0
+        self._overuse_counter = 0
+        self._state = BandwidthUsage.NORMAL
+        self._prev_trend = 0.0
+
+    @property
+    def state(self) -> BandwidthUsage:
+        """Most recent detector state."""
+        return self._state
+
+    @property
+    def threshold(self) -> float:
+        """Current adaptive gamma (seconds)."""
+        return self._threshold
+
+    def detect(self, modified_trend: float, now: float) -> BandwidthUsage:
+        """Update with a new modified trend sample at time ``now``."""
+        delta = 0.0
+        if self._last_update is not None:
+            delta = now - self._last_update
+
+        if modified_trend > self._threshold:
+            if self._time_over_using < 0:
+                self._time_over_using = delta / 2
+            else:
+                self._time_over_using += delta
+            self._overuse_counter += 1
+            if (
+                self._time_over_using > self._overuse_time_threshold
+                and self._overuse_counter > 1
+                and modified_trend >= self._prev_trend
+            ):
+                self._time_over_using = 0.0
+                self._overuse_counter = 0
+                self._state = BandwidthUsage.OVERUSE
+        elif modified_trend < -self._threshold:
+            self._time_over_using = -1.0
+            self._overuse_counter = 0
+            self._state = BandwidthUsage.UNDERUSE
+        else:
+            self._time_over_using = -1.0
+            self._overuse_counter = 0
+            self._state = BandwidthUsage.NORMAL
+
+        self._prev_trend = modified_trend
+        self._adapt_threshold(modified_trend, delta)
+        self._last_update = now
+        return self._state
+
+    def _adapt_threshold(self, modified_trend: float, delta: float) -> None:
+        magnitude = abs(modified_trend)
+        if magnitude > self._threshold + MAX_ADAPT_OFFSET:
+            # Ignore spikes far above the threshold (clock jumps etc.).
+            return
+        k = self._k_up if magnitude > self._threshold else self._k_down
+        self._threshold += k * (magnitude - self._threshold) * delta
+        self._threshold = min(max(self._threshold, 6.0), 600.0)

@@ -1,0 +1,80 @@
+"""Trendline estimator (libwebrtc's delay-gradient filter).
+
+Accumulates the delay variations into a smoothed cumulative delay and
+fits a least-squares line over the last ``window_size`` samples; the
+slope — scaled by the sample count and a gain — is the *modified trend*
+the overuse detector thresholds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .arrival_filter import DelaySample
+
+#: libwebrtc defaults.
+DEFAULT_WINDOW = 20
+SMOOTHING = 0.9
+THRESHOLD_GAIN = 4.0
+
+
+class TrendlineEstimator:
+    """Delay-gradient slope over a sliding window."""
+
+    def __init__(
+        self,
+        window_size: int = DEFAULT_WINDOW,
+        smoothing: float = SMOOTHING,
+        threshold_gain: float = THRESHOLD_GAIN,
+    ) -> None:
+        self._window_size = window_size
+        self._smoothing = smoothing
+        self._gain = threshold_gain
+        self._history: deque[tuple[float, float]] = deque(maxlen=window_size)
+        self._accumulated = 0.0
+        self._smoothed = 0.0
+        self._num_deltas = 0
+        self._first_arrival: float | None = None
+        self._trend = 0.0
+
+    @property
+    def trend(self) -> float:
+        """Raw regression slope (delay change per second)."""
+        return self._trend
+
+    @property
+    def num_deltas(self) -> int:
+        """Delay samples consumed so far."""
+        return self._num_deltas
+
+    def modified_trend(self) -> float:
+        """The thresholded quantity: slope × min(samples, 60) × gain."""
+        return min(self._num_deltas, 60) * self._trend * self._gain
+
+    def update(self, sample: DelaySample) -> float:
+        """Consume one delay sample; returns the new modified trend."""
+        self._num_deltas += 1
+        if self._first_arrival is None:
+            self._first_arrival = sample.arrival_time
+        self._accumulated += sample.delta
+        self._smoothed = (
+            self._smoothing * self._smoothed
+            + (1 - self._smoothing) * self._accumulated
+        )
+        x = sample.arrival_time - self._first_arrival
+        self._history.append((x, self._smoothed))
+        if len(self._history) == self._window_size:
+            self._trend = self._linear_fit_slope()
+        return self.modified_trend()
+
+    def _linear_fit_slope(self) -> float:
+        n = len(self._history)
+        mean_x = sum(x for x, _ in self._history) / n
+        mean_y = sum(y for _, y in self._history) / n
+        numer = sum(
+            (x - mean_x) * (y - mean_y) for x, y in self._history
+        )
+        denom = sum((x - mean_x) ** 2 for x, _ in self._history)
+        if denom == 0:
+            return self._trend
+        return numer / denom

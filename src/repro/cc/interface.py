@@ -1,0 +1,55 @@
+"""Congestion-controller interface and shared helpers.
+
+Controllers are *send-side*: they consume joined TWCC packet results and
+produce a target bitrate for the encoder + pacer.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+
+from ..rtp.feedback import PacketResult
+
+
+class CongestionController(ABC):
+    """Interface every bandwidth estimator implements."""
+
+    @abstractmethod
+    def on_packet_results(
+        self, now: float, results: list[PacketResult]
+    ) -> None:
+        """Consume one feedback batch (joined with send history)."""
+
+    @abstractmethod
+    def target_bps(self) -> float:
+        """Current media target bitrate in bits/second."""
+
+
+class AckedBitrateEstimator:
+    """Throughput actually delivered, from acked bytes in a sliding
+    window. GCC's multiplicative decrease anchors on this value."""
+
+    def __init__(self, window: float = 0.5) -> None:
+        self._window = window
+        self._samples: deque[tuple[float, int]] = deque()
+
+    def on_ack(self, arrival_time: float, size_bytes: int) -> None:
+        """Record one acked packet."""
+        self._samples.append((arrival_time, size_bytes))
+        self._evict(arrival_time)
+
+    def rate_bps(self, now: float) -> float | None:
+        """Estimated delivered rate, or None with too little data."""
+        self._evict(now)
+        if len(self._samples) < 2:
+            return None
+        span = now - self._samples[0][0]
+        if span <= 0:
+            return None
+        total_bytes = sum(size for _, size in self._samples)
+        return total_bytes * 8 / span
+
+    def _evict(self, now: float) -> None:
+        while self._samples and self._samples[0][0] < now - self._window:
+            self._samples.popleft()

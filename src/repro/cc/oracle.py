@@ -1,0 +1,49 @@
+"""Oracle controller: reads the ground-truth capacity trace.
+
+An upper bound no real estimator can beat — it knows the capacity the
+instant it changes (optionally after a configurable knowledge delay to
+model the one-way propagation of *any* signal).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..rtp.feedback import PacketResult
+from ..traces.bandwidth import BandwidthTrace
+from .interface import CongestionController
+
+
+class OracleController(CongestionController):
+    """Targets a fixed utilization of the true instantaneous capacity."""
+
+    def __init__(
+        self,
+        capacity: BandwidthTrace,
+        utilization: float = 0.9,
+        knowledge_delay: float = 0.0,
+    ) -> None:
+        if not 0 < utilization <= 1:
+            raise ConfigError(
+                f"utilization must be in (0, 1], got {utilization!r}"
+            )
+        if knowledge_delay < 0:
+            raise ConfigError("knowledge_delay must be >= 0")
+        self._capacity = capacity
+        self._utilization = utilization
+        self._delay = knowledge_delay
+        self._now = 0.0
+
+    def on_packet_results(
+        self, now: float, results: list[PacketResult]
+    ) -> None:
+        """Only tracks time; the oracle needs no feedback."""
+        self._now = max(self._now, now)
+
+    def advance(self, now: float) -> None:
+        """Let the session tick the oracle's clock."""
+        self._now = max(self._now, now)
+
+    def target_bps(self) -> float:
+        """Utilization × capacity as of ``knowledge_delay`` ago."""
+        query_time = max(0.0, self._now - self._delay)
+        return self._capacity.rate_at(query_time) * self._utilization

@@ -1,0 +1,211 @@
+"""Command-line interface: ``repro-rtc``.
+
+Subcommands:
+
+* ``run`` — one session (policy, drop ratio, duration, seed) with a
+  summary printout.
+* ``table1`` — regenerate the headline table.
+* ``figure`` — print one figure's data series.
+* ``compare`` — all policies on one scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+from .experiments import ablations, comparison, figures, scenarios, table1
+from .metrics.summary import format_series
+from .pipeline.config import PolicyName
+from .pipeline.runner import run_session
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = scenarios.step_drop_config(args.drop_ratio, seed=args.seed)
+    config = dataclasses.replace(
+        config,
+        policy=PolicyName(args.policy),
+        duration=args.duration,
+    )
+    result = run_session(config)
+    start, end = scenarios.DROP_WINDOW
+    print(f"policy            : {result.policy}")
+    print(f"frames            : {len(result.frames)}")
+    print(f"mean latency      : {result.mean_latency() * 1e3:.1f} ms")
+    if end <= args.duration:
+        print(
+            f"drop-window mean  : {result.mean_latency(start, end) * 1e3:.1f} ms"
+        )
+        print(
+            f"drop-window p95   : "
+            f"{result.percentile_latency(95, start, end) * 1e3:.1f} ms"
+        )
+    print(f"displayed SSIM    : {result.mean_displayed_ssim():.4f}")
+    print(f"freeze fraction   : {result.freeze_fraction():.3f}")
+    print(f"PLI count         : {result.pli_count}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    seeds = tuple(range(1, args.seeds + 1))
+    rows = table1.run_table(seeds=seeds)
+    print(table1.format_table(rows))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    producers = {
+        1: lambda: figures.figure1(seed=args.seed),
+        2: lambda: figures.figure2(seed=args.seed),
+        3: lambda: figures.figure3(seed=args.seed),
+        4: lambda: figures.figure4(seeds=(args.seed,)),
+    }
+    series_map = producers[args.number]()
+    for name, series in series_map.items():
+        print(format_series(name, series.x, series.y, "x", "y"))
+        print()
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rows = comparison.run_comparison(
+        drop_ratio=args.drop_ratio, seeds=tuple(range(1, args.seeds + 1))
+    )
+    print(
+        comparison.format_comparison(
+            rows, f"All policies, drop to {args.drop_ratio:.0%}"
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import session_report
+
+    config = scenarios.step_drop_config(args.drop_ratio, seed=args.seed)
+    config = dataclasses.replace(
+        config,
+        policy=PolicyName(args.policy),
+        duration=args.duration,
+        enable_nack=args.nack,
+        enable_audio=args.audio,
+    )
+    result = run_session(config)
+    print(session_report(result))
+    if args.audio:
+        print()
+        print(f"audio mean latency : "
+              f"{result.mean_audio_latency() * 1e3:.1f} ms")
+        print(f"audio loss         : {result.audio_loss_fraction():.3%}")
+    return 0
+
+
+def _cmd_extensions(args: argparse.Namespace) -> int:
+    from .experiments import extensions
+
+    seeds = tuple(range(1, args.seeds + 1))
+    print(extensions.format_extension_rows(
+        extensions.estimator_comparison(seeds=seeds),
+        "Abl. E — delay estimators"))
+    print()
+    print(extensions.format_extension_rows(
+        extensions.recovery_mechanism_comparison(seeds=seeds),
+        "Ext. F — PLI vs NACK"))
+    print()
+    print(extensions.format_extension_rows(
+        extensions.aqm_comparison(seeds=seeds),
+        "Ext. G — drop-tail vs CoDel"))
+    return 0
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    seeds = tuple(range(1, args.seeds + 1))
+    print(ablations.format_rows(
+        ablations.detector_ablation(args.drop_ratio, seeds),
+        "Ablation A — detector signals"))
+    print()
+    print(ablations.format_rows(
+        ablations.strategy_ablation(args.drop_ratio, seeds),
+        "Ablation B — strategies"))
+    print()
+    print(ablations.format_rows(
+        ablations.rtt_sensitivity(args.drop_ratio, seeds=seeds),
+        "Ablation C — RTT sensitivity"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-rtc",
+        description=(
+            "Adaptive video encoder for network bandwidth drops — "
+            "simulation and reproduction harness."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one session")
+    run_p.add_argument(
+        "--policy",
+        choices=[p.value for p in PolicyName],
+        default="adaptive",
+    )
+    run_p.add_argument("--drop-ratio", type=float, default=0.2)
+    run_p.add_argument("--duration", type=float, default=25.0)
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.set_defaults(func=_cmd_run)
+
+    t1_p = sub.add_parser("table1", help="regenerate the headline table")
+    t1_p.add_argument("--seeds", type=int, default=5)
+    t1_p.set_defaults(func=_cmd_table1)
+
+    fig_p = sub.add_parser("figure", help="print one figure's data")
+    fig_p.add_argument("number", type=int, choices=[1, 2, 3, 4])
+    fig_p.add_argument("--seed", type=int, default=1)
+    fig_p.set_defaults(func=_cmd_figure)
+
+    cmp_p = sub.add_parser("compare", help="compare all policies")
+    cmp_p.add_argument("--drop-ratio", type=float, default=0.2)
+    cmp_p.add_argument("--seeds", type=int, default=3)
+    cmp_p.set_defaults(func=_cmd_compare)
+
+    abl_p = sub.add_parser("ablate", help="run the ablations")
+    abl_p.add_argument("--drop-ratio", type=float, default=0.2)
+    abl_p.add_argument("--seeds", type=int, default=3)
+    abl_p.set_defaults(func=_cmd_ablate)
+
+    rep_p = sub.add_parser(
+        "report", help="full analysis report of one session"
+    )
+    rep_p.add_argument(
+        "--policy",
+        choices=[p.value for p in PolicyName],
+        default="adaptive",
+    )
+    rep_p.add_argument("--drop-ratio", type=float, default=0.2)
+    rep_p.add_argument("--duration", type=float, default=25.0)
+    rep_p.add_argument("--seed", type=int, default=1)
+    rep_p.add_argument("--nack", action="store_true")
+    rep_p.add_argument("--audio", action="store_true")
+    rep_p.set_defaults(func=_cmd_report)
+
+    ext_p = sub.add_parser(
+        "extensions", help="estimator/NACK/AQM extension experiments"
+    )
+    ext_p.add_argument("--seeds", type=int, default=3)
+    ext_p.set_defaults(func=_cmd_extensions)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""x264-like video encoder model.
+
+* :class:`RateDistortionModel` — size/quality/time as functions of QP.
+* :class:`X264RateControl` — single-pass ABR dynamics (the "too slow"
+  baseline behaviour) with optional VBV and fast-renormalize knob.
+* :class:`SimulatedEncoder` — GOP/keyframe logic + noise, the object the
+  adaptation strategies steer.
+"""
+
+from .encoder import SimulatedEncoder
+from .frames import EncodedFrame, FrameType
+from .model import (
+    QP_MAX,
+    QP_MIN,
+    RateDistortionModel,
+    qp_to_qstep,
+    qstep_to_qp,
+)
+from .ratecontrol import RateControlConfig, X264RateControl
+from .source import CapturedFrame, VideoSource
+
+__all__ = [
+    "CapturedFrame",
+    "EncodedFrame",
+    "FrameType",
+    "QP_MAX",
+    "QP_MIN",
+    "RateControlConfig",
+    "RateDistortionModel",
+    "SimulatedEncoder",
+    "VideoSource",
+    "X264RateControl",
+    "qp_to_qstep",
+    "qstep_to_qp",
+]

@@ -1,0 +1,128 @@
+"""Fitting the RD model to measured encoder samples.
+
+If you have real ``(QP, frame bits)`` measurements — from x264 logs, for
+instance — :func:`fit_rate_model` recovers the
+:class:`~repro.codec.model.RateDistortionModel` parameters
+(``reference_bits``, ``alpha``) by least squares in log space, since
+
+    log(bits) = log(reference · complexity) − alpha · log(Qstep).
+
+This is how the shipped defaults were produced, and how a user adapts
+the simulator to their own encoder build or content domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CodecError
+from .frames import FrameType
+from .model import RateDistortionModel, qp_to_qstep
+
+
+@dataclass(frozen=True)
+class RateFit:
+    """Result of a rate-model fit.
+
+    Attributes:
+        reference_bits: bits of a complexity-1 frame at Qstep = 1.
+        alpha: rate exponent (``bits ∝ Qstep^-alpha``).
+        r_squared: goodness of fit in log space.
+        n: sample count.
+    """
+
+    reference_bits: float
+    alpha: float
+    r_squared: float
+    n: int
+
+
+def fit_rate_model(
+    qps: list[float] | np.ndarray,
+    bits: list[float] | np.ndarray,
+    complexities: list[float] | np.ndarray | None = None,
+) -> RateFit:
+    """Least-squares fit of ``bits = ref · cplx · Qstep^-alpha``.
+
+    Args:
+        qps: per-frame quantizer values.
+        bits: per-frame encoded sizes in bits.
+        complexities: per-frame content complexity (1.0 if omitted).
+
+    Raises:
+        CodecError: on fewer than 3 samples, non-positive sizes, or a
+            degenerate (single-QP) sample set.
+    """
+    qp_arr = np.asarray(qps, dtype=float)
+    bits_arr = np.asarray(bits, dtype=float)
+    if qp_arr.shape != bits_arr.shape:
+        raise CodecError("qps and bits must have the same length")
+    if qp_arr.size < 3:
+        raise CodecError("need at least 3 samples to fit")
+    if np.any(bits_arr <= 0):
+        raise CodecError("frame sizes must be positive")
+    if complexities is None:
+        cplx_arr = np.ones_like(qp_arr)
+    else:
+        cplx_arr = np.asarray(complexities, dtype=float)
+        if cplx_arr.shape != qp_arr.shape:
+            raise CodecError("complexities must match sample length")
+        if np.any(cplx_arr <= 0):
+            raise CodecError("complexities must be positive")
+
+    log_qstep = np.log([qp_to_qstep(qp) for qp in qp_arr])
+    if np.ptp(log_qstep) < 1e-9:
+        raise CodecError("need samples at more than one QP")
+    # log(bits/cplx) = log(ref) - alpha * log(qstep)
+    y = np.log(bits_arr / cplx_arr)
+    design = np.column_stack([np.ones_like(log_qstep), -log_qstep])
+    coef, residuals, _, _ = np.linalg.lstsq(design, y, rcond=None)
+    log_ref, alpha = float(coef[0]), float(coef[1])
+
+    predicted = design @ coef
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+
+    return RateFit(
+        reference_bits=float(np.exp(log_ref)),
+        alpha=alpha,
+        r_squared=r_squared,
+        n=int(qp_arr.size),
+    )
+
+
+def model_from_fit(
+    fit: RateFit, base: RateDistortionModel | None = None
+) -> RateDistortionModel:
+    """A model using the fitted rate curve for P-frames (other
+    parameters inherited from ``base`` or the defaults)."""
+    template = base or RateDistortionModel()
+    return RateDistortionModel(
+        reference_bits=fit.reference_bits,
+        alpha_p=fit.alpha,
+        alpha_i=template.alpha_i,
+        i_frame_factor=template.i_frame_factor,
+        ssim_coeff=template.ssim_coeff,
+        ssim_exponent=template.ssim_exponent,
+        psnr_intercept=template.psnr_intercept,
+        psnr_slope=template.psnr_slope,
+        encode_time_base=template.encode_time_base,
+        encode_time_per_complexity=template.encode_time_per_complexity,
+        resolution_scale=template.resolution_scale,
+    )
+
+
+def calibration_samples_from_model(
+    model: RateDistortionModel,
+    qps: list[float],
+    complexity: float = 1.0,
+) -> tuple[list[float], list[float]]:
+    """Generate synthetic ``(qp, bits)`` samples from a model — used in
+    tests and to demonstrate round-trip fitting."""
+    bits = [
+        model.frame_bits(qp, complexity, FrameType.P) for qp in qps
+    ]
+    return list(qps), bits

@@ -1,0 +1,236 @@
+"""The simulated x264 encoder.
+
+Combines the RD model, rate control, GOP/keyframe logic, and a small
+amount of size noise (rate control in a real encoder works on
+*predictions*; actual frame sizes deviate, which is why overflow
+compensation exists at all).
+
+Control surface used by the adaptation strategies:
+
+* :meth:`set_target_bitrate` — the standard (slow) x264 path.
+* :meth:`renormalize` — fast re-seed of rate control at a new target.
+* :meth:`set_max_frame_bits` — persistent per-frame size cap.
+* :meth:`override_next_qp` — one-shot QP override.
+* :meth:`request_keyframe` — PLI handling.
+* :meth:`set_resolution_scale` — resolution laddering.
+* :meth:`skip_frame` — drop a capture without encoding it.
+"""
+
+from __future__ import annotations
+
+from ..errors import CodecError, ConfigError
+from ..simcore.rng import RngStreams
+from .frames import EncodedFrame, FrameType
+from .model import RateDistortionModel
+from .ratecontrol import RateControlConfig, X264RateControl
+from .source import CapturedFrame
+
+
+class SimulatedEncoder:
+    """An x264-like encoder driven one frame at a time."""
+
+    def __init__(
+        self,
+        model: RateDistortionModel,
+        fps: float,
+        target_bps: float,
+        rng: RngStreams,
+        rate_control_config: RateControlConfig | None = None,
+        gop_frames: int | None = None,
+        scene_cut_keyframes: bool = True,
+        size_noise_sigma: float = 0.08,
+        temporal_layers: int = 1,
+        stream: str = "encoder-noise",
+    ) -> None:
+        if size_noise_sigma < 0:
+            raise ConfigError("size_noise_sigma must be >= 0")
+        if gop_frames is not None and gop_frames < 1:
+            raise ConfigError(f"gop_frames must be >= 1, got {gop_frames!r}")
+        if temporal_layers not in (1, 2):
+            raise ConfigError(
+                f"temporal_layers must be 1 or 2, got {temporal_layers!r}"
+            )
+        self._base_model = model
+        self._model = model
+        self.rate_control = X264RateControl(
+            model, fps, target_bps, rate_control_config
+        )
+        self._fps = fps
+        self._gop_frames = gop_frames
+        self._scene_cut_keyframes = scene_cut_keyframes
+        self._noise_sigma = size_noise_sigma
+        self._temporal_layers = temporal_layers
+        self._gen = rng.stream(stream)
+        self._frames_encoded = 0
+        self._frames_since_key = 0
+        self._keyframe_requested = False
+        self._max_frame_bits: float | None = None
+        self._next_qp_override: float | None = None
+        self._resolution_scale = 1.0
+        self._target_scale = 1.0
+
+    # ------------------------------------------------------------------
+    # Control surface
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> RateDistortionModel:
+        """The RD model at the current resolution."""
+        return self._model
+
+    @property
+    def target_bps(self) -> float:
+        """Current rate-control target."""
+        return self.rate_control.target_bps
+
+    @property
+    def resolution_scale(self) -> float:
+        """Current pixel-count fraction of the native resolution."""
+        return self._resolution_scale
+
+    @property
+    def frames_encoded(self) -> int:
+        """Number of frames produced (excludes skips)."""
+        return self._frames_encoded
+
+    @property
+    def temporal_layers(self) -> int:
+        """Configured temporal-layer count (1 or 2)."""
+        return self._temporal_layers
+
+    def set_target_bitrate(self, target_bps: float) -> None:
+        """Standard x264 reconfig: rate control converges gradually.
+
+        The configured target scale (FEC overhead headroom) applies.
+        """
+        self.rate_control.set_target(target_bps * self._target_scale)
+
+    def renormalize(self, target_bps: float | None = None) -> None:
+        """Fast path: re-seed rate control at the (new) target."""
+        scaled = None
+        if target_bps is not None:
+            scaled = target_bps * self._target_scale
+        self.rate_control.renormalize(scaled)
+
+    def set_target_scale(self, scale: float) -> None:
+        """Reserve a share of every future target for side overhead
+        (FEC parity): the video encodes at ``target × scale``."""
+        if not 0 < scale <= 1:
+            raise ConfigError(f"target scale must be in (0, 1], got {scale!r}")
+        self._target_scale = scale
+
+    def set_max_frame_bits(self, max_bits: float | None) -> None:
+        """Persistent per-frame size cap (``None`` clears it)."""
+        if max_bits is not None and max_bits <= 0:
+            raise ConfigError(f"max_bits must be positive, got {max_bits!r}")
+        self._max_frame_bits = max_bits
+
+    def override_next_qp(self, qp: float) -> None:
+        """Force the next frame's QP (one shot)."""
+        self._next_qp_override = qp
+
+    def request_keyframe(self) -> None:
+        """Encode the next frame as an IDR (PLI response)."""
+        self._keyframe_requested = True
+
+    def set_resolution_scale(self, scale: float) -> None:
+        """Switch the encode resolution (pixel-count fraction)."""
+        self._model = self._base_model.at_resolution(scale)
+        self._resolution_scale = scale
+        self.rate_control.set_model(self._model)
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, captured: CapturedFrame, now: float) -> EncodedFrame:
+        """Encode one captured frame at simulation time ``now``."""
+        content = captured.content
+        frame_type, forced = self._decide_frame_type(content.scene_cut)
+        layer = self._temporal_layer_for(captured.index, frame_type)
+
+        # With two temporal layers, T0 frames predict across a 2-frame
+        # gap, which costs extra bits (larger motion residual).
+        effective_complexity = content.complexity
+        if self._temporal_layers == 2 and layer == 0:
+            effective_complexity = min(content.complexity * 1.15, 10.0)
+
+        qp = self.rate_control.plan_frame(
+            effective_complexity,
+            frame_type,
+            qp_override=self._pop_qp_override(),
+            max_bits=self._max_frame_bits,
+        )
+        predicted_bits = self._model.frame_bits(
+            qp, effective_complexity, frame_type
+        )
+        actual_bits = predicted_bits * self._size_noise()
+        if self._max_frame_bits is not None:
+            # A hard cap is enforced by the encoder even against model
+            # noise (real encoders re-quantize trailing macroblocks).
+            actual_bits = min(actual_bits, self._max_frame_bits)
+        size_bytes = max(64, int(round(actual_bits / 8)))
+
+        self.rate_control.on_frame_encoded(
+            size_bytes * 8, effective_complexity, frame_type
+        )
+        self._frames_encoded += 1
+        self._frames_since_key = (
+            0 if frame_type is FrameType.I else self._frames_since_key + 1
+        )
+
+        return EncodedFrame(
+            index=captured.index,
+            capture_time=captured.capture_time,
+            encode_done_time=now + self._model.encode_time(content.complexity),
+            frame_type=frame_type,
+            qp=qp,
+            size_bytes=size_bytes,
+            target_bits=self.rate_control.target_bps / self._fps,
+            complexity=content.complexity,
+            ssim=self._model.ssim(qp, content.complexity, content.motion),
+            psnr=self._model.psnr(qp, content.complexity),
+            keyframe_forced=forced,
+            temporal_layer=layer,
+        )
+
+    def skip_frame(self) -> None:
+        """Account a deliberately skipped capture."""
+        self.rate_control.on_frame_skipped()
+
+    # ------------------------------------------------------------------
+    def _decide_frame_type(self, scene_cut: bool) -> tuple[FrameType, bool]:
+        if self._frames_encoded == 0:
+            return FrameType.I, False
+        if self._keyframe_requested:
+            self._keyframe_requested = False
+            return FrameType.I, True
+        if self._scene_cut_keyframes and scene_cut:
+            return FrameType.I, False
+        if (
+            self._gop_frames is not None
+            and self._frames_since_key >= self._gop_frames - 1
+        ):
+            return FrameType.I, False
+        return FrameType.P, False
+
+    def _temporal_layer_for(
+        self, capture_index: int, frame_type: FrameType
+    ) -> int:
+        """T0/T1 assignment: odd capture slots are the droppable T1
+        layer; keyframes are always T0."""
+        if self._temporal_layers == 1 or frame_type is FrameType.I:
+            return 0
+        return capture_index % 2
+
+    def _pop_qp_override(self) -> float | None:
+        override = self._next_qp_override
+        self._next_qp_override = None
+        return override
+
+    def _size_noise(self) -> float:
+        if self._noise_sigma == 0:
+            return 1.0
+        # Mean-one lognormal so noise does not bias the average bitrate.
+        sigma = self._noise_sigma
+        return float(
+            self._gen.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma)
+        )

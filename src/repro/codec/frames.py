@@ -1,0 +1,56 @@
+"""Frame types and the encoded-frame record.
+
+An :class:`EncodedFrame` is the unit handed from the encoder to the RTP
+packetizer and, ultimately, the unit latency and quality are measured on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class FrameType(Enum):
+    """H.264 frame types the model distinguishes (no B-frames in RTC)."""
+
+    I = "I"  # noqa: E741 - the conventional codec name
+    P = "P"
+
+
+@dataclass
+class EncodedFrame:
+    """Output of the encoder for one captured frame.
+
+    Attributes:
+        index: capture order, from 0.
+        capture_time: when the camera produced the frame (s).
+        encode_done_time: when the bitstream was ready (s).
+        frame_type: I or P.
+        qp: quantizer used.
+        size_bytes: bitstream size.
+        target_bits: the budget rate control aimed at (diagnostics).
+        complexity: content complexity that produced the size.
+        ssim: model quality of the *encoded* frame.
+        psnr: model PSNR (dB).
+        keyframe_forced: True if a PLI/controller forced this keyframe.
+        temporal_layer: 0 for reference frames (T0), 1 for droppable
+            enhancement frames (T1) when temporal scalability is on.
+    """
+
+    index: int
+    capture_time: float
+    encode_done_time: float
+    frame_type: FrameType
+    qp: float
+    size_bytes: int
+    target_bits: float
+    complexity: float
+    ssim: float
+    psnr: float
+    keyframe_forced: bool = False
+    temporal_layer: int = 0
+
+    @property
+    def size_bits(self) -> int:
+        """Size in bits."""
+        return self.size_bytes * 8

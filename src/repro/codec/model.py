@@ -1,0 +1,193 @@
+"""H.264/x264 rate-distortion model.
+
+The simulator does not compress pixels; it models the three relationships
+an encoder control loop actually interacts with:
+
+* **size(QP, complexity, frame type)** — how many bits a frame costs.
+  H.264's quantizer step doubles every 6 QP
+  (``Qstep = 2^((QP-4)/6)``), and empirically rate scales like
+  ``Qstep^-alpha`` with ``alpha`` ≈ 1.1–1.3 for P-frames.
+* **quality(QP, complexity, motion)** — SSIM/PSNR obtained at that QP.
+  PSNR falls roughly linearly in QP (~0.5 dB/QP); SSIM loss grows like a
+  power of Qstep.
+* **encode time(complexity)** — latency contributed by the encoder.
+
+All three are monotone in QP, which is what the adaptive controller's RD
+inversion (:meth:`RateDistortionModel.qp_for_bits`) relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import CodecError
+from .frames import FrameType
+
+#: Valid H.264 QP range.
+QP_MIN = 0
+QP_MAX = 51
+
+
+def qp_to_qstep(qp: float) -> float:
+    """H.264 quantizer step size for a (possibly fractional) QP."""
+    return 2.0 ** ((qp - 4.0) / 6.0)
+
+
+def qstep_to_qp(qstep: float) -> float:
+    """Inverse of :func:`qp_to_qstep`."""
+    if qstep <= 0:
+        raise CodecError(f"qstep must be positive, got {qstep!r}")
+    return 4.0 + 6.0 * math.log2(qstep)
+
+
+@dataclass(frozen=True)
+class RateDistortionModel:
+    """Calibrated RD curves for one resolution/content operating point.
+
+    Attributes:
+        reference_bits: bits of a complexity-1.0 P-frame at ``Qstep = 1``
+            (QP 4). Scales linearly with pixel count.
+        alpha_p: rate exponent for P-frames (``bits ∝ Qstep^-alpha``).
+        alpha_i: rate exponent for I-frames.
+        i_frame_factor: I-frame cost multiple over a P-frame at equal QP.
+        ssim_coeff / ssim_exponent: SSIM loss = coeff · Qstep^exponent,
+            scaled by content complexity.
+        psnr_intercept / psnr_slope: PSNR ≈ intercept − slope · QP.
+        resolution_scale: pixel-count fraction relative to the native
+            resolution (set < 1 by resolution adaptation).
+    """
+
+    reference_bits: float = 920_000.0  # calibrated for 720p30
+    alpha_p: float = 1.2
+    alpha_i: float = 1.1
+    i_frame_factor: float = 5.0
+    ssim_coeff: float = 0.0043
+    ssim_exponent: float = 0.8
+    psnr_intercept: float = 52.0
+    psnr_slope: float = 0.5
+    encode_time_base: float = 0.004
+    encode_time_per_complexity: float = 0.004
+    resolution_scale: float = 1.0
+
+    # ------------------------------------------------------------------
+    # Size
+    # ------------------------------------------------------------------
+    def frame_bits(
+        self, qp: float, complexity: float, frame_type: FrameType
+    ) -> float:
+        """Predicted size in bits of a frame encoded at ``qp``."""
+        self._check_qp(qp)
+        if complexity <= 0:
+            raise CodecError(f"complexity must be positive, got {complexity!r}")
+        alpha, factor = self._type_params(frame_type)
+        qstep = qp_to_qstep(qp)
+        return (
+            self.reference_bits
+            * self.resolution_scale
+            * complexity
+            * factor
+            / qstep**alpha
+        )
+
+    def qp_for_bits(
+        self, target_bits: float, complexity: float, frame_type: FrameType
+    ) -> float:
+        """Smallest QP whose predicted size is at most ``target_bits``.
+
+        This is the RD inversion the adaptive controller uses for instant
+        re-targeting. The result is clamped to the valid QP range, so a
+        budget too small even for QP 51 returns 51.0 (callers can detect
+        infeasibility by re-predicting the size).
+        """
+        if target_bits <= 0:
+            raise CodecError(f"target_bits must be positive, got {target_bits!r}")
+        alpha, factor = self._type_params(frame_type)
+        numer = (
+            self.reference_bits * self.resolution_scale * complexity * factor
+        )
+        qstep = (numer / target_bits) ** (1.0 / alpha)
+        qp = qstep_to_qp(qstep)
+        return min(max(qp, float(QP_MIN)), float(QP_MAX))
+
+    # ------------------------------------------------------------------
+    # Quality
+    # ------------------------------------------------------------------
+    def ssim(self, qp: float, complexity: float, motion: float) -> float:
+        """Structural similarity in [0, 1] for a frame encoded at ``qp``.
+
+        Complex, high-motion content loses more SSIM at the same QP; a
+        reduced encode resolution imposes an upscaling penalty.
+        """
+        self._check_qp(qp)
+        qstep = qp_to_qstep(qp)
+        content_factor = (0.6 + 0.4 * complexity) * (0.8 + 0.4 * motion)
+        loss = self.ssim_coeff * qstep**self.ssim_exponent * content_factor
+        # Upscaling a reduced-resolution encode costs structural detail:
+        # ~0.06 SSIM for a quarter-resolution stream shown at native size.
+        upscale_penalty = 0.08 * (1.0 - self.resolution_scale)
+        return max(0.0, min(1.0, 1.0 - loss - upscale_penalty))
+
+    def psnr(self, qp: float, complexity: float) -> float:
+        """Peak signal-to-noise ratio in dB."""
+        self._check_qp(qp)
+        content_penalty = 2.0 * math.log2(max(complexity, 0.05))
+        upscale_penalty = 3.0 * (1.0 - self.resolution_scale)
+        return (
+            self.psnr_intercept
+            - self.psnr_slope * qp
+            - content_penalty
+            - upscale_penalty
+        )
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    def encode_time(self, complexity: float) -> float:
+        """Seconds the encoder spends on one frame."""
+        return (
+            self.encode_time_base
+            + self.encode_time_per_complexity
+            * complexity
+            * self.resolution_scale
+        )
+
+    # ------------------------------------------------------------------
+    def at_resolution(self, scale: float) -> "RateDistortionModel":
+        """A copy operating at ``scale`` of the native pixel count."""
+        if not 0 < scale <= 1:
+            raise CodecError(f"resolution scale must be in (0, 1], got {scale!r}")
+        return RateDistortionModel(
+            reference_bits=self.reference_bits,
+            alpha_p=self.alpha_p,
+            alpha_i=self.alpha_i,
+            i_frame_factor=self.i_frame_factor,
+            ssim_coeff=self.ssim_coeff,
+            ssim_exponent=self.ssim_exponent,
+            psnr_intercept=self.psnr_intercept,
+            psnr_slope=self.psnr_slope,
+            encode_time_base=self.encode_time_base,
+            encode_time_per_complexity=self.encode_time_per_complexity,
+            resolution_scale=scale,
+        )
+
+    @staticmethod
+    def for_resolution(width: int, height: int) -> "RateDistortionModel":
+        """A model calibrated by pixel count relative to 1280×720."""
+        if width <= 0 or height <= 0:
+            raise CodecError("resolution must be positive")
+        pixel_ratio = (width * height) / (1280 * 720)
+        return RateDistortionModel(reference_bits=920_000.0 * pixel_ratio)
+
+    # ------------------------------------------------------------------
+    def _type_params(self, frame_type: FrameType) -> tuple[float, float]:
+        if frame_type is FrameType.I:
+            return self.alpha_i, self.i_frame_factor
+        return self.alpha_p, 1.0
+
+    @staticmethod
+    def _check_qp(qp: float) -> None:
+        if not QP_MIN <= qp <= QP_MAX:
+            raise CodecError(
+                f"QP must be in [{QP_MIN}, {QP_MAX}], got {qp!r}"
+            )

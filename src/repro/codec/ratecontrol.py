@@ -1,0 +1,336 @@
+"""x264-style single-pass ABR rate control (with optional VBV/CBR cap).
+
+This reproduces the *control dynamics* of x264's ``ratecontrol.c`` ABR
+path, because those dynamics are exactly what the paper criticizes as
+"too slow":
+
+* the per-frame quantizer comes from
+  ``qscale = rceq · (cplxr_sum / wanted_bits_window)`` where
+  ``rceq = blurred_complexity^(1 - qcompress)``;
+* ``cplxr_sum`` accumulates ``actual_bits · qscale / rceq`` and
+  ``wanted_bits_window`` accumulates the per-frame bit budget — both with
+  a slow exponential decay, so the base operating point converges over a
+  *window of seconds*, not frames;
+* short-term mismatch is corrected by an **overflow multiplier** clipped
+  to ``[0.5, 2.0]`` (at most one qscale doubling per frame), computed
+  against an ABR buffer of ``2 · rate_tolerance`` seconds of bits;
+* the final QP is clamped to ``±qp_step`` (x264 default 4) around the
+  previous frame's QP.
+
+The consequence — measurable in the tests — is that after a target
+bitrate drop of, say, 5×, the encoder's *output* bitrate overshoots the
+new target for on the order of a second even though ``set_target`` was
+called immediately. That overshoot is what fills bottleneck queues.
+
+The adaptive controller escapes this by calling :meth:`renormalize`,
+which re-seeds the internal windows at the new operating point — the
+"dynamically adjusting codec parameters" knob of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CodecError, ConfigError
+from .frames import FrameType
+from .model import QP_MAX, QP_MIN, RateDistortionModel, qp_to_qstep, qstep_to_qp
+
+
+@dataclass(frozen=True)
+class RateControlConfig:
+    """Tunables mirroring x264's rate-control options.
+
+    Attributes:
+        qcompress: curve compression (x264 ``--qcomp``, default 0.6).
+        qp_step: max per-frame QP change (x264 ``--qpstep``, default 4).
+        qp_min / qp_max: QP clamp (RTC deployments avoid very low QP).
+        rate_tolerance: x264 ``--ratetol``; ABR buffer is
+            ``2 · tolerance`` seconds of bits.
+        window_decay: per-frame decay of the cumulative windows
+            (0.98 ≈ 50-frame ≈ 1.7 s memory at 30 fps).
+        complexity_blur: EWMA weight for new complexity samples.
+        ip_qp_offset: QP reduction applied to I-frames (ip-ratio ≈ 1.4
+            in qscale domain ≈ 3 QP).
+        vbv_buffer_seconds: if set, enforce a CBR VBV cap — each frame is
+            limited to the bits currently in the VBV buffer.
+        vbv_max_frame_fraction: largest share of the VBV buffer one frame
+            may take.
+    """
+
+    qcompress: float = 0.6
+    qp_step: float = 4.0
+    qp_min: float = 12.0
+    qp_max: float = 48.0
+    rate_tolerance: float = 1.0
+    window_decay: float = 0.98
+    complexity_blur: float = 0.1
+    ip_qp_offset: float = 3.0
+    vbv_buffer_seconds: float | None = None
+    vbv_max_frame_fraction: float = 0.8
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on out-of-range values."""
+        if not 0 <= self.qcompress <= 1:
+            raise ConfigError(f"qcompress must be in [0,1], got {self.qcompress!r}")
+        if self.qp_step <= 0:
+            raise ConfigError(f"qp_step must be positive, got {self.qp_step!r}")
+        if not QP_MIN <= self.qp_min < self.qp_max <= QP_MAX:
+            raise ConfigError(
+                f"need {QP_MIN} <= qp_min < qp_max <= {QP_MAX}, "
+                f"got [{self.qp_min}, {self.qp_max}]"
+            )
+        if self.rate_tolerance <= 0:
+            raise ConfigError("rate_tolerance must be positive")
+        if not 0 < self.window_decay <= 1:
+            raise ConfigError("window_decay must be in (0, 1]")
+        if not 0 < self.complexity_blur <= 1:
+            raise ConfigError("complexity_blur must be in (0, 1]")
+        if self.vbv_buffer_seconds is not None and self.vbv_buffer_seconds <= 0:
+            raise ConfigError("vbv_buffer_seconds must be positive")
+
+
+class X264RateControl:
+    """Single-pass ABR controller for the simulated encoder."""
+
+    def __init__(
+        self,
+        model: RateDistortionModel,
+        fps: float,
+        target_bps: float,
+        config: RateControlConfig | None = None,
+    ) -> None:
+        if fps <= 0:
+            raise ConfigError(f"fps must be positive, got {fps!r}")
+        if target_bps <= 0:
+            raise ConfigError(f"target must be positive, got {target_bps!r}")
+        self._model = model
+        self._fps = fps
+        self._config = config or RateControlConfig()
+        self._config.validate()
+        self._target_bps = target_bps
+        self._blurred_complexity = 1.0
+        self._qp_prev: float | None = None
+        self._total_bits = 0.0
+        self._total_wanted = 0.0
+        self._pending_rceq: float | None = None
+        self._pending_qscale: float | None = None
+        self._vbv_fill_bits = 0.0
+        if self._config.vbv_buffer_seconds is not None:
+            self._vbv_fill_bits = self._vbv_capacity_bits()
+        self._seed_windows(target_bps)
+
+    # ------------------------------------------------------------------
+    # Public knobs
+    # ------------------------------------------------------------------
+    @property
+    def target_bps(self) -> float:
+        """Current target bitrate."""
+        return self._target_bps
+
+    @property
+    def model(self) -> RateDistortionModel:
+        """The RD model used for size prediction."""
+        return self._model
+
+    @property
+    def last_qp(self) -> float | None:
+        """QP of the most recently planned frame."""
+        return self._qp_prev
+
+    def set_model(self, model: RateDistortionModel) -> None:
+        """Swap the RD model (resolution adaptation)."""
+        self._model = model
+
+    def set_target(self, target_bps: float) -> None:
+        """Change the target bitrate *the x264 way*: only the budget
+        accrual rate changes; the internal windows converge gradually.
+        """
+        if target_bps <= 0:
+            raise ConfigError(f"target must be positive, got {target_bps!r}")
+        self._target_bps = target_bps
+
+    def renormalize(self, target_bps: float | None = None) -> None:
+        """Re-seed the controller at (optionally new) ``target_bps``.
+
+        This is the fast-adaptation knob: it discards the stale windows so
+        the very next frame is planned at the new operating point, while
+        keeping the blurred complexity estimate (hence compression
+        efficiency — the encoder does not panic to QP extremes).
+        """
+        if target_bps is not None:
+            self.set_target(target_bps)
+        self._seed_windows(self._target_bps)
+        self._total_bits = 0.0
+        self._total_wanted = 0.0
+        # Let the next frame jump straight to the new operating point.
+        self._qp_prev = None
+
+    # ------------------------------------------------------------------
+    # Per-frame planning
+    # ------------------------------------------------------------------
+    def plan_frame(
+        self,
+        complexity: float,
+        frame_type: FrameType,
+        qp_override: float | None = None,
+        max_bits: float | None = None,
+    ) -> float:
+        """Choose the QP for the next frame.
+
+        Must be followed by exactly one :meth:`on_frame_encoded` call.
+
+        Args:
+            complexity: content complexity of the frame to encode.
+            frame_type: I or P.
+            qp_override: force this QP (clamped to the configured range),
+                bypassing the per-frame ``qp_step`` limit — the adaptive
+                controller's fast path.
+            max_bits: hard per-frame size cap; if the planned QP would
+                exceed it, QP is raised (also bypassing ``qp_step``), the
+                same mechanism a tight VBV uses.
+        """
+        if self._pending_rceq is not None:
+            raise CodecError("plan_frame called twice without on_frame_encoded")
+        if complexity <= 0:
+            raise CodecError(f"complexity must be positive, got {complexity!r}")
+        cfg = self._config
+
+        rceq = self._blurred_complexity ** (1.0 - cfg.qcompress)
+        qscale = rceq * (self._cplxr_sum / self._wanted_bits_window)
+
+        # Short-term overflow compensation against the ABR buffer.
+        abr_buffer = 2.0 * cfg.rate_tolerance * self._target_bps
+        diff = self._total_bits - self._total_wanted
+        overflow = _clip(1.0 + diff / abr_buffer, 0.5, 2.0)
+        qscale *= overflow
+
+        qp = qstep_to_qp(max(qscale, 1e-6))
+        if frame_type is FrameType.I:
+            qp -= cfg.ip_qp_offset
+
+        if self._qp_prev is not None:
+            qp = _clip(
+                qp, self._qp_prev - cfg.qp_step, self._qp_prev + cfg.qp_step
+            )
+        qp = _clip(qp, cfg.qp_min, cfg.qp_max)
+
+        if qp_override is not None:
+            qp = _clip(qp_override, cfg.qp_min, cfg.qp_max)
+        if max_bits is not None and max_bits > 0:
+            predicted = self._model.frame_bits(qp, complexity, frame_type)
+            if predicted > max_bits:
+                qp_cap = self._model.qp_for_bits(
+                    max_bits, complexity, frame_type
+                )
+                qp = _clip(max(qp, qp_cap), cfg.qp_min, cfg.qp_max)
+
+        qp = self._apply_vbv(qp, complexity, frame_type)
+
+        self._qp_prev = qp
+        self._pending_rceq = rceq
+        self._pending_qscale = qp_to_qstep(
+            qp + (cfg.ip_qp_offset if frame_type is FrameType.I else 0.0)
+        )
+        return qp
+
+    def on_frame_encoded(
+        self, bits: float, complexity: float, frame_type: FrameType
+    ) -> None:
+        """Account the actual encoded size of the planned frame."""
+        if self._pending_rceq is None or self._pending_qscale is None:
+            raise CodecError("on_frame_encoded without a planned frame")
+        cfg = self._config
+        budget = self._target_bps / self._fps
+        # I-frames are intrinsically larger; normalize their contribution
+        # so keyframes do not distort the P-frame operating point.
+        effective_bits = bits
+        if frame_type is FrameType.I:
+            effective_bits = bits / self._model.i_frame_factor
+        self._cplxr_sum = (
+            self._cplxr_sum * cfg.window_decay
+            + effective_bits * self._pending_qscale / self._pending_rceq
+        )
+        self._wanted_bits_window = (
+            self._wanted_bits_window * cfg.window_decay + budget
+        )
+        self._total_bits += bits
+        self._total_wanted += budget
+        self._blurred_complexity += cfg.complexity_blur * (
+            complexity - self._blurred_complexity
+        )
+        if cfg.vbv_buffer_seconds is not None:
+            self._vbv_fill_bits = min(
+                self._vbv_capacity_bits(),
+                self._vbv_fill_bits + budget,
+            )
+            self._vbv_fill_bits = max(0.0, self._vbv_fill_bits - bits)
+        self._pending_rceq = None
+        self._pending_qscale = None
+
+    def on_frame_skipped(self) -> None:
+        """Account a skipped frame: budget accrues, no bits are spent."""
+        cfg = self._config
+        budget = self._target_bps / self._fps
+        self._wanted_bits_window = (
+            self._wanted_bits_window * cfg.window_decay + budget
+        )
+        self._cplxr_sum *= cfg.window_decay
+        self._total_wanted += budget
+        if cfg.vbv_buffer_seconds is not None:
+            self._vbv_fill_bits = min(
+                self._vbv_capacity_bits(), self._vbv_fill_bits + budget
+            )
+
+    def expected_bits(self, complexity: float, frame_type: FrameType) -> float:
+        """Size the model predicts for the QP :meth:`plan_frame` would
+        choose right now (without mutating state)."""
+        snapshot = (
+            self._qp_prev,
+            self._pending_rceq,
+            self._pending_qscale,
+        )
+        qp = self.plan_frame(complexity, frame_type)
+        bits = self._model.frame_bits(qp, complexity, frame_type)
+        (self._qp_prev, self._pending_rceq, self._pending_qscale) = snapshot
+        return bits
+
+    # ------------------------------------------------------------------
+    def _apply_vbv(
+        self, qp: float, complexity: float, frame_type: FrameType
+    ) -> float:
+        cfg = self._config
+        if cfg.vbv_buffer_seconds is None:
+            return qp
+        max_bits = max(
+            self._vbv_fill_bits * cfg.vbv_max_frame_fraction,
+            self._target_bps / self._fps * 0.25,
+        )
+        predicted = self._model.frame_bits(qp, complexity, frame_type)
+        if predicted <= max_bits:
+            return qp
+        qp_cap = self._model.qp_for_bits(max_bits, complexity, frame_type)
+        return _clip(max(qp, qp_cap), cfg.qp_min, cfg.qp_max)
+
+    def _vbv_capacity_bits(self) -> float:
+        assert self._config.vbv_buffer_seconds is not None
+        return self._config.vbv_buffer_seconds * self._target_bps
+
+    def _seed_windows(self, target_bps: float) -> None:
+        """Initialize the windows at the steady-state fixed point for
+        ``target_bps`` and the current blurred complexity."""
+        cfg = self._config
+        budget = target_bps / self._fps
+        qp_ideal = self._model.qp_for_bits(
+            budget, self._blurred_complexity, FrameType.P
+        )
+        qp_ideal = _clip(qp_ideal, cfg.qp_min, cfg.qp_max)
+        qscale_ideal = qp_to_qstep(qp_ideal)
+        rceq = self._blurred_complexity ** (1.0 - cfg.qcompress)
+        # Fixed point: qscale = rceq * cplxr_sum / wanted  =>  seed the
+        # ratio at qscale_ideal / rceq with one budget's worth of weight.
+        self._wanted_bits_window = budget
+        self._cplxr_sum = budget * qscale_ideal / rceq
+
+
+def _clip(value: float, low: float, high: float) -> float:
+    return max(low, min(high, value))

@@ -1,0 +1,55 @@
+"""The video source: camera capture timing plus content lookup.
+
+:class:`VideoSource` binds a frame rate and resolution to a
+:class:`~repro.traces.content.ContentTrace`; the session pipeline asks it
+for each captured frame in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..traces.content import ContentTrace, FrameContent
+
+
+@dataclass(frozen=True)
+class CapturedFrame:
+    """A raw frame straight off the (simulated) camera."""
+
+    index: int
+    capture_time: float
+    content: FrameContent
+
+
+class VideoSource:
+    """Fixed-fps camera producing frames described by a content trace."""
+
+    def __init__(
+        self,
+        content: ContentTrace,
+        fps: float = 30.0,
+        width: int = 1280,
+        height: int = 720,
+    ) -> None:
+        if fps <= 0:
+            raise ConfigError(f"fps must be positive, got {fps!r}")
+        if width <= 0 or height <= 0:
+            raise ConfigError("resolution must be positive")
+        self._content = content
+        self.fps = fps
+        self.width = width
+        self.height = height
+
+    @property
+    def frame_interval(self) -> float:
+        """Seconds between captures."""
+        return 1.0 / self.fps
+
+    def capture(self, index: int, now: float) -> CapturedFrame:
+        """The frame captured at tick ``index`` (time ``now``)."""
+        return CapturedFrame(
+            index=index,
+            capture_time=now,
+            content=self._content.frame(index),
+        )

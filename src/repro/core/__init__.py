@@ -1,0 +1,28 @@
+"""The paper's contribution: fast encoder adaptation to bandwidth drops.
+
+* :class:`DropDetector` — fused sender-side drop detection.
+* :class:`AdaptiveEncoderController` — the control loop that renormalizes
+  the encoder at the measured post-drop capacity, applies drain budgets
+  and bounded frame skips, then returns control to GCC.
+"""
+
+from .config import AdaptiveConfig, DetectorConfig
+from .controller import AdaptiveEncoderController
+from .detector import DropDetector, DropEvent, Ewma, NetworkStateEstimator
+from .interface import EncoderAdaptation, FrameDirective
+from .strategies import DrainBudgetStrategy, ResolutionLadder, SkipStrategy
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveEncoderController",
+    "DetectorConfig",
+    "DrainBudgetStrategy",
+    "DropDetector",
+    "DropEvent",
+    "EncoderAdaptation",
+    "Ewma",
+    "FrameDirective",
+    "NetworkStateEstimator",
+    "ResolutionLadder",
+    "SkipStrategy",
+]

@@ -1,0 +1,129 @@
+"""Configuration for the adaptive encoder controller."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Bandwidth-drop detector tuning.
+
+    Attributes:
+        fast_tau / slow_tau: time constants (s) of the fast and slow
+            EWMAs over the acked throughput; a kink is declared when
+            ``fast < kink_ratio × slow``.
+        kink_ratio: throughput-kink sensitivity (lower = less sensitive).
+        queue_delay_threshold: sender pacer-queue delay (s) treated as a
+            congestion signal.
+        queuing_delay_threshold: network one-way queuing delay (s)
+            treated as a congestion signal.
+        cooldown: minimum spacing (s) between successive drop events.
+        use_throughput_kink / use_overuse / use_pacer_queue: enable the
+            three detector inputs individually (ablation switches).
+    """
+
+    fast_tau: float = 0.15
+    slow_tau: float = 2.0
+    kink_ratio: float = 0.80
+    queue_delay_threshold: float = 0.08
+    queuing_delay_threshold: float = 0.06
+    cooldown: float = 0.5
+    use_throughput_kink: bool = True
+    use_overuse: bool = True
+    use_pacer_queue: bool = True
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on inconsistent values."""
+        if not 0 < self.fast_tau < self.slow_tau:
+            raise ConfigError("need 0 < fast_tau < slow_tau")
+        if not 0 < self.kink_ratio < 1:
+            raise ConfigError("kink_ratio must be in (0, 1)")
+        if min(
+            self.queue_delay_threshold,
+            self.queuing_delay_threshold,
+            self.cooldown,
+        ) <= 0:
+            raise ConfigError("thresholds and cooldown must be positive")
+        if not (
+            self.use_throughput_kink
+            or self.use_overuse
+            or self.use_pacer_queue
+        ):
+            raise ConfigError("at least one detector signal must be enabled")
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Adaptive controller tuning.
+
+    Attributes:
+        safety_margin: fraction of the estimated capacity the encoder
+            targets right after a drop (leaves headroom to drain).
+        drain_share: fraction of capacity reserved for draining backlog
+            while an episode is active (per-frame budget is
+            ``capacity × (1 − drain_share) / fps``).
+        skip_queue_delay: estimated total backlog delay (s) above which
+            captures are skipped entirely.
+        max_consecutive_skips: never freeze the stream longer than this.
+        episode_exit_delay: backlog delay (s) below which the episode
+            ends and control returns to normal rate control.
+        min_target_bps: floor for any re-target.
+        enable_skip / enable_drain_budget / enable_renormalize: strategy
+            ablation switches.
+        t1_drop_queue_delay: with temporal scalability, drop T1
+            (non-reference) captures while the backlog exceeds this —
+            a gentler lever than full skips.
+        enable_fast_recovery: after an episode, probe the estimate back
+            up toward the remembered pre-drop throughput instead of
+            waiting for AIMD's ~8%/s ramp (the upward counterpart of
+            fast drop adaptation; off by default).
+        recovery_probe_interval: spacing between upward probes (s).
+        recovery_step: multiplicative probe size.
+        recovery_clean_time: the path must be congestion-free this long
+            before each probe.
+        resolution_ladder: optional descending pixel-count scales for
+            sustained low bitrates (empty = resolution fixed).
+        min_bits_per_pixel: below this operating point, step down the
+            resolution ladder; above 4×, step back up.
+    """
+
+    safety_margin: float = 0.85
+    drain_share: float = 0.25
+    skip_queue_delay: float = 0.20
+    max_consecutive_skips: int = 5
+    episode_exit_delay: float = 0.02
+    min_target_bps: float = 80_000.0
+    enable_skip: bool = True
+    enable_drain_budget: bool = True
+    enable_renormalize: bool = True
+    t1_drop_queue_delay: float = 0.12
+    enable_fast_recovery: bool = False
+    recovery_probe_interval: float = 1.0
+    recovery_step: float = 1.25
+    recovery_clean_time: float = 0.75
+    resolution_ladder: tuple[float, ...] = ()
+    min_bits_per_pixel: float = 0.025
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on inconsistent values."""
+        if not 0 < self.safety_margin <= 1:
+            raise ConfigError("safety_margin must be in (0, 1]")
+        if not 0 <= self.drain_share < 1:
+            raise ConfigError("drain_share must be in [0, 1)")
+        if self.skip_queue_delay <= 0 or self.episode_exit_delay <= 0:
+            raise ConfigError("delay thresholds must be positive")
+        if self.t1_drop_queue_delay <= 0:
+            raise ConfigError("t1_drop_queue_delay must be positive")
+        if self.recovery_probe_interval <= 0 or self.recovery_clean_time <= 0:
+            raise ConfigError("recovery timings must be positive")
+        if self.recovery_step <= 1.0:
+            raise ConfigError("recovery_step must exceed 1.0")
+        if self.max_consecutive_skips < 0:
+            raise ConfigError("max_consecutive_skips must be >= 0")
+        if self.min_target_bps <= 0:
+            raise ConfigError("min_target_bps must be positive")
+        if any(not 0 < s <= 1 for s in self.resolution_ladder):
+            raise ConfigError("resolution scales must be in (0, 1]")

@@ -1,0 +1,269 @@
+"""The adaptive encoder controller — the paper's contribution.
+
+On every feedback batch the :class:`DropDetector` looks for a capacity
+drop. When one fires, the controller short-circuits the two slow loops
+of the baseline stack:
+
+* **the estimator loop** — instead of waiting for GCC's AIMD to walk
+  down, it force-seeds the estimate at the measured post-drop capacity
+  (the acked throughput during overload *is* the capacity);
+* **the encoder loop** — instead of letting x264's ABR windows converge
+  over seconds, it *renormalizes* rate control at the new target, so the
+  very next frame is sized correctly.
+
+While the drop *episode* is active the controller additionally applies
+per-frame drain budgets and (for severe backlogs) frame skips, then
+hands control back to the normal GCC→encoder coupling once the backlog
+has drained. Compression efficiency is preserved: no panic keyframes,
+no QP oscillation — just a one-step move to the new operating point.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..cc.gcc.gcc import GoogCcController
+from ..cc.gcc.overuse import BandwidthUsage
+from ..codec.encoder import SimulatedEncoder
+from ..codec.frames import EncodedFrame
+from ..rtp.feedback import FeedbackReport, PacketResult
+from ..rtp.pacer import Pacer
+from .config import AdaptiveConfig, DetectorConfig
+from .detector import DropDetector, DropEvent
+from .interface import EncoderAdaptation, FrameDirective
+from .strategies import DrainBudgetStrategy, ResolutionLadder, SkipStrategy
+
+
+class AdaptiveEncoderController(EncoderAdaptation):
+    """Fast encoder adaptation to network bandwidth drops."""
+
+    def __init__(
+        self,
+        encoder: SimulatedEncoder,
+        pacer: Pacer,
+        gcc: GoogCcController,
+        fps: float,
+        config: AdaptiveConfig | None = None,
+        detector_config: DetectorConfig | None = None,
+        native_pixels: int = 1280 * 720,
+    ) -> None:
+        self._encoder = encoder
+        self._pacer = pacer
+        self._gcc = gcc
+        self._fps = fps
+        self._config = config or AdaptiveConfig()
+        self._config.validate()
+        self.detector = DropDetector(detector_config)
+        self._drain = DrainBudgetStrategy(self._config.drain_share, fps)
+        self._skip = SkipStrategy(
+            self._config.skip_queue_delay, self._config.max_consecutive_skips
+        )
+        self._ladder: ResolutionLadder | None = None
+        if self._config.resolution_ladder:
+            self._ladder = ResolutionLadder(
+                self._config.resolution_ladder,
+                self._config.min_bits_per_pixel,
+                native_pixels,
+                fps,
+            )
+        self._episode_active = False
+        self._episode_capacity = 0.0
+        self._episode_started = 0.0
+        self._encoder_has_t1 = encoder.temporal_layers == 2
+        self.episodes: list[DropEvent] = []
+        self.frames_skipped = 0
+        self.t1_frames_dropped = 0
+        self.recovery_probes = 0
+        self._last_capture_skipped = False
+        self._pre_drop_throughput: float | None = None
+        self._clean_since = 0.0
+        self._last_probe_time = float("-inf")
+        self._last_episode_end = float("-inf")
+        self._ceiling_updated = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> AdaptiveConfig:
+        """Active configuration."""
+        return self._config
+
+    @property
+    def episode_active(self) -> bool:
+        """Whether a drop episode is being handled right now."""
+        return self._episode_active
+
+    # ------------------------------------------------------------------
+    # EncoderAdaptation hooks
+    # ------------------------------------------------------------------
+    def on_feedback(
+        self,
+        now: float,
+        report: FeedbackReport,
+        results: list[PacketResult],
+    ) -> None:
+        """Run detection and manage the episode state machine."""
+        self._update_throughput_ceiling(now)
+        event = self.detector.update(
+            now, self._gcc, results, self._pacer.queue_delay()
+        )
+        if event is not None:
+            self._start_episode(now, event)
+            return
+        if self._episode_active:
+            self._refine_episode(now)
+            if self._should_exit_episode(now):
+                self._end_episode(now)
+        if not self._episode_active:
+            if self._config.enable_fast_recovery:
+                self._maybe_probe_up(now)
+            # Normal operation: track GCC through the standard (slow)
+            # encoder path; ramp-ups are gradual anyway.
+            target = self._gcc.target_bps()
+            self._encoder.set_target_bitrate(target)
+            self._pacer.set_target_rate(target)
+            self._apply_resolution(target)
+
+    def before_frame(
+        self, now: float, capture_index: int = 0
+    ) -> FrameDirective:
+        """Per-frame strategy application."""
+        if not self._episode_active:
+            self._last_capture_skipped = False
+            return FrameDirective()
+        backlog_delay = self._backlog_delay(now)
+        if self._config.enable_skip and self._skip.should_skip(backlog_delay):
+            self.frames_skipped += 1
+            self._last_capture_skipped = True
+            return FrameDirective(skip=True)
+        if (
+            self._encoder_has_t1
+            and capture_index % 2 == 1
+            and not self._last_capture_skipped
+            and backlog_delay > self._config.t1_drop_queue_delay
+        ):
+            # Drop the non-reference layer — but never two captures in
+            # a row, so the stream (and its feedback) keeps flowing.
+            self.t1_frames_dropped += 1
+            self._last_capture_skipped = True
+            return FrameDirective(skip=True)
+        self._last_capture_skipped = False
+        directive = FrameDirective()
+        if self._config.enable_drain_budget:
+            directive.max_bits = self._drain.frame_budget(
+                self._episode_capacity, backlog_delay
+            )
+        return directive
+
+    def after_frame(self, now: float, frame: EncodedFrame) -> None:
+        """No post-encode bookkeeping needed."""
+
+    # ------------------------------------------------------------------
+    # Episode management
+    # ------------------------------------------------------------------
+    def _update_throughput_ceiling(self, now: float) -> None:
+        """Decaying-max filter over the delivered throughput: the level
+        fast recovery may probe back toward. The decay (τ ≈ 2 min)
+        forgets capacity the path hasn't delivered in a while; probing
+        a slightly stale ceiling is safe because a wrong probe trips
+        the drop detector and renormalizes right back."""
+        slow = self.detector.slow_throughput()
+        if slow is None:
+            return
+        if self._pre_drop_throughput is None:
+            self._pre_drop_throughput = slow
+            self._ceiling_updated = now
+            return
+        dt = max(0.0, now - self._ceiling_updated)
+        decayed = self._pre_drop_throughput * math.exp(-dt / 120.0)
+        self._pre_drop_throughput = max(slow, decayed)
+        self._ceiling_updated = now
+
+    def _maybe_probe_up(self, now: float) -> None:
+        """Fast recovery: when the path has been clean for a while and
+        the target sits well below the remembered pre-drop throughput,
+        step the estimate up instead of waiting for AIMD.
+
+        A wrong probe is self-correcting: the very next overload trips
+        the detector, which renormalizes back down within a feedback
+        round — the same machinery that handles real drops.
+        """
+        cfg = self._config
+        if not self.episodes:
+            return  # recovery probing only makes sense after a drop
+        clean = (
+            self._backlog_delay(now) < cfg.episode_exit_delay
+            and self._gcc.last_usage is not BandwidthUsage.OVERUSE
+        )
+        if not clean:
+            self._clean_since = now
+            return
+        ceiling = self._pre_drop_throughput
+        if ceiling is None:
+            return
+        target = self._gcc.target_bps()
+        if target >= 0.9 * ceiling:
+            return
+        if now - self._clean_since < cfg.recovery_clean_time:
+            return
+        if now - self._last_probe_time < cfg.recovery_probe_interval:
+            return
+        self._last_probe_time = now
+        bumped = min(target * cfg.recovery_step, 0.9 * ceiling)
+        self._gcc.force_estimate(bumped)
+        self.recovery_probes += 1
+
+    def _start_episode(self, now: float, event: DropEvent) -> None:
+        capacity = event.estimated_capacity_bps
+        safe_target = max(
+            self._config.min_target_bps,
+            self._config.safety_margin * capacity,
+        )
+        self._episode_active = True
+        self._episode_capacity = capacity
+        self._episode_started = now
+        self.episodes.append(event)
+        if self._config.enable_renormalize:
+            self._encoder.renormalize(safe_target)
+            self._gcc.force_estimate(safe_target)
+        else:
+            self._encoder.set_target_bitrate(safe_target)
+        self._pacer.set_target_rate(safe_target)
+        self._apply_resolution(safe_target)
+
+    def _refine_episode(self, now: float) -> None:
+        """Keep the capacity estimate fresh while the episode runs."""
+        fast = self.detector.fast_throughput()
+        if fast is not None and fast > 0:
+            self._episode_capacity = fast
+
+    def _should_exit_episode(self, now: float) -> bool:
+        return (
+            self._backlog_delay(now) < self._config.episode_exit_delay
+            and self._gcc.last_usage is not BandwidthUsage.OVERUSE
+        )
+
+    def _end_episode(self, now: float) -> None:
+        self._episode_active = False
+        self._last_episode_end = now
+        # Seed GCC at the episode's final capacity view so the post-
+        # episode ramp starts from reality rather than a stale estimate.
+        safe_target = max(
+            self._config.min_target_bps,
+            self._config.safety_margin * self._episode_capacity,
+        )
+        self._gcc.force_estimate(safe_target)
+
+    # ------------------------------------------------------------------
+    def _backlog_delay(self, now: float | None = None) -> float:
+        """Sender pacer delay plus estimated network queuing delay."""
+        return (
+            self._pacer.queue_delay()
+            + self.detector.network_state.queuing_delay(now)
+        )
+
+    def _apply_resolution(self, target_bps: float) -> None:
+        if self._ladder is None:
+            return
+        scale = self._ladder.choose_scale(target_bps)
+        if scale != self._encoder.resolution_scale:
+            self._encoder.set_resolution_scale(scale)

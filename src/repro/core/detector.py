@@ -1,0 +1,225 @@
+"""Bandwidth-drop detection from sender-observable signals.
+
+The detector fuses three independent views of the path, all available at
+the sender within roughly one feedback interval of a capacity drop:
+
+1. **Throughput kink** — the acked throughput's fast EWMA falling well
+   below its slow EWMA. During overload the acked rate *equals* the new
+   capacity, so the kink also *measures* the post-drop capacity.
+2. **Delay-gradient overuse** — GCC's trendline/overuse state, exposed
+   by :class:`~repro.cc.gcc.GoogCcController`.
+3. **Pacer-queue growth** — packets piling up at the sender because the
+   wire is slower than the pacing rate.
+
+A :class:`NetworkStateEstimator` additionally tracks one-way queuing
+delay (current OWD minus the session-minimum OWD), from which the
+controller estimates the bottleneck backlog it must drain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..cc.gcc.gcc import GoogCcController
+from ..cc.gcc.overuse import BandwidthUsage
+from ..rtp.feedback import PacketResult
+from .config import DetectorConfig
+
+
+@dataclass(frozen=True)
+class DropEvent:
+    """A detected capacity drop.
+
+    Attributes:
+        time: detection time.
+        estimated_capacity_bps: best post-drop capacity estimate.
+        severity: estimated fraction of capacity lost (0..1).
+        signals: names of the inputs that fired ("kink", "overuse",
+            "pacer").
+    """
+
+    time: float
+    estimated_capacity_bps: float
+    severity: float
+    signals: tuple[str, ...]
+
+
+class Ewma:
+    """Exponentially weighted moving average with a time constant."""
+
+    def __init__(self, tau: float) -> None:
+        self._tau = tau
+        self._value: float | None = None
+        self._last_time: float | None = None
+
+    @property
+    def value(self) -> float | None:
+        """Current estimate (None before the first sample)."""
+        return self._value
+
+    def update(self, sample: float, now: float) -> float:
+        """Fold in a sample observed at ``now``."""
+        if self._value is None or self._last_time is None:
+            self._value = sample
+        else:
+            dt = max(1e-9, now - self._last_time)
+            alpha = 1.0 - math.exp(-dt / self._tau)
+            self._value += alpha * (sample - self._value)
+        self._last_time = now
+        return self._value
+
+
+@dataclass
+class NetworkStateEstimator:
+    """One-way-delay bookkeeping from TWCC packet results."""
+
+    base_owd: float = math.inf
+    last_owd: float = 0.0
+    last_update: float = 0.0
+    _owd_window: list[tuple[float, float]] = field(default_factory=list)
+
+    def on_results(self, now: float, results: list[PacketResult]) -> None:
+        """Consume acked packets; updates base and current OWD."""
+        for result in results:
+            if result.lost:
+                continue
+            owd = result.arrival_time - result.send_time
+            self.base_owd = min(self.base_owd, owd)
+            self.last_owd = owd
+            self.last_update = now
+
+    def queuing_delay(self, now: float | None = None) -> float:
+        """Estimated standing queue delay along the path (seconds).
+
+        With ``now`` supplied, the estimate decays for the time elapsed
+        since the last sample: an unfed bottleneck queue drains at (at
+        least) its service rate, i.e. one second of delay per second —
+        without this, a sender that stops transmitting would trust a
+        stale worst-case reading forever.
+        """
+        if math.isinf(self.base_owd):
+            return 0.0
+        standing = max(0.0, self.last_owd - self.base_owd)
+        if now is not None and now > self.last_update:
+            standing = max(0.0, standing - (now - self.last_update))
+        return standing
+
+    def backlog_bits(self, capacity_bps: float) -> float:
+        """Queued bits implied by the queuing delay at ``capacity_bps``."""
+        return self.queuing_delay() * max(capacity_bps, 1.0)
+
+
+class DropDetector:
+    """Fuses the three signals into discrete :class:`DropEvent`s."""
+
+    def __init__(
+        self,
+        config: DetectorConfig | None = None,
+    ) -> None:
+        self._config = config or DetectorConfig()
+        self._config.validate()
+        self._fast = Ewma(self._config.fast_tau)
+        self._slow = Ewma(self._config.slow_tau)
+        self._last_event_time = float("-inf")
+        self._pacer_high_streak = 0
+        self.network_state = NetworkStateEstimator()
+        self.events: list[DropEvent] = []
+
+    @property
+    def config(self) -> DetectorConfig:
+        """Active configuration."""
+        return self._config
+
+    def fast_throughput(self) -> float | None:
+        """Fast EWMA of the acked throughput."""
+        return self._fast.value
+
+    def slow_throughput(self) -> float | None:
+        """Slow EWMA of the acked throughput."""
+        return self._slow.value
+
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        now: float,
+        gcc: GoogCcController,
+        results: list[PacketResult],
+        pacer_queue_delay: float,
+    ) -> DropEvent | None:
+        """Process one feedback batch; returns a new event if one fired."""
+        cfg = self._config
+        self.network_state.on_results(now, results)
+        acked = gcc.acked_bps(now)
+        if acked is not None:
+            self._fast.update(acked, now)
+            self._slow.update(acked, now)
+
+        queuing = self.network_state.queuing_delay()
+        pacer_high = pacer_queue_delay > cfg.queue_delay_threshold
+        if pacer_high:
+            self._pacer_high_streak += 1
+        else:
+            self._pacer_high_streak = 0
+
+        if now - self._last_event_time < cfg.cooldown:
+            return None
+
+        # Gate: a capacity drop necessarily backs data up somewhere. The
+        # throughput signals below are only meaningful while the path (or
+        # the pacer feeding it) is actually congested — an app-limited
+        # flow's delivered rate says nothing about capacity.
+        congested = (
+            queuing > cfg.queuing_delay_threshold
+            or self._pacer_high_streak >= 2
+        )
+        if not congested:
+            return None
+
+        signals: list[str] = []
+        fast = self._fast.value
+        slow = self._slow.value
+        if (
+            cfg.use_throughput_kink
+            and fast is not None
+            and slow is not None
+            and fast < cfg.kink_ratio * slow
+        ):
+            signals.append("kink")
+        if cfg.use_overuse and gcc.last_usage is BandwidthUsage.OVERUSE:
+            signals.append("overuse")
+        if cfg.use_pacer_queue and self._pacer_high_streak >= 2:
+            signals.append("pacer")
+
+        if not signals:
+            return None
+
+        capacity = self._estimate_capacity(now, gcc)
+        if capacity is None:
+            return None
+        baseline = slow if slow is not None else capacity
+        severity = max(0.0, min(1.0, 1.0 - capacity / max(baseline, 1.0)))
+        event = DropEvent(
+            time=now,
+            estimated_capacity_bps=capacity,
+            severity=severity,
+            signals=tuple(signals),
+        )
+        self._last_event_time = now
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def _estimate_capacity(
+        self, now: float, gcc: GoogCcController
+    ) -> float | None:
+        """During overload the delivered rate *is* the capacity; prefer
+        the fast EWMA, fall back to GCC's acked estimate."""
+        candidates = [
+            value
+            for value in (self._fast.value, gcc.acked_bps(now))
+            if value is not None
+        ]
+        if not candidates:
+            return None
+        return min(candidates)

@@ -1,0 +1,67 @@
+"""The adaptation interface every encoder-control policy implements.
+
+The session pipeline drives a policy through four hooks:
+
+* :meth:`EncoderAdaptation.on_feedback` — each TWCC feedback batch;
+* :meth:`EncoderAdaptation.before_frame` — right before encoding each
+  captured frame; returns a :class:`FrameDirective`;
+* :meth:`EncoderAdaptation.after_frame` — with the encoded result;
+* :meth:`EncoderAdaptation.on_pli` — receiver asked for a keyframe.
+
+Both the paper's adaptive controller and all baselines implement this,
+so experiments differ *only* in policy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..codec.frames import EncodedFrame
+from ..rtp.feedback import FeedbackReport, PacketResult
+
+
+@dataclass
+class FrameDirective:
+    """What the policy wants for the next frame.
+
+    Attributes:
+        skip: do not encode this capture at all.
+        max_bits: hard per-frame size cap (None = no cap).
+        qp_override: force this QP, bypassing rate-control smoothing.
+        force_keyframe: encode an IDR.
+    """
+
+    skip: bool = False
+    max_bits: float | None = None
+    qp_override: float | None = None
+    force_keyframe: bool = False
+
+
+class EncoderAdaptation(ABC):
+    """Policy deciding how the encoder tracks the network."""
+
+    @abstractmethod
+    def on_feedback(
+        self,
+        now: float,
+        report: FeedbackReport,
+        results: list[PacketResult],
+    ) -> None:
+        """Consume one feedback batch (after congestion control ran)."""
+
+    @abstractmethod
+    def before_frame(
+        self, now: float, capture_index: int = 0
+    ) -> FrameDirective:
+        """Decide the directive for the frame about to be encoded.
+
+        ``capture_index`` identifies the capture slot (odd slots carry
+        the droppable T1 layer under temporal scalability).
+        """
+
+    def after_frame(self, now: float, frame: EncodedFrame) -> None:
+        """Observe the encoded frame (optional)."""
+
+    def on_pli(self, now: float) -> None:
+        """Receiver requested a keyframe (optional)."""

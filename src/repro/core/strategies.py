@@ -1,0 +1,124 @@
+"""Individual adaptation strategies composed by the controller.
+
+Each strategy is one of the "dynamically adjusting codec parameters"
+mechanisms the poster proposes, kept separate so the ablation benchmarks
+can enable them one at a time:
+
+* :class:`DrainBudgetStrategy` — per-frame bit budgets that reserve a
+  share of capacity for draining the bottleneck backlog.
+* :class:`SkipStrategy` — drop captures entirely while the backlog is
+  severe (bounded, to avoid long freezes).
+* :class:`ResolutionLadder` — step the encode resolution down/up when
+  the operating point (bits per pixel) leaves the efficient region.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+class DrainBudgetStrategy:
+    """Computes per-frame size caps that drain standing queues.
+
+    While backlog remains, every frame may only use
+    ``capacity × (1 − drain_share) / fps`` bits, so the remaining share
+    of every frame interval shrinks the queue.
+    """
+
+    def __init__(self, drain_share: float, fps: float) -> None:
+        if not 0 <= drain_share < 1:
+            raise ConfigError("drain_share must be in [0, 1)")
+        if fps <= 0:
+            raise ConfigError("fps must be positive")
+        self._drain_share = drain_share
+        self._fps = fps
+
+    def frame_budget(
+        self, capacity_bps: float, backlog_delay: float
+    ) -> float:
+        """Bits the next frame may cost given the current backlog."""
+        share = 1.0 - self._drain_share if backlog_delay > 0 else 1.0
+        return max(1.0, capacity_bps * share / self._fps)
+
+
+class SkipStrategy:
+    """Decides when a capture should not be encoded at all."""
+
+    def __init__(
+        self, skip_queue_delay: float, max_consecutive: int
+    ) -> None:
+        if skip_queue_delay <= 0:
+            raise ConfigError("skip_queue_delay must be positive")
+        if max_consecutive < 0:
+            raise ConfigError("max_consecutive must be >= 0")
+        self._threshold = skip_queue_delay
+        self._max_consecutive = max_consecutive
+        self._consecutive = 0
+
+    @property
+    def consecutive_skips(self) -> int:
+        """Current run of skipped captures."""
+        return self._consecutive
+
+    def should_skip(self, backlog_delay: float) -> bool:
+        """True if the next capture should be skipped."""
+        if (
+            backlog_delay > self._threshold
+            and self._consecutive < self._max_consecutive
+        ):
+            self._consecutive += 1
+            return True
+        self._consecutive = 0
+        return False
+
+
+class ResolutionLadder:
+    """Steps the encode resolution when bitrate per pixel gets too low.
+
+    The ladder is a descending list of pixel-count scales
+    (e.g. ``(1.0, 0.5, 0.25)``). Stepping down needs the operating point
+    to fall below ``min_bits_per_pixel``; stepping back up needs 4×
+    headroom, giving hysteresis so the resolution does not thrash.
+    """
+
+    def __init__(
+        self,
+        ladder: tuple[float, ...],
+        min_bits_per_pixel: float,
+        native_pixels: int,
+        fps: float,
+    ) -> None:
+        if not ladder:
+            raise ConfigError("ladder must not be empty")
+        if list(ladder) != sorted(ladder, reverse=True):
+            raise ConfigError("ladder must be descending")
+        if min_bits_per_pixel <= 0 or native_pixels <= 0 or fps <= 0:
+            raise ConfigError("ladder parameters must be positive")
+        self._ladder = ladder
+        self._min_bpp = min_bits_per_pixel
+        self._native_pixels = native_pixels
+        self._fps = fps
+        self._rung = 0
+
+    @property
+    def current_scale(self) -> float:
+        """Active pixel-count scale."""
+        return self._ladder[self._rung]
+
+    def choose_scale(self, target_bps: float) -> float:
+        """Update the rung for the given target bitrate; returns the
+        scale to encode at."""
+        bits_per_frame = target_bps / self._fps
+        while self._rung < len(self._ladder) - 1:
+            pixels = self._native_pixels * self._ladder[self._rung]
+            if bits_per_frame / pixels < self._min_bpp:
+                self._rung += 1
+            else:
+                break
+        while self._rung > 0:
+            pixels_up = self._native_pixels * self._ladder[self._rung - 1]
+            if bits_per_frame / pixels_up >= 4.0 * self._min_bpp:
+                self._rung -= 1
+            else:
+                break
+        return self.current_scale

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything from this package with a single ``except``
+clause while still distinguishing configuration mistakes from runtime
+simulation faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an invalid internal state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or on a stopped scheduler."""
+
+
+class TraceError(ReproError):
+    """A bandwidth or content trace is malformed."""
+
+
+class CodecError(ReproError):
+    """The encoder model was driven outside its valid operating range."""
+
+
+class TransportError(ReproError):
+    """RTP packetization/reassembly violated an invariant."""

@@ -1,0 +1,20 @@
+"""Experiment definitions: canonical scenarios plus one module per
+table/figure of the reproduced evaluation (see DESIGN.md's index)."""
+
+from . import (
+    ablations,
+    comparison,
+    extensions,
+    figures,
+    scenarios,
+    table1,
+)
+
+__all__ = [
+    "ablations",
+    "comparison",
+    "extensions",
+    "figures",
+    "scenarios",
+    "table1",
+]

@@ -1,0 +1,137 @@
+"""Figure data generators (the poster's plots, as data series).
+
+Each function returns plain data (lists/dicts of series); the benchmark
+harness prints them and tests assert on their shape. No plotting
+dependency is required — the series are the reproduction artifact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..metrics.latency import cdf
+from ..pipeline.config import PolicyName, SessionConfig
+from ..pipeline.results import SessionResult
+from ..pipeline.runner import run_session
+from . import scenarios
+
+
+@dataclass
+class Series:
+    """One plotted line."""
+
+    name: str
+    x: list[float] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+
+
+def _latency_timeline(result: SessionResult) -> Series:
+    series = Series(name=f"latency[{result.policy}]")
+    for outcome in result.frames:
+        latency = outcome.latency()
+        if latency is not None:
+            series.x.append(outcome.capture_time)
+            series.y.append(latency)
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — motivation: bitrate/capacity mismatch creates the spike
+# ----------------------------------------------------------------------
+def figure1(
+    drop_ratio: float = 0.2, seed: int = 1
+) -> dict[str, Series]:
+    """Baseline timeline: capacity, CC target, and frame latency."""
+    config = scenarios.step_drop_config(drop_ratio, seed=seed)
+    result = run_session(
+        dataclasses.replace(config, policy=PolicyName.WEBRTC)
+    )
+    capacity = Series(name="capacity")
+    target = Series(name="gcc_target")
+    for sample in result.timeseries:
+        capacity.x.append(sample.time)
+        capacity.y.append(sample.capacity_bps)
+        target.x.append(sample.time)
+        target.y.append(sample.target_bps)
+    return {
+        "capacity": capacity,
+        "target": target,
+        "latency": _latency_timeline(result),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — frame latency timeline, baseline vs adaptive
+# ----------------------------------------------------------------------
+def figure2(
+    drop_ratio: float = 0.2, seed: int = 1
+) -> dict[str, Series]:
+    """Latency over time for both policies on the same drop."""
+    config = scenarios.step_drop_config(drop_ratio, seed=seed)
+    base = run_session(
+        dataclasses.replace(config, policy=PolicyName.WEBRTC)
+    )
+    adap = run_session(
+        dataclasses.replace(config, policy=PolicyName.ADAPTIVE)
+    )
+    return {
+        "baseline": _latency_timeline(base),
+        "adaptive": _latency_timeline(adap),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — latency CDF over a multi-drop session
+# ----------------------------------------------------------------------
+def figure3(seed: int = 1) -> dict[str, Series]:
+    """Per-frame latency CDFs across five drops of mixed severity."""
+    config = scenarios.multi_drop_config(seed=seed)
+    out: dict[str, Series] = {}
+    for policy in (PolicyName.WEBRTC, PolicyName.ADAPTIVE):
+        result = run_session(dataclasses.replace(config, policy=policy))
+        values, probs = cdf(result.latencies())
+        out[policy.value] = Series(
+            name=f"latency_cdf[{policy.value}]",
+            x=[float(v) for v in values],
+            y=[float(p) for p in probs],
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — reduction & quality delta vs drop severity
+# ----------------------------------------------------------------------
+def figure4(
+    ratios: tuple[float, ...] = (0.8, 0.6, 0.45, 0.3, 0.2, 0.12),
+    seeds: tuple[int, ...] = (1, 2, 3),
+) -> dict[str, Series]:
+    """Sweep severity; x = surviving capacity fraction."""
+    start, end = scenarios.DROP_WINDOW
+    reduction = Series(name="latency_reduction_pct")
+    ssim_change = Series(name="ssim_change_pct")
+    for ratio in ratios:
+        reds, dss = [], []
+        for seed in seeds:
+            config = scenarios.step_drop_config(ratio, seed=seed)
+            base = run_session(
+                dataclasses.replace(config, policy=PolicyName.WEBRTC)
+            )
+            adap = run_session(
+                dataclasses.replace(config, policy=PolicyName.ADAPTIVE)
+            )
+            reds.append(
+                (1 - adap.mean_latency(start, end)
+                 / base.mean_latency(start, end)) * 100
+            )
+            dss.append(
+                (adap.mean_displayed_ssim()
+                 / base.mean_displayed_ssim() - 1) * 100
+            )
+        reduction.x.append(ratio)
+        reduction.y.append(float(np.mean(reds)))
+        ssim_change.x.append(ratio)
+        ssim_change.y.append(float(np.mean(dss)))
+    return {"reduction": reduction, "ssim_change": ssim_change}

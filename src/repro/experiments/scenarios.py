@@ -1,0 +1,107 @@
+"""Canonical evaluation scenarios.
+
+These freeze the operating points used by every table/figure so that
+benchmarks, tests, and examples agree. The headline configuration
+follows the poster's setup as far as it is stated (x264, sudden
+bandwidth drops) with the remaining parameters chosen to be typical of
+RTC deployments:
+
+* base capacity 2.5 Mbps (comfortable 720p30), one-way propagation
+  20 ms (RTT 40 ms);
+* bottleneck queue 140 KB ≈ 0.45 s at the base rate;
+* a 10 s capacity drop at t = 10 s, surviving fraction swept over
+  {0.60, 0.45, 0.30, 0.20, 0.12};
+* talking-head content, 30 fps, 25 s sessions, 5 seeds per point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.config import AdaptiveConfig
+from ..pipeline.config import NetworkConfig, SessionConfig, VideoConfig
+from ..traces.content import ContentClass
+from ..traces.generators import drop_ratio_scenario, multi_drop
+from ..units import mbps, ms
+
+#: Base capacity before/after drops.
+BASE_RATE_BPS = mbps(2.5)
+
+#: Bottleneck queue (~0.45 s at the base rate).
+QUEUE_BYTES = 140_000
+
+#: Drop timing shared by the step scenarios.
+DROP_AT = 10.0
+DROP_DURATION = 10.0
+
+#: Surviving-capacity fractions swept by Table 1 / Figure 4.
+TABLE1_DROP_RATIOS = (0.60, 0.45, 0.30, 0.20, 0.12)
+
+#: Seeds averaged per scenario point.
+TABLE1_SEEDS = (1, 2, 3, 4, 5)
+
+#: Session length (capture time).
+DURATION = 25.0
+
+#: Measurement window for latency: the drop plus its aftermath.
+DROP_WINDOW = (DROP_AT, DROP_AT + DROP_DURATION)
+
+#: Adaptive-controller settings used across the evaluation.
+ADAPTIVE_TUNING = AdaptiveConfig(drain_share=0.2, skip_queue_delay=0.45)
+
+
+def step_drop_config(
+    drop_ratio: float,
+    seed: int = 1,
+    content: ContentClass = ContentClass.TALKING_HEAD,
+    propagation_delay: float = ms(20),
+) -> SessionConfig:
+    """The canonical single-drop scenario at one severity."""
+    capacity = drop_ratio_scenario(
+        BASE_RATE_BPS, drop_ratio, DROP_AT, DROP_DURATION
+    )
+    return SessionConfig(
+        network=NetworkConfig(
+            capacity=capacity,
+            propagation_delay=propagation_delay,
+            queue_bytes=QUEUE_BYTES,
+        ),
+        video=VideoConfig(content_class=content),
+        duration=DURATION,
+        seed=seed,
+        adaptive=ADAPTIVE_TUNING,
+    )
+
+
+def multi_drop_config(seed: int = 1) -> SessionConfig:
+    """Figure 3's workload: five drops of mixed severity over 120 s."""
+    capacity = multi_drop(
+        BASE_RATE_BPS,
+        [
+            (15.0, BASE_RATE_BPS * 0.45, 8.0),
+            (35.0, BASE_RATE_BPS * 0.20, 10.0),
+            (55.0, BASE_RATE_BPS * 0.60, 6.0),
+            (75.0, BASE_RATE_BPS * 0.12, 8.0),
+            (95.0, BASE_RATE_BPS * 0.30, 10.0),
+        ],
+    )
+    return SessionConfig(
+        network=NetworkConfig(capacity=capacity, queue_bytes=QUEUE_BYTES),
+        video=VideoConfig(content_class=ContentClass.TALKING_HEAD),
+        duration=120.0,
+        seed=seed,
+        adaptive=ADAPTIVE_TUNING,
+    )
+
+
+def with_rtt(config: SessionConfig, rtt: float) -> SessionConfig:
+    """A copy of ``config`` with the given round-trip propagation."""
+    network = dataclasses.replace(
+        config.network, propagation_delay=rtt / 2
+    )
+    return dataclasses.replace(config, network=network)
+
+
+def ratio_label(drop_ratio: float) -> str:
+    """Human label for a severity point, e.g. ``drop to 30%``."""
+    return f"drop to {int(round(drop_ratio * 100))}%"

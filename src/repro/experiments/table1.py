@@ -1,0 +1,112 @@
+"""Table 1 — the poster's headline result.
+
+"Preliminary tests with the x264 codec show these strategies can reduce
+latency by 28.66% to 78.87% while slightly improving video quality by
+0.8% to 3%."
+
+One row per drop severity: mean frame latency over the drop window for
+the baseline (libwebrtc-like GCC → x264 coupling) and the adaptive
+controller, the resulting reduction, and the session-wide displayed-SSIM
+change. Rows are averaged over :data:`~repro.experiments.scenarios.TABLE1_SEEDS`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pipeline.config import PolicyName
+from ..pipeline.runner import run_session
+from . import scenarios
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One severity point of the headline table (seed-averaged)."""
+
+    drop_ratio: float
+    label: str
+    baseline_latency: float
+    adaptive_latency: float
+    latency_reduction_pct: float
+    baseline_ssim: float
+    adaptive_ssim: float
+    ssim_change_pct: float
+    baseline_pli: float
+    adaptive_pli: float
+
+
+def run_row(
+    drop_ratio: float,
+    seeds: tuple[int, ...] = scenarios.TABLE1_SEEDS,
+    baseline: PolicyName = PolicyName.WEBRTC,
+) -> Table1Row:
+    """Compute one table row, averaging the given seeds."""
+    start, end = scenarios.DROP_WINDOW
+    base_lat, adap_lat, base_ssim, adap_ssim = [], [], [], []
+    base_pli, adap_pli = [], []
+    for seed in seeds:
+        config = scenarios.step_drop_config(drop_ratio, seed=seed)
+        base = run_session(dataclasses.replace(config, policy=baseline))
+        adap = run_session(
+            dataclasses.replace(config, policy=PolicyName.ADAPTIVE)
+        )
+        base_lat.append(base.mean_latency(start, end))
+        adap_lat.append(adap.mean_latency(start, end))
+        base_ssim.append(base.mean_displayed_ssim())
+        adap_ssim.append(adap.mean_displayed_ssim())
+        base_pli.append(base.pli_count)
+        adap_pli.append(adap.pli_count)
+    b_lat = float(np.mean(base_lat))
+    a_lat = float(np.mean(adap_lat))
+    b_ssim = float(np.mean(base_ssim))
+    a_ssim = float(np.mean(adap_ssim))
+    return Table1Row(
+        drop_ratio=drop_ratio,
+        label=scenarios.ratio_label(drop_ratio),
+        baseline_latency=b_lat,
+        adaptive_latency=a_lat,
+        latency_reduction_pct=(1.0 - a_lat / b_lat) * 100.0,
+        baseline_ssim=b_ssim,
+        adaptive_ssim=a_ssim,
+        ssim_change_pct=(a_ssim / b_ssim - 1.0) * 100.0,
+        baseline_pli=float(np.mean(base_pli)),
+        adaptive_pli=float(np.mean(adap_pli)),
+    )
+
+
+def run_table(
+    ratios: tuple[float, ...] = scenarios.TABLE1_DROP_RATIOS,
+    seeds: tuple[int, ...] = scenarios.TABLE1_SEEDS,
+) -> list[Table1Row]:
+    """Compute the full headline table."""
+    return [run_row(ratio, seeds) for ratio in ratios]
+
+
+def format_table(rows: list[Table1Row]) -> str:
+    """Render the table the way the poster reports it."""
+    header = (
+        f"{'scenario':<14} {'base lat':>9} {'adpt lat':>9} "
+        f"{'reduction':>10} {'base SSIM':>10} {'adpt SSIM':>10} "
+        f"{'SSIM chg':>9} {'PLI b/a':>8}"
+    )
+    lines = [
+        "Table 1 — latency reduction and quality change "
+        "(adaptive vs baseline)",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.label:<14} "
+            f"{row.baseline_latency * 1e3:>7.1f}ms "
+            f"{row.adaptive_latency * 1e3:>7.1f}ms "
+            f"{row.latency_reduction_pct:>9.2f}% "
+            f"{row.baseline_ssim:>10.4f} "
+            f"{row.adaptive_ssim:>10.4f} "
+            f"{row.ssim_change_pct:>+8.2f}% "
+            f"{row.baseline_pli:>4.1f}/{row.adaptive_pli:<3.1f}"
+        )
+    return "\n".join(lines)

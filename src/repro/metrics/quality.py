@@ -1,0 +1,39 @@
+"""Quality metric helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def percent_change(baseline: float, treatment: float) -> float:
+    """Percentage change of ``treatment`` over ``baseline`` (+ = better)."""
+    if baseline == 0:
+        raise ReproError("baseline value is zero")
+    return (treatment / baseline - 1.0) * 100.0
+
+
+def ssim_to_db(ssim: float) -> float:
+    """The common dB transform: −10·log10(1 − SSIM)."""
+    if not 0 <= ssim < 1:
+        raise ReproError(f"ssim must be in [0, 1), got {ssim!r}")
+    return -10.0 * math.log10(1.0 - ssim)
+
+
+def mean_ssim_db(ssims: np.ndarray | list[float]) -> float:
+    """Average SSIM expressed in dB (penalizes bad frames more)."""
+    array = np.asarray(ssims, dtype=float)
+    if array.size == 0:
+        raise ReproError("no samples")
+    return float(np.mean([ssim_to_db(min(s, 0.999999)) for s in array]))
+
+
+def quality_switches(qps: np.ndarray | list[float], step: float = 4.0) -> int:
+    """Count abrupt QP moves (> ``step``) — a perceptual-stability proxy."""
+    array = np.asarray(qps, dtype=float)
+    if array.size < 2:
+        return 0
+    return int(np.sum(np.abs(np.diff(array)) > step))

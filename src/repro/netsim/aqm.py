@@ -1,0 +1,181 @@
+"""CoDel active queue management (RFC 8289, simplified head-drop form).
+
+CoDel bounds *standing* queueing delay instead of queue length: when the
+sojourn time of dequeued packets has exceeded ``target`` (5 ms) for at
+least ``interval`` (100 ms), it enters a dropping state and drops head
+packets at a rate increasing with ``sqrt(drop_count)`` until the
+standing delay falls below target.
+
+Relevant to this paper because AQM changes *where* the baseline's
+overload shows up: instead of seconds of bottleneck latency, CoDel
+converts the excess into loss — which GCC's loss-based branch and the
+PLI/NACK recovery then have to absorb. The AQM comparison benchmark
+quantifies that trade.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from ..errors import ConfigError
+from .packet import Packet
+
+TARGET = 0.005
+INTERVAL = 0.100
+
+
+class CoDelQueue:
+    """Byte-bounded FIFO with CoDel head dropping.
+
+    Exposes the same surface as
+    :class:`~repro.netsim.queue.DropTailQueue` (plus time-aware
+    ``offer``/``pop``), so links accept either.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        target: float = TARGET,
+        interval: float = INTERVAL,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigError("queue capacity must be positive")
+        if target <= 0 or interval <= 0:
+            raise ConfigError("target and interval must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self._target = target
+        self._interval = interval
+        self._queue: deque[tuple[float, Packet]] = deque()
+        self._bytes = 0
+        self._dropping = False
+        self._first_above_time: float | None = None
+        self._drop_next = 0.0
+        self._drop_count = 0
+        self._dropped_packets = 0
+        self._dropped_bytes = 0
+        self._enqueued_packets = 0
+        self.codel_drops = 0
+        self.codel_dropped_bytes = 0
+
+    # ------------------------------------------------------------------
+    # DropTailQueue-compatible surface
+    # ------------------------------------------------------------------
+    @property
+    def backlog_bytes(self) -> int:
+        """Bytes currently waiting."""
+        return self._bytes
+
+    @property
+    def backlog_packets(self) -> int:
+        """Packets currently waiting."""
+        return len(self._queue)
+
+    @property
+    def dropped_packets(self) -> int:
+        """Total drops (overflow + CoDel)."""
+        return self._dropped_packets
+
+    @property
+    def dropped_bytes(self) -> int:
+        """Total dropped bytes."""
+        return self._dropped_bytes
+
+    @property
+    def enqueued_packets(self) -> int:
+        """Total accepted packets."""
+        return self._enqueued_packets
+
+    def offer(self, packet: Packet, now: float = 0.0) -> bool:
+        """Enqueue unless the byte bound would be exceeded."""
+        if self._bytes + packet.size_bytes > self.capacity_bytes:
+            self._dropped_packets += 1
+            self._dropped_bytes += packet.size_bytes
+            return False
+        self._queue.append((now, packet))
+        self._bytes += packet.size_bytes
+        self._enqueued_packets += 1
+        return True
+
+    def pop(self, now: float = 0.0) -> Packet | None:
+        """Dequeue with CoDel's drop law applied at the head."""
+        packet = self._dequeue_one(now)
+        if packet is None:
+            self._dropping = False
+            return None
+        if self._dropping:
+            if now >= self._drop_next:
+                while (
+                    now >= self._drop_next
+                    and self._dropping
+                    and packet is not None
+                ):
+                    self._codel_drop(packet)
+                    self._drop_count += 1
+                    packet = self._dequeue_one(now)
+                    if packet is None or not self._sojourn_above(now):
+                        self._dropping = False
+                    else:
+                        # RFC 8289: schedule from the previous drop time,
+                        # so a lagging schedule catches up with bursts.
+                        self._drop_next += self._interval / math.sqrt(
+                            self._drop_count
+                        )
+        elif self._should_enter_dropping(now):
+            self._dropping = True
+            # Restart near the last drop rate (RFC 8289 §5.4).
+            self._drop_count = max(1, self._drop_count // 2)
+            self._codel_drop(packet)
+            packet = self._dequeue_one(now)
+            self._drop_next = now + self._interval / math.sqrt(
+                self._drop_count
+            )
+        return packet
+
+    def peek(self) -> Packet | None:
+        """Head packet without removal."""
+        return self._queue[0][1] if self._queue else None
+
+    def drain_time(self, rate_bps: float) -> float:
+        """Seconds to empty the backlog at ``rate_bps``."""
+        if rate_bps <= 0:
+            raise ConfigError("rate must be positive")
+        return self._bytes * 8 / rate_bps
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def _dequeue_one(self, now: float) -> Packet | None:
+        if not self._queue:
+            self._first_above_time = None
+            return None
+        enq_time, packet = self._queue.popleft()
+        self._bytes -= packet.size_bytes
+        sojourn = now - enq_time
+        if sojourn < self._target or self._bytes == 0:
+            self._first_above_time = None
+        elif self._first_above_time is None:
+            self._first_above_time = now + self._interval
+        self._last_sojourn = sojourn
+        return packet
+
+    _last_sojourn = 0.0
+
+    def _sojourn_above(self, now: float) -> bool:
+        if not self._queue:
+            return False
+        return (now - self._queue[0][0]) >= self._target
+
+    def _should_enter_dropping(self, now: float) -> bool:
+        return (
+            self._first_above_time is not None
+            and now >= self._first_above_time
+            and self._last_sojourn >= self._target
+        )
+
+    def _codel_drop(self, packet: Packet) -> None:
+        self._dropped_packets += 1
+        self._dropped_bytes += packet.size_bytes
+        self.codel_drops += 1
+        self.codel_dropped_bytes += packet.size_bytes

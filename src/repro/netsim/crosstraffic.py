@@ -1,0 +1,92 @@
+"""Cross-traffic generators sharing the bottleneck with the media flow.
+
+Competing traffic both consumes capacity and adds queueing noise — the
+realistic backdrop against which drop detection has to avoid false
+positives. Two shapes:
+
+* :class:`CbrCrossTraffic` — constant bit rate (e.g., a second call).
+* :class:`PoissonCrossTraffic` — memoryless arrivals (web-ish mix).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigError
+from ..simcore.rng import RngStreams
+from ..simcore.scheduler import Scheduler
+from .packet import Packet
+
+
+class CbrCrossTraffic:
+    """Constant-rate packet stream injected into a link."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        send: Callable[[Packet], bool],
+        rate_bps: float,
+        packet_bytes: int = 1200,
+        start_at: float = 0.0,
+        stop_at: float | None = None,
+        flow: str = "cross",
+    ) -> None:
+        if rate_bps <= 0 or packet_bytes <= 0:
+            raise ConfigError("rate and packet size must be positive")
+        self._scheduler = scheduler
+        self._send = send
+        self._packet_bytes = packet_bytes
+        self._interval = packet_bytes * 8 / rate_bps
+        self._stop_at = stop_at
+        self._flow = flow
+        self.sent_packets = 0
+        scheduler.call_at(start_at, self._emit)
+
+    def _emit(self) -> None:
+        now = self._scheduler.now
+        if self._stop_at is not None and now >= self._stop_at:
+            return
+        packet = Packet(size_bytes=self._packet_bytes, flow=self._flow)
+        packet.send_time = now
+        self._send(packet)
+        self.sent_packets += 1
+        self._scheduler.call_in(self._interval, self._emit)
+
+
+class PoissonCrossTraffic:
+    """Poisson packet arrivals at a target average rate."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        send: Callable[[Packet], bool],
+        rate_bps: float,
+        rng: RngStreams,
+        packet_bytes: int = 1200,
+        start_at: float = 0.0,
+        stop_at: float | None = None,
+        flow: str = "cross",
+        stream: str = "cross-poisson",
+    ) -> None:
+        if rate_bps <= 0 or packet_bytes <= 0:
+            raise ConfigError("rate and packet size must be positive")
+        self._scheduler = scheduler
+        self._send = send
+        self._packet_bytes = packet_bytes
+        self._mean_interval = packet_bytes * 8 / rate_bps
+        self._stop_at = stop_at
+        self._flow = flow
+        self._gen = rng.stream(stream)
+        self.sent_packets = 0
+        scheduler.call_at(start_at, self._emit)
+
+    def _emit(self) -> None:
+        now = self._scheduler.now
+        if self._stop_at is not None and now >= self._stop_at:
+            return
+        packet = Packet(size_bytes=self._packet_bytes, flow=self._flow)
+        packet.send_time = now
+        self._send(packet)
+        self.sent_packets += 1
+        gap = float(self._gen.exponential(self._mean_interval))
+        self._scheduler.call_in(gap, self._emit)

@@ -1,0 +1,95 @@
+"""Bottleneck queues.
+
+:class:`DropTailQueue` is the default: FIFO with a byte limit, dropping
+arrivals that would overflow — the queueing behaviour that converts
+encoder-vs-capacity mismatch into latency, which is the phenomenon the
+paper is about.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import ConfigError
+from .packet import Packet
+
+
+class DropTailQueue:
+    """FIFO queue bounded in bytes.
+
+    Attributes:
+        capacity_bytes: maximum queued bytes (excluding the packet in
+            service on the link).
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigError(
+                f"queue capacity must be positive, got {capacity_bytes!r}"
+            )
+        self.capacity_bytes = int(capacity_bytes)
+        self._queue: deque[Packet] = deque()
+        self._bytes = 0
+        self._dropped_packets = 0
+        self._dropped_bytes = 0
+        self._enqueued_packets = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def backlog_bytes(self) -> int:
+        """Bytes currently waiting."""
+        return self._bytes
+
+    @property
+    def backlog_packets(self) -> int:
+        """Packets currently waiting."""
+        return len(self._queue)
+
+    @property
+    def dropped_packets(self) -> int:
+        """Total packets dropped since creation."""
+        return self._dropped_packets
+
+    @property
+    def dropped_bytes(self) -> int:
+        """Total bytes dropped since creation."""
+        return self._dropped_bytes
+
+    @property
+    def enqueued_packets(self) -> int:
+        """Total packets accepted since creation."""
+        return self._enqueued_packets
+
+    def offer(self, packet: Packet, now: float = 0.0) -> bool:
+        """Try to enqueue; returns ``False`` (and counts a drop) on
+        overflow. ``now`` is accepted for interface parity with AQM
+        queues and ignored here."""
+        if self._bytes + packet.size_bytes > self.capacity_bytes:
+            self._dropped_packets += 1
+            self._dropped_bytes += packet.size_bytes
+            return False
+        self._queue.append(packet)
+        self._bytes += packet.size_bytes
+        self._enqueued_packets += 1
+        return True
+
+    def pop(self, now: float = 0.0) -> Packet | None:
+        """Dequeue the head packet, or ``None`` if empty."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size_bytes
+        return packet
+
+    def peek(self) -> Packet | None:
+        """Head packet without removing it, or ``None``."""
+        return self._queue[0] if self._queue else None
+
+    def drain_time(self, rate_bps: float) -> float:
+        """Seconds needed to empty the backlog at a constant ``rate_bps``."""
+        if rate_bps <= 0:
+            raise ConfigError(f"rate must be positive, got {rate_bps!r}")
+        return self._bytes * 8 / rate_bps
+
+    def __len__(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,30 @@
+"""End-to-end session pipeline: configs, sessions, results, sweeps."""
+
+from .config import NetworkConfig, PolicyName, SessionConfig, VideoConfig
+from .flow import MediaFlow
+from .multiflow import MultiFlowSession, jain_fairness
+from .results import FrameOutcome, SessionResult, TimeseriesSample
+from .runner import run_policies, run_repetitions, run_session
+from .session import RtcSession
+from .sweeps import ComparisonRow, compare_point, sweep, sweep_metric
+
+__all__ = [
+    "ComparisonRow",
+    "FrameOutcome",
+    "MediaFlow",
+    "MultiFlowSession",
+    "NetworkConfig",
+    "PolicyName",
+    "RtcSession",
+    "SessionConfig",
+    "SessionResult",
+    "TimeseriesSample",
+    "VideoConfig",
+    "compare_point",
+    "jain_fairness",
+    "run_policies",
+    "run_repetitions",
+    "run_session",
+    "sweep",
+    "sweep_metric",
+]

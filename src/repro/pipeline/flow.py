@@ -1,0 +1,269 @@
+"""One media flow: source → encoder → transport → policy, self-wired.
+
+:class:`MediaFlow` contains everything that belongs to a *single* video
+call — the session classes compose one (``RtcSession``) or several
+(``MultiFlowSession``, sharing a bottleneck) of these over one network.
+"""
+
+from __future__ import annotations
+
+from ..baselines.default_abr import DefaultAbrPolicy
+from ..baselines.salsify_like import SalsifyLikePolicy
+from ..baselines.webrtc_like import WebrtcLikePolicy
+from ..cc.gcc.gcc import GoogCcController
+from ..cc.interface import CongestionController
+from ..cc.oracle import OracleController
+from ..codec.encoder import SimulatedEncoder
+from ..codec.model import RateDistortionModel
+from ..codec.source import VideoSource
+from ..core.controller import AdaptiveEncoderController
+from ..core.interface import EncoderAdaptation
+from ..errors import ConfigError
+from ..netsim.network import DuplexNetwork
+from ..rtp.feedback import FeedbackReport, PacketResult
+from ..rtp.receiver import Receiver
+from ..rtp.sender import Sender
+from ..simcore.process import PeriodicProcess
+from ..simcore.rng import RngStreams
+from ..simcore.scheduler import Scheduler
+from ..traces.content import ContentTrace
+from .config import PolicyName, SessionConfig
+from .results import FrameOutcome, SessionResult, TimeseriesSample
+
+#: Telemetry sampling period (s).
+TELEMETRY_INTERVAL = 0.1
+
+
+class MediaFlow:
+    """A complete sender/receiver pair for one video call."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        network: DuplexNetwork,
+        config: SessionConfig,
+        rng: RngStreams,
+        flow_suffix: str = "",
+        capture_offset: float = 0.0,
+    ) -> None:
+        self.config = config
+        self.scheduler = scheduler
+        self.network = network
+        self._suffix = flow_suffix
+
+        video = config.video
+        n_frames = int(config.duration * video.fps) + 2
+        self.content = ContentTrace(
+            video.content_class,
+            n_frames,
+            rng,
+            stream=f"content{flow_suffix}-{video.content_class.value}",
+        )
+        self.source = VideoSource(
+            self.content, video.fps, video.width, video.height
+        )
+
+        model = RateDistortionModel.for_resolution(video.width, video.height)
+        self.encoder = SimulatedEncoder(
+            model,
+            video.fps,
+            config.initial_target_bps,
+            rng,
+            rate_control_config=video.rate_control,
+            gop_frames=video.gop_frames,
+            size_noise_sigma=video.size_noise_sigma,
+            temporal_layers=video.temporal_layers,
+            stream=f"encoder-noise{flow_suffix}",
+        )
+        self.sender = Sender(
+            scheduler,
+            network,
+            config.initial_target_bps,
+            config.pacing_multiplier,
+            enable_nack=config.enable_nack,
+            rtx_buffer_age=config.nack.buffer_age,
+            enable_fec=config.enable_fec,
+            fec_config=config.fec,
+            flow_suffix=flow_suffix,
+        )
+        self.receiver = Receiver(
+            scheduler,
+            network,
+            config.feedback_interval,
+            enable_nack=config.enable_nack,
+            nack_config=config.nack,
+            enable_fec=config.enable_fec,
+            enable_playout=config.enable_playout,
+            playout_config=config.playout,
+            flow_suffix=flow_suffix,
+        )
+
+        self.gcc = GoogCcController(
+            config.initial_target_bps,
+            config.min_bps,
+            config.max_bps,
+            base_rtt=2 * config.network.propagation_delay,
+            estimator=config.cc_estimator,
+        )
+        self._oracle: OracleController | None = None
+        self.cc: CongestionController = self.gcc
+        self.policy = self._build_policy()
+
+        self.sender.on_feedback(self._on_feedback)
+        self.sender.on_pli(self._on_pli)
+
+        self._outcomes: dict[int, FrameOutcome] = {}
+        self.result = SessionResult(
+            policy=config.policy.value,
+            seed=config.seed,
+            fps=video.fps,
+        )
+
+        self._capture_process = PeriodicProcess(
+            scheduler,
+            self.source.frame_interval,
+            self._capture,
+            start_at=capture_offset,
+        )
+        self._telemetry_process = PeriodicProcess(
+            scheduler, TELEMETRY_INTERVAL, self._sample_telemetry
+        )
+
+    # ------------------------------------------------------------------
+    def _build_policy(self) -> EncoderAdaptation:
+        cfg = self.config
+        policy = cfg.policy
+        if policy is PolicyName.ADAPTIVE:
+            return AdaptiveEncoderController(
+                self.encoder,
+                self.sender.pacer,
+                self.gcc,
+                cfg.video.fps,
+                config=cfg.adaptive,
+                detector_config=cfg.detector,
+                native_pixels=cfg.video.width * cfg.video.height,
+            )
+        if policy is PolicyName.DEFAULT_ABR:
+            return DefaultAbrPolicy(
+                self.encoder,
+                self.sender.pacer,
+                self.gcc,
+                update_interval=cfg.abr_update_interval,
+            )
+        if policy is PolicyName.WEBRTC:
+            return WebrtcLikePolicy(self.encoder, self.sender.pacer, self.gcc)
+        if policy is PolicyName.SALSIFY:
+            return SalsifyLikePolicy(
+                self.encoder, self.sender.pacer, self.gcc, cfg.video.fps
+            )
+        if policy is PolicyName.ORACLE:
+            self._oracle = OracleController(
+                cfg.network.capacity, utilization=0.9
+            )
+            self.cc = self._oracle
+            return WebrtcLikePolicy(
+                self.encoder, self.sender.pacer, self._oracle
+            )
+        raise ConfigError(f"unknown policy {policy!r}")
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _capture(self, tick: int) -> None:
+        now = self.scheduler.now
+        if now >= self.config.duration:
+            self._capture_process.stop()
+            self._telemetry_process.stop()
+            return
+        captured = self.source.capture(tick, now)
+        outcome = FrameOutcome(
+            index=tick,
+            capture_time=now,
+            complexity=captured.content.complexity,
+            motion=captured.content.motion,
+        )
+        self._outcomes[tick] = outcome
+        self.result.frames.append(outcome)
+
+        directive = self.policy.before_frame(now, tick)
+        if directive.skip:
+            self.encoder.skip_frame()
+            outcome.skipped = True
+            return
+        if directive.force_keyframe:
+            self.encoder.request_keyframe()
+        if directive.qp_override is not None:
+            self.encoder.override_next_qp(directive.qp_override)
+        if directive.max_bits is not None:
+            self.encoder.set_max_frame_bits(directive.max_bits)
+        frame = self.encoder.encode(captured, now)
+        if directive.max_bits is not None:
+            self.encoder.set_max_frame_bits(None)
+
+        outcome.frame_type = frame.frame_type.value
+        outcome.qp = frame.qp
+        outcome.size_bytes = frame.size_bytes
+        outcome.encoded_ssim = frame.ssim
+        outcome.psnr = frame.psnr
+        self.policy.after_frame(now, frame)
+        self.scheduler.call_at(
+            frame.encode_done_time,
+            lambda f=frame: self.sender.send_frame(f),
+        )
+
+    def _on_feedback(
+        self, report: FeedbackReport, results: list[PacketResult]
+    ) -> None:
+        now = self.scheduler.now
+        if self._oracle is not None:
+            self._oracle.advance(now)
+        self.cc.on_packet_results(now, results)
+        if self.sender.fec is not None:
+            # Reserve the parity overhead out of the video target so
+            # media + FEC together fit the congestion-control budget.
+            k = self.sender.fec.current_group_size
+            scale = 1.0 if k == 0 else k / (k + 1.0)
+            self.encoder.set_target_scale(scale)
+        self.policy.on_feedback(now, report, results)
+
+    def _on_pli(self) -> None:
+        self.encoder.request_keyframe()
+        self.policy.on_pli(self.scheduler.now)
+        self.result.pli_count += 1
+
+    def _sample_telemetry(self, _tick: int) -> None:
+        now = self.scheduler.now
+        if self._oracle is not None:
+            self._oracle.advance(now)
+        self.result.timeseries.append(
+            TimeseriesSample(
+                time=now,
+                target_bps=self.cc.target_bps(),
+                acked_bps=self.gcc.acked_bps(now),
+                capacity_bps=self.config.network.capacity.rate_at(now),
+                pacer_queue_delay=self.sender.pacer.queue_delay(),
+                network_queue_delay=(
+                    self.network.forward.estimated_queue_delay()
+                ),
+                link_backlog_bytes=self.network.forward.backlog_bytes(),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def finish(self) -> SessionResult:
+        """Join receiver records and finalize the result."""
+        self.receiver.stop()
+        for record in self.receiver.frames():
+            outcome = self._outcomes.get(record.index)
+            if outcome is None:
+                continue
+            outcome.complete_time = record.complete_time
+            outcome.display_time = record.display_time
+            outcome.lost = record.lost
+            outcome.undecodable = record.undecodable
+        if isinstance(self.policy, AdaptiveEncoderController):
+            self.result.drop_events = [
+                event.time for event in self.policy.episodes
+            ]
+        self.result.finalize()
+        return self.result

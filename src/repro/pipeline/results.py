@@ -1,0 +1,267 @@
+"""Session results: per-frame outcomes, timeseries, and summary metrics.
+
+A :class:`SessionResult` joins the sender's view (what was encoded, at
+which QP/size/quality) with the receiver's view (when frames completed
+and displayed) and computes the evaluation metrics:
+
+* **latency** — capture→display of displayed frames;
+* **displayed quality** — per capture slot, the SSIM actually on screen
+  (a frozen slot repeats the previous image, degraded by motion);
+* **freeze statistics** — slots with no fresh frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+@dataclass
+class FrameOutcome:
+    """Joined fate of one capture slot.
+
+    Attributes:
+        index: capture index.
+        capture_time: camera timestamp.
+        skipped: policy decided not to encode this capture.
+        frame_type: "I"/"P" ("" when skipped).
+        qp / size_bytes / encoded_ssim / psnr: encoder outputs.
+        complexity / motion: content at this slot.
+        complete_time: last packet arrival (None if lost/not arrived).
+        display_time: on-screen time (None if frozen).
+        lost: transport confirmed packet loss for the frame.
+        undecodable: complete but reference chain broken.
+        displayed_ssim: quality on screen during this slot after freeze
+            accounting (filled by :meth:`SessionResult.finalize`).
+    """
+
+    index: int
+    capture_time: float
+    skipped: bool = False
+    frame_type: str = ""
+    qp: float = 0.0
+    size_bytes: int = 0
+    encoded_ssim: float = 0.0
+    psnr: float = 0.0
+    complexity: float = 0.0
+    motion: float = 0.0
+    complete_time: float | None = None
+    display_time: float | None = None
+    lost: bool = False
+    undecodable: bool = False
+    displayed_ssim: float = 0.0
+
+    @property
+    def displayed(self) -> bool:
+        """Whether a fresh frame reached the screen for this slot."""
+        return self.display_time is not None
+
+    def latency(self) -> float | None:
+        """Capture→display latency (None if not displayed)."""
+        if self.display_time is None:
+            return None
+        return self.display_time - self.capture_time
+
+
+@dataclass
+class TimeseriesSample:
+    """Periodic telemetry snapshot."""
+
+    time: float
+    target_bps: float
+    acked_bps: float | None
+    capacity_bps: float
+    pacer_queue_delay: float
+    network_queue_delay: float
+    link_backlog_bytes: int
+
+
+#: SSIM decay per frozen slot, scaled by motion (a frozen talking head
+#: hurts less than frozen sports).
+FREEZE_DECAY = 0.02
+FREEZE_FLOOR = 0.6
+
+
+@dataclass
+class SessionResult:
+    """Everything measured in one session run."""
+
+    policy: str
+    seed: int
+    fps: float
+    frames: list[FrameOutcome] = field(default_factory=list)
+    timeseries: list[TimeseriesSample] = field(default_factory=list)
+    drop_events: list[float] = field(default_factory=list)
+    pli_count: int = 0
+    finalized: bool = False
+    #: (send_time, one-way latency) per received audio packet, when the
+    #: session carried audio.
+    audio_latencies: list[tuple[float, float]] = field(
+        default_factory=list
+    )
+    audio_sent: int = 0
+    audio_received: int = 0
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Compute displayed quality with freeze accounting."""
+        last_ssim: float | None = None
+        consecutive_freezes = 0
+        for outcome in self.frames:
+            if outcome.displayed:
+                outcome.displayed_ssim = outcome.encoded_ssim
+                last_ssim = outcome.encoded_ssim
+                consecutive_freezes = 0
+            else:
+                consecutive_freezes += 1
+                if last_ssim is None:
+                    outcome.displayed_ssim = 0.0
+                else:
+                    decay = FREEZE_DECAY * (0.5 + outcome.motion)
+                    value = last_ssim * (1.0 - decay) ** consecutive_freezes
+                    outcome.displayed_ssim = max(FREEZE_FLOOR, value)
+                    last_ssim = outcome.displayed_ssim
+        self.finalized = True
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def latencies(
+        self, start: float | None = None, end: float | None = None
+    ) -> np.ndarray:
+        """Latencies of displayed frames captured within [start, end]."""
+        values = [
+            outcome.latency()
+            for outcome in self._window(start, end)
+            if outcome.displayed
+        ]
+        return np.asarray([v for v in values if v is not None])
+
+    def mean_latency(
+        self, start: float | None = None, end: float | None = None
+    ) -> float:
+        """Average frame latency (s) in the window."""
+        values = self.latencies(start, end)
+        self._require(values.size > 0, "no displayed frames in window")
+        return float(values.mean())
+
+    def percentile_latency(
+        self,
+        q: float,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> float:
+        """Latency percentile ``q`` (e.g. 95) in the window."""
+        values = self.latencies(start, end)
+        self._require(values.size > 0, "no displayed frames in window")
+        return float(np.percentile(values, q))
+
+    def peak_latency(
+        self, start: float | None = None, end: float | None = None
+    ) -> float:
+        """Worst displayed-frame latency in the window."""
+        values = self.latencies(start, end)
+        self._require(values.size > 0, "no displayed frames in window")
+        return float(values.max())
+
+    def mean_displayed_ssim(
+        self, start: float | None = None, end: float | None = None
+    ) -> float:
+        """Average on-screen SSIM over capture slots in the window."""
+        self._require(self.finalized, "call finalize() first")
+        values = [o.displayed_ssim for o in self._window(start, end)]
+        self._require(len(values) > 0, "no frames in window")
+        return float(np.mean(values))
+
+    def mean_encoded_ssim(
+        self, start: float | None = None, end: float | None = None
+    ) -> float:
+        """Average SSIM of encoded (non-skipped) frames."""
+        values = [
+            o.encoded_ssim
+            for o in self._window(start, end)
+            if not o.skipped
+        ]
+        self._require(len(values) > 0, "no encoded frames in window")
+        return float(np.mean(values))
+
+    def freeze_fraction(
+        self, start: float | None = None, end: float | None = None
+    ) -> float:
+        """Fraction of capture slots with no fresh frame displayed."""
+        window = list(self._window(start, end))
+        self._require(len(window) > 0, "no frames in window")
+        frozen = sum(1 for o in window if not o.displayed)
+        return frozen / len(window)
+
+    def displayed_fps(
+        self, start: float | None = None, end: float | None = None
+    ) -> float:
+        """Effective displayed frame rate in the window."""
+        return self.fps * (1.0 - self.freeze_fraction(start, end))
+
+    def sent_bitrate_bps(
+        self, start: float | None = None, end: float | None = None
+    ) -> float:
+        """Average encoded bitrate over the window."""
+        window = list(self._window(start, end))
+        self._require(len(window) > 1, "window too small")
+        total_bits = sum(o.size_bytes * 8 for o in window)
+        span = window[-1].capture_time - window[0].capture_time + 1 / self.fps
+        return total_bits / span
+
+    def display_jitter(
+        self, start: float | None = None, end: float | None = None
+    ) -> float:
+        """Standard deviation of the inter-display interval (s) — the
+        smoothness a viewer perceives. An ideal 30 fps stream scores 0;
+        bursty arrival without a playout buffer scores tens of ms."""
+        times = sorted(
+            o.display_time
+            for o in self._window(start, end)
+            if o.display_time is not None
+        )
+        self._require(len(times) >= 3, "need at least 3 displayed frames")
+        diffs = np.diff(np.asarray(times))
+        return float(np.std(diffs))
+
+    # ------------------------------------------------------------------
+    # Audio metrics (sessions with enable_audio)
+    # ------------------------------------------------------------------
+    def audio_latency_values(
+        self, start: float | None = None, end: float | None = None
+    ) -> np.ndarray:
+        """One-way audio latencies for packets sent within the window."""
+        lo = start if start is not None else float("-inf")
+        hi = end if end is not None else float("inf")
+        return np.asarray(
+            [lat for t, lat in self.audio_latencies if lo <= t <= hi]
+        )
+
+    def mean_audio_latency(
+        self, start: float | None = None, end: float | None = None
+    ) -> float:
+        """Average one-way audio latency in the window."""
+        values = self.audio_latency_values(start, end)
+        self._require(values.size > 0, "no audio packets in window")
+        return float(values.mean())
+
+    def audio_loss_fraction(self) -> float:
+        """Fraction of audio packets that never arrived."""
+        if self.audio_sent == 0:
+            return 0.0
+        return 1.0 - self.audio_received / self.audio_sent
+
+    # ------------------------------------------------------------------
+    def _window(self, start: float | None, end: float | None):
+        lo = start if start is not None else float("-inf")
+        hi = end if end is not None else float("inf")
+        return (o for o in self.frames if lo <= o.capture_time <= hi)
+
+    @staticmethod
+    def _require(condition: bool, message: str) -> None:
+        if not condition:
+            raise ReproError(message)

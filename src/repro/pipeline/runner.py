@@ -1,0 +1,45 @@
+"""Experiment runner helpers.
+
+Thin functions over :class:`~repro.pipeline.session.RtcSession` used by
+the examples, benchmarks, and experiment modules.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .config import PolicyName, SessionConfig
+from .results import SessionResult
+from .session import RtcSession
+
+
+def run_session(config: SessionConfig) -> SessionResult:
+    """Build and run a single session."""
+    return RtcSession(config).run()
+
+
+def run_policies(
+    config: SessionConfig,
+    policies: list[PolicyName],
+) -> dict[PolicyName, SessionResult]:
+    """Run the same scenario (same seed, same content, same capacity)
+    under several policies."""
+    results: dict[PolicyName, SessionResult] = {}
+    for policy in policies:
+        variant = dataclasses.replace(config, policy=policy)
+        results[policy] = run_session(variant)
+    return results
+
+
+def run_repetitions(
+    config: SessionConfig,
+    repetitions: int,
+    seed_base: int | None = None,
+) -> list[SessionResult]:
+    """Run the same configured scenario under several seeds."""
+    base = seed_base if seed_base is not None else config.seed
+    results = []
+    for i in range(repetitions):
+        variant = dataclasses.replace(config, seed=base + i)
+        results.append(run_session(variant))
+    return results

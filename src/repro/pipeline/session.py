@@ -1,0 +1,126 @@
+"""End-to-end RTC session assembly and execution.
+
+:class:`RtcSession` wires one :class:`~repro.pipeline.flow.MediaFlow`
+(source → encoder → packetizer → pacer → bottleneck → receiver →
+feedback → congestion control → adaptation policy) plus optional audio
+and cross traffic over a duplex network, runs the discrete-event
+simulation, and returns a :class:`~repro.pipeline.results.SessionResult`.
+"""
+
+from __future__ import annotations
+
+from ..netsim.aqm import CoDelQueue
+from ..netsim.crosstraffic import CbrCrossTraffic
+from ..netsim.loss import IidLoss
+from ..netsim.network import DuplexNetwork
+from ..rtp.audio import AudioStream
+from ..simcore.rng import RngStreams
+from ..simcore.scheduler import Scheduler
+from .config import SessionConfig
+from .flow import MediaFlow
+from .results import SessionResult
+
+
+class RtcSession:
+    """One simulated real-time call under a chosen adaptation policy."""
+
+    def __init__(self, config: SessionConfig) -> None:
+        config.validate()
+        self.config = config
+        self.scheduler = Scheduler()
+        self.rng = RngStreams(config.seed)
+
+        net = config.network
+        loss = None
+        if net.iid_loss > 0:
+            loss = IidLoss(net.iid_loss, self.rng)
+        forward_queue = None
+        if net.aqm == "codel":
+            forward_queue = CoDelQueue(net.queue_bytes)
+        self.network = DuplexNetwork(
+            self.scheduler,
+            net.capacity,
+            net.propagation_delay,
+            net.queue_bytes,
+            forward_loss=loss,
+            forward_queue=forward_queue,
+        )
+
+        self.flow = MediaFlow(
+            self.scheduler, self.network, config, self.rng
+        )
+
+        if net.cross_traffic_bps > 0:
+            self.cross_traffic = CbrCrossTraffic(
+                self.scheduler,
+                self.network.send_forward,
+                net.cross_traffic_bps,
+            )
+        else:
+            self.cross_traffic = None
+
+        self.audio: AudioStream | None = None
+        if config.enable_audio:
+            self.audio = AudioStream(
+                self.scheduler, self.network, stop_at=config.duration
+            )
+
+    # ------------------------------------------------------------------
+    # Flow attribute pass-throughs (the single-flow API)
+    # ------------------------------------------------------------------
+    @property
+    def encoder(self):
+        """The flow's encoder."""
+        return self.flow.encoder
+
+    @property
+    def sender(self):
+        """The flow's transport sender."""
+        return self.flow.sender
+
+    @property
+    def receiver(self):
+        """The flow's receiver."""
+        return self.flow.receiver
+
+    @property
+    def gcc(self):
+        """The flow's GCC instance."""
+        return self.flow.gcc
+
+    @property
+    def cc(self):
+        """The active congestion controller (GCC or oracle)."""
+        return self.flow.cc
+
+    @property
+    def policy(self):
+        """The adaptation policy under test."""
+        return self.flow.policy
+
+    @property
+    def content(self):
+        """The flow's content trace."""
+        return self.flow.content
+
+    @property
+    def source(self):
+        """The flow's video source."""
+        return self.flow.source
+
+    @property
+    def result(self) -> SessionResult:
+        """The (possibly not yet finalized) session result."""
+        return self.flow.result
+
+    # ------------------------------------------------------------------
+    def run(self) -> SessionResult:
+        """Run to completion and return the joined result."""
+        end = self.config.duration + self.config.grace_period
+        self.scheduler.run_until(end)
+        result = self.flow.finish()
+        if self.audio is not None:
+            result.audio_latencies = list(self.audio.stats.latencies)
+            result.audio_sent = self.audio.stats.sent
+            result.audio_received = self.audio.stats.received
+        return result

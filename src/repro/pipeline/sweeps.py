@@ -1,0 +1,91 @@
+"""Parameter sweeps over session configurations.
+
+Sweeps power the figure-style experiments: vary one knob (drop severity,
+RTT, detector settings), run baseline + adaptive per point, and collect
+comparison rows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+from .config import PolicyName, SessionConfig
+from .results import SessionResult
+from .runner import run_session
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """Baseline-vs-treatment outcome at one sweep point.
+
+    Latency metrics are evaluated over the scenario's measurement window
+    (typically the drop episode); quality over the full session.
+    """
+
+    label: str
+    baseline_latency: float
+    adaptive_latency: float
+    baseline_p95_latency: float
+    adaptive_p95_latency: float
+    baseline_ssim: float
+    adaptive_ssim: float
+
+    @property
+    def latency_reduction(self) -> float:
+        """Fractional mean-latency reduction (0.3 = 30% lower)."""
+        return 1.0 - self.adaptive_latency / self.baseline_latency
+
+    @property
+    def p95_latency_reduction(self) -> float:
+        """Fractional p95-latency reduction."""
+        return 1.0 - self.adaptive_p95_latency / self.baseline_p95_latency
+
+    @property
+    def ssim_change(self) -> float:
+        """Fractional SSIM change (positive = adaptive better)."""
+        return self.adaptive_ssim / self.baseline_ssim - 1.0
+
+
+def compare_point(
+    label: str,
+    config: SessionConfig,
+    window: tuple[float, float],
+    baseline: PolicyName = PolicyName.WEBRTC,
+) -> ComparisonRow:
+    """Run baseline and adaptive on one scenario point."""
+    base_cfg = dataclasses.replace(config, policy=baseline)
+    adap_cfg = dataclasses.replace(config, policy=PolicyName.ADAPTIVE)
+    base = run_session(base_cfg)
+    adap = run_session(adap_cfg)
+    start, end = window
+    return ComparisonRow(
+        label=label,
+        baseline_latency=base.mean_latency(start, end),
+        adaptive_latency=adap.mean_latency(start, end),
+        baseline_p95_latency=base.percentile_latency(95, start, end),
+        adaptive_p95_latency=adap.percentile_latency(95, start, end),
+        baseline_ssim=base.mean_displayed_ssim(),
+        adaptive_ssim=adap.mean_displayed_ssim(),
+    )
+
+
+def sweep(
+    labels_and_configs: list[tuple[str, SessionConfig]],
+    window: tuple[float, float],
+    baseline: PolicyName = PolicyName.WEBRTC,
+) -> list[ComparisonRow]:
+    """Compare baseline vs adaptive across many scenario points."""
+    return [
+        compare_point(label, config, window, baseline)
+        for label, config in labels_and_configs
+    ]
+
+
+def sweep_metric(
+    configs: list[SessionConfig],
+    metric: Callable[[SessionResult], float],
+) -> list[float]:
+    """Run each config and extract one scalar metric."""
+    return [metric(run_session(config)) for config in configs]

@@ -1,0 +1,44 @@
+"""RTP-like media transport: packetization, pacing, feedback, assembly,
+NACK retransmission, and the audio side-flow."""
+
+from .audio import AudioStream
+from .fec import FecConfig, FecDecoder, FecEncoder
+from .feedback import (
+    ArrivalRecord,
+    FeedbackCollector,
+    FeedbackReport,
+    PacketResult,
+    SendHistory,
+)
+from .jitterbuffer import DECODE_DELAY, FrameAssembler, FrameRecord
+from .nack import NackConfig, NackFrameAssembler, RetransmissionBuffer
+from .packetizer import HEADER_OVERHEAD_BYTES, Packetizer
+from .pacer import Pacer
+from .playout import PlayoutBuffer, PlayoutConfig
+from .receiver import Receiver
+from .sender import Sender
+
+__all__ = [
+    "ArrivalRecord",
+    "AudioStream",
+    "DECODE_DELAY",
+    "FecConfig",
+    "FecDecoder",
+    "FecEncoder",
+    "FeedbackCollector",
+    "FeedbackReport",
+    "FrameAssembler",
+    "FrameRecord",
+    "HEADER_OVERHEAD_BYTES",
+    "NackConfig",
+    "NackFrameAssembler",
+    "PacketResult",
+    "Pacer",
+    "Packetizer",
+    "PlayoutBuffer",
+    "PlayoutConfig",
+    "Receiver",
+    "RetransmissionBuffer",
+    "SendHistory",
+    "Sender",
+]

@@ -1,0 +1,89 @@
+"""Audio stream: a constant small-packet flow sharing the bottleneck.
+
+Real calls carry Opus audio (one ~60–100 B packet every 20 ms) next to
+the video. Audio is not congestion-controlled — its bitrate is tiny and
+fixed — but it *suffers* the same bottleneck queue the video builds, so
+audio latency is a second, very audible casualty of slow encoder
+adaptation. The audio-impact benchmark measures exactly that.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..netsim.network import DuplexNetwork
+from ..netsim.packet import Packet
+from ..simcore.process import PeriodicProcess
+from ..simcore.scheduler import Scheduler
+
+#: Opus-ish defaults: 24 kbps at one packet per 20 ms.
+DEFAULT_FRAME_INTERVAL = 0.020
+DEFAULT_PACKET_BYTES = 100  # 60 B payload + RTP/UDP/IP overhead
+
+
+@dataclass
+class AudioStats:
+    """Receiver-side audio measurements."""
+
+    sent: int = 0
+    received: int = 0
+    latencies: list[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of audio packets that never arrived."""
+        if self.sent == 0:
+            return 0.0
+        return 1.0 - self.received / self.sent
+
+
+class AudioStream:
+    """Sender + receiver bookkeeping for the audio flow."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        network: DuplexNetwork,
+        frame_interval: float = DEFAULT_FRAME_INTERVAL,
+        packet_bytes: int = DEFAULT_PACKET_BYTES,
+        stop_at: float | None = None,
+    ) -> None:
+        if frame_interval <= 0 or packet_bytes <= 0:
+            raise ConfigError("audio interval and size must be positive")
+        self._scheduler = scheduler
+        self._network = network
+        self._packet_bytes = packet_bytes
+        self._stop_at = stop_at
+        self._seq = itertools.count()
+        self.stats = AudioStats()
+        network.on_forward("audio", self._on_audio)
+        self._process = PeriodicProcess(
+            scheduler, frame_interval, self._emit
+        )
+
+    def stop(self) -> None:
+        """Stop emitting audio packets."""
+        self._process.stop()
+
+    # ------------------------------------------------------------------
+    def _emit(self, _tick: int) -> None:
+        now = self._scheduler.now
+        if self._stop_at is not None and now >= self._stop_at:
+            self._process.stop()
+            return
+        packet = Packet(
+            size_bytes=self._packet_bytes,
+            flow="audio",
+            seq=next(self._seq),
+        )
+        packet.send_time = now
+        self._network.send_forward(packet)
+        self.stats.sent += 1
+
+    def _on_audio(self, packet: Packet) -> None:
+        self.stats.received += 1
+        self.stats.latencies.append(
+            (packet.send_time, packet.arrival_time - packet.send_time)
+        )

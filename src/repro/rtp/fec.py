@@ -1,0 +1,219 @@
+"""Forward error correction (ULPFEC-style XOR parity).
+
+The third recovery mechanism next to PLI and NACK: the sender
+interleaves one parity packet per group of ``k`` media packets; the
+receiver can reconstruct any *single* missing packet of a protected
+group the moment the parity arrives — zero extra round trips, at the
+price of constant bandwidth overhead (1/k).
+
+Like libwebrtc, the protection rate adapts to the observed loss: no
+FEC on a clean path, up to one parity per three packets under heavy
+loss. Parity packets ride the media sequence space (RED-style), so
+congestion control and TWCC accounting see them like any other packet.
+
+Simulation note: a real parity packet XORs payloads; reconstructing a
+packet therefore recovers its bytes *and* its RTP metadata. We model
+exactly that by carrying the protected packets' metadata on the parity
+packet and handing the receiver a reconstructed
+:class:`~repro.netsim.packet.Packet` when exactly one of the group is
+missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..netsim.packet import Packet
+
+
+@dataclass(frozen=True)
+class ProtectedMeta:
+    """Metadata needed to reconstruct one protected packet."""
+
+    seq: int
+    size_bytes: int
+    frame_index: int
+    frame_packet_index: int
+    frame_packet_count: int
+    capture_time: float
+    frame_type: str
+    temporal_layer: int
+
+
+@dataclass(frozen=True)
+class FecConfig:
+    """Adaptive protection schedule: (loss threshold, group size k).
+
+    The first entry whose threshold is >= the observed loss applies;
+    ``k = 0`` disables protection at that level.
+    """
+
+    schedule: tuple[tuple[float, int], ...] = (
+        (0.005, 0),   # <0.5% loss: no FEC
+        (0.03, 10),   # light loss: 10% overhead
+        (0.08, 5),    # moderate: 20% overhead
+        (1.0, 3),     # heavy: 33% overhead
+    )
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on a malformed schedule."""
+        if not self.schedule:
+            raise ConfigError("FEC schedule must not be empty")
+        thresholds = [t for t, _ in self.schedule]
+        if thresholds != sorted(thresholds):
+            raise ConfigError("FEC thresholds must be ascending")
+        if thresholds[-1] < 1.0:
+            raise ConfigError("FEC schedule must cover loss up to 1.0")
+        if any(k < 0 for _, k in self.schedule):
+            raise ConfigError("group sizes must be >= 0")
+
+    def group_size(self, loss_fraction: float) -> int:
+        """Packets per parity at the given loss level (0 = off)."""
+        for threshold, k in self.schedule:
+            if loss_fraction <= threshold:
+                return k
+        return self.schedule[-1][1]
+
+
+class FecEncoder:
+    """Sender side: interleaves parity packets into the media stream."""
+
+    #: EWMA weight per feedback report (~1 s time constant at 20 Hz
+    #: feedback) — per-batch loss is far too noisy to switch FEC on/off.
+    LOSS_SMOOTHING = 0.05
+
+    def __init__(self, config: FecConfig | None = None) -> None:
+        self._config = config or FecConfig()
+        self._config.validate()
+        self._loss_fraction = 0.0
+        self.parity_sent = 0
+
+    def on_loss_report(self, loss_fraction: float) -> None:
+        """Fold one feedback batch's loss into the smoothed estimate."""
+        sample = min(max(loss_fraction, 0.0), 1.0)
+        self._loss_fraction += self.LOSS_SMOOTHING * (
+            sample - self._loss_fraction
+        )
+
+    @property
+    def smoothed_loss(self) -> float:
+        """Current smoothed loss estimate."""
+        return self._loss_fraction
+
+    @property
+    def current_group_size(self) -> int:
+        """Current packets-per-parity (0 = FEC off)."""
+        return self._config.group_size(self._loss_fraction)
+
+    def protect(
+        self, packets: list[Packet], allocate_seq
+    ) -> list[Packet]:
+        """Append parity packets covering groups of ``k`` media
+        packets. ``allocate_seq`` hands out the next media sequence
+        number (parity shares the sequence space).
+
+        Parities go *after* the frame's media packets so wire order
+        stays sequence order — the receiver's FIFO gap detection relies
+        on that, and media packets were already numbered contiguously
+        by the packetizer.
+        """
+        k = self.current_group_size
+        if k == 0 or not packets:
+            return packets
+        parities: list[Packet] = []
+        for start in range(0, len(packets), k):
+            group = packets[start:start + k]
+            parities.append(self._parity_for(group, allocate_seq()))
+        # Each parity announces the frame's full parity range, so the
+        # receiver can tell a lost parity from a lost media frame.
+        for index, parity in enumerate(parities):
+            parity.payload["parity_index"] = index
+            parity.payload["parity_count"] = len(parities)
+        return packets + parities
+
+    def _parity_for(self, group: list[Packet], seq: int) -> Packet:
+        metas = tuple(
+            ProtectedMeta(
+                seq=p.seq,
+                size_bytes=p.size_bytes,
+                frame_index=p.frame_index,
+                frame_packet_index=p.frame_packet_index,
+                frame_packet_count=p.frame_packet_count,
+                capture_time=p.capture_time,
+                frame_type=(
+                    p.payload.get("frame_type", "P")
+                    if isinstance(p.payload, dict) else "P"
+                ),
+                temporal_layer=(
+                    p.payload.get("temporal_layer", 0)
+                    if isinstance(p.payload, dict) else 0
+                ),
+            )
+            for p in group
+        )
+        self.parity_sent += 1
+        return Packet(
+            # XOR parity is as large as the largest protected packet.
+            size_bytes=max(p.size_bytes for p in group),
+            flow=group[0].flow,
+            seq=seq,
+            payload={"fec": True, "protected": metas},
+        )
+
+
+class FecDecoder:
+    """Receiver side: recovers single losses within protected groups."""
+
+    def __init__(self, history: int = 512) -> None:
+        if history <= 0:
+            raise ConfigError("history must be positive")
+        self._history = history
+        self._received: set[int] = set()
+        self._order: list[int] = []
+        self.recovered = 0
+
+    def on_media(self, packet: Packet) -> None:
+        """Note an arriving (non-parity) media packet."""
+        self._remember(packet.seq)
+
+    def on_parity(self, packet: Packet) -> list[Packet]:
+        """Process a parity packet; returns reconstructed packets
+        (zero or one — XOR recovers at most a single loss)."""
+        self._remember(packet.seq)
+        payload = packet.payload
+        if not isinstance(payload, dict) or "protected" not in payload:
+            return []
+        missing = [
+            meta
+            for meta in payload["protected"]
+            if meta.seq not in self._received
+        ]
+        if len(missing) != 1:
+            return []  # zero missing: nothing to do; >1: unrecoverable
+        meta = missing[0]
+        self.recovered += 1
+        self._remember(meta.seq)
+        recovered = Packet(
+            size_bytes=meta.size_bytes,
+            flow=packet.flow,
+            seq=meta.seq,
+            frame_index=meta.frame_index,
+            frame_packet_index=meta.frame_packet_index,
+            frame_packet_count=meta.frame_packet_count,
+            capture_time=meta.capture_time,
+            payload={
+                "frame_type": meta.frame_type,
+                "temporal_layer": meta.temporal_layer,
+            },
+        )
+        recovered.arrival_time = packet.arrival_time
+        return [recovered]
+
+    def _remember(self, seq: int) -> None:
+        if seq in self._received:
+            return
+        self._received.add(seq)
+        self._order.append(seq)
+        while len(self._order) > self._history:
+            self._received.discard(self._order.pop(0))

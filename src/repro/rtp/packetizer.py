@@ -1,0 +1,68 @@
+"""RTP packetization of encoded frames.
+
+A frame larger than the MTU payload budget is split into several packets;
+every packet carries enough framing metadata (frame index, position,
+count) for the receiver to reassemble and to detect loss precisely.
+"""
+
+from __future__ import annotations
+
+from ..codec.frames import EncodedFrame
+from ..errors import ConfigError
+from ..netsim.packet import Packet
+from ..units import DEFAULT_MTU
+
+#: RTP(12) + UDP(8) + IPv4(20) header bytes added to every packet.
+HEADER_OVERHEAD_BYTES = 40
+
+
+class Packetizer:
+    """Splits frames into MTU-sized packets with monotone sequence
+    numbers."""
+
+    def __init__(
+        self,
+        mtu_payload_bytes: int = DEFAULT_MTU,
+        overhead_bytes: int = HEADER_OVERHEAD_BYTES,
+        flow: str = "media",
+    ) -> None:
+        if mtu_payload_bytes <= 0 or overhead_bytes < 0:
+            raise ConfigError("mtu must be positive and overhead >= 0")
+        self._mtu = mtu_payload_bytes
+        self._overhead = overhead_bytes
+        self._flow = flow
+        self._next_seq = 0
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next packet will get."""
+        return self._next_seq
+
+    def allocate_seq(self) -> int:
+        """Hand out one sequence number (FEC parity shares the media
+        sequence space)."""
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def packetize(self, frame: EncodedFrame) -> list[Packet]:
+        """Produce the packets carrying ``frame`` in transmit order."""
+        payload = frame.size_bytes
+        count = max(1, -(-payload // self._mtu))  # ceil division
+        packets: list[Packet] = []
+        remaining = payload
+        for position in range(count):
+            chunk = min(self._mtu, remaining)
+            remaining -= chunk
+            packet = Packet(
+                size_bytes=chunk + self._overhead,
+                flow=self._flow,
+                seq=self._next_seq,
+                frame_index=frame.index,
+                frame_packet_index=position,
+                frame_packet_count=count,
+                capture_time=frame.capture_time,
+            )
+            self._next_seq += 1
+            packets.append(packet)
+        return packets

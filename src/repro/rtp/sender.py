@@ -1,0 +1,137 @@
+"""The RTC sender endpoint's transport half.
+
+Owns the packetizer, pacer, and TWCC send history; forwards feedback
+(joined into :class:`~repro.rtp.feedback.PacketResult` lists) and PLI
+events to registered observers (the congestion controller and the
+adaptive encoder controller).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..codec.frames import EncodedFrame
+from ..netsim.network import DuplexNetwork
+from ..netsim.packet import Packet
+from ..simcore.scheduler import Scheduler
+from .fec import FecConfig, FecEncoder
+from .feedback import FeedbackReport, PacketResult, SendHistory
+from .nack import RetransmissionBuffer
+from .packetizer import Packetizer
+from .pacer import Pacer
+
+FeedbackObserver = Callable[[FeedbackReport, list[PacketResult]], None]
+PliObserver = Callable[[], None]
+
+
+class Sender:
+    """Sends encoded frames over the network and demuxes feedback."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        network: DuplexNetwork,
+        initial_target_bps: float,
+        pacing_multiplier: float = 2.5,
+        mtu_payload_bytes: int = 1200,
+        enable_nack: bool = False,
+        rtx_buffer_age: float = 1.0,
+        enable_fec: bool = False,
+        fec_config: FecConfig | None = None,
+        flow_suffix: str = "",
+    ) -> None:
+        self._scheduler = scheduler
+        self._network = network
+        self.media_flow = f"media{flow_suffix}"
+        self._feedback_flow = f"feedback{flow_suffix}"
+        self._rtcp_flow = f"rtcp{flow_suffix}"
+        self.packetizer = Packetizer(
+            mtu_payload_bytes=mtu_payload_bytes, flow=self.media_flow
+        )
+        self.history = SendHistory()
+        self.pacer = Pacer(
+            scheduler,
+            self._send_packet,
+            initial_target_bps,
+            pacing_multiplier,
+        )
+        self.rtx_buffer: RetransmissionBuffer | None = None
+        if enable_nack:
+            self.rtx_buffer = RetransmissionBuffer(rtx_buffer_age)
+        self.fec: FecEncoder | None = None
+        if enable_fec:
+            self.fec = FecEncoder(fec_config)
+        self._feedback_observers: list[FeedbackObserver] = []
+        self._pli_observers: list[PliObserver] = []
+        network.on_reverse(self._feedback_flow, self._on_feedback)
+        network.on_reverse(self._rtcp_flow, self._on_rtcp)
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.nacks_received = 0
+
+    # ------------------------------------------------------------------
+    def on_feedback(self, observer: FeedbackObserver) -> None:
+        """Register for (report, joined packet results) on each feedback."""
+        self._feedback_observers.append(observer)
+
+    def on_pli(self, observer: PliObserver) -> None:
+        """Register for picture-loss-indication events."""
+        self._pli_observers.append(observer)
+
+    def set_target_rate(self, target_bps: float) -> None:
+        """Propagate a new media target to the pacer."""
+        self.pacer.set_target_rate(target_bps)
+
+    def send_frame(self, frame: EncodedFrame) -> None:
+        """Packetize and pace one encoded frame."""
+        packets = self.packetizer.packetize(frame)
+        for packet in packets:
+            packet.payload = {
+                "frame_type": frame.frame_type.value,
+                "temporal_layer": frame.temporal_layer,
+            }
+        if self.fec is not None:
+            packets = self.fec.protect(
+                packets, self.packetizer.allocate_seq
+            )
+        self.pacer.enqueue(packets)
+        self.frames_sent += 1
+        self.bytes_sent += frame.size_bytes
+
+    # ------------------------------------------------------------------
+    def _send_packet(self, packet: Packet) -> None:
+        if not packet.retransmission:
+            self.history.on_sent(
+                packet.seq, packet.send_time, packet.size_bytes
+            )
+            if self.rtx_buffer is not None:
+                self.rtx_buffer.store(packet, packet.send_time)
+        self._network.send_forward(packet)
+
+    def _on_feedback(self, packet: Packet) -> None:
+        report = packet.payload
+        if not isinstance(report, FeedbackReport):
+            return
+        results = self.history.resolve(report)
+        if self.fec is not None and results:
+            lost = sum(1 for r in results if r.lost)
+            self.fec.on_loss_report(lost / len(results))
+        for observer in self._feedback_observers:
+            observer(report, results)
+
+    def _on_rtcp(self, packet: Packet) -> None:
+        if packet.payload == "PLI":
+            for observer in self._pli_observers:
+                observer()
+            return
+        if (
+            isinstance(packet.payload, tuple)
+            and len(packet.payload) == 2
+            and packet.payload[0] == "NACK"
+            and self.rtx_buffer is not None
+        ):
+            seqs = list(packet.payload[1])
+            self.nacks_received += 1
+            clones = self.rtx_buffer.fetch(seqs, self._scheduler.now)
+            if clones:
+                self.pacer.enqueue_front(clones)

@@ -1,0 +1,11 @@
+"""Simulcast / SFU: production's layer-switching alternative."""
+
+from .node import SfuNode
+from .session import SimulcastConfig, SimulcastLayer, SimulcastSession
+
+__all__ = [
+    "SfuNode",
+    "SimulcastConfig",
+    "SimulcastLayer",
+    "SimulcastSession",
+]

@@ -1,0 +1,280 @@
+"""A Selective Forwarding Unit (SFU) with simulcast layer switching.
+
+Production conferencing rarely re-targets the encoder on a drop; the
+sender uploads *simulcast* layers (a high and a low encoding of the
+same frames) and the SFU forwards whichever layer fits each receiver's
+downlink. Adaptation then means *switching layers*: fast — one keyframe
+away — but quantized to the layer ladder (the low layer is a quarter-
+resolution stream, not a re-targeted full stream).
+
+:class:`SfuNode` implements the forwarding plane: it terminates the
+sender's layers, runs its own GCC on the downlink from the receiver's
+TWCC feedback, selects a layer with hysteresis, waits for a keyframe on
+the target layer before switching (as real SFUs do), and rewrites
+sequence numbers so the receiver sees one coherent stream.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable
+
+from ..cc.gcc.gcc import GoogCcController
+from ..cc.gcc.overuse import BandwidthUsage
+from ..errors import ConfigError
+from ..netsim.packet import Packet
+from ..rtp.feedback import FeedbackReport, SendHistory
+from ..simcore.scheduler import Scheduler
+
+#: A layer fits when the estimate covers its bitrate (libwebrtc picks
+#: the highest layer with bitrate <= BWE); upgrading additionally needs
+#: UP_FACTOR headroom so the selection doesn't flap.
+DOWN_FACTOR = 1.0
+UP_FACTOR = 1.1
+
+#: Hold the initial layer this long before trusting the estimate.
+WARMUP = 1.0
+
+#: Padding probes: while parked on a lower layer with a clean path, the
+#: SFU must *probe* above the forwarded rate or its delivered-rate
+#: estimate can never justify an upgrade (libwebrtc uses the same
+#: trick). Probes are paced over PROBE_SPAN and sized relative to the
+#: current estimate so a probe during a drop stays harmless.
+PROBE_INTERVAL = 1.5
+#: Probes pad the downlink to ``min(2 × estimate, next-layer need)`` for
+#: PROBE_SPAN: estimates compound by doubling until one probe finally
+#: *validates* the next layer's rate, at which point the switch fires.
+PROBE_SPAN = 0.6
+PROBE_VALIDATION_MARGIN = 1.15
+#: No probing within this long of an overuse signal, or while the
+#: downlink queue is backed up — probing a congested link only digs the
+#: hole deeper.
+PROBE_BACKOFF = 3.0
+PROBE_BACKLOG_GATE = 0.03
+PROBE_PACKET_BYTES = 1200
+
+
+class SfuNode:
+    """Forwards one of several simulcast layers to one receiver."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        send_downlink: Callable[[Packet], bool],
+        request_keyframe: Callable[[str], None],
+        layer_rates: dict[str, float],
+        initial_layer: str = "hi",
+        out_flow: str = "media",
+        on_forward: Callable[[str, Packet], None] | None = None,
+        downlink_backlog: Callable[[], float] | None = None,
+    ) -> None:
+        if initial_layer not in layer_rates:
+            raise ConfigError(f"unknown initial layer {initial_layer!r}")
+        if len(layer_rates) < 2:
+            raise ConfigError("simulcast needs at least two layers")
+        self._scheduler = scheduler
+        self._send_downlink = send_downlink
+        self._request_keyframe = request_keyframe
+        self._layer_rates = dict(layer_rates)
+        self._out_flow = out_flow
+        self._on_forward = on_forward
+        self._downlink_backlog = downlink_backlog
+        self._current = initial_layer
+        self._pending: str | None = None
+        self._out_seq = 0
+        self.history = SendHistory()
+        # Start with headroom above the initial layer so the warmup
+        # estimate doesn't immediately disqualify it.
+        self.gcc = GoogCcController(
+            initial_bps=layer_rates[initial_layer] * 1.2,
+            min_bps=min(layer_rates.values()) * 0.5,
+            max_bps=max(layer_rates.values()) * 2.0,
+        )
+        self.switches: list[tuple[float, str]] = []
+        self.forwarded_packets = 0
+        self.dropped_layer_packets = 0
+        self.probes_sent = 0
+        self._started_at: float | None = None
+        self._last_probe = float("-inf")
+        # Probe results are kept separately from GCC's target: the AIMD
+        # cap (1.5 × acked) erases any upward jump between probes on an
+        # app-limited downlink, so layer selection trusts
+        # max(GCC, probe estimate) and overuse clears the latter.
+        self._probe_estimate: float | None = None
+        self._overuse_streak = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def current_layer(self) -> str:
+        """The layer currently forwarded."""
+        return self._current
+
+    @property
+    def pending_layer(self) -> str | None:
+        """Layer we want to switch to (waiting for its keyframe)."""
+        return self._pending
+
+    # ------------------------------------------------------------------
+    def on_uplink_packet(self, layer: str, packet: Packet) -> None:
+        """A packet of ``layer`` arrived from the sender."""
+        if layer == self._pending:
+            # Switch completes at the pending layer's next keyframe.
+            if self._is_keyframe_packet(packet):
+                self._current = self._pending
+                self._pending = None
+                self.switches.append((self._scheduler.now, self._current))
+        if layer != self._current:
+            self.dropped_layer_packets += 1
+            return
+        if self._on_forward is not None:
+            self._on_forward(layer, packet)
+        self._forward(packet)
+
+    def on_receiver_feedback(self, report: FeedbackReport) -> None:
+        """TWCC feedback from the receiver about the downlink."""
+        now = self._scheduler.now
+        if self._started_at is None:
+            self._started_at = now
+        results = self.history.resolve(report)
+        self.gcc.on_packet_results(now, results)
+        if self.gcc.last_usage is BandwidthUsage.OVERUSE:
+            self._overuse_streak += 1
+        else:
+            self._overuse_streak = 0
+        if self._overuse_streak >= 2:
+            # Sustained congestion invalidates probe results; a single
+            # blip is usually the probe's own transient.
+            self._probe_estimate = None
+        if now - self._started_at < WARMUP:
+            return
+        self._select_layer(now)
+        self._maybe_probe(now)
+
+    def selection_estimate(self) -> float:
+        """Bandwidth estimate used for layer selection."""
+        probe = self._probe_estimate or 0.0
+        return max(self.gcc.target_bps(), probe)
+
+    def on_receiver_pli(self) -> None:
+        """The receiver needs a keyframe on whatever we forward."""
+        self._request_keyframe(self._current)
+
+    # ------------------------------------------------------------------
+    def _select_layer(self, now: float) -> None:
+        target = self.selection_estimate()
+        ordered = sorted(
+            self._layer_rates.items(), key=lambda kv: kv[1], reverse=True
+        )
+        # Pick the highest layer whose rate fits under the estimate
+        # with headroom; hysteresis protects against flapping.
+        desired = ordered[-1][0]
+        for name, rate in ordered:
+            if target >= rate * DOWN_FACTOR:
+                desired = name
+                break
+        if desired == self._current:
+            self._pending = None
+            return
+        desired_rate = self._layer_rates[desired]
+        current_rate = self._layer_rates[self._current]
+        if desired_rate > current_rate and target < (
+            desired_rate * UP_FACTOR
+        ):
+            return  # not enough headroom to upgrade yet
+        if self._pending != desired:
+            self._pending = desired
+            # A mid-stream switch needs a fresh keyframe on the target.
+            self._request_keyframe(desired)
+
+    def _maybe_probe(self, now: float) -> None:
+        """Send a padding burst while parked below the top layer on a
+        clean path, so the delivered-rate estimate can grow past the
+        forwarded bitrate."""
+        top = max(self._layer_rates.values())
+        if self._layer_rates[self._current] >= top:
+            return
+        if self.gcc.last_usage is BandwidthUsage.OVERUSE:
+            return
+        last_overuse = self.gcc.last_overuse_time
+        if last_overuse is not None and now - last_overuse < PROBE_BACKOFF:
+            return
+        if now - self._last_probe < PROBE_INTERVAL:
+            return
+        if (
+            self._downlink_backlog is not None
+            and self._downlink_backlog() > PROBE_BACKLOG_GATE
+        ):
+            return
+        self._last_probe = now
+        self.probes_sent += 1
+        # Pad toward min(2 × estimate, next layer's requirement): the
+        # estimate compounds probe over probe until one validates the
+        # upgrade.
+        current_rate = self._layer_rates[self._current]
+        next_rate = min(
+            rate
+            for rate in self._layer_rates.values()
+            if rate > current_rate
+        )
+        needed = next_rate * UP_FACTOR * PROBE_VALIDATION_MARGIN
+        goal = min(2.0 * self.selection_estimate(), needed)
+        probe_rate = max(goal - current_rate, 100_000.0)
+        count = int(probe_rate * PROBE_SPAN / (PROBE_PACKET_BYTES * 8))
+        count = min(max(count, 4), 200)
+        gap = PROBE_SPAN / count
+        for index in range(count):
+            self._scheduler.call_in(
+                index * gap, self._send_padding_packet
+            )
+        # Evaluate the probe after its packets had time to be acked:
+        # a clean probe's delivered rate becomes the new estimate
+        # (webrtc's ProbeBitrateEstimator does exactly this).
+        self._scheduler.call_in(
+            PROBE_SPAN + 0.25, lambda: self._complete_probe(now)
+        )
+
+    def _complete_probe(self, probe_start: float) -> None:
+        now = self._scheduler.now
+        if self._overuse_streak >= 2 or (
+            self.gcc.last_usage is BandwidthUsage.OVERUSE
+        ):
+            return  # the probe congested the link: discard the result
+        sample = self.gcc.acked_bps(now)
+        if sample is None:
+            return
+        jumped = 0.95 * sample
+        if jumped > self.selection_estimate():
+            self._probe_estimate = jumped
+            self._select_layer(now)
+
+    def _send_padding_packet(self) -> None:
+        padding = Packet(
+            size_bytes=PROBE_PACKET_BYTES,
+            flow=self._out_flow,
+            seq=self._out_seq,
+            payload={"padding": True},
+        )
+        self._out_seq += 1
+        padding.send_time = self._scheduler.now
+        self.history.on_sent(
+            padding.seq, padding.send_time, padding.size_bytes
+        )
+        self._send_downlink(padding)
+
+    def _forward(self, packet: Packet) -> None:
+        clone = copy.copy(packet)
+        clone.flow = self._out_flow
+        clone.seq = self._out_seq
+        self._out_seq += 1
+        clone.send_time = self._scheduler.now
+        clone.arrival_time = -1.0
+        self.history.on_sent(clone.seq, clone.send_time, clone.size_bytes)
+        self.forwarded_packets += 1
+        self._send_downlink(clone)
+
+    @staticmethod
+    def _is_keyframe_packet(packet: Packet) -> bool:
+        return (
+            isinstance(packet.payload, dict)
+            and packet.payload.get("frame_type") == "I"
+        )

@@ -1,0 +1,35 @@
+"""Simulated wall clock.
+
+The clock is owned and advanced by the scheduler; every other component
+reads it. Keeping it as a tiny object (rather than a float passed around)
+lets components hold a live reference and always observe current time.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+
+class Clock:
+    """Monotonic simulated clock measured in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is in the past — the kernel never
+                rewinds time, so this always indicates a scheduler bug.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: {self._now:.9f} -> {time:.9f}"
+            )
+        self._now = time

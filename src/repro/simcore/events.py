@@ -1,0 +1,43 @@
+"""Event objects for the discrete-event simulation kernel.
+
+An :class:`Event` couples a firing time with a zero-argument callback.
+Events are totally ordered by ``(time, priority, sequence)`` so that the
+scheduler is deterministic: two events at the same instant fire in the
+order they were scheduled unless an explicit priority says otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Module-wide monotonically increasing tie-breaker for event ordering.
+_sequence = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback in the simulation.
+
+    Attributes:
+        time: Absolute simulation time (seconds) at which to fire.
+        priority: Lower fires first among events at the same time.
+        sequence: Scheduling order tie-breaker, assigned automatically.
+        callback: The zero-argument callable to invoke.
+        cancelled: Set via :meth:`cancel`; cancelled events are skipped.
+    """
+
+    time: float
+    priority: int = 0
+    sequence: int = field(default_factory=lambda: next(_sequence))
+    callback: Callable[[], None] = field(compare=False, default=lambda: None)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler drops it instead of firing it."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (the scheduler checks ``cancelled`` first)."""
+        self.callback()

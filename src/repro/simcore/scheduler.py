@@ -1,0 +1,144 @@
+"""Deterministic discrete-event scheduler.
+
+This is the heart of the simulation: a binary-heap event queue plus a
+:class:`~repro.simcore.clock.Clock`. Components schedule callbacks with
+:meth:`Scheduler.call_at` / :meth:`Scheduler.call_in`, and the experiment
+driver runs the loop with :meth:`Scheduler.run_until`.
+
+Determinism guarantees:
+
+* events fire in ``(time, priority, scheduling order)`` order;
+* the clock advances only inside :meth:`run_until` / :meth:`step`;
+* no real time or OS entropy is consulted anywhere in the kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable
+
+from ..errors import SchedulingError
+from .clock import Clock
+from .events import Event
+
+
+class Scheduler:
+    """Event loop for the simulation.
+
+    Example:
+        >>> sched = Scheduler()
+        >>> fired = []
+        >>> _ = sched.call_in(1.0, lambda: fired.append(sched.now))
+        >>> sched.run_until(2.0)
+        >>> fired
+        [1.0]
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = Clock(start)
+        self._heap: list[Event] = []
+        self._events_fired = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self.clock.now
+
+    @property
+    def events_fired(self) -> int:
+        """Count of events executed so far (for diagnostics/tests)."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events in the queue, including cancelled ones."""
+        return len(self._heap)
+
+    def call_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulation ``time``.
+
+        Returns the :class:`Event`, which the caller may ``cancel()``.
+
+        Raises:
+            SchedulingError: if ``time`` precedes the current clock or is
+                not a finite number.
+        """
+        if not math.isfinite(time):
+            raise SchedulingError(f"event time must be finite, got {time!r}")
+        if time < self.clock.now:
+            raise SchedulingError(
+                f"cannot schedule at {time:.9f} before now={self.clock.now:.9f}"
+            )
+        event = Event(time=time, priority=priority, callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_in(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` after a relative ``delay`` seconds."""
+        if delay < 0:
+            raise SchedulingError(f"delay must be >= 0, got {delay!r}")
+        return self.call_at(self.clock.now + delay, callback, priority)
+
+    def peek_time(self) -> float | None:
+        """Time of the next non-cancelled event, or ``None`` if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def step(self) -> bool:
+        """Fire the single next event.
+
+        Returns:
+            ``True`` if an event fired, ``False`` if the queue was empty.
+        """
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self.clock.advance_to(event.time)
+        self._events_fired += 1
+        event.fire()
+        return True
+
+    def run_until(self, end_time: float) -> None:
+        """Run events until the queue is empty or the next event is after
+        ``end_time``; finally advance the clock to ``end_time``.
+
+        Raises:
+            SchedulingError: when called re-entrantly from a callback.
+        """
+        if self._running:
+            raise SchedulingError("run_until called re-entrantly")
+        self._running = True
+        try:
+            while True:
+                next_time = self.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                self.step()
+            if end_time > self.clock.now:
+                self.clock.advance_to(end_time)
+        finally:
+            self._running = False
+
+    def run(self) -> None:
+        """Run until the event queue is exhausted."""
+        while self.step():
+            pass
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

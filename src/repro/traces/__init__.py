@@ -1,0 +1,25 @@
+"""Bandwidth and video-content traces.
+
+* :class:`BandwidthTrace` — time-varying bottleneck capacity.
+* :mod:`~repro.traces.generators` — synthetic capacity patterns
+  (step drops, multi-drops, sawtooth, random walk, cellular).
+* :mod:`~repro.traces.io` — native and mahimahi trace files.
+* :class:`ContentTrace` — per-frame video complexity.
+"""
+
+from .bandwidth import BandwidthTrace, Segment
+from .content import ContentClass, ContentTrace, FrameContent
+from .profiles import NetworkProfile
+from . import generators, io, profiles
+
+__all__ = [
+    "BandwidthTrace",
+    "ContentClass",
+    "ContentTrace",
+    "FrameContent",
+    "NetworkProfile",
+    "Segment",
+    "generators",
+    "io",
+    "profiles",
+]

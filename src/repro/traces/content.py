@@ -1,0 +1,121 @@
+"""Synthetic video-content complexity traces.
+
+The encoder model needs, per frame, a *complexity* value: how many bits
+this frame costs at a reference quantizer, relative to a nominal frame
+(complexity 1.0). Content classes differ in mean complexity, temporal
+variance, and scene-cut frequency — which is what distinguishes a talking
+head from sports footage as far as rate control is concerned.
+
+A :class:`ContentTrace` is deterministic for a given RNG seed, so the
+adaptive and baseline encoders in a comparison see *exactly* the same
+video.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..errors import TraceError
+from ..simcore.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class FrameContent:
+    """Per-frame content description handed to the encoder.
+
+    Attributes:
+        index: frame number from 0.
+        complexity: relative bit cost at the reference QP (1.0 = nominal).
+        scene_cut: True when temporal prediction breaks (forces intra-like
+            cost even for a P-frame, and typically a keyframe).
+        motion: 0..1 motion intensity; modulates quality sensitivity.
+    """
+
+    index: int
+    complexity: float
+    scene_cut: bool
+    motion: float
+
+
+class ContentClass(Enum):
+    """Canonical content archetypes used across the evaluation."""
+
+    TALKING_HEAD = "talking_head"
+    SCREEN_SHARE = "screen_share"
+    SPORTS = "sports"
+    MIXED = "mixed"
+
+
+#: Per-class parameters: (mean complexity, AR(1) coefficient, noise sigma,
+#: scene cuts per second, mean motion).
+_CLASS_PARAMS: dict[ContentClass, tuple[float, float, float, float, float]] = {
+    ContentClass.TALKING_HEAD: (0.85, 0.95, 0.05, 0.01, 0.25),
+    ContentClass.SCREEN_SHARE: (0.35, 0.90, 0.03, 0.08, 0.05),
+    ContentClass.SPORTS: (1.60, 0.80, 0.18, 0.10, 0.85),
+    ContentClass.MIXED: (1.00, 0.90, 0.10, 0.05, 0.50),
+}
+
+
+class ContentTrace:
+    """A deterministic sequence of :class:`FrameContent` values.
+
+    Frames are pre-generated eagerly (sessions are bounded) so repeated
+    indexing is cheap and order-independent.
+    """
+
+    def __init__(
+        self,
+        content_class: ContentClass,
+        n_frames: int,
+        rng: RngStreams,
+        stream: str | None = None,
+    ) -> None:
+        if n_frames <= 0:
+            raise TraceError(f"n_frames must be positive, got {n_frames!r}")
+        self._content_class = content_class
+        mean, ar, sigma, cuts_per_s, mean_motion = _CLASS_PARAMS[content_class]
+        gen = rng.stream(stream or f"content-{content_class.value}")
+        # AR(1) log-complexity around log(mean); scene cuts via Bernoulli
+        # at 30 fps nominal (cut probability per frame = cuts_per_s / 30).
+        cut_p = cuts_per_s / 30.0
+        frames: list[FrameContent] = []
+        level = 0.0
+        for i in range(n_frames):
+            level = ar * level + gen.normal(0.0, sigma)
+            complexity = float(np.clip(mean * np.exp(level), 0.05, 8.0))
+            scene_cut = bool(gen.random() < cut_p) and i > 0
+            motion = float(
+                np.clip(mean_motion + gen.normal(0.0, 0.1), 0.0, 1.0)
+            )
+            if scene_cut:
+                # A cut spikes the instantaneous complexity of this frame.
+                complexity = float(np.clip(complexity * 3.0, 0.05, 10.0))
+            frames.append(FrameContent(i, complexity, scene_cut, motion))
+        self._frames = frames
+
+    @property
+    def content_class(self) -> ContentClass:
+        """Which archetype generated this trace."""
+        return self._content_class
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __getitem__(self, index: int) -> FrameContent:
+        return self._frames[index]
+
+    def frame(self, index: int) -> FrameContent:
+        """Content for frame ``index``; clamps past the end (loops last
+        frame) so sessions slightly longer than the trace still run."""
+        if index < 0:
+            raise TraceError(f"frame index must be >= 0, got {index!r}")
+        if index >= len(self._frames):
+            index = len(self._frames) - 1
+        return self._frames[index]
+
+    def mean_complexity(self) -> float:
+        """Average complexity across the trace."""
+        return float(np.mean([f.complexity for f in self._frames]))

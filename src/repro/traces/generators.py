@@ -1,0 +1,175 @@
+"""Synthetic bandwidth-trace generators.
+
+These produce the capacity patterns the evaluation sweeps over. The
+central one for the paper is :func:`step_drop`: steady capacity, a sudden
+drop (the event the adaptive encoder must react to), then recovery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TraceError
+from ..simcore.rng import RngStreams
+from .bandwidth import BandwidthTrace
+
+
+def constant(rate_bps: float) -> BandwidthTrace:
+    """Unchanging capacity."""
+    return BandwidthTrace.constant(rate_bps)
+
+
+def step_drop(
+    base_bps: float,
+    drop_bps: float,
+    drop_at: float,
+    drop_duration: float,
+) -> BandwidthTrace:
+    """Steady ``base_bps``, dropping to ``drop_bps`` at ``drop_at`` for
+    ``drop_duration`` seconds, then recovering to ``base_bps``.
+
+    This is the canonical "sudden bandwidth drop" of the paper.
+    """
+    if drop_at <= 0 or drop_duration <= 0:
+        raise TraceError("drop_at and drop_duration must be positive")
+    if drop_bps >= base_bps:
+        raise TraceError(
+            f"drop rate {drop_bps} must be below base rate {base_bps}"
+        )
+    return BandwidthTrace(
+        [
+            (0.0, base_bps),
+            (drop_at, drop_bps),
+            (drop_at + drop_duration, base_bps),
+        ]
+    )
+
+
+def multi_drop(
+    base_bps: float,
+    drops: list[tuple[float, float, float]],
+) -> BandwidthTrace:
+    """Several drops: each entry is ``(drop_at, drop_bps, duration)``.
+
+    Drops must be in time order and must not overlap.
+    """
+    points: list[tuple[float, float]] = [(0.0, base_bps)]
+    last_end = 0.0
+    for drop_at, drop_bps, duration in drops:
+        if drop_at < last_end:
+            raise TraceError("drops overlap or are out of order")
+        if drop_bps >= base_bps:
+            raise TraceError("each drop must go below the base rate")
+        points.append((drop_at, drop_bps))
+        last_end = drop_at + duration
+        points.append((last_end, base_bps))
+    return BandwidthTrace(points)
+
+
+def sawtooth(
+    low_bps: float,
+    high_bps: float,
+    period: float,
+    total_duration: float,
+    steps_per_ramp: int = 8,
+) -> BandwidthTrace:
+    """Repeated ramp-up from ``low_bps`` to ``high_bps`` then instant drop.
+
+    Mimics AIMD-style cross-traffic occupancy seen by a flow.
+    """
+    if low_bps >= high_bps:
+        raise TraceError("need low_bps < high_bps")
+    if period <= 0 or total_duration <= 0 or steps_per_ramp < 1:
+        raise TraceError("period, duration, steps_per_ramp must be positive")
+    points: list[tuple[float, float]] = []
+    t = 0.0
+    while t < total_duration:
+        for i in range(steps_per_ramp):
+            frac = i / steps_per_ramp
+            points.append(
+                (t + frac * period, low_bps + frac * (high_bps - low_bps))
+            )
+        t += period
+    return BandwidthTrace(points)
+
+
+def random_walk(
+    rng: RngStreams,
+    mean_bps: float,
+    sigma_fraction: float,
+    step_interval: float,
+    total_duration: float,
+    floor_bps: float | None = None,
+    ceiling_bps: float | None = None,
+    stream: str = "bandwidth-walk",
+) -> BandwidthTrace:
+    """Geometric random-walk capacity (log-space Gaussian steps).
+
+    Models slow natural variation (e.g., WiFi rate adaptation). The walk
+    is clamped to ``[floor_bps, ceiling_bps]``
+    (defaults: ``mean/8`` and ``mean*4``).
+    """
+    if mean_bps <= 0 or sigma_fraction < 0:
+        raise TraceError("mean must be positive and sigma non-negative")
+    if step_interval <= 0 or total_duration <= 0:
+        raise TraceError("intervals must be positive")
+    gen = rng.stream(stream)
+    floor = floor_bps if floor_bps is not None else mean_bps / 8
+    ceiling = ceiling_bps if ceiling_bps is not None else mean_bps * 4
+    n_steps = int(np.ceil(total_duration / step_interval))
+    log_rate = np.log(mean_bps)
+    times, rates = [], []
+    for i in range(n_steps):
+        times.append(i * step_interval)
+        rates.append(float(np.clip(np.exp(log_rate), floor, ceiling)))
+        log_rate += gen.normal(0.0, sigma_fraction)
+    return BandwidthTrace.from_samples(times, rates)
+
+
+def cellular(
+    rng: RngStreams,
+    good_bps: float,
+    bad_bps: float,
+    mean_good_duration: float,
+    mean_bad_duration: float,
+    total_duration: float,
+    jitter_fraction: float = 0.15,
+    stream: str = "bandwidth-cellular",
+) -> BandwidthTrace:
+    """Two-state Markov (good/bad) capacity with per-dwell jitter.
+
+    Approximates cellular links where handovers or fading cause abrupt
+    capacity collapses — the deployment scenario motivating the paper.
+    """
+    if good_bps <= bad_bps:
+        raise TraceError("need good_bps > bad_bps")
+    if min(mean_good_duration, mean_bad_duration, total_duration) <= 0:
+        raise TraceError("durations must be positive")
+    gen = rng.stream(stream)
+    points: list[tuple[float, float]] = []
+    t = 0.0
+    in_good = True
+    while t < total_duration:
+        base = good_bps if in_good else bad_bps
+        rate = base * float(
+            np.clip(1.0 + gen.normal(0.0, jitter_fraction), 0.3, 2.0)
+        )
+        points.append((t, rate))
+        mean_dwell = mean_good_duration if in_good else mean_bad_duration
+        t += float(gen.exponential(mean_dwell))
+        in_good = not in_good
+    return BandwidthTrace(points)
+
+
+def drop_ratio_scenario(
+    base_bps: float,
+    drop_ratio: float,
+    drop_at: float = 10.0,
+    drop_duration: float = 10.0,
+) -> BandwidthTrace:
+    """A :func:`step_drop` parameterized by the *surviving* fraction of
+    capacity (``drop_ratio = 0.2`` keeps 20% of the base rate).
+    """
+    if not 0 < drop_ratio < 1:
+        raise TraceError(f"drop_ratio must be in (0, 1), got {drop_ratio!r}")
+    return step_drop(base_bps, base_bps * drop_ratio, drop_at, drop_duration)

@@ -1,0 +1,114 @@
+"""Bandwidth-trace file I/O.
+
+Two formats are supported:
+
+* **breakpoint format** (native): text lines ``<time_s> <rate_bps>``;
+  comments start with ``#``. Lossless round-trip of a
+  :class:`~repro.traces.bandwidth.BandwidthTrace`.
+* **mahimahi format**: one integer per line, the millisecond timestamp at
+  which one MTU-sized (1500 B) packet delivery opportunity occurs. Widely
+  used for cellular traces; we convert to/from a piecewise rate by
+  bucketing opportunities into fixed windows.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..errors import TraceError
+from ..units import BITS_PER_BYTE
+from .bandwidth import BandwidthTrace
+
+#: Packet size mahimahi assumes for each delivery opportunity (bytes).
+MAHIMAHI_PACKET_BYTES = 1500
+
+
+def save_breakpoints(trace: BandwidthTrace, path: str | Path) -> None:
+    """Write a trace in the native breakpoint format."""
+    lines = ["# repro bandwidth trace: <time_s> <rate_bps>"]
+    for t, r in trace.breakpoints():
+        lines.append(f"{t:.6f} {r:.3f}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_breakpoints(path: str | Path) -> BandwidthTrace:
+    """Read a trace written by :func:`save_breakpoints`."""
+    points: list[tuple[float, float]] = []
+    for lineno, raw in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise TraceError(f"{path}:{lineno}: expected '<time> <rate>'")
+        try:
+            points.append((float(parts[0]), float(parts[1])))
+        except ValueError as exc:
+            raise TraceError(f"{path}:{lineno}: {exc}") from exc
+    if not points:
+        raise TraceError(f"{path}: no breakpoints found")
+    return BandwidthTrace(points)
+
+
+def save_mahimahi(
+    trace: BandwidthTrace,
+    path: str | Path,
+    duration: float,
+) -> None:
+    """Export ``duration`` seconds of a trace as mahimahi delivery times.
+
+    Delivery opportunities are spaced so that each window of the trace
+    carries its exact bit budget in 1500-byte packets.
+    """
+    if duration <= 0:
+        raise TraceError("duration must be positive")
+    packet_bits = MAHIMAHI_PACKET_BYTES * BITS_PER_BYTE
+    timestamps: list[int] = []
+    credit_bits = 0.0
+    t = 0.0
+    step = 1e-3  # walk the trace in 1 ms steps
+    while t < duration:
+        credit_bits += trace.rate_at(t) * step
+        while credit_bits >= packet_bits:
+            credit_bits -= packet_bits
+            timestamps.append(int(round(t * 1e3)))
+        t += step
+    Path(path).write_text(
+        "\n".join(str(ts) for ts in timestamps) + "\n", encoding="utf-8"
+    )
+
+
+def load_mahimahi(
+    path: str | Path,
+    window: float = 0.5,
+) -> BandwidthTrace:
+    """Import a mahimahi trace, bucketing opportunities into ``window``-s
+    averaging windows to form a piecewise-constant rate.
+    """
+    if window <= 0:
+        raise TraceError("window must be positive")
+    stamps_ms: list[int] = []
+    for lineno, raw in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            stamps_ms.append(int(line))
+        except ValueError as exc:
+            raise TraceError(f"{path}:{lineno}: {exc}") from exc
+    if not stamps_ms:
+        raise TraceError(f"{path}: empty mahimahi trace")
+    packet_bits = MAHIMAHI_PACKET_BYTES * BITS_PER_BYTE
+    end_s = stamps_ms[-1] / 1e3
+    n_windows = max(1, int(end_s / window) + 1)
+    counts = [0] * n_windows
+    for ts in stamps_ms:
+        index = min(int((ts / 1e3) / window), n_windows - 1)
+        counts[index] += 1
+    times = [i * window for i in range(n_windows)]
+    rates = [max(c * packet_bits / window, 1.0) for c in counts]
+    return BandwidthTrace.from_samples(times, rates)

@@ -1,0 +1,148 @@
+"""Canned network profiles: realistic, named scenario presets.
+
+Each profile bundles a capacity trace with the queue depth and loss
+characteristics typical of that access technology, so examples and
+user studies can say ``profiles.lte_handover(rng)`` instead of
+hand-tuning five parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simcore.rng import RngStreams
+from ..units import mbps, ms
+from .bandwidth import BandwidthTrace
+from . import generators
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """A named network scenario preset.
+
+    Attributes:
+        name: short identifier.
+        capacity: the capacity trace.
+        queue_bytes: bottleneck buffer typical for the technology.
+        propagation_delay: one-way delay (s).
+        iid_loss: channel loss probability.
+        description: one-line summary.
+    """
+
+    name: str
+    capacity: BandwidthTrace
+    queue_bytes: int
+    propagation_delay: float
+    iid_loss: float
+    description: str
+
+
+def wifi_interference(
+    rng: RngStreams, duration: float = 60.0
+) -> NetworkProfile:
+    """Home WiFi: good baseline with interference-driven dips."""
+    capacity = generators.random_walk(
+        rng,
+        mean_bps=mbps(8),
+        sigma_fraction=0.25,
+        step_interval=0.5,
+        total_duration=duration,
+        floor_bps=mbps(1),
+        ceiling_bps=mbps(20),
+        stream="profile-wifi",
+    )
+    return NetworkProfile(
+        name="wifi_interference",
+        capacity=capacity,
+        queue_bytes=250_000,
+        propagation_delay=ms(5),
+        iid_loss=0.003,
+        description="home WiFi with neighbour interference",
+    )
+
+
+def lte_handover(
+    rng: RngStreams, duration: float = 60.0
+) -> NetworkProfile:
+    """Mobile LTE: periodic deep fades around cell handovers."""
+    capacity = generators.cellular(
+        rng,
+        good_bps=mbps(6),
+        bad_bps=mbps(0.6),
+        mean_good_duration=15.0,
+        mean_bad_duration=3.0,
+        total_duration=duration,
+        stream="profile-lte",
+    )
+    return NetworkProfile(
+        name="lte_handover",
+        capacity=capacity,
+        queue_bytes=400_000,  # cellular buffers are deep (bufferbloat)
+        propagation_delay=ms(30),
+        iid_loss=0.001,
+        description="LTE with handover fades and deep buffers",
+    )
+
+
+def congested_uplink(duration: float = 60.0) -> NetworkProfile:
+    """DSL-ish uplink: low capacity, deterministic sawtooth from a
+    periodic backup job stealing bandwidth."""
+    capacity = generators.sawtooth(
+        low_bps=mbps(0.8),
+        high_bps=mbps(2.0),
+        period=12.0,
+        total_duration=duration,
+    )
+    return NetworkProfile(
+        name="congested_uplink",
+        capacity=capacity,
+        queue_bytes=120_000,
+        propagation_delay=ms(15),
+        iid_loss=0.0,
+        description="DSL uplink shared with a periodic bulk transfer",
+    )
+
+
+def conference_drop(duration: float = 40.0) -> NetworkProfile:
+    """The paper's canonical shape as a profile: one hard drop."""
+    capacity = generators.step_drop(
+        base_bps=mbps(2.5),
+        drop_bps=mbps(0.5),
+        drop_at=duration / 3,
+        drop_duration=duration / 3,
+    )
+    return NetworkProfile(
+        name="conference_drop",
+        capacity=capacity,
+        queue_bytes=140_000,
+        propagation_delay=ms(20),
+        iid_loss=0.0,
+        description="steady link with one sudden deep capacity drop",
+    )
+
+
+#: Registry of all profile constructors that need an RNG.
+RNG_PROFILES = {
+    "wifi_interference": wifi_interference,
+    "lte_handover": lte_handover,
+}
+
+#: Registry of deterministic profile constructors.
+STATIC_PROFILES = {
+    "congested_uplink": congested_uplink,
+    "conference_drop": conference_drop,
+}
+
+
+def by_name(
+    name: str, rng: RngStreams | None = None, duration: float = 60.0
+) -> NetworkProfile:
+    """Look up a profile by name (RNG required for stochastic ones)."""
+    if name in STATIC_PROFILES:
+        return STATIC_PROFILES[name](duration)
+    if name in RNG_PROFILES:
+        if rng is None:
+            raise ValueError(f"profile {name!r} needs an RngStreams")
+        return RNG_PROFILES[name](rng, duration)
+    known = sorted(RNG_PROFILES) + sorted(STATIC_PROFILES)
+    raise KeyError(f"unknown profile {name!r}; known: {known}")

@@ -1,0 +1,66 @@
+"""Unit conventions and small conversion helpers.
+
+The whole library uses a single set of base units:
+
+* **time** — seconds, as ``float``
+* **data** — bytes, as ``int`` (packet and frame sizes)
+* **rate** — bits per second, as ``float``
+
+These helpers exist so that call sites can say what they mean
+(``kbps(500)``) instead of sprinkling magic multipliers around.
+"""
+
+from __future__ import annotations
+
+#: Bits in a byte; packet sizes are bytes, rates are bits/second.
+BITS_PER_BYTE = 8
+
+#: A conventional Ethernet-ish MTU payload budget for RTP (bytes).
+DEFAULT_MTU = 1200
+
+#: One millisecond in seconds.
+MS = 1e-3
+
+#: One microsecond in seconds.
+US = 1e-6
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits per second to bits per second."""
+    return value * 1e3
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bits per second."""
+    return value * 1e6
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MS
+
+
+def seconds_to_ms(value: float) -> float:
+    """Convert seconds to milliseconds."""
+    return value * 1e3
+
+
+def bytes_to_bits(num_bytes: int | float) -> float:
+    """Convert a byte count to bits."""
+    return num_bytes * BITS_PER_BYTE
+
+
+def bits_to_bytes(num_bits: float) -> float:
+    """Convert a bit count to (possibly fractional) bytes."""
+    return num_bits / BITS_PER_BYTE
+
+
+def transmission_delay(num_bytes: int | float, rate_bps: float) -> float:
+    """Serialization delay of ``num_bytes`` over a link of ``rate_bps``.
+
+    Raises:
+        ValueError: if the rate is not strictly positive.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps!r}")
+    return bytes_to_bits(num_bytes) / rate_bps

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simcore.rng import RngStreams
+from repro.simcore.scheduler import Scheduler
+from repro.traces.bandwidth import BandwidthTrace
+from repro.units import mbps
+
+
+@pytest.fixture
+def scheduler() -> Scheduler:
+    """A fresh scheduler starting at t=0."""
+    return Scheduler()
+
+
+@pytest.fixture
+def rng() -> RngStreams:
+    """Deterministic RNG streams."""
+    return RngStreams(seed=42)
+
+
+@pytest.fixture
+def flat_trace() -> BandwidthTrace:
+    """Constant 2 Mbps capacity."""
+    return BandwidthTrace.constant(mbps(2.0))
+
+
+@pytest.fixture
+def drop_trace() -> BandwidthTrace:
+    """2 Mbps dropping to 0.5 Mbps at t=5 for 5 s."""
+    return BandwidthTrace(
+        [(0.0, mbps(2.0)), (5.0, mbps(0.5)), (10.0, mbps(2.0))]
+    )

@@ -1,0 +1,65 @@
+"""Bit-identical reproducibility of sessions."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.pipeline.config import NetworkConfig, PolicyName, SessionConfig
+from repro.pipeline.runner import run_session
+from repro.traces.generators import step_drop
+from repro.units import mbps
+
+
+def _config(seed=5, policy=PolicyName.ADAPTIVE) -> SessionConfig:
+    return SessionConfig(
+        network=NetworkConfig(
+            capacity=step_drop(mbps(2.5), mbps(0.5), 4.0, 4.0),
+            queue_bytes=140_000,
+        ),
+        duration=10.0,
+        seed=seed,
+        policy=policy,
+    )
+
+
+def _fingerprint(result):
+    return [
+        (
+            f.index,
+            f.skipped,
+            f.frame_type,
+            round(f.qp, 9),
+            f.size_bytes,
+            None if f.display_time is None else round(f.display_time, 9),
+        )
+        for f in result.frames
+    ]
+
+
+def test_same_seed_is_bit_identical():
+    a = run_session(_config())
+    b = run_session(_config())
+    assert _fingerprint(a) == _fingerprint(b)
+    assert a.pli_count == b.pli_count
+    assert [s.target_bps for s in a.timeseries] == [
+        s.target_bps for s in b.timeseries
+    ]
+
+
+def test_different_seeds_differ():
+    a = run_session(_config(seed=5))
+    b = run_session(_config(seed=6))
+    assert _fingerprint(a) != _fingerprint(b)
+
+
+def test_policies_see_identical_content_and_capacity():
+    """The comparison is paired: same seed => same video complexity per
+    frame and same capacity trace, regardless of policy."""
+    a = run_session(_config(policy=PolicyName.WEBRTC))
+    b = run_session(_config(policy=PolicyName.ADAPTIVE))
+    assert [round(f.complexity, 12) for f in a.frames] == [
+        round(f.complexity, 12) for f in b.frames
+    ]
+    assert [s.capacity_bps for s in a.timeseries] == [
+        s.capacity_bps for s in b.timeseries
+    ]

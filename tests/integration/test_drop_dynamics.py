@@ -1,0 +1,105 @@
+"""The paper's core dynamics, end to end.
+
+These tests assert the phenomena themselves, not exact numbers:
+
+1. a sudden capacity drop causes a multi-second latency spike under the
+   baseline;
+2. the adaptive controller detects the drop within a few feedback
+   rounds and cuts the spike by a large factor;
+3. quality does not pay for it (severe drops: adaptive is better);
+4. the oracle bounds what any estimator could do; the adaptive
+   controller lands between baseline and oracle-with-fast-encoder.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import scenarios
+from repro.pipeline.config import PolicyName
+from repro.pipeline.runner import run_session
+from repro.pipeline.session import RtcSession
+
+WINDOW = scenarios.DROP_WINDOW
+
+
+def _run(policy, ratio=0.2, seed=1):
+    config = scenarios.step_drop_config(ratio, seed=seed)
+    return run_session(dataclasses.replace(config, policy=policy))
+
+
+def test_baseline_latency_spike_exists():
+    result = _run(PolicyName.WEBRTC)
+    steady = result.mean_latency(2.0, 9.5)
+    spike = result.peak_latency(*WINDOW)
+    assert steady < 0.12
+    assert spike > 1.0  # seconds-scale spike
+    assert result.mean_latency(*WINDOW) > 5 * steady
+
+
+def test_adaptive_cuts_the_spike():
+    base = _run(PolicyName.WEBRTC)
+    adap = _run(PolicyName.ADAPTIVE)
+    assert adap.mean_latency(*WINDOW) < 0.35 * base.mean_latency(*WINDOW)
+    assert adap.peak_latency(*WINDOW) < base.peak_latency(*WINDOW)
+
+
+def test_latency_reduction_monotone_in_severity():
+    reductions = []
+    for ratio in (0.6, 0.3, 0.15):
+        base = _run(PolicyName.WEBRTC, ratio=ratio)
+        adap = _run(PolicyName.ADAPTIVE, ratio=ratio)
+        reductions.append(
+            1 - adap.mean_latency(*WINDOW) / base.mean_latency(*WINDOW)
+        )
+    assert reductions[0] < reductions[1] < reductions[2]
+
+
+def test_quality_preserved_or_better_on_severe_drop():
+    base = _run(PolicyName.WEBRTC, ratio=0.15)
+    adap = _run(PolicyName.ADAPTIVE, ratio=0.15)
+    assert adap.mean_displayed_ssim() >= base.mean_displayed_ssim()
+    # The baseline's overload produced losses and recovery keyframes.
+    assert base.pli_count > 0
+    assert adap.pli_count == 0
+
+
+def test_detection_within_half_second():
+    config = scenarios.step_drop_config(0.2, seed=1)
+    config = dataclasses.replace(config, policy=PolicyName.ADAPTIVE)
+    session = RtcSession(config)
+    session.run()
+    episodes = session.policy.episodes
+    assert episodes
+    first = min(e.time for e in episodes)
+    assert scenarios.DROP_AT < first < scenarios.DROP_AT + 0.5
+
+
+def test_no_false_positives_without_drop():
+    config = scenarios.step_drop_config(0.2, seed=1)
+    config = dataclasses.replace(config, policy=PolicyName.ADAPTIVE)
+    session = RtcSession(config)
+    session.run()
+    # Every detected event happens during or right after the drop, not
+    # in the steady first 10 seconds.
+    assert all(e.time >= scenarios.DROP_AT for e in session.policy.episodes)
+
+
+def test_adaptive_recovers_after_drop_ends():
+    result = _run(PolicyName.ADAPTIVE)
+    tail = result.mean_latency(22.0, 24.5)
+    assert tail < 0.15
+
+
+def test_adaptive_between_baseline_and_oracle():
+    base = _run(PolicyName.WEBRTC)
+    adap = _run(PolicyName.ADAPTIVE)
+    oracle = _run(PolicyName.ORACLE)
+    base_lat = base.mean_latency(*WINDOW)
+    adap_lat = adap.mean_latency(*WINDOW)
+    # The oracle still suffers the slow-encoder lag; the adaptive
+    # controller must beat the baseline decisively.
+    assert adap_lat < base_lat
+    assert oracle.mean_latency(*WINDOW) < base_lat

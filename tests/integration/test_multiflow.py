@@ -1,0 +1,145 @@
+"""Multi-flow sessions: sharing, fairness, and isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pipeline.config import NetworkConfig, PolicyName, SessionConfig
+from repro.pipeline.multiflow import MultiFlowSession, jain_fairness
+from repro.traces.bandwidth import BandwidthTrace
+from repro.traces.generators import step_drop
+from repro.units import mbps
+
+
+def _base(capacity=None, duration=15.0, queue=200_000) -> SessionConfig:
+    return SessionConfig(
+        network=NetworkConfig(
+            capacity=capacity or BandwidthTrace.constant(mbps(4)),
+            queue_bytes=queue,
+        ),
+        duration=duration,
+        seed=1,
+    )
+
+
+def test_jain_fairness_index():
+    assert jain_fairness([1.0, 1.0]) == pytest.approx(1.0)
+    assert jain_fairness([1.0, 0.0]) == pytest.approx(0.5)
+    assert jain_fairness([3.0]) == pytest.approx(1.0)
+    with pytest.raises(ConfigError):
+        jain_fairness([])
+
+
+def test_two_flows_share_a_link():
+    session = MultiFlowSession(
+        _base(), policies=[PolicyName.WEBRTC, PolicyName.WEBRTC]
+    )
+    results = session.run()
+    assert len(results) == 2
+    for result in results:
+        assert len(result.frames) > 400
+        assert result.freeze_fraction() < 0.1
+    # Together they roughly use the link; neither is starved.
+    rates = [r.sent_bitrate_bps(10, 15) for r in results]
+    assert sum(rates) < mbps(4)
+    assert jain_fairness(rates) > 0.7
+
+
+def test_flows_are_independent_streams():
+    """Each flow has its own sequence space and content."""
+    session = MultiFlowSession(
+        _base(), policies=[PolicyName.WEBRTC, PolicyName.WEBRTC]
+    )
+    results = session.run()
+    a, b = results
+    # Different content RNG streams -> different complexities.
+    assert [f.complexity for f in a.frames[:50]] != [
+        f.complexity for f in b.frames[:50]
+    ]
+    # Both received everything despite interleaving on the wire.
+    assert all(f.displayed for f in a.frames[:-5] if not f.skipped)
+    assert all(f.displayed for f in b.frames[:-5] if not f.skipped)
+
+
+def test_adaptive_pair_is_fair_after_drop():
+    config = _base(
+        capacity=step_drop(mbps(4), mbps(1), 12.0, 10.0),
+        duration=30.0,
+    )
+    session = MultiFlowSession(
+        config, policies=[PolicyName.ADAPTIVE, PolicyName.ADAPTIVE]
+    )
+    results = session.run()
+    rates = [r.sent_bitrate_bps(20, 30) for r in results]
+    assert jain_fairness(rates) > 0.95
+    for result in results:
+        assert result.mean_latency(12, 18) < 0.5
+
+
+def test_adaptive_does_not_starve_baseline_competitor():
+    """Fast backoff must not let the slow flow take everything — and
+    it must not starve the slow flow either."""
+    config = _base(
+        capacity=step_drop(mbps(4), mbps(1), 12.0, 10.0),
+        duration=30.0,
+    )
+    session = MultiFlowSession(
+        config, policies=[PolicyName.ADAPTIVE, PolicyName.WEBRTC]
+    )
+    adaptive, baseline = session.run()
+    rates = [
+        adaptive.sent_bitrate_bps(20, 30),
+        baseline.sent_bitrate_bps(20, 30),
+    ]
+    assert jain_fairness(rates) > 0.75
+    # The adaptive flow keeps its latency advantage while competing.
+    assert adaptive.mean_latency(12, 18) < baseline.mean_latency(12, 18)
+
+
+def test_adaptive_competitor_helps_the_baseline():
+    """Compared to facing another baseline, facing an adaptive flow
+    *lowers* the baseline's drop-window latency (the adaptive flow
+    vacates the queue quickly)."""
+    config = _base(
+        capacity=step_drop(mbps(4), mbps(1), 12.0, 10.0),
+        duration=30.0,
+    )
+    both_base = MultiFlowSession(
+        config, policies=[PolicyName.WEBRTC, PolicyName.WEBRTC]
+    ).run()
+    mixed = MultiFlowSession(
+        config, policies=[PolicyName.ADAPTIVE, PolicyName.WEBRTC]
+    ).run()
+    baseline_vs_baseline = both_base[1].mean_latency(12, 18)
+    baseline_vs_adaptive = mixed[1].mean_latency(12, 18)
+    assert baseline_vs_adaptive < baseline_vs_baseline
+
+
+def test_flow_config_overrides():
+    import dataclasses
+
+    base = _base()
+    flow_configs = [
+        dataclasses.replace(base, policy=PolicyName.ADAPTIVE),
+        dataclasses.replace(
+            base, policy=PolicyName.WEBRTC, enable_nack=True
+        ),
+    ]
+    session = MultiFlowSession(base, flow_configs=flow_configs)
+    assert session.flows[0].config.policy is PolicyName.ADAPTIVE
+    assert session.flows[1].sender.rtx_buffer is not None
+    results = session.run()
+    assert len(results) == 2
+
+
+def test_constructor_validation():
+    base = _base()
+    with pytest.raises(ConfigError):
+        MultiFlowSession(base)
+    with pytest.raises(ConfigError):
+        MultiFlowSession(
+            base, policies=[PolicyName.WEBRTC], flow_configs=[base]
+        )
+    with pytest.raises(ConfigError):
+        MultiFlowSession(base, policies=[])

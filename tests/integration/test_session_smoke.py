@@ -1,0 +1,114 @@
+"""End-to-end session smoke tests for every policy."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.pipeline.config import NetworkConfig, PolicyName, SessionConfig
+from repro.pipeline.runner import run_session
+from repro.traces.bandwidth import BandwidthTrace
+from repro.units import mbps
+
+
+def _config(**kwargs) -> SessionConfig:
+    defaults = dict(
+        network=NetworkConfig(
+            capacity=BandwidthTrace.constant(mbps(2.0)),
+            queue_bytes=140_000,
+        ),
+        duration=6.0,
+        seed=3,
+    )
+    defaults.update(kwargs)
+    return SessionConfig(**defaults)
+
+
+@pytest.mark.parametrize("policy", list(PolicyName))
+def test_every_policy_completes(policy):
+    result = run_session(_config(policy=policy))
+    assert result.policy == policy.value
+    # 6 s at 30 fps.
+    assert len(result.frames) == pytest.approx(180, abs=2)
+    # Nearly everything displays on a clean path.
+    assert result.freeze_fraction() < 0.05
+    assert result.mean_latency() < 0.2
+    assert 0.5 < result.mean_displayed_ssim() <= 1.0
+
+
+def test_frame_records_are_complete():
+    result = run_session(_config(policy=PolicyName.WEBRTC))
+    displayed = [f for f in result.frames if f.displayed]
+    assert displayed
+    for outcome in displayed:
+        assert outcome.size_bytes > 0
+        assert 0 < outcome.qp <= 51
+        assert outcome.display_time is not None
+        assert outcome.display_time >= outcome.capture_time
+        assert outcome.frame_type in ("I", "P")
+    assert displayed[0].frame_type == "I"
+
+
+def test_timeseries_collected():
+    result = run_session(_config(policy=PolicyName.WEBRTC))
+    assert len(result.timeseries) >= 50
+    times = [s.time for s in result.timeseries]
+    assert times == sorted(times)
+    assert all(s.capacity_bps == mbps(2.0) for s in result.timeseries)
+
+
+def test_latency_close_to_propagation_on_idle_path():
+    # Over-provisioned path: latency ≈ propagation + serialization +
+    # pacing + decode, well under 100 ms.
+    config = _config(
+        network=NetworkConfig(
+            capacity=BandwidthTrace.constant(mbps(20)),
+            queue_bytes=500_000,
+        ),
+        policy=PolicyName.WEBRTC,
+    )
+    result = run_session(config)
+    assert result.mean_latency() < 0.08
+
+
+def test_steady_state_bitrate_tracks_target():
+    result = run_session(
+        _config(policy=PolicyName.WEBRTC, duration=15.0)
+    )
+    # GCC should have converged to use a sizable share of the 2 Mbps
+    # link; the encoder's sent bitrate should be near the target.
+    sent = result.sent_bitrate_bps(10.0, 15.0)
+    target = result.timeseries[-1].target_bps
+    assert sent == pytest.approx(target, rel=0.3)
+
+
+def test_channel_loss_causes_plis_and_freezes():
+    config = _config(
+        network=NetworkConfig(
+            capacity=BandwidthTrace.constant(mbps(2.0)),
+            queue_bytes=140_000,
+            iid_loss=0.03,
+        ),
+        policy=PolicyName.WEBRTC,
+        duration=10.0,
+    )
+    result = run_session(config)
+    assert result.pli_count > 0
+    assert result.freeze_fraction() > 0.0
+
+
+def test_cross_traffic_reduces_media_share():
+    clean = run_session(_config(policy=PolicyName.WEBRTC, duration=12.0))
+    shared = run_session(
+        _config(
+            network=NetworkConfig(
+                capacity=BandwidthTrace.constant(mbps(2.0)),
+                queue_bytes=140_000,
+                cross_traffic_bps=mbps(1.0),
+            ),
+            policy=PolicyName.WEBRTC,
+            duration=12.0,
+        )
+    )
+    assert shared.sent_bitrate_bps(6, 12) < clean.sent_bitrate_bps(6, 12)

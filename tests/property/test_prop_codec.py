@@ -1,0 +1,77 @@
+"""Property tests: RD model monotonicity and inversion."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.codec.frames import FrameType
+from repro.codec.model import QP_MAX, QP_MIN, RateDistortionModel
+
+MODEL = RateDistortionModel()
+
+qps = st.floats(min_value=float(QP_MIN), max_value=float(QP_MAX))
+complexities = st.floats(min_value=0.05, max_value=8.0)
+motions = st.floats(min_value=0.0, max_value=1.0)
+frame_types = st.sampled_from([FrameType.I, FrameType.P])
+
+
+@given(qp_low=qps, qp_high=qps, complexity=complexities,
+       frame_type=frame_types)
+@settings(max_examples=200)
+def test_size_monotone_decreasing_in_qp(qp_low, qp_high, complexity,
+                                        frame_type):
+    assume(qp_high - qp_low > 0.01)  # below fp resolution sizes tie
+    assert MODEL.frame_bits(qp_low, complexity, frame_type) > (
+        MODEL.frame_bits(qp_high, complexity, frame_type)
+    )
+
+
+@given(qp=qps, complexity=complexities, frame_type=frame_types)
+@settings(max_examples=200)
+def test_qp_for_bits_round_trip(qp, complexity, frame_type):
+    bits = MODEL.frame_bits(qp, complexity, frame_type)
+    recovered = MODEL.qp_for_bits(bits, complexity, frame_type)
+    assert recovered == pytest.approx(qp, abs=1e-6)
+
+
+@given(target=st.floats(min_value=100.0, max_value=1e7),
+       complexity=complexities, frame_type=frame_types)
+@settings(max_examples=200)
+def test_qp_for_bits_respects_budget(target, complexity, frame_type):
+    qp = MODEL.qp_for_bits(target, complexity, frame_type)
+    size = MODEL.frame_bits(qp, complexity, frame_type)
+    # Within the representable range, the chosen QP must not exceed the
+    # budget; at the QP_MAX clamp the budget may be infeasible.
+    if qp < QP_MAX:
+        assert size <= target * (1 + 1e-9)
+
+
+@given(qp_low=qps, qp_high=qps, complexity=complexities, motion=motions)
+@settings(max_examples=200)
+def test_ssim_monotone_in_qp(qp_low, qp_high, complexity, motion):
+    assume(qp_low < qp_high)
+    assert MODEL.ssim(qp_low, complexity, motion) >= (
+        MODEL.ssim(qp_high, complexity, motion)
+    )
+
+
+@given(qp=qps, complexity=complexities, motion=motions)
+@settings(max_examples=200)
+def test_quality_values_in_range(qp, complexity, motion):
+    ssim = MODEL.ssim(qp, complexity, motion)
+    assert 0.0 <= ssim <= 1.0
+    psnr = MODEL.psnr(qp, complexity)
+    assert 0.0 < psnr < 70.0
+
+
+@given(scale=st.floats(min_value=0.05, max_value=1.0), qp=qps,
+       complexity=complexities)
+@settings(max_examples=100)
+def test_resolution_scale_shrinks_bits_proportionally(scale, qp,
+                                                      complexity):
+    scaled = MODEL.at_resolution(scale)
+    full = MODEL.frame_bits(qp, complexity, FrameType.P)
+    small = scaled.frame_bits(qp, complexity, FrameType.P)
+    assert small == pytest.approx(scale * full, rel=1e-9)

@@ -1,0 +1,115 @@
+"""Property tests: FEC protection/recovery under arbitrary loss."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.packet import Packet
+from repro.rtp.fec import FecConfig, FecDecoder, FecEncoder
+
+
+def _media(seq, frame, position, count):
+    return Packet(
+        size_bytes=1200,
+        flow="media",
+        seq=seq,
+        frame_index=frame,
+        frame_packet_index=position,
+        frame_packet_count=count,
+        capture_time=frame / 30,
+        payload={"frame_type": "P", "temporal_layer": 0},
+    )
+
+
+class _Seq:
+    def __init__(self, start):
+        self.next = start
+
+    def __call__(self):
+        value = self.next
+        self.next += 1
+        return value
+
+
+def _protected_frame(n_packets, k):
+    encoder = FecEncoder(
+        FecConfig(schedule=((0.0, k), (1.0, k)))
+    )
+    for _ in range(200):
+        encoder.on_loss_report(0.5)
+    media = [
+        _media(seq, 0, seq, n_packets) for seq in range(n_packets)
+    ]
+    return encoder.protect(media, _Seq(n_packets))
+
+
+@given(
+    n_packets=st.integers(min_value=1, max_value=12),
+    k=st.integers(min_value=1, max_value=6),
+    lost_index=st.integers(min_value=0, max_value=11),
+)
+@settings(max_examples=120, deadline=None)
+def test_any_single_media_loss_is_recovered(n_packets, k, lost_index):
+    """Losing exactly one media packet of any group always recovers."""
+    lost_index = lost_index % n_packets
+    out = _protected_frame(n_packets, k)
+    decoder = FecDecoder()
+    recovered = []
+    for packet in out:
+        if packet.seq == lost_index and not (
+            isinstance(packet.payload, dict) and packet.payload.get("fec")
+        ):
+            continue  # lost
+        if isinstance(packet.payload, dict) and packet.payload.get("fec"):
+            recovered.extend(decoder.on_parity(packet))
+        else:
+            decoder.on_media(packet)
+    assert [p.seq for p in recovered] == [lost_index]
+    reconstructed = recovered[0]
+    assert reconstructed.frame_packet_index == lost_index
+    assert reconstructed.frame_packet_count == n_packets
+
+
+@given(
+    n_packets=st.integers(min_value=2, max_value=10),
+    k=st.integers(min_value=2, max_value=6),
+    data=st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_recovery_never_exceeds_one_per_group(n_packets, k, data):
+    """Whatever is lost, the decoder recovers at most one packet per
+    parity group and never invents sequence numbers."""
+    out = _protected_frame(n_packets, k)
+    media_seqs = {
+        p.seq
+        for p in out
+        if not (isinstance(p.payload, dict) and p.payload.get("fec"))
+    }
+    lost = {
+        seq
+        for seq in media_seqs
+        if data.draw(st.booleans(), label=f"lose{seq}")
+    }
+    decoder = FecDecoder()
+    recovered = []
+    for packet in out:
+        is_parity = isinstance(packet.payload, dict) and packet.payload.get(
+            "fec"
+        )
+        if not is_parity and packet.seq in lost:
+            continue
+        if is_parity:
+            recovered.extend(decoder.on_parity(packet))
+        else:
+            decoder.on_media(packet)
+    seqs = [p.seq for p in recovered]
+    assert len(seqs) == len(set(seqs))
+    assert set(seqs) <= lost
+    # Parity count bookkeeping: each parity announces the same range.
+    parities = [
+        p for p in out
+        if isinstance(p.payload, dict) and p.payload.get("fec")
+    ]
+    counts = {p.payload["parity_count"] for p in parities}
+    assert counts == {len(parities)}

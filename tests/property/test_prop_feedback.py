@@ -1,0 +1,77 @@
+"""Property tests: the TWCC join accounts for every packet exactly once."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtp.feedback import (
+    ArrivalRecord,
+    FeedbackReport,
+    SendHistory,
+)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=100),
+    lost_mask=st.lists(st.booleans(), min_size=1, max_size=100),
+)
+@settings(max_examples=100)
+def test_every_sent_packet_resolves_exactly_once(n, lost_mask):
+    mask = (lost_mask * n)[:n]
+    # Ensure the last packet arrives so losses below it are confirmed.
+    mask[-1] = False
+    history = SendHistory()
+    for seq in range(n):
+        history.on_sent(seq, 0.01 * seq, 1200)
+    arrivals = tuple(
+        ArrivalRecord(seq=seq, arrival_time=0.01 * seq + 0.02,
+                      size_bytes=1200)
+        for seq in range(n)
+        if not mask[seq]
+    )
+    report = FeedbackReport(
+        created_at=1.0,
+        arrivals=arrivals,
+        highest_seq=n - 1,
+        cumulative_received=len(arrivals),
+    )
+    results = history.resolve(report)
+    assert sorted(r.seq for r in results) == list(range(n))
+    assert {r.seq for r in results if r.lost} == {
+        seq for seq in range(n) if mask[seq]
+    }
+    assert history.in_flight() == 0
+    # Resolving the same report again yields nothing new.
+    assert history.resolve(report) == []
+
+
+@given(
+    batches=st.lists(
+        st.integers(min_value=1, max_value=20), min_size=1, max_size=10
+    )
+)
+@settings(max_examples=50)
+def test_incremental_reports_partition_the_sequence_space(batches):
+    history = SendHistory()
+    total = sum(batches)
+    for seq in range(total):
+        history.on_sent(seq, 0.01 * seq, 100)
+    resolved = []
+    seq = 0
+    for batch in batches:
+        arrivals = tuple(
+            ArrivalRecord(seq=s, arrival_time=0.01 * s + 0.02,
+                          size_bytes=100)
+            for s in range(seq, seq + batch)
+        )
+        seq += batch
+        report = FeedbackReport(
+            created_at=0.01 * seq,
+            arrivals=arrivals,
+            highest_seq=seq - 1,
+            cumulative_received=seq,
+        )
+        resolved.extend(history.resolve(report))
+    assert sorted(r.seq for r in resolved) == list(range(total))
+    assert not any(r.lost for r in resolved)

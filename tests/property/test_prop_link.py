@@ -1,0 +1,77 @@
+"""Property tests: link conservation and FIFO invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.link import Link, service_end_time
+from repro.netsim.packet import Packet
+from repro.simcore.scheduler import Scheduler
+from repro.traces.bandwidth import BandwidthTrace
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=64, max_value=1500), min_size=1, max_size=60
+    ),
+    rate=st.floats(min_value=1e5, max_value=1e7),
+    queue=st.integers(min_value=2_000, max_value=200_000),
+)
+@settings(max_examples=80)
+def test_packets_conserved(sizes, rate, queue):
+    """accepted = delivered (lossless channel); rejected = counted."""
+    scheduler = Scheduler()
+    delivered = []
+    link = Link(
+        scheduler,
+        BandwidthTrace.constant(rate),
+        propagation_delay=0.01,
+        queue_bytes=queue,
+        deliver=delivered.append,
+    )
+    accepted = sum(link.send(Packet(size_bytes=s)) for s in sizes)
+    scheduler.run()
+    assert len(delivered) == accepted
+    assert link.queue.dropped_packets == len(sizes) - accepted
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=64, max_value=1500), min_size=2, max_size=60
+    ),
+    rate=st.floats(min_value=1e5, max_value=1e7),
+)
+@settings(max_examples=80)
+def test_fifo_delivery_order(sizes, rate):
+    scheduler = Scheduler()
+    delivered = []
+    link = Link(
+        scheduler,
+        BandwidthTrace.constant(rate),
+        propagation_delay=0.005,
+        queue_bytes=10**9,
+        deliver=delivered.append,
+    )
+    for i, size in enumerate(sizes):
+        packet = Packet(size_bytes=size)
+        packet.seq = i
+        link.send(packet)
+    scheduler.run()
+    assert [p.seq for p in delivered] == list(range(len(sizes)))
+    arrivals = [p.arrival_time for p in delivered]
+    assert arrivals == sorted(arrivals)
+
+
+@given(
+    bits=st.floats(min_value=1.0, max_value=1e7),
+    start=st.floats(min_value=0.0, max_value=20.0),
+)
+@settings(max_examples=100)
+def test_service_time_consistent_with_trace_integral(bits, start):
+    trace = BandwidthTrace([(0.0, 2e6), (5.0, 5e5), (10.0, 2e6)])
+    end = service_end_time(trace, start, bits)
+    assert end >= start
+    # The trace can carry exactly `bits` between start and end.
+    carried = trace.bits_between(start, end)
+    assert abs(carried - bits) <= max(1e-6 * bits, 1e-3)

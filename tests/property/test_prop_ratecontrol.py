@@ -1,0 +1,94 @@
+"""Property tests: rate control stays within bounds and converges."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.frames import FrameType
+from repro.codec.model import RateDistortionModel
+from repro.codec.ratecontrol import RateControlConfig, X264RateControl
+
+FPS = 30.0
+
+
+def _drive(rc, n, complexity=1.0):
+    sizes = []
+    for _ in range(n):
+        qp = rc.plan_frame(complexity, FrameType.P)
+        bits = rc.model.frame_bits(qp, complexity, FrameType.P)
+        rc.on_frame_encoded(bits, complexity, FrameType.P)
+        sizes.append(bits)
+    return sizes
+
+
+@given(
+    target=st.floats(min_value=2e5, max_value=8e6),
+    complexity=st.floats(min_value=0.2, max_value=4.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_converges_to_any_target(target, complexity):
+    rc = X264RateControl(RateDistortionModel(), FPS, target)
+    sizes = _drive(rc, 240, complexity=complexity)
+    recent_bps = sum(sizes[-60:]) / 60 * FPS
+    # Within 15% unless pinned at a QP clamp.
+    qp = rc.last_qp
+    if RateControlConfig().qp_min < qp < RateControlConfig().qp_max:
+        assert recent_bps == pytest.approx(target, rel=0.15)
+
+
+@given(
+    target_a=st.floats(min_value=3e5, max_value=4e6),
+    target_b=st.floats(min_value=3e5, max_value=4e6),
+)
+@settings(max_examples=40, deadline=None)
+def test_qp_always_in_configured_range(target_a, target_b):
+    config = RateControlConfig()
+    rc = X264RateControl(RateDistortionModel(), FPS, target_a, config)
+    _drive(rc, 60)
+    rc.set_target(target_b)
+    qps = []
+    for _ in range(60):
+        qp = rc.plan_frame(1.0, FrameType.P)
+        qps.append(qp)
+        rc.on_frame_encoded(
+            rc.model.frame_bits(qp, 1.0, FrameType.P), 1.0, FrameType.P
+        )
+    assert all(config.qp_min <= qp <= config.qp_max for qp in qps)
+
+
+@given(
+    target=st.floats(min_value=3e5, max_value=4e6),
+    step=st.floats(min_value=1.0, max_value=6.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_qp_step_clamp_always_respected(target, step):
+    config = RateControlConfig(qp_step=step)
+    rc = X264RateControl(RateDistortionModel(), FPS, target, config)
+    previous = None
+    for i in range(80):
+        complexity = 0.3 if i % 7 else 3.0  # bursty content
+        qp = rc.plan_frame(complexity, FrameType.P)
+        if previous is not None:
+            assert abs(qp - previous) <= step + 1e-9
+        previous = qp
+        rc.on_frame_encoded(
+            rc.model.frame_bits(qp, complexity, FrameType.P),
+            complexity,
+            FrameType.P,
+        )
+
+
+@given(new_target=st.floats(min_value=1e5, max_value=4e6))
+@settings(max_examples=40, deadline=None)
+def test_renormalize_hits_target_immediately(new_target):
+    rc = X264RateControl(RateDistortionModel(), FPS, 2e6)
+    _drive(rc, 90)
+    rc.renormalize(new_target)
+    qp = rc.plan_frame(1.0, FrameType.P)
+    bits = rc.model.frame_bits(qp, 1.0, FrameType.P)
+    rc.on_frame_encoded(bits, 1.0, FrameType.P)
+    config = RateControlConfig()
+    if config.qp_min < qp < config.qp_max:
+        assert bits == pytest.approx(new_target / FPS, rel=0.2)

@@ -1,0 +1,59 @@
+"""Property tests: the event scheduler never reorders time."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore.scheduler import Scheduler
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=100)
+def test_events_always_fire_in_nondecreasing_time(times):
+    scheduler = Scheduler()
+    fired = []
+    for t in times:
+        scheduler.call_at(t, lambda t=t: fired.append(scheduler.now))
+    scheduler.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(times)
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    ),
+    horizon=st.floats(min_value=0.0, max_value=120.0, allow_nan=False),
+)
+@settings(max_examples=100)
+def test_run_until_partitions_events_exactly(times, horizon):
+    scheduler = Scheduler()
+    fired = []
+    for t in times:
+        scheduler.call_at(t, lambda t=t: fired.append(t))
+    scheduler.run_until(horizon)
+    assert sorted(fired) == sorted(t for t in times if t <= horizon)
+    assert scheduler.now >= horizon
+
+
+@given(
+    same_time=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    count=st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=50)
+def test_fifo_among_equal_times(same_time, count):
+    scheduler = Scheduler()
+    fired = []
+    for i in range(count):
+        scheduler.call_at(same_time, lambda i=i: fired.append(i))
+    scheduler.run()
+    assert fired == list(range(count))

@@ -1,0 +1,80 @@
+"""Property tests at session level: determinism and result sanity
+across randomly drawn configurations."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.config import NetworkConfig, PolicyName, SessionConfig
+from repro.pipeline.runner import run_session
+from repro.traces.generators import step_drop
+from repro.units import mbps
+
+
+@st.composite
+def session_configs(draw):
+    base = draw(st.sampled_from([1.5, 2.0, 2.5, 3.0]))
+    ratio = draw(st.sampled_from([0.15, 0.3, 0.5, 0.7]))
+    policy = draw(st.sampled_from(list(PolicyName)))
+    seed = draw(st.integers(min_value=1, max_value=50))
+    nack = draw(st.booleans())
+    fec = draw(st.booleans())
+    loss = draw(st.sampled_from([0.0, 0.01]))
+    return SessionConfig(
+        network=NetworkConfig(
+            capacity=step_drop(
+                mbps(base), mbps(base) * ratio, 4.0, 3.0
+            ),
+            queue_bytes=140_000,
+            iid_loss=loss,
+        ),
+        policy=policy,
+        duration=9.0,
+        seed=seed,
+        enable_nack=nack,
+        enable_fec=fec,
+    )
+
+
+def _fingerprint(result):
+    return [
+        (f.index, f.skipped, f.size_bytes, round(f.qp, 9),
+         None if f.display_time is None else round(f.display_time, 9))
+        for f in result.frames
+    ]
+
+
+@given(config=session_configs())
+@settings(max_examples=15, deadline=None)
+def test_every_config_is_deterministic(config):
+    a = run_session(config)
+    b = run_session(config)
+    assert _fingerprint(a) == _fingerprint(b)
+
+
+@given(config=session_configs())
+@settings(max_examples=25, deadline=None)
+def test_result_invariants_hold(config):
+    result = run_session(config)
+    # Exactly one capture slot per frame interval.
+    expected = int(config.duration * config.video.fps)
+    assert abs(len(result.frames) - expected) <= 2
+    # Fractions and qualities stay in range.
+    assert 0.0 <= result.freeze_fraction() <= 1.0
+    assert 0.0 <= result.mean_displayed_ssim() <= 1.0
+    # Displayed frames display after capture, in capture order.
+    displayed = [f for f in result.frames if f.displayed]
+    assert displayed, "something must display"
+    for outcome in displayed:
+        assert outcome.display_time >= outcome.capture_time
+        assert not outcome.skipped
+    display_times = [f.display_time for f in displayed]
+    assert display_times == sorted(display_times)
+    # Skipped frames never carry encoder output.
+    for outcome in result.frames:
+        if outcome.skipped:
+            assert outcome.size_bytes == 0
+            assert outcome.display_time is None

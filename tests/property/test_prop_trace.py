@@ -1,0 +1,69 @@
+"""Property tests: bandwidth-trace integral consistency."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.bandwidth import BandwidthTrace
+
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False),
+                min_size=n,
+                max_size=n,
+                unique=True,
+            )
+        )
+    )
+    rates = draw(
+        st.lists(
+            st.floats(min_value=1e3, max_value=1e8, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return BandwidthTrace(list(zip(times, rates)))
+
+
+@given(trace=traces(), split=st.floats(min_value=0.0, max_value=200.0),
+       width=st.floats(min_value=0.01, max_value=100.0))
+@settings(max_examples=150)
+def test_bits_between_is_additive(trace, split, width):
+    start = split
+    mid = split + width / 2
+    end = split + width
+    whole = trace.bits_between(start, end)
+    parts = trace.bits_between(start, mid) + trace.bits_between(mid, end)
+    assert abs(whole - parts) <= 1e-6 * max(whole, 1.0)
+
+
+@given(trace=traces(), t=st.floats(min_value=0.0, max_value=200.0))
+@settings(max_examples=150)
+def test_rate_at_matches_some_breakpoint_rate(trace, t):
+    rates = {r for _, r in trace.breakpoints()}
+    assert trace.rate_at(t) in rates
+
+
+@given(trace=traces(), start=st.floats(min_value=0.0, max_value=100.0),
+       width=st.floats(min_value=0.1, max_value=50.0))
+@settings(max_examples=150)
+def test_mean_rate_bounded_by_min_and_max(trace, start, width):
+    mean = trace.mean_rate(start, start + width)
+    rates = [r for _, r in trace.breakpoints()]
+    slack = 1e-9 * max(rates)
+    assert min(rates) - slack <= mean <= max(rates) + slack
+
+
+@given(trace=traces(), factor=st.floats(min_value=0.1, max_value=10.0),
+       t=st.floats(min_value=0.0, max_value=200.0))
+@settings(max_examples=100)
+def test_scaling_scales_pointwise(trace, factor, t):
+    scaled = trace.scaled(factor)
+    assert scaled.rate_at(t) == trace.rate_at(t) * factor

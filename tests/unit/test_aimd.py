@@ -1,0 +1,99 @@
+"""AIMD rate controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc.gcc.aimd import BETA, AimdRateControl, RateControlState
+from repro.cc.gcc.overuse import BandwidthUsage
+from repro.errors import ConfigError
+
+
+def test_overuse_decreases_to_beta_times_acked():
+    aimd = AimdRateControl(initial_bps=2e6)
+    target = aimd.update(BandwidthUsage.OVERUSE, acked_bps=1e6, now=1.0)
+    assert target == pytest.approx(BETA * 1e6)
+    # After acting, the controller holds.
+    assert aimd.state is RateControlState.HOLD
+
+
+def test_decrease_never_increases_target():
+    aimd = AimdRateControl(initial_bps=5e5)
+    target = aimd.update(BandwidthUsage.OVERUSE, acked_bps=2e6, now=1.0)
+    assert target <= 5e5
+
+
+def test_normal_increases():
+    aimd = AimdRateControl(initial_bps=1e6)
+    aimd.update(BandwidthUsage.NORMAL, acked_bps=1e6, now=0.0)
+    target = aimd.update(BandwidthUsage.NORMAL, acked_bps=1.4e6, now=1.0)
+    assert target > 1e6
+
+
+def test_increase_capped_by_acked_rate():
+    aimd = AimdRateControl(initial_bps=1e6)
+    aimd.update(BandwidthUsage.NORMAL, acked_bps=0.2e6, now=0.0)
+    target = aimd.update(BandwidthUsage.NORMAL, acked_bps=0.2e6, now=1.0)
+    assert target <= 1.5 * 0.2e6 + 10_000
+
+
+def test_underuse_holds():
+    aimd = AimdRateControl(initial_bps=1e6)
+    before = aimd.target_bps()
+    aimd.update(BandwidthUsage.UNDERUSE, acked_bps=1e6, now=0.5)
+    assert aimd.target_bps() == pytest.approx(before)
+    assert aimd.state is RateControlState.HOLD
+
+
+def test_min_max_clamps():
+    aimd = AimdRateControl(initial_bps=1e6, min_bps=5e5, max_bps=2e6)
+    for i in range(20):
+        aimd.update(BandwidthUsage.OVERUSE, acked_bps=1e5, now=float(i))
+    assert aimd.target_bps() == 5e5
+    for i in range(20, 400):
+        aimd.update(BandwidthUsage.NORMAL, acked_bps=3e6, now=float(i))
+    assert aimd.target_bps() == 2e6
+
+
+def test_link_capacity_recorded_on_decrease():
+    aimd = AimdRateControl(initial_bps=2e6)
+    assert aimd.link_capacity_estimate is None
+    aimd.update(BandwidthUsage.OVERUSE, acked_bps=1e6, now=1.0)
+    assert aimd.link_capacity_estimate == pytest.approx(1e6)
+
+
+def test_additive_increase_near_capacity_is_slower():
+    fast = AimdRateControl(initial_bps=1e6)
+    slow = AimdRateControl(initial_bps=1e6)
+    # Give `slow` a capacity belief equal to its acked rate.
+    slow.update(BandwidthUsage.OVERUSE, acked_bps=1.18e6, now=0.0)
+    slow.set_estimate(1e6)
+    fast.update(BandwidthUsage.NORMAL, acked_bps=1.2e6, now=1.0)
+    slow.update(BandwidthUsage.NORMAL, acked_bps=1.2e6, now=1.0)
+    gain_fast = fast.update(
+        BandwidthUsage.NORMAL, acked_bps=1.2e6, now=2.0
+    ) - 1e6
+    gain_slow = slow.update(
+        BandwidthUsage.NORMAL, acked_bps=1.2e6, now=2.0
+    ) - 1e6
+    assert gain_slow < gain_fast
+
+
+def test_set_estimate_clamps():
+    aimd = AimdRateControl(initial_bps=1e6, min_bps=5e5, max_bps=2e6)
+    aimd.set_estimate(1e9)
+    assert aimd.target_bps() == 2e6
+    aimd.set_estimate(1.0)
+    assert aimd.target_bps() == 5e5
+
+
+def test_invalid_construction():
+    with pytest.raises(ConfigError):
+        AimdRateControl(initial_bps=1e6, min_bps=2e6, max_bps=3e6)
+
+
+def test_rtt_setter_ignores_nonpositive():
+    aimd = AimdRateControl(initial_bps=1e6)
+    aimd.set_rtt(-1.0)
+    aimd.set_rtt(0.08)
+    assert aimd._rtt == pytest.approx(0.08)

@@ -1,0 +1,110 @@
+"""CoDel queue behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim.aqm import CoDelQueue
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+from repro.simcore.scheduler import Scheduler
+from repro.traces.bandwidth import BandwidthTrace
+from repro.units import mbps
+
+
+def _packet(size=1200):
+    return Packet(size_bytes=size)
+
+
+def test_fifo_below_target():
+    queue = CoDelQueue(100_000)
+    a, b = _packet(), _packet()
+    queue.offer(a, 0.0)
+    queue.offer(b, 0.001)
+    assert queue.pop(0.002) is a
+    assert queue.pop(0.003) is b
+    assert queue.codel_drops == 0
+
+
+def test_byte_bound_still_enforced():
+    queue = CoDelQueue(2000)
+    assert queue.offer(_packet(1200), 0.0)
+    assert not queue.offer(_packet(1200), 0.0)
+    assert queue.dropped_packets == 1
+
+
+def test_short_spike_not_dropped():
+    """Sojourn above target but shorter than one interval: no drops."""
+    queue = CoDelQueue(10**6)
+    for i in range(10):
+        queue.offer(_packet(), i * 0.001)
+    # Pop everything 20 ms later: above 5 ms target, but the first
+    # above-target dequeue only *arms* the 100 ms interval timer.
+    for i in range(10):
+        queue.pop(0.02 + i * 0.001)
+    assert queue.codel_drops == 0
+
+
+def test_standing_queue_gets_dropped():
+    """A persistent standing queue beyond target+interval drops."""
+    queue = CoDelQueue(10**6)
+    t = 0.0
+    popped = 0
+    offered = 0
+    # Overload: 3 offers per pop, for 2 simulated seconds.
+    while t < 2.0:
+        for _ in range(3):
+            queue.offer(_packet(), t)
+            offered += 1
+        if queue.pop(t) is not None:
+            popped += 1
+        t += 0.01
+    assert queue.codel_drops > 10
+
+
+def test_codel_bounds_link_delay_under_overload():
+    """End to end: with CoDel the surviving packets' queueing delay is
+    bounded near the target+interval scale, not the buffer depth."""
+    scheduler = Scheduler()
+    delivered = []
+    queue = CoDelQueue(500_000)
+    link = Link(
+        scheduler,
+        BandwidthTrace.constant(mbps(1)),
+        propagation_delay=0.0,
+        queue_bytes=500_000,
+        deliver=delivered.append,
+        queue=queue,
+    )
+
+    def offer(i=0):
+        packet = _packet()
+        packet.send_time = scheduler.now
+        link.send(packet)
+        if scheduler.now < 5.0:
+            scheduler.call_in(0.004, offer)  # 2.4 Mbps into 1 Mbps
+
+    offer()
+    scheduler.run()
+    assert queue.codel_drops > 50
+    late = [p for p in delivered if p.send_time > 3.0]
+    worst = max(p.arrival_time - p.send_time for p in late)
+    # Drop-tail at 500 KB would queue 4 s; CoDel keeps it way down.
+    assert worst < 1.0
+
+
+def test_drain_time_and_len():
+    queue = CoDelQueue(100_000)
+    queue.offer(_packet(1250), 0.0)
+    assert queue.drain_time(1e6) == pytest.approx(0.01)
+    assert len(queue) == 1
+    with pytest.raises(ConfigError):
+        queue.drain_time(0)
+
+
+def test_invalid_params():
+    with pytest.raises(ConfigError):
+        CoDelQueue(0)
+    with pytest.raises(ConfigError):
+        CoDelQueue(1000, target=0)

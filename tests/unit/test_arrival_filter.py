@@ -1,0 +1,74 @@
+"""InterArrival grouping and delay-variation computation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc.gcc.arrival_filter import InterArrival
+from repro.rtp.feedback import PacketResult
+
+
+def _result(seq, send, arrival, size=1200):
+    return PacketResult(
+        seq=seq, send_time=send, arrival_time=arrival, size_bytes=size
+    )
+
+
+def test_no_sample_from_first_two_groups():
+    filt = InterArrival()
+    samples = filt.add_packets([_result(0, 0.000, 0.020)])
+    assert samples == []
+    samples = filt.add_packets([_result(1, 0.010, 0.030)])
+    assert samples == []  # second group just became previous
+
+
+def test_constant_delay_gives_zero_delta():
+    filt = InterArrival()
+    packets = [
+        _result(i, 0.01 * i, 0.01 * i + 0.02) for i in range(5)
+    ]
+    samples = filt.add_packets(packets)
+    assert all(s.delta == pytest.approx(0.0) for s in samples)
+    assert len(samples) == 3
+
+
+def test_growing_delay_gives_positive_delta():
+    filt = InterArrival()
+    packets = [
+        _result(i, 0.01 * i, 0.01 * i + 0.02 + 0.005 * i)
+        for i in range(5)
+    ]
+    samples = filt.add_packets(packets)
+    assert all(s.delta == pytest.approx(0.005) for s in samples)
+
+
+def test_burst_window_groups_packets():
+    filt = InterArrival(burst_window=0.005)
+    # Two packets 1 ms apart form one group; the next group starts 10 ms
+    # later.
+    packets = [
+        _result(0, 0.000, 0.020),
+        _result(1, 0.001, 0.021),
+        _result(2, 0.010, 0.032),
+        _result(3, 0.020, 0.043),
+        _result(4, 0.030, 0.054),
+    ]
+    samples = filt.add_packets(packets)
+    # Groups: {0,1}, {2}, {3}, {4} — a delta fires when the *next* group
+    # begins, so three closed pairs minus the pending last one = 2.
+    assert len(samples) == 2
+    # First delta: arrivals 0.032-0.021=0.011, sends 0.010-0.001=0.009.
+    assert samples[0].delta == pytest.approx(0.002)
+
+
+def test_lost_packets_skipped():
+    filt = InterArrival()
+    packets = [
+        _result(0, 0.00, 0.02),
+        PacketResult(seq=1, send_time=0.01, arrival_time=-1.0,
+                     size_bytes=1200),
+        _result(2, 0.02, 0.04),
+        _result(3, 0.03, 0.05),
+    ]
+    samples = filt.add_packets(packets)
+    assert len(samples) == 1

@@ -1,0 +1,83 @@
+"""Audio stream over the duplex network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim.network import DuplexNetwork
+from repro.rtp.audio import AudioStream
+from repro.traces.bandwidth import BandwidthTrace
+from repro.units import mbps
+
+
+def test_audio_packets_flow_and_measure_latency(scheduler):
+    network = DuplexNetwork(
+        scheduler, BandwidthTrace.constant(mbps(2)), 0.02, 100_000
+    )
+    audio = AudioStream(scheduler, network, stop_at=1.0)
+    scheduler.run_until(1.5)
+    stats = audio.stats
+    # 20 ms cadence over 1 s -> ~50 packets.
+    assert 45 <= stats.sent <= 55
+    assert stats.received == stats.sent
+    assert stats.loss_fraction == 0.0
+    latencies = [lat for _, lat in stats.latencies]
+    # Propagation 20 ms + tiny serialization.
+    assert min(latencies) >= 0.02
+    assert max(latencies) < 0.03
+
+
+def test_audio_suffers_bottleneck_queueing(scheduler):
+    """Cross traffic above capacity queues audio behind it."""
+    from repro.netsim.crosstraffic import CbrCrossTraffic
+
+    network = DuplexNetwork(
+        scheduler, BandwidthTrace.constant(mbps(1)), 0.01, 200_000
+    )
+    audio = AudioStream(scheduler, network, stop_at=2.0)
+    CbrCrossTraffic(
+        scheduler, network.send_forward, rate_bps=mbps(1.5), stop_at=2.0
+    )
+    scheduler.run_until(4.0)
+    latencies = [lat for _, lat in audio.stats.latencies]
+    assert max(latencies) > 0.2  # queueing dominated
+
+
+def test_audio_stop(scheduler):
+    network = DuplexNetwork(
+        scheduler, BandwidthTrace.constant(mbps(2)), 0.01, 100_000
+    )
+    audio = AudioStream(scheduler, network)
+    scheduler.run_until(0.5)
+    audio.stop()
+    sent = audio.stats.sent
+    scheduler.run_until(1.0)
+    assert audio.stats.sent == sent
+
+
+def test_audio_validation(scheduler):
+    network = DuplexNetwork(
+        scheduler, BandwidthTrace.constant(mbps(2)), 0.01, 100_000
+    )
+    with pytest.raises(ConfigError):
+        AudioStream(scheduler, network, frame_interval=0)
+
+
+def test_audio_in_session():
+    from repro.pipeline.config import NetworkConfig, PolicyName, SessionConfig
+    from repro.pipeline.runner import run_session
+    from repro.units import mbps as _mbps
+
+    config = SessionConfig(
+        network=NetworkConfig(
+            capacity=BandwidthTrace.constant(_mbps(2)), queue_bytes=140_000
+        ),
+        policy=PolicyName.WEBRTC,
+        duration=5.0,
+        enable_audio=True,
+    )
+    result = run_session(config)
+    assert result.audio_sent > 200
+    assert result.audio_loss_fraction() < 0.05
+    assert 0.02 < result.mean_audio_latency() < 0.1

@@ -1,0 +1,94 @@
+"""BandwidthTrace queries and derived traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.bandwidth import BandwidthTrace
+
+
+def test_rate_at_piecewise_lookup(drop_trace):
+    assert drop_trace.rate_at(0.0) == 2e6
+    assert drop_trace.rate_at(4.999) == 2e6
+    assert drop_trace.rate_at(5.0) == 0.5e6
+    assert drop_trace.rate_at(9.999) == 0.5e6
+    assert drop_trace.rate_at(10.0) == 2e6
+    assert drop_trace.rate_at(1e9) == 2e6
+
+
+def test_rate_before_first_breakpoint_uses_first_rate():
+    trace = BandwidthTrace([(1.0, 5e5)])
+    assert trace.rate_at(0.0) == 5e5
+
+
+def test_next_change_after(drop_trace):
+    assert drop_trace.next_change_after(0.0) == 5.0
+    assert drop_trace.next_change_after(5.0) == 10.0
+    assert drop_trace.next_change_after(10.0) is None
+
+
+def test_segments_cover_trace(drop_trace):
+    segments = drop_trace.segments()
+    assert len(segments) == 3
+    assert segments[0].start == 0.0 and segments[0].end == 5.0
+    assert segments[-1].end == float("inf")
+    assert segments[1].rate_bps == 0.5e6
+
+
+def test_bits_between_integrates(drop_trace):
+    # 3 s at 2 Mbps + 2 s at 0.5 Mbps.
+    assert drop_trace.bits_between(2.0, 7.0) == pytest.approx(7e6)
+
+
+def test_mean_rate(drop_trace):
+    assert drop_trace.mean_rate(2.0, 7.0) == pytest.approx(1.4e6)
+
+
+def test_min_rate_windows(drop_trace):
+    assert drop_trace.min_rate() == 0.5e6
+    assert drop_trace.min_rate(0.0, 4.0) == 2e6
+    assert drop_trace.min_rate(6.0, 8.0) == 0.5e6
+
+
+def test_scaled_and_shifted(drop_trace):
+    scaled = drop_trace.scaled(2.0)
+    assert scaled.rate_at(6.0) == 1e6
+    shifted = drop_trace.shifted(10.0)
+    assert shifted.rate_at(6.0) == 2e6
+    assert shifted.rate_at(16.0) == 0.5e6
+
+
+def test_from_samples_merges_equal_neighbours():
+    trace = BandwidthTrace.from_samples(
+        [0.0, 1.0, 2.0, 3.0], [1e6, 1e6, 2e6, 2e6]
+    )
+    assert trace.breakpoints() == [(0.0, 1e6), (2.0, 2e6)]
+
+
+def test_equality():
+    a = BandwidthTrace([(0.0, 1e6), (5.0, 2e6)])
+    b = BandwidthTrace([(0.0, 1e6), (5.0, 2e6)])
+    c = BandwidthTrace([(0.0, 1e6)])
+    assert a == b
+    assert a != c
+
+
+def test_invalid_traces_rejected():
+    with pytest.raises(TraceError):
+        BandwidthTrace([])
+    with pytest.raises(TraceError):
+        BandwidthTrace([(0.0, 1e6), (0.0, 2e6)])  # not increasing
+    with pytest.raises(TraceError):
+        BandwidthTrace([(0.0, 0.0)])  # nonpositive rate
+    with pytest.raises(TraceError):
+        BandwidthTrace([(1.0, 1e6), (0.5, 2e6)])  # out of order
+
+
+def test_invalid_queries_rejected(drop_trace):
+    with pytest.raises(TraceError):
+        drop_trace.bits_between(5.0, 4.0)
+    with pytest.raises(TraceError):
+        drop_trace.mean_rate(3.0, 3.0)
+    with pytest.raises(TraceError):
+        drop_trace.scaled(0.0)

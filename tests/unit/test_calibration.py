@@ -1,0 +1,78 @@
+"""RD-model calibration fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codec.calibration import (
+    calibration_samples_from_model,
+    fit_rate_model,
+    model_from_fit,
+)
+from repro.codec.frames import FrameType
+from repro.codec.model import RateDistortionModel
+from repro.errors import CodecError
+
+
+def test_roundtrip_recovers_model_parameters():
+    model = RateDistortionModel(reference_bits=5e5, alpha_p=1.35)
+    qps, bits = calibration_samples_from_model(
+        model, [18, 22, 26, 30, 34, 38, 42]
+    )
+    fit = fit_rate_model(qps, bits)
+    assert fit.reference_bits == pytest.approx(5e5, rel=1e-6)
+    assert fit.alpha == pytest.approx(1.35, rel=1e-6)
+    assert fit.r_squared == pytest.approx(1.0)
+    assert fit.n == 7
+
+
+def test_fit_with_noise_is_close():
+    rng = np.random.default_rng(3)
+    model = RateDistortionModel()
+    qps = list(np.linspace(16, 44, 60))
+    _, bits = calibration_samples_from_model(model, qps)
+    noisy = [b * float(rng.lognormal(0, 0.1)) for b in bits]
+    fit = fit_rate_model(qps, noisy)
+    assert fit.alpha == pytest.approx(model.alpha_p, rel=0.1)
+    assert fit.reference_bits == pytest.approx(
+        model.reference_bits, rel=0.3
+    )
+    assert fit.r_squared > 0.95
+
+
+def test_fit_with_complexity_normalization():
+    model = RateDistortionModel()
+    qps = [20, 25, 30, 35, 40]
+    complexities = [0.5, 2.0, 1.0, 3.0, 0.8]
+    bits = [
+        model.frame_bits(qp, cplx, FrameType.P)
+        for qp, cplx in zip(qps, complexities)
+    ]
+    fit = fit_rate_model(qps, bits, complexities)
+    assert fit.alpha == pytest.approx(model.alpha_p, rel=1e-6)
+
+
+def test_model_from_fit_predicts_samples():
+    original = RateDistortionModel(reference_bits=7e5, alpha_p=1.1)
+    qps, bits = calibration_samples_from_model(
+        original, [20, 26, 32, 38]
+    )
+    fitted = model_from_fit(fit_rate_model(qps, bits))
+    for qp, expected in zip(qps, bits):
+        assert fitted.frame_bits(qp, 1.0, FrameType.P) == pytest.approx(
+            expected, rel=1e-6
+        )
+
+
+def test_fit_validation():
+    with pytest.raises(CodecError):
+        fit_rate_model([20, 25], [1e4, 2e4])  # too few
+    with pytest.raises(CodecError):
+        fit_rate_model([20, 25, 30], [1e4, -1, 2e4])  # negative size
+    with pytest.raises(CodecError):
+        fit_rate_model([25, 25, 25], [1e4, 1e4, 1e4])  # single QP
+    with pytest.raises(CodecError):
+        fit_rate_model([20, 25, 30], [1e4, 1e4])  # length mismatch
+    with pytest.raises(CodecError):
+        fit_rate_model([20, 25, 30], [1e4, 1e4, 1e4], [1.0, 0.0, 1.0])

@@ -1,0 +1,68 @@
+"""CLI parsing and the fast subcommands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_subcommand():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_run_defaults():
+    parser = build_parser()
+    args = parser.parse_args(["run"])
+    assert args.policy == "adaptive"
+    assert args.drop_ratio == 0.2
+
+
+def test_run_subcommand_executes(capsys):
+    code = main(
+        ["run", "--policy", "webrtc", "--duration", "6", "--seed", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mean latency" in out
+    assert "policy            : webrtc" in out
+
+
+def test_invalid_policy_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--policy", "bogus"])
+
+
+def test_figure_choices():
+    parser = build_parser()
+    args = parser.parse_args(["figure", "2"])
+    assert args.number == 2
+    with pytest.raises(SystemExit):
+        parser.parse_args(["figure", "9"])
+
+
+def test_report_subcommand_executes(capsys):
+    code = main(
+        ["report", "--policy", "adaptive", "--duration", "6",
+         "--seed", "2", "--audio"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Session report" in out
+    assert "audio mean latency" in out
+
+
+def test_report_flags_parsed():
+    parser = build_parser()
+    args = parser.parse_args(["report", "--nack", "--audio"])
+    assert args.nack and args.audio
+    args = parser.parse_args(["report"])
+    assert not args.nack and not args.audio
+
+
+def test_extensions_flag_parsed():
+    parser = build_parser()
+    args = parser.parse_args(["extensions", "--seeds", "2"])
+    assert args.seeds == 2

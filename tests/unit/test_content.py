@@ -1,0 +1,80 @@
+"""Video content traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.simcore.rng import RngStreams
+from repro.traces.content import ContentClass, ContentTrace
+
+
+def test_length_and_indexing(rng):
+    trace = ContentTrace(ContentClass.MIXED, 100, rng)
+    assert len(trace) == 100
+    assert trace[0].index == 0
+    assert trace[99].index == 99
+
+
+def test_determinism():
+    a = ContentTrace(ContentClass.SPORTS, 50, RngStreams(5))
+    b = ContentTrace(ContentClass.SPORTS, 50, RngStreams(5))
+    assert [f.complexity for f in a._frames] == [
+        f.complexity for f in b._frames
+    ]
+
+
+def test_frame_clamps_past_end(rng):
+    trace = ContentTrace(ContentClass.MIXED, 10, rng)
+    assert trace.frame(100).index == trace.frame(9).index
+
+
+def test_frame_rejects_negative(rng):
+    trace = ContentTrace(ContentClass.MIXED, 10, rng)
+    with pytest.raises(TraceError):
+        trace.frame(-1)
+
+
+def test_complexity_ordering_between_classes(rng):
+    n = 2000
+    sports = ContentTrace(ContentClass.SPORTS, n, rng).mean_complexity()
+    talking = ContentTrace(
+        ContentClass.TALKING_HEAD, n, rng
+    ).mean_complexity()
+    screen = ContentTrace(
+        ContentClass.SCREEN_SHARE, n, rng
+    ).mean_complexity()
+    assert screen < talking < sports
+
+
+def test_scene_cut_rates_differ(rng):
+    n = 5000
+    screen = ContentTrace(ContentClass.SCREEN_SHARE, n, rng)
+    talking = ContentTrace(ContentClass.TALKING_HEAD, n, rng)
+    cuts_screen = sum(f.scene_cut for f in screen._frames)
+    cuts_talking = sum(f.scene_cut for f in talking._frames)
+    assert cuts_screen > cuts_talking
+
+
+def test_complexity_bounds(rng):
+    trace = ContentTrace(ContentClass.SPORTS, 3000, rng)
+    values = np.array([f.complexity for f in trace._frames])
+    assert values.min() >= 0.05
+    assert values.max() <= 10.0
+
+
+def test_motion_bounds(rng):
+    trace = ContentTrace(ContentClass.SPORTS, 1000, rng)
+    assert all(0 <= f.motion <= 1 for f in trace._frames)
+
+
+def test_first_frame_never_scene_cut(rng):
+    for cls in ContentClass:
+        trace = ContentTrace(cls, 50, rng, stream=f"t-{cls.value}")
+        assert trace[0].scene_cut is False
+
+
+def test_invalid_length(rng):
+    with pytest.raises(TraceError):
+        ContentTrace(ContentClass.MIXED, 0, rng)

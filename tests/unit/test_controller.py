@@ -1,0 +1,200 @@
+"""AdaptiveEncoderController unit behaviour (synthetic feedback)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc.gcc.gcc import GoogCcController
+from repro.codec.encoder import SimulatedEncoder
+from repro.codec.model import RateDistortionModel
+from repro.core.config import AdaptiveConfig
+from repro.core.controller import AdaptiveEncoderController
+from repro.errors import ConfigError
+from repro.rtp.feedback import FeedbackReport, PacketResult
+from repro.rtp.pacer import Pacer
+from repro.simcore.rng import RngStreams
+from repro.simcore.scheduler import Scheduler
+
+FPS = 30.0
+
+
+def _results(seq0, n, send0, gap, owd):
+    return [
+        PacketResult(
+            seq=seq0 + i,
+            send_time=send0 + i * gap,
+            arrival_time=send0 + i * gap + owd,
+            size_bytes=1200,
+        )
+        for i in range(n)
+    ]
+
+
+def _report(now):
+    return FeedbackReport(
+        created_at=now, arrivals=(), highest_seq=0, cumulative_received=0
+    )
+
+
+@pytest.fixture
+def rig():
+    scheduler = Scheduler()
+    encoder = SimulatedEncoder(
+        RateDistortionModel(), FPS, 2_000_000, RngStreams(1)
+    )
+    pacer = Pacer(scheduler, lambda p: None, 2_000_000)
+    gcc = GoogCcController(2_000_000)
+    controller = AdaptiveEncoderController(encoder, pacer, gcc, FPS)
+    return scheduler, encoder, pacer, gcc, controller
+
+
+def _warm_up(gcc, controller, rounds=40):
+    seq = 0
+    now = 0.0
+    for i in range(rounds):
+        now = 0.05 * (i + 1)
+        results = _results(seq, 10, now - 0.05, 0.005, owd=0.02)
+        seq += 10
+        gcc.on_packet_results(now, results)
+        controller.on_feedback(now, _report(now), results)
+    return seq, now
+
+
+def _inject_drop(gcc, controller, seq, start, rounds=15):
+    event_time = None
+    now = start
+    for i in range(rounds):
+        now = start + 0.05 * (i + 1)
+        # Collapsed throughput (2 packets/batch) with big queuing delay.
+        results = _results(seq, 2, now - 0.05, 0.02, owd=0.3)
+        seq += 2
+        gcc.on_packet_results(now, results)
+        controller.on_feedback(now, _report(now), results)
+        if controller.episode_active and event_time is None:
+            event_time = now
+    return seq, now, event_time
+
+
+def test_steady_state_no_episode(rig):
+    _, _, _, gcc, controller = rig
+    _warm_up(gcc, controller)
+    assert not controller.episode_active
+    assert controller.episodes == []
+
+
+def test_steady_state_tracks_gcc_target(rig):
+    _, encoder, pacer, gcc, controller = rig
+    _warm_up(gcc, controller)
+    assert encoder.target_bps == pytest.approx(gcc.target_bps())
+    assert pacer.pacing_rate_bps == pytest.approx(
+        gcc.target_bps() * 2.5
+    )
+
+
+def test_drop_starts_episode_and_renormalizes(rig):
+    _, encoder, _, gcc, controller = rig
+    seq, now = _warm_up(gcc, controller)
+    target_before = encoder.target_bps
+    _, _, event_time = _inject_drop(gcc, controller, seq, now)
+    assert controller.episode_active
+    assert event_time is not None
+    assert len(controller.episodes) >= 1
+    # Encoder was renormalized well below the pre-drop target.
+    assert encoder.target_bps < 0.5 * target_before
+
+
+def test_episode_caps_frames(rig):
+    _, _, _, gcc, controller = rig
+    seq, now = _warm_up(gcc, controller)
+    _inject_drop(gcc, controller, seq, now)
+    directive = controller.before_frame(now + 1.0)
+    assert directive.skip or directive.max_bits is not None
+
+
+def test_severe_backlog_skips_frames(rig):
+    _, _, _, gcc, controller = rig
+    seq, now = _warm_up(gcc, controller)
+    seq, now, _ = _inject_drop(gcc, controller, seq, now)
+    # The injected queuing delay (0.3 s) exceeds the skip threshold when
+    # sampled right after the last feedback (it decays with silence).
+    directives = [controller.before_frame(now + 0.01) for _ in range(3)]
+    assert any(d.skip for d in directives)
+    assert controller.frames_skipped >= 1
+
+
+def test_stale_queuing_estimate_decays(rig):
+    _, _, _, gcc, controller = rig
+    seq, now = _warm_up(gcc, controller)
+    seq, now, _ = _inject_drop(gcc, controller, seq, now)
+    assert controller.detector.network_state.queuing_delay(now) > 0.1
+    # After two silent seconds the implied backlog has fully drained.
+    assert controller.detector.network_state.queuing_delay(now + 2.0) == 0.0
+
+
+def test_episode_exits_when_backlog_drains(rig):
+    _, _, _, gcc, controller = rig
+    seq, now = _warm_up(gcc, controller)
+    seq, now, _ = _inject_drop(gcc, controller, seq, now)
+    assert controller.episode_active
+    # Recovery: flat small OWD again, healthy throughput.
+    for i in range(40):
+        t = now + 0.05 * (i + 1)
+        results = _results(seq, 10, t - 0.05, 0.005, owd=0.02)
+        seq += 10
+        gcc.on_packet_results(t, results)
+        controller.on_feedback(t, _report(t), results)
+    assert not controller.episode_active
+
+
+def test_no_caps_outside_episode(rig):
+    _, _, _, gcc, controller = rig
+    _warm_up(gcc, controller)
+    directive = controller.before_frame(2.5)
+    assert not directive.skip
+    assert directive.max_bits is None
+    assert directive.qp_override is None
+
+
+def test_disabled_strategies_respected():
+    scheduler = Scheduler()
+    encoder = SimulatedEncoder(
+        RateDistortionModel(), FPS, 2_000_000, RngStreams(1)
+    )
+    pacer = Pacer(scheduler, lambda p: None, 2_000_000)
+    gcc = GoogCcController(2_000_000)
+    controller = AdaptiveEncoderController(
+        encoder, pacer, gcc, FPS,
+        config=AdaptiveConfig(
+            enable_skip=False, enable_drain_budget=False
+        ),
+    )
+    seq, now = _warm_up(gcc, controller)
+    _inject_drop(gcc, controller, seq, now)
+    directive = controller.before_frame(now + 1.0)
+    assert not directive.skip
+    assert directive.max_bits is None
+
+
+def test_min_target_floor():
+    scheduler = Scheduler()
+    encoder = SimulatedEncoder(
+        RateDistortionModel(), FPS, 2_000_000, RngStreams(1)
+    )
+    pacer = Pacer(scheduler, lambda p: None, 2_000_000)
+    gcc = GoogCcController(2_000_000)
+    controller = AdaptiveEncoderController(
+        encoder, pacer, gcc, FPS,
+        config=AdaptiveConfig(min_target_bps=500_000),
+    )
+    seq, now = _warm_up(gcc, controller)
+    _inject_drop(gcc, controller, seq, now)
+    assert encoder.target_bps >= 500_000
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ConfigError):
+        AdaptiveConfig(safety_margin=0.0).validate()
+    with pytest.raises(ConfigError):
+        AdaptiveConfig(drain_share=1.0).validate()
+    with pytest.raises(ConfigError):
+        AdaptiveConfig(resolution_ladder=(1.5,)).validate()

@@ -1,0 +1,157 @@
+"""Drop detector: EWMA, network state, gating, and fusion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc.gcc.gcc import GoogCcController
+from repro.core.config import DetectorConfig
+from repro.core.detector import DropDetector, Ewma, NetworkStateEstimator
+from repro.errors import ConfigError
+from repro.rtp.feedback import PacketResult
+
+
+def _results(seq0, n, send0, gap, owd):
+    return [
+        PacketResult(
+            seq=seq0 + i,
+            send_time=send0 + i * gap,
+            arrival_time=send0 + i * gap + owd,
+            size_bytes=1200,
+        )
+        for i in range(n)
+    ]
+
+
+def test_ewma_first_sample_sets_value():
+    ewma = Ewma(1.0)
+    assert ewma.value is None
+    ewma.update(10.0, 0.0)
+    assert ewma.value == 10.0
+
+
+def test_ewma_time_constant():
+    ewma = Ewma(1.0)
+    ewma.update(0.0, 0.0)
+    ewma.update(10.0, 1.0)  # one tau later: ~63% of the way
+    assert ewma.value == pytest.approx(6.32, abs=0.1)
+
+
+def test_ewma_faster_tau_tracks_faster():
+    fast, slow = Ewma(0.1), Ewma(2.0)
+    for t in [0.0, 0.05, 0.1, 0.15, 0.2]:
+        fast.update(100.0 if t > 0 else 0.0, t)
+        slow.update(100.0 if t > 0 else 0.0, t)
+    assert fast.value > slow.value
+
+
+def test_network_state_tracks_queuing_delay():
+    state = NetworkStateEstimator()
+    assert state.queuing_delay() == 0.0
+    state.on_results(0.1, _results(0, 3, 0.0, 0.01, owd=0.02))
+    assert state.queuing_delay() == pytest.approx(0.0)
+    state.on_results(0.2, _results(3, 3, 0.1, 0.01, owd=0.10))
+    assert state.queuing_delay() == pytest.approx(0.08)
+
+
+def test_network_state_backlog_bits():
+    state = NetworkStateEstimator()
+    state.on_results(0.1, _results(0, 2, 0.0, 0.01, owd=0.02))
+    state.on_results(0.2, _results(2, 2, 0.1, 0.01, owd=0.12))
+    assert state.backlog_bits(1e6) == pytest.approx(0.1 * 1e6)
+
+
+def test_no_event_without_congestion_evidence():
+    detector = DropDetector()
+    gcc = GoogCcController(1e6)
+    # Plenty of feedback, flat delay, empty pacer: no events ever.
+    for i in range(50):
+        now = 0.05 * (i + 1)
+        results = _results(5 * i, 5, now - 0.05, 0.01, owd=0.02)
+        gcc.on_packet_results(now, results)
+        event = detector.update(now, gcc, results, pacer_queue_delay=0.0)
+        assert event is None
+    assert detector.events == []
+
+
+def test_kink_with_queuing_fires_event():
+    config = DetectorConfig(use_overuse=False, use_pacer_queue=False)
+    detector = DropDetector(config)
+    gcc = GoogCcController(2e6)
+    now = 0.0
+    # Warm-up: high throughput, flat OWD.
+    for i in range(40):
+        now = 0.05 * (i + 1)
+        results = _results(10 * i, 10, now - 0.05, 0.005, owd=0.02)
+        gcc.on_packet_results(now, results)
+        detector.update(now, gcc, results, 0.0)
+    # Drop: throughput collapses (2 packets per batch) and OWD jumps.
+    event = None
+    seq = 400
+    for i in range(40, 60):
+        now = 0.05 * (i + 1)
+        results = _results(seq, 2, now - 0.05, 0.02, owd=0.25)
+        seq += 2
+        gcc.on_packet_results(now, results)
+        update = detector.update(now, gcc, results, 0.0)
+        if event is None:
+            event = update
+    assert event is not None
+    assert event.signals == ("kink",)
+    # The first event's estimate may still be converging, but it must
+    # already sit below the pre-drop throughput (~1.92 Mbps).
+    assert event.estimated_capacity_bps < 1.92e6
+    assert 0.0 <= event.severity <= 1.0
+    # Subsequent updates refine the estimate towards the true floor
+    # (2 × 1200 B per 50 ms ≈ 384 kbps).
+    assert detector.fast_throughput() < 1e6
+
+
+def test_pacer_signal_requires_two_consecutive_highs():
+    config = DetectorConfig(
+        use_throughput_kink=False, use_overuse=False, use_pacer_queue=True
+    )
+    detector = DropDetector(config)
+    gcc = GoogCcController(1e6)
+    results = _results(0, 5, 0.0, 0.01, owd=0.02)
+    gcc.on_packet_results(0.05, results)
+    assert detector.update(0.05, gcc, results, 0.5) is None  # first high
+    results2 = _results(5, 5, 0.05, 0.01, owd=0.02)
+    gcc.on_packet_results(0.10, results2)
+    event = detector.update(0.10, gcc, results2, 0.5)  # second high
+    assert event is not None
+    assert "pacer" in event.signals
+
+
+def test_cooldown_spaces_events():
+    config = DetectorConfig(
+        use_throughput_kink=False, use_overuse=False, use_pacer_queue=True,
+        cooldown=1.0,
+    )
+    detector = DropDetector(config)
+    gcc = GoogCcController(1e6)
+    events = []
+    seq = 0
+    for i in range(40):
+        now = 0.05 * (i + 1)
+        results = _results(seq, 5, now - 0.05, 0.01, owd=0.02)
+        seq += 5
+        gcc.on_packet_results(now, results)
+        event = detector.update(now, gcc, results, 0.5)
+        if event:
+            events.append(event.time)
+    assert len(events) >= 2
+    assert all(b - a >= 1.0 for a, b in zip(events, events[1:]))
+
+
+def test_detector_config_validation():
+    with pytest.raises(ConfigError):
+        DetectorConfig(fast_tau=2.0, slow_tau=1.0).validate()
+    with pytest.raises(ConfigError):
+        DetectorConfig(kink_ratio=1.5).validate()
+    with pytest.raises(ConfigError):
+        DetectorConfig(
+            use_throughput_kink=False,
+            use_overuse=False,
+            use_pacer_queue=False,
+        ).validate()

@@ -1,0 +1,125 @@
+"""Fast-recovery probing logic in the adaptive controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc.gcc.gcc import GoogCcController
+from repro.codec.encoder import SimulatedEncoder
+from repro.codec.model import RateDistortionModel
+from repro.core.config import AdaptiveConfig
+from repro.core.controller import AdaptiveEncoderController
+from repro.errors import ConfigError
+from repro.rtp.feedback import FeedbackReport, PacketResult
+from repro.rtp.pacer import Pacer
+from repro.simcore.rng import RngStreams
+from repro.simcore.scheduler import Scheduler
+
+FPS = 30.0
+
+
+def _report(now):
+    return FeedbackReport(
+        created_at=now, arrivals=(), highest_seq=0, cumulative_received=0
+    )
+
+
+def _results(seq0, n, send0, gap, owd):
+    return [
+        PacketResult(
+            seq=seq0 + i,
+            send_time=send0 + i * gap,
+            arrival_time=send0 + i * gap + owd,
+            size_bytes=1200,
+        )
+        for i in range(n)
+    ]
+
+
+def _controller(enable=True):
+    scheduler = Scheduler()
+    encoder = SimulatedEncoder(
+        RateDistortionModel(), FPS, 2_000_000, RngStreams(1)
+    )
+    pacer = Pacer(scheduler, lambda p: None, 2_000_000)
+    gcc = GoogCcController(2_000_000)
+    controller = AdaptiveEncoderController(
+        encoder, pacer, gcc, FPS,
+        config=AdaptiveConfig(enable_fast_recovery=enable),
+    )
+    return gcc, controller
+
+
+def _feed_clean(gcc, controller, seq, start, rounds, rate_packets=10):
+    now = start
+    for i in range(rounds):
+        now = start + 0.05 * (i + 1)
+        results = _results(seq, rate_packets, now - 0.05, 0.004, owd=0.02)
+        seq += rate_packets
+        gcc.on_packet_results(now, results)
+        controller.on_feedback(now, _report(now), results)
+    return seq, now
+
+
+def _feed_drop(gcc, controller, seq, start, rounds=15):
+    now = start
+    for i in range(rounds):
+        now = start + 0.05 * (i + 1)
+        results = _results(seq, 2, now - 0.05, 0.02, owd=0.3)
+        seq += 2
+        gcc.on_packet_results(now, results)
+        controller.on_feedback(now, _report(now), results)
+    return seq, now
+
+
+def test_ceiling_tracks_throughput():
+    gcc, controller = _controller()
+    _feed_clean(gcc, controller, 0, 0.0, 40)
+    ceiling = controller._pre_drop_throughput
+    assert ceiling is not None
+    # 10 × 1200 B per 50 ms ≈ 1.92 Mbps delivered; the decaying-max
+    # filter rides the bursty estimator's upper excursions.
+    assert 1.5e6 < ceiling < 3.5e6
+
+
+def test_ceiling_survives_the_drop():
+    gcc, controller = _controller()
+    seq, now = _feed_clean(gcc, controller, 0, 0.0, 40)
+    before = controller._pre_drop_throughput
+    seq, now = _feed_drop(gcc, controller, seq, now)
+    # Decaying max: barely moved across a ~1 s drop.
+    assert controller._pre_drop_throughput > 0.9 * before
+
+
+def test_probes_fire_after_recovery():
+    gcc, controller = _controller()
+    seq, now = _feed_clean(gcc, controller, 0, 0.0, 40)
+    seq, now = _feed_drop(gcc, controller, seq, now)
+    # Recovery: clean path again at lower delivered rate; the GCC
+    # target is depressed, well below the remembered ceiling.
+    seq, now = _feed_clean(gcc, controller, seq, now, rounds=80,
+                           rate_packets=4)
+    assert controller.recovery_probes >= 1
+    assert gcc.target_bps() > 0.85e6  # probed well beyond AIMD's pace
+
+
+def test_probes_disabled_by_default():
+    gcc, controller = _controller(enable=False)
+    seq, now = _feed_clean(gcc, controller, 0, 0.0, 40)
+    seq, now = _feed_drop(gcc, controller, seq, now)
+    _feed_clean(gcc, controller, seq, now, rounds=80, rate_packets=4)
+    assert controller.recovery_probes == 0
+
+
+def test_no_probe_without_prior_drop_needed():
+    gcc, controller = _controller()
+    _feed_clean(gcc, controller, 0, 0.0, 60)
+    # Target is already near the ceiling: no probes necessary.
+    assert controller.recovery_probes == 0
+
+
+def test_recovery_config_validation():
+    with pytest.raises(ConfigError):
+        AdaptiveConfig(recovery_step=1.0).validate()
+    with pytest.raises(ConfigError):
+        AdaptiveConfig(recovery_probe_interval=0).validate()

@@ -1,0 +1,156 @@
+"""FEC encoder/decoder units."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim.packet import Packet
+from repro.rtp.fec import FecConfig, FecDecoder, FecEncoder
+
+
+def _media(seq, frame=0, position=0, count=1, size=1200):
+    return Packet(
+        size_bytes=size,
+        flow="media",
+        seq=seq,
+        frame_index=frame,
+        frame_packet_index=position,
+        frame_packet_count=count,
+        capture_time=frame / 30,
+        payload={"frame_type": "P", "temporal_layer": 0},
+    )
+
+
+class _Seq:
+    def __init__(self, start):
+        self.next = start
+
+    def __call__(self):
+        seq = self.next
+        self.next += 1
+        return seq
+
+
+def test_schedule_selects_group_size():
+    config = FecConfig()
+    assert config.group_size(0.0) == 0
+    assert config.group_size(0.02) == 10
+    assert config.group_size(0.05) == 5
+    assert config.group_size(0.5) == 3
+
+
+def test_schedule_validation():
+    with pytest.raises(ConfigError):
+        FecConfig(schedule=()).validate()
+    with pytest.raises(ConfigError):
+        FecConfig(schedule=((0.5, 3), (0.1, 5))).validate()  # not ascending
+    with pytest.raises(ConfigError):
+        FecConfig(schedule=((0.5, 3),)).validate()  # doesn't reach 1.0
+
+
+def test_loss_smoothing():
+    encoder = FecEncoder()
+    assert encoder.current_group_size == 0
+    for _ in range(100):
+        encoder.on_loss_report(0.05)
+    assert encoder.smoothed_loss == pytest.approx(0.05, rel=0.05)
+    assert encoder.current_group_size == 5
+    # One clean batch doesn't switch FEC off.
+    encoder.on_loss_report(0.0)
+    assert encoder.current_group_size == 5
+
+
+def test_protect_appends_parities_in_seq_order():
+    encoder = FecEncoder()
+    for _ in range(100):
+        encoder.on_loss_report(0.06)  # k = 5
+    media = [_media(seq, position=seq, count=7) for seq in range(7)]
+    out = encoder.protect(media, _Seq(7))
+    assert len(out) == 9  # 7 media + ceil(7/5) parities
+    seqs = [p.seq for p in out]
+    assert seqs == sorted(seqs)
+    parities = [p for p in out if p.payload.get("fec")]
+    assert len(parities) == 2
+    assert parities[0].payload["parity_count"] == 2
+    assert parities[0].payload["parity_index"] == 0
+    assert parities[1].payload["parity_index"] == 1
+    # Parity size = max of its group.
+    assert parities[0].size_bytes == 1200
+
+
+def test_protect_noop_when_off():
+    encoder = FecEncoder()
+    media = [_media(0)]
+    assert encoder.protect(media, _Seq(1)) is media
+
+
+def test_decoder_recovers_single_loss():
+    encoder = FecEncoder()
+    for _ in range(100):
+        encoder.on_loss_report(0.5)  # k = 3
+    media = [_media(seq, position=seq, count=3) for seq in range(3)]
+    out = encoder.protect(media, _Seq(3))
+    parity = out[-1]
+    parity.arrival_time = 0.5
+
+    decoder = FecDecoder()
+    decoder.on_media(out[0])
+    # out[1] (seq 1) is lost.
+    decoder.on_media(out[2])
+    recovered = decoder.on_parity(parity)
+    assert len(recovered) == 1
+    packet = recovered[0]
+    assert packet.seq == 1
+    assert packet.frame_packet_index == 1
+    assert packet.frame_packet_count == 3
+    assert packet.arrival_time == 0.5
+    assert decoder.recovered == 1
+
+
+def test_decoder_cannot_recover_double_loss():
+    encoder = FecEncoder()
+    for _ in range(100):
+        encoder.on_loss_report(0.5)
+    media = [_media(seq, position=seq, count=3) for seq in range(3)]
+    out = encoder.protect(media, _Seq(3))
+    decoder = FecDecoder()
+    decoder.on_media(out[0])  # seqs 1 and 2 lost
+    assert decoder.on_parity(out[-1]) == []
+    assert decoder.recovered == 0
+
+
+def test_decoder_noop_when_nothing_missing():
+    encoder = FecEncoder()
+    for _ in range(100):
+        encoder.on_loss_report(0.5)
+    media = [_media(seq, position=seq, count=3) for seq in range(3)]
+    out = encoder.protect(media, _Seq(3))
+    decoder = FecDecoder()
+    for packet in out[:3]:
+        decoder.on_media(packet)
+    assert decoder.on_parity(out[-1]) == []
+
+
+def test_decoder_history_bounded():
+    decoder = FecDecoder(history=10)
+    for seq in range(50):
+        decoder.on_media(_media(seq))
+    assert len(decoder._received) <= 10
+    with pytest.raises(ConfigError):
+        FecDecoder(history=0)
+
+
+def test_encoder_target_scale():
+    from repro.codec.encoder import SimulatedEncoder
+    from repro.codec.model import RateDistortionModel
+    from repro.simcore.rng import RngStreams
+
+    encoder = SimulatedEncoder(
+        RateDistortionModel(), 30.0, 1_000_000, RngStreams(1)
+    )
+    encoder.set_target_scale(0.8)
+    encoder.set_target_bitrate(1_000_000)
+    assert encoder.target_bps == pytest.approx(800_000)
+    with pytest.raises(ConfigError):
+        encoder.set_target_scale(0.0)

@@ -1,0 +1,128 @@
+"""TWCC feedback: collection, reporting, and the send-history join."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtp.feedback import (
+    FeedbackCollector,
+    FeedbackReport,
+    SendHistory,
+)
+
+
+def test_collector_batches_and_flushes():
+    collector = FeedbackCollector()
+    assert collector.build_report(1.0) is None
+    collector.on_packet(0, 0.10, 1200)
+    collector.on_packet(1, 0.12, 1200)
+    report = collector.build_report(0.15)
+    assert report is not None
+    assert len(report.arrivals) == 2
+    assert report.highest_seq == 1
+    assert report.cumulative_received == 2
+    # Flushed: next report is empty until new packets arrive.
+    assert collector.build_report(0.2) is None
+
+
+def test_collector_sorts_by_seq():
+    collector = FeedbackCollector()
+    collector.on_packet(5, 0.1, 100)
+    collector.on_packet(3, 0.2, 100)  # late reordering
+    report = collector.build_report(0.3)
+    assert [a.seq for a in report.arrivals] == [3, 5]
+
+
+def test_report_wire_size_grows_with_arrivals():
+    collector = FeedbackCollector()
+    for i in range(10):
+        collector.on_packet(i, 0.01 * i, 100)
+    report = collector.build_report(0.2)
+    assert report.wire_size_bytes() == 36 + 40
+
+
+def test_history_joins_send_times():
+    history = SendHistory()
+    history.on_sent(0, 0.00, 1200)
+    history.on_sent(1, 0.01, 1200)
+    report = FeedbackReport(
+        created_at=0.1,
+        arrivals=(
+            _arrival(0, 0.05),
+            _arrival(1, 0.06),
+        ),
+        highest_seq=1,
+        cumulative_received=2,
+    )
+    results = history.resolve(report)
+    assert [(r.seq, r.send_time, r.arrival_time) for r in results] == [
+        (0, 0.00, 0.05),
+        (1, 0.01, 0.06),
+    ]
+    assert not any(r.lost for r in results)
+    assert history.in_flight() == 0
+
+
+def test_gap_below_acked_is_reported_lost():
+    history = SendHistory()
+    for seq in range(4):
+        history.on_sent(seq, 0.01 * seq, 1200)
+    # Packets 0 and 3 arrive; 1 and 2 are gaps below the newest ack.
+    report = FeedbackReport(
+        created_at=0.2,
+        arrivals=(_arrival(0, 0.05), _arrival(3, 0.09)),
+        highest_seq=3,
+        cumulative_received=2,
+    )
+    results = history.resolve(report)
+    by_seq = {r.seq: r for r in results}
+    assert set(by_seq) == {0, 1, 2, 3}
+    assert by_seq[1].lost and by_seq[2].lost
+    assert not by_seq[0].lost and not by_seq[3].lost
+
+
+def test_unacked_packets_above_newest_ack_stay_in_flight():
+    history = SendHistory()
+    for seq in range(3):
+        history.on_sent(seq, 0.01 * seq, 1200)
+    report = FeedbackReport(
+        created_at=0.2,
+        arrivals=(_arrival(0, 0.05),),
+        highest_seq=0,
+        cumulative_received=1,
+    )
+    history.resolve(report)
+    assert history.in_flight() == 2  # seqs 1 and 2 still pending
+
+
+def test_duplicate_ack_ignored():
+    history = SendHistory()
+    history.on_sent(0, 0.0, 1200)
+    report = FeedbackReport(
+        created_at=0.1,
+        arrivals=(_arrival(0, 0.05),),
+        highest_seq=0,
+        cumulative_received=1,
+    )
+    assert len(history.resolve(report)) == 1
+    assert history.resolve(report) == []
+
+
+def test_results_sorted_by_seq():
+    history = SendHistory()
+    for seq in range(5):
+        history.on_sent(seq, 0.01 * seq, 100)
+    report = FeedbackReport(
+        created_at=0.2,
+        arrivals=(_arrival(4, 0.09), _arrival(0, 0.05)),
+        highest_seq=4,
+        cumulative_received=2,
+    )
+    results = history.resolve(report)
+    assert [r.seq for r in results] == sorted(r.seq for r in results)
+
+
+def _arrival(seq: int, time: float):
+    from repro.rtp.feedback import ArrivalRecord
+
+    return ArrivalRecord(seq=seq, arrival_time=time, size_bytes=1200)

@@ -1,0 +1,117 @@
+"""Combined GCC controller behaviour on synthetic feedback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc.gcc.gcc import GoogCcController
+from repro.cc.gcc.overuse import BandwidthUsage
+from repro.cc.interface import AckedBitrateEstimator
+from repro.errors import ConfigError
+from repro.rtp.feedback import PacketResult
+
+
+def _results(start_seq, n, send_start, send_gap, owd, owd_slope=0.0,
+             size=1200):
+    out = []
+    for i in range(n):
+        send = send_start + i * send_gap
+        out.append(
+            PacketResult(
+                seq=start_seq + i,
+                send_time=send,
+                arrival_time=send + owd + owd_slope * i * send_gap,
+                size_bytes=size,
+            )
+        )
+    return out
+
+
+def test_acked_bitrate_estimator_window():
+    est = AckedBitrateEstimator(window=0.5)
+    assert est.rate_bps(0.0) is None
+    for i in range(10):
+        est.on_ack(0.05 * i, 1250)
+    # 9 intervals of 50 ms, 12_500 bytes total.
+    rate = est.rate_bps(0.45)
+    assert rate == pytest.approx(12_500 * 8 / 0.45, rel=0.01)
+
+
+def test_acked_bitrate_evicts_old_samples():
+    est = AckedBitrateEstimator(window=0.5)
+    est.on_ack(0.0, 1250)
+    est.on_ack(0.1, 1250)
+    assert est.rate_bps(5.0) is None  # both evicted
+
+
+def test_gcc_ramps_up_on_clean_path():
+    gcc = GoogCcController(1e6)
+    seq = 0
+    now = 0.0
+    for round_index in range(100):
+        now = 0.05 * (round_index + 1)
+        batch = _results(seq, 5, now - 0.05, 0.01, owd=0.02)
+        seq += 5
+        gcc.on_packet_results(now, batch)
+    assert gcc.target_bps() > 1e6
+    assert gcc.last_usage is BandwidthUsage.NORMAL
+
+
+def test_gcc_decreases_on_delay_growth():
+    gcc = GoogCcController(2e6)
+    seq, now = 0, 0.0
+    # Warm up with flat delay.
+    for round_index in range(40):
+        now = 0.05 * (round_index + 1)
+        gcc.on_packet_results(
+            now, _results(seq, 5, now - 0.05, 0.01, owd=0.02)
+        )
+        seq += 5
+    warm_target = gcc.target_bps()
+    # Now the one-way delay grows steadily (queue building).
+    owd = 0.02
+    for round_index in range(40, 80):
+        now = 0.05 * (round_index + 1)
+        owd += 0.01  # +10 ms per feedback round
+        gcc.on_packet_results(
+            now, _results(seq, 5, now - 0.05, 0.01, owd=owd, owd_slope=0.5)
+        )
+        seq += 5
+    assert gcc.last_overuse_time is not None
+    assert gcc.target_bps() < warm_target
+
+
+def test_gcc_loss_reduces_target():
+    gcc = GoogCcController(2e6)
+    seq, now = 0, 0.0
+    for round_index in range(40):
+        now = 0.05 * (round_index + 1)
+        batch = _results(seq, 10, now - 0.05, 0.005, owd=0.02)
+        # Report 30% of the batch lost.
+        lossy = [
+            PacketResult(r.seq, r.send_time, -1.0, r.size_bytes)
+            if r.seq % 10 < 3 else r
+            for r in batch
+        ]
+        seq += 10
+        gcc.on_packet_results(now, lossy)
+    assert gcc.last_loss_fraction == pytest.approx(0.3)
+    assert gcc.target_bps() < 2e6
+
+
+def test_force_estimate_sets_both_branches():
+    gcc = GoogCcController(2e6)
+    gcc.force_estimate(4e5)
+    assert gcc.target_bps() == pytest.approx(4e5)
+
+
+def test_empty_results_noop():
+    gcc = GoogCcController(1e6)
+    before = gcc.target_bps()
+    gcc.on_packet_results(1.0, [])
+    assert gcc.target_bps() == before
+
+
+def test_invalid_initial_rate():
+    with pytest.raises(ConfigError):
+        GoogCcController(0.0)

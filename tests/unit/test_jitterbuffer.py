@@ -1,0 +1,119 @@
+"""Frame assembly, loss detection, reference chain, and PLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.packet import Packet
+from repro.rtp.jitterbuffer import DECODE_DELAY, FrameAssembler
+
+
+def _packet(
+    seq: int,
+    frame: int,
+    position: int,
+    count: int,
+    frame_type: str = "P",
+    capture: float = 0.0,
+) -> Packet:
+    return Packet(
+        size_bytes=1200,
+        seq=seq,
+        frame_index=frame,
+        frame_packet_index=position,
+        frame_packet_count=count,
+        capture_time=capture,
+        payload={"frame_type": frame_type},
+    )
+
+
+def _send_frame(assembler, seq0, frame, count, now, frame_type="P"):
+    displayed = None
+    for position in range(count):
+        displayed = assembler.on_packet(
+            _packet(seq0 + position, frame, position, count, frame_type),
+            now,
+        )
+    return displayed
+
+
+def test_single_packet_frame_displays():
+    assembler = FrameAssembler()
+    record = _send_frame(assembler, 0, 0, 1, 0.1, frame_type="I")
+    assert record is not None
+    assert record.display_time == pytest.approx(0.1 + DECODE_DELAY)
+
+
+def test_multi_packet_frame_displays_on_last_packet():
+    assembler = FrameAssembler()
+    assert assembler.on_packet(_packet(0, 0, 0, 3, "I"), 0.10) is None
+    assert assembler.on_packet(_packet(1, 0, 1, 3, "I"), 0.11) is None
+    record = assembler.on_packet(_packet(2, 0, 2, 3, "I"), 0.12)
+    assert record is not None
+    assert record.complete_time == pytest.approx(0.12)
+
+
+def test_duplicate_packet_ignored():
+    assembler = FrameAssembler()
+    assembler.on_packet(_packet(0, 0, 0, 2, "I"), 0.1)
+    assert assembler.on_packet(_packet(0, 0, 0, 2, "I"), 0.11) is None
+    record = assembler.on_packet(_packet(1, 0, 1, 2, "I"), 0.12)
+    assert record is not None
+    assert record.received_packets == 2
+
+
+def test_gap_marks_frame_lost_and_breaks_chain():
+    assembler = FrameAssembler()
+    _send_frame(assembler, 0, 0, 1, 0.1, frame_type="I")
+    # Frame 1: only the first of two packets arrives; then frame 2
+    # arrives completely, confirming the loss.
+    assembler.on_packet(_packet(1, 1, 0, 2), 0.15)
+    _send_frame(assembler, 3, 2, 1, 0.2)
+    frames = {r.index: r for r in assembler.frames()}
+    assert frames[1].lost
+    assert not assembler.chain_intact
+    # Frame 2 was complete but undecodable.
+    assert frames[2].undecodable
+    assert frames[2].display_time is None
+
+
+def test_keyframe_restores_chain():
+    assembler = FrameAssembler()
+    _send_frame(assembler, 0, 0, 1, 0.1, frame_type="I")
+    assembler.on_packet(_packet(1, 1, 0, 2), 0.15)  # frame 1 loses a packet
+    _send_frame(assembler, 3, 2, 1, 0.2)  # confirms loss, undecodable
+    record = _send_frame(assembler, 4, 3, 1, 0.3, frame_type="I")
+    assert record is not None
+    assert assembler.chain_intact
+    follow = _send_frame(assembler, 5, 4, 1, 0.35)
+    assert follow is not None
+
+
+def test_pli_sent_on_chain_break_and_rate_limited():
+    plis = []
+    assembler = FrameAssembler(send_pli=lambda: plis.append(1),
+                               pli_min_interval=0.3)
+    _send_frame(assembler, 0, 0, 1, 0.0, frame_type="I")
+    assembler.on_packet(_packet(1, 1, 0, 2), 0.05)
+    _send_frame(assembler, 3, 2, 1, 0.10)  # loss confirmed -> PLI
+    assert len(plis) == 1
+    _send_frame(assembler, 4, 3, 1, 0.20)  # still broken, rate limited
+    assert len(plis) == 1
+    _send_frame(assembler, 5, 4, 1, 0.55)  # past min interval -> PLI
+    assert len(plis) == 2
+    assert assembler.pli_sent == 2
+
+
+def test_latency_computed_from_capture():
+    assembler = FrameAssembler()
+    packet = _packet(0, 0, 0, 1, "I", capture=1.0)
+    record = assembler.on_packet(packet, 1.25)
+    assert record.latency() == pytest.approx(0.25 + DECODE_DELAY)
+
+
+def test_frames_listed_in_order():
+    assembler = FrameAssembler()
+    _send_frame(assembler, 0, 0, 1, 0.1, frame_type="I")
+    _send_frame(assembler, 1, 1, 1, 0.2)
+    _send_frame(assembler, 2, 2, 1, 0.3)
+    assert [r.index for r in assembler.frames()] == [0, 1, 2]

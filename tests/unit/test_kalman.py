@@ -1,0 +1,112 @@
+"""Kalman arrival-filter estimator (original GCC)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc.gcc.arrival_filter import DelaySample
+from repro.cc.gcc.kalman import KalmanFilter, KalmanOveruseDetector
+from repro.cc.gcc.overuse import BandwidthUsage
+from repro.errors import ConfigError
+
+
+def _samples(deltas, dt=0.02, start=0.0):
+    t = start
+    out = []
+    for delta in deltas:
+        t += dt
+        out.append(DelaySample(arrival_time=t, delta=delta, send_delta=dt))
+    return out
+
+
+def test_filter_tracks_constant_offset():
+    filt = KalmanFilter()
+    for _ in range(200):
+        filt.update(0.004)
+    assert filt.offset == pytest.approx(0.004, rel=0.1)
+
+
+def test_filter_zero_input_zero_offset():
+    filt = KalmanFilter()
+    for _ in range(100):
+        filt.update(0.0)
+    assert abs(filt.offset) < 1e-6
+
+
+def test_filter_noise_variance_adapts():
+    noisy = KalmanFilter()
+    clean = KalmanFilter()
+    values = [0.002, -0.002] * 100
+    for v in values:
+        noisy.update(v)
+        clean.update(0.0)
+    assert noisy.noise_variance > clean.noise_variance
+
+
+def test_detector_normal_on_clean_path():
+    detector = KalmanOveruseDetector()
+    state = BandwidthUsage.NORMAL
+    for sample in _samples([0.0] * 50):
+        state = detector.update(sample)
+    assert state is BandwidthUsage.NORMAL
+
+
+def test_detector_overuse_on_sustained_growth():
+    detector = KalmanOveruseDetector()
+    states = [detector.update(s) for s in _samples([0.02] * 50)]
+    assert BandwidthUsage.OVERUSE in states
+
+
+def test_detector_underuse_on_drain():
+    detector = KalmanOveruseDetector()
+    for sample in _samples([0.02] * 50):
+        detector.update(sample)
+    state = BandwidthUsage.NORMAL
+    for sample in _samples([-0.03] * 30, start=2.0):
+        state = detector.update(sample)
+    assert state is BandwidthUsage.UNDERUSE
+
+
+def test_gamma_adapts_within_bounds():
+    detector = KalmanOveruseDetector()
+    for sample in _samples([0.015] * 500):
+        detector.update(sample)
+    assert 6e-3 <= detector.gamma <= 600e-3
+
+
+def test_invalid_gamma():
+    with pytest.raises(ConfigError):
+        KalmanOveruseDetector(initial_gamma=0.0)
+
+
+def test_gcc_accepts_kalman_estimator_end_to_end():
+    """The kalman-backed GCC detects a real capacity drop: its target
+    after the drop sits far below its pre-drop target."""
+    from repro.pipeline.config import NetworkConfig, PolicyName, SessionConfig
+    from repro.pipeline.session import RtcSession
+    from repro.traces.generators import step_drop
+    from repro.units import mbps
+
+    config = SessionConfig(
+        network=NetworkConfig(
+            capacity=step_drop(mbps(2.5), mbps(0.5), 6.0, 6.0),
+            queue_bytes=140_000,
+        ),
+        policy=PolicyName.WEBRTC,
+        duration=12.0,
+        seed=1,
+        cc_estimator="kalman",
+    )
+    session = RtcSession(config)
+    assert session.gcc.estimator_kind == "kalman"
+    result = session.run()
+    before = [s.target_bps for s in result.timeseries if 5 < s.time < 6]
+    after = [s.target_bps for s in result.timeseries if 10 < s.time < 12]
+    assert min(after) < 0.5 * max(before)
+
+
+def test_gcc_rejects_unknown_estimator():
+    from repro.cc.gcc.gcc import GoogCcController
+
+    with pytest.raises(ConfigError):
+        GoogCcController(1e6, estimator="magic")

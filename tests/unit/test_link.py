@@ -1,0 +1,136 @@
+"""Bottleneck link: serialization, queueing, capacity changes, loss."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim.link import Link, service_end_time
+from repro.netsim.loss import IidLoss
+from repro.netsim.packet import Packet
+from repro.traces.bandwidth import BandwidthTrace
+from repro.units import mbps
+
+
+def _make_link(scheduler, trace, delivered, delay=0.01, queue=100_000,
+               loss=None):
+    return Link(
+        scheduler=scheduler,
+        capacity=trace,
+        propagation_delay=delay,
+        queue_bytes=queue,
+        deliver=delivered.append,
+        loss=loss,
+    )
+
+
+def test_service_end_time_constant_rate(flat_trace):
+    # 2 Mbps, 20_000 bits -> 10 ms.
+    assert service_end_time(flat_trace, 1.0, 20_000) == pytest.approx(1.01)
+
+
+def test_service_end_time_across_capacity_change():
+    trace = BandwidthTrace([(0.0, 1e6), (1.0, 2e6)])
+    # Start at t=0.5: 0.5 s at 1 Mbps = 5e5 bits, remaining 5e5 bits at
+    # 2 Mbps = 0.25 s -> finish at 1.25.
+    assert service_end_time(trace, 0.5, 1e6) == pytest.approx(1.25)
+
+
+def test_service_end_time_zero_bits(flat_trace):
+    assert service_end_time(flat_trace, 3.0, 0) == 3.0
+
+
+def test_single_packet_delay(scheduler, flat_trace):
+    delivered = []
+    link = _make_link(scheduler, flat_trace, delivered, delay=0.02)
+    packet = Packet(size_bytes=1250)  # 10_000 bits -> 5 ms at 2 Mbps
+    packet.send_time = 0.0
+    link.send(packet)
+    scheduler.run_until(1.0)
+    assert len(delivered) == 1
+    assert delivered[0].arrival_time == pytest.approx(0.025)
+    assert delivered[0].network_delay() == pytest.approx(0.025)
+
+
+def test_fifo_and_serialization(scheduler, flat_trace):
+    delivered = []
+    link = _make_link(scheduler, flat_trace, delivered, delay=0.0)
+    for i in range(3):
+        packet = Packet(size_bytes=2500)  # 10 ms each at 2 Mbps
+        packet.seq = i
+        link.send(packet)
+    scheduler.run_until(1.0)
+    assert [p.seq for p in delivered] == [0, 1, 2]
+    assert delivered[0].arrival_time == pytest.approx(0.01)
+    assert delivered[1].arrival_time == pytest.approx(0.02)
+    assert delivered[2].arrival_time == pytest.approx(0.03)
+
+
+def test_capacity_drop_slows_packet_in_service(scheduler):
+    trace = BandwidthTrace([(0.0, 1e6), (0.005, 1e5)])
+    delivered = []
+    link = _make_link(scheduler, trace, delivered, delay=0.0)
+    packet = Packet(size_bytes=1250)  # 10_000 bits
+    link.send(packet)
+    scheduler.run_until(1.0)
+    # 5 ms at 1 Mbps = 5000 bits, then 5000 bits at 0.1 Mbps = 50 ms.
+    assert delivered[0].arrival_time == pytest.approx(0.055)
+
+
+def test_queue_overflow_drops(scheduler, flat_trace):
+    delivered = []
+    link = _make_link(scheduler, flat_trace, delivered, queue=3000)
+    accepted = [link.send(Packet(size_bytes=1200)) for _ in range(5)]
+    scheduler.run_until(1.0)
+    # First packet goes straight into service; the queue holds 2 more.
+    assert accepted == [True, True, True, False, False]
+    assert link.queue.dropped_packets == 2
+    assert len(delivered) == 3
+
+
+def test_channel_loss_drops_after_service(scheduler, flat_trace, rng):
+    delivered = []
+    loss = IidLoss(0.5, rng)
+    link = _make_link(scheduler, flat_trace, delivered, loss=loss)
+    for _ in range(400):
+        link.send(Packet(size_bytes=100))
+    scheduler.run_until(10.0)
+    assert link.stats.channel_lost_packets > 100
+    assert len(delivered) == 400 - link.stats.channel_lost_packets
+
+
+def test_stats_per_flow(scheduler, flat_trace):
+    delivered = []
+    link = _make_link(scheduler, flat_trace, delivered)
+    link.send(Packet(size_bytes=100, flow="media"))
+    link.send(Packet(size_bytes=100, flow="cross"))
+    link.send(Packet(size_bytes=100, flow="media"))
+    scheduler.run_until(1.0)
+    assert link.stats.per_flow_delivered == {"media": 2, "cross": 1}
+    assert link.stats.delivered_bytes == 300
+
+
+def test_estimated_queue_delay(scheduler, flat_trace):
+    delivered = []
+    link = _make_link(scheduler, flat_trace, delivered)
+    for _ in range(5):
+        link.send(Packet(size_bytes=2500))
+    # 4 packets waiting (1 in service) = 80_000 bits at 2 Mbps.
+    assert link.estimated_queue_delay() == pytest.approx(0.04)
+    assert link.backlog_bytes() == 10_000
+
+
+def test_idle_link_resumes_after_drain(scheduler, flat_trace):
+    delivered = []
+    link = _make_link(scheduler, flat_trace, delivered, delay=0.0)
+    link.send(Packet(size_bytes=250))
+    scheduler.run_until(1.0)
+    assert len(delivered) == 1
+    link.send(Packet(size_bytes=250))
+    scheduler.run_until(2.0)
+    assert len(delivered) == 2
+
+
+def test_negative_propagation_rejected(scheduler, flat_trace):
+    with pytest.raises(ConfigError):
+        Link(scheduler, flat_trace, -0.1, 1000, lambda p: None)

@@ -1,0 +1,73 @@
+"""Channel loss models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim.loss import GilbertElliott, IidLoss, NoLoss
+from repro.netsim.packet import Packet
+
+
+def _packet() -> Packet:
+    return Packet(size_bytes=100)
+
+
+def test_no_loss_never_drops():
+    model = NoLoss()
+    assert not any(model.should_drop(_packet()) for _ in range(100))
+
+
+def test_iid_zero_probability(rng):
+    model = IidLoss(0.0, rng)
+    assert not any(model.should_drop(_packet()) for _ in range(100))
+
+
+def test_iid_loss_rate_close_to_p(rng):
+    model = IidLoss(0.1, rng)
+    n = 20_000
+    drops = sum(model.should_drop(_packet()) for _ in range(n))
+    assert drops / n == pytest.approx(0.1, abs=0.01)
+
+
+def test_iid_rejects_invalid_probability(rng):
+    with pytest.raises(ConfigError):
+        IidLoss(1.0, rng)
+    with pytest.raises(ConfigError):
+        IidLoss(-0.1, rng)
+
+
+def test_gilbert_elliott_burstiness(rng):
+    # Bad state loses heavily; transitions are sticky, so losses come in
+    # bursts: the conditional loss probability after a loss must exceed
+    # the marginal loss rate.
+    model = GilbertElliott(
+        p_good_to_bad=0.02,
+        p_bad_to_good=0.1,
+        loss_good=0.001,
+        loss_bad=0.6,
+        rng=rng,
+    )
+    outcomes = [model.should_drop(_packet()) for _ in range(50_000)]
+    marginal = sum(outcomes) / len(outcomes)
+    after_loss = [
+        outcomes[i + 1]
+        for i in range(len(outcomes) - 1)
+        if outcomes[i]
+    ]
+    conditional = sum(after_loss) / len(after_loss)
+    assert conditional > 2 * marginal
+
+
+def test_gilbert_elliott_parameter_validation(rng):
+    with pytest.raises(ConfigError):
+        GilbertElliott(1.5, 0.1, 0.0, 0.5, rng)
+    with pytest.raises(ConfigError):
+        GilbertElliott(0.1, 0.1, -0.1, 0.5, rng)
+
+
+def test_gilbert_elliott_state_exposed(rng):
+    model = GilbertElliott(0.0, 0.0, 0.0, 1.0, rng)
+    assert model.in_good_state
+    model.should_drop(_packet())
+    assert model.in_good_state  # p(g->b) = 0 keeps it good

@@ -1,0 +1,54 @@
+"""Loss-based estimator thresholds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc.gcc.loss_based import LossBasedEstimator
+from repro.errors import ConfigError
+
+
+def test_high_loss_decreases():
+    est = LossBasedEstimator(1e6)
+    target = est.update(0.2, now=1.0)
+    assert target == pytest.approx(1e6 * (1 - 0.5 * 0.2))
+
+
+def test_low_loss_increases():
+    est = LossBasedEstimator(1e6)
+    target = est.update(0.0, now=1.0)
+    assert target == pytest.approx(1.05e6)
+
+
+def test_moderate_loss_holds():
+    est = LossBasedEstimator(1e6)
+    target = est.update(0.05, now=1.0)
+    assert target == pytest.approx(1e6)
+
+
+def test_update_interval_rate_limits():
+    est = LossBasedEstimator(1e6)
+    est.update(0.0, now=1.0)
+    target = est.update(0.0, now=1.05)  # too soon, ignored
+    assert target == pytest.approx(1.05e6)
+
+
+def test_clamped_to_bounds():
+    est = LossBasedEstimator(1e6, min_bps=9e5, max_bps=1.1e6)
+    for i in range(10):
+        est.update(0.5, now=float(i))
+    assert est.target_bps() == 9e5
+    for i in range(10, 30):
+        est.update(0.0, now=float(i))
+    assert est.target_bps() == 1.1e6
+
+
+def test_invalid_loss_fraction():
+    est = LossBasedEstimator(1e6)
+    with pytest.raises(ConfigError):
+        est.update(1.5, now=1.0)
+
+
+def test_invalid_construction():
+    with pytest.raises(ConfigError):
+        LossBasedEstimator(1e6, min_bps=2e6)

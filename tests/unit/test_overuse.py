@@ -1,0 +1,68 @@
+"""Overuse detector state machine and adaptive threshold."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc.gcc.overuse import BandwidthUsage, OveruseDetector
+
+
+def test_normal_for_small_trend():
+    detector = OveruseDetector()
+    for i in range(20):
+        state = detector.detect(1.0, now=0.05 * i)
+    assert state is BandwidthUsage.NORMAL
+
+
+def test_sustained_positive_trend_triggers_overuse():
+    detector = OveruseDetector()
+    state = BandwidthUsage.NORMAL
+    for i in range(10):
+        state = detector.detect(40.0, now=0.05 * i)
+    assert state is BandwidthUsage.OVERUSE
+
+
+def test_single_spike_does_not_trigger():
+    detector = OveruseDetector()
+    detector.detect(0.0, now=0.0)
+    state = detector.detect(40.0, now=0.05)
+    # Needs more than one sample over the threshold.
+    assert state is not BandwidthUsage.OVERUSE
+
+
+def test_negative_trend_triggers_underuse():
+    detector = OveruseDetector()
+    state = detector.detect(-40.0, now=0.0)
+    assert state is BandwidthUsage.UNDERUSE
+
+
+def test_recovery_to_normal():
+    detector = OveruseDetector()
+    for i in range(10):
+        detector.detect(40.0, now=0.05 * i)
+    state = detector.detect(1.0, now=1.0)
+    assert state is BandwidthUsage.NORMAL
+
+
+def test_threshold_adapts_up_under_sustained_excursion():
+    detector = OveruseDetector()
+    before = detector.threshold
+    # Magnitude slightly above threshold adapts gamma upward.
+    for i in range(50):
+        detector.detect(before + 5.0, now=0.05 * i)
+    assert detector.threshold > before
+
+
+def test_threshold_ignores_huge_spikes():
+    detector = OveruseDetector()
+    before = detector.threshold
+    detector.detect(0.0, now=0.0)
+    detector.detect(1000.0, now=0.05)  # way above: ignored for adaptation
+    assert detector.threshold == pytest.approx(before, rel=0.05)
+
+
+def test_threshold_clamped():
+    detector = OveruseDetector()
+    for i in range(2000):
+        detector.detect(500.0, now=0.05 * i)
+    assert detector.threshold <= 600.0

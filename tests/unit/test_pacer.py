@@ -1,0 +1,79 @@
+"""Pacer release timing and queue accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim.packet import Packet
+from repro.rtp.pacer import Pacer
+
+
+def _packets(n, size=1250):
+    return [Packet(size_bytes=size) for _ in range(n)]
+
+
+def test_packets_released_at_pacing_rate(scheduler):
+    sent = []
+    # 1 Mbps target × 2.5 => 2.5 Mbps wire rate; 1250 B = 4 ms/packet.
+    pacer = Pacer(scheduler, sent.append, 1_000_000, 2.5)
+    pacer.enqueue(_packets(3))
+    scheduler.run_until(1.0)
+    times = [p.send_time for p in sent]
+    assert times[0] == pytest.approx(0.0)
+    assert times[1] == pytest.approx(0.004)
+    assert times[2] == pytest.approx(0.008)
+
+
+def test_queue_accounting(scheduler):
+    pacer = Pacer(scheduler, lambda p: None, 1_000_000)
+    pacer.enqueue(_packets(4))
+    assert pacer.queue_packets == 4
+    assert pacer.queue_bytes == 5000
+    assert pacer.queue_delay() == pytest.approx(5000 * 8 / 2.5e6)
+    scheduler.run_until(1.0)
+    assert pacer.queue_packets == 0
+    assert pacer.queue_delay() == 0.0
+
+
+def test_rate_change_affects_future_gaps(scheduler):
+    sent = []
+    pacer = Pacer(scheduler, sent.append, 1_000_000, 2.5)
+    pacer.enqueue(_packets(2))
+    scheduler.call_at(0.002, lambda: pacer.set_target_rate(2_000_000))
+    scheduler.run_until(1.0)
+    # Second packet's gap was computed at the old rate (released at
+    # 4 ms); enqueue more and check the new 2 ms gap.
+    pacer.enqueue(_packets(2))
+    scheduler.run_until(2.0)
+    gap = sent[3].send_time - sent[2].send_time
+    assert gap == pytest.approx(1250 * 8 / 5e6)
+
+
+def test_sender_wakes_after_idle(scheduler):
+    sent = []
+    pacer = Pacer(scheduler, sent.append, 1_000_000)
+    pacer.enqueue(_packets(1))
+    scheduler.run_until(1.0)
+    pacer.enqueue(_packets(1))
+    scheduler.run_until(2.0)
+    assert len(sent) == 2
+    assert sent[1].send_time == pytest.approx(1.0)
+
+
+def test_counters(scheduler):
+    pacer = Pacer(scheduler, lambda p: None, 1_000_000)
+    pacer.enqueue(_packets(5, size=100))
+    scheduler.run_until(1.0)
+    assert pacer.sent_packets == 5
+    assert pacer.sent_bytes == 500
+
+
+def test_invalid_params(scheduler):
+    with pytest.raises(ConfigError):
+        Pacer(scheduler, lambda p: None, 0)
+    with pytest.raises(ConfigError):
+        Pacer(scheduler, lambda p: None, 1e6, pacing_multiplier=0.5)
+    pacer = Pacer(scheduler, lambda p: None, 1e6)
+    with pytest.raises(ConfigError):
+        pacer.set_target_rate(-1)

@@ -1,0 +1,78 @@
+"""RTP packetization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codec.frames import EncodedFrame, FrameType
+from repro.errors import ConfigError
+from repro.rtp.packetizer import HEADER_OVERHEAD_BYTES, Packetizer
+
+
+def _frame(size_bytes: int, index=0) -> EncodedFrame:
+    return EncodedFrame(
+        index=index,
+        capture_time=index / 30,
+        encode_done_time=index / 30 + 0.005,
+        frame_type=FrameType.P,
+        qp=30.0,
+        size_bytes=size_bytes,
+        target_bits=33_000,
+        complexity=1.0,
+        ssim=0.95,
+        psnr=40.0,
+    )
+
+
+def test_small_frame_single_packet():
+    packetizer = Packetizer(mtu_payload_bytes=1200)
+    packets = packetizer.packetize(_frame(500))
+    assert len(packets) == 1
+    assert packets[0].size_bytes == 500 + HEADER_OVERHEAD_BYTES
+    assert packets[0].frame_packet_count == 1
+    assert packets[0].is_frame_final
+
+
+def test_large_frame_fragmented():
+    packetizer = Packetizer(mtu_payload_bytes=1200)
+    packets = packetizer.packetize(_frame(3000))
+    assert len(packets) == 3
+    payloads = [p.size_bytes - HEADER_OVERHEAD_BYTES for p in packets]
+    assert payloads == [1200, 1200, 600]
+    assert sum(payloads) == 3000
+
+
+def test_exact_multiple_of_mtu():
+    packetizer = Packetizer(mtu_payload_bytes=1000)
+    packets = packetizer.packetize(_frame(3000))
+    assert len(packets) == 3
+    assert all(
+        p.size_bytes == 1000 + HEADER_OVERHEAD_BYTES for p in packets
+    )
+
+
+def test_sequence_numbers_monotone_across_frames():
+    packetizer = Packetizer(mtu_payload_bytes=1200)
+    first = packetizer.packetize(_frame(3000, index=0))
+    second = packetizer.packetize(_frame(1500, index=1))
+    seqs = [p.seq for p in first + second]
+    assert seqs == list(range(5))
+
+
+def test_frame_metadata_propagated():
+    packetizer = Packetizer(mtu_payload_bytes=1200)
+    packets = packetizer.packetize(_frame(2500, index=7))
+    for position, packet in enumerate(packets):
+        assert packet.frame_index == 7
+        assert packet.frame_packet_index == position
+        assert packet.frame_packet_count == len(packets)
+        assert packet.capture_time == pytest.approx(7 / 30)
+    assert packets[-1].is_frame_final
+    assert not packets[0].is_frame_final
+
+
+def test_invalid_mtu_rejected():
+    with pytest.raises(ConfigError):
+        Packetizer(mtu_payload_bytes=0)
+    with pytest.raises(ConfigError):
+        Packetizer(overhead_bytes=-1)

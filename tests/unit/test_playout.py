@@ -1,0 +1,105 @@
+"""Adaptive playout buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.rtp.playout import PlayoutBuffer, PlayoutConfig
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        PlayoutConfig(min_delay=0.0).validate()
+    with pytest.raises(ConfigError):
+        PlayoutConfig(min_delay=2.0, max_delay=1.0).validate()
+    with pytest.raises(ConfigError):
+        PlayoutConfig(percentile=0).validate()
+    with pytest.raises(ConfigError):
+        PlayoutConfig(safety_factor=0.5).validate()
+    with pytest.raises(ConfigError):
+        PlayoutConfig(window=1).validate()
+
+
+def test_on_time_frames_display_at_target():
+    buffer = PlayoutBuffer(PlayoutConfig(min_delay=0.1))
+    # Frames with a 30 ms network delay: target stays >= min_delay.
+    display = None
+    for i in range(20):
+        capture = i / 30
+        display = buffer.schedule(capture, capture + 0.03)
+    assert display == pytest.approx(capture + buffer.target_delay,
+                                    abs=1e-9)
+    assert buffer.target_delay >= 0.1
+    assert buffer.late_frames == 0
+
+
+def test_target_adapts_to_jitter():
+    calm = PlayoutBuffer(PlayoutConfig(min_delay=0.04))
+    jittery = PlayoutBuffer(PlayoutConfig(min_delay=0.04))
+    for i in range(200):
+        capture = i / 30
+        calm.schedule(capture, capture + 0.03)
+        delay = 0.03 + (0.15 if i % 7 == 0 else 0.0)
+        jittery.schedule(capture, capture + delay)
+    assert jittery.target_delay > calm.target_delay
+
+
+def test_late_frames_display_on_arrival():
+    buffer = PlayoutBuffer(PlayoutConfig(min_delay=0.05))
+    capture = 1.0
+    display = buffer.schedule(capture, capture + 0.5)
+    assert display == pytest.approx(capture + 0.5)
+    assert buffer.late_frames == 1
+
+
+def test_display_times_monotone():
+    buffer = PlayoutBuffer(PlayoutConfig(min_delay=0.05))
+    displays = []
+    # A late burst followed by a fast frame must not go backwards.
+    displays.append(buffer.schedule(1.0, 1.6))
+    displays.append(buffer.schedule(1.033, 1.61))
+    displays.append(buffer.schedule(1.066, 1.62))
+    assert displays == sorted(displays)
+
+
+def test_target_bounded():
+    buffer = PlayoutBuffer(
+        PlayoutConfig(min_delay=0.04, max_delay=0.2)
+    )
+    for i in range(300):
+        capture = i / 30
+        buffer.schedule(capture, capture + 2.0)  # terrible network
+    assert buffer.target_delay <= 0.2
+
+
+def test_session_with_playout_smooths_display():
+    """E2E: playout raises latency slightly but slashes display jitter
+    on a jittery path (cross traffic bursts)."""
+    import dataclasses
+
+    from repro.pipeline.config import (
+        NetworkConfig,
+        PolicyName,
+        SessionConfig,
+    )
+    from repro.pipeline.runner import run_session
+    from repro.traces.bandwidth import BandwidthTrace
+    from repro.units import mbps
+
+    config = SessionConfig(
+        network=NetworkConfig(
+            capacity=BandwidthTrace.constant(mbps(2.2)),
+            queue_bytes=140_000,
+            cross_traffic_bps=mbps(0.7),
+        ),
+        policy=PolicyName.WEBRTC,
+        duration=12.0,
+        seed=5,
+    )
+    plain = run_session(config)
+    buffered = run_session(
+        dataclasses.replace(config, enable_playout=True)
+    )
+    assert buffered.display_jitter(2, 12) < plain.display_jitter(2, 12)
+    assert buffered.mean_latency() >= plain.mean_latency()

@@ -1,0 +1,69 @@
+"""PeriodicProcess behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simcore.process import PeriodicProcess
+
+
+def test_ticks_at_fixed_period(scheduler):
+    ticks = []
+    PeriodicProcess(scheduler, 0.5, lambda i: ticks.append((i, scheduler.now)))
+    scheduler.run_until(2.0)
+    assert ticks == [(0, 0.0), (1, 0.5), (2, 1.0), (3, 1.5), (4, 2.0)]
+
+
+def test_start_at_offsets_first_tick(scheduler):
+    times = []
+    PeriodicProcess(
+        scheduler, 1.0, lambda i: times.append(scheduler.now), start_at=0.25
+    )
+    scheduler.run_until(2.5)
+    assert times == [0.25, 1.25, 2.25]
+
+
+def test_stop_cancels_future_ticks(scheduler):
+    ticks = []
+    process = PeriodicProcess(scheduler, 0.5, lambda i: ticks.append(i))
+    scheduler.call_at(1.1, process.stop)
+    scheduler.run_until(5.0)
+    assert ticks == [0, 1, 2]
+    assert process.stopped
+
+
+def test_stop_is_idempotent(scheduler):
+    process = PeriodicProcess(scheduler, 1.0, lambda i: None)
+    process.stop()
+    process.stop()
+    scheduler.run_until(3.0)
+    assert process.ticks == 0
+
+
+def test_set_period_changes_cadence(scheduler):
+    times = []
+    process = PeriodicProcess(
+        scheduler, 1.0, lambda i: times.append(scheduler.now)
+    )
+    scheduler.call_at(1.5, lambda: process.set_period(0.25))
+    scheduler.run_until(3.0)
+    # Ticks at 0, 1, then 2 (scheduled before the change took effect at
+    # the *next* reschedule), then every 0.25.
+    assert times[:3] == [0.0, 1.0, 2.0]
+    assert times[3] == pytest.approx(2.25)
+    assert times[4] == pytest.approx(2.5)
+
+
+def test_tick_counter(scheduler):
+    process = PeriodicProcess(scheduler, 0.1, lambda i: None)
+    scheduler.run_until(1.0)
+    assert process.ticks == 11  # t = 0.0 .. 1.0 inclusive
+
+
+def test_invalid_period_rejected(scheduler):
+    with pytest.raises(ConfigError):
+        PeriodicProcess(scheduler, 0.0, lambda i: None)
+    process = PeriodicProcess(scheduler, 1.0, lambda i: None)
+    with pytest.raises(ConfigError):
+        process.set_period(-1.0)

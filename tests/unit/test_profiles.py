@@ -1,0 +1,55 @@
+"""Canned network profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simcore.rng import RngStreams
+from repro.traces import profiles
+
+
+def test_all_profiles_construct(rng):
+    built = [
+        profiles.wifi_interference(rng),
+        profiles.lte_handover(rng),
+        profiles.congested_uplink(),
+        profiles.conference_drop(),
+    ]
+    for profile in built:
+        assert profile.queue_bytes > 0
+        assert profile.propagation_delay >= 0
+        assert 0 <= profile.iid_loss < 1
+        assert profile.capacity.rate_at(1.0) > 0
+        assert profile.description
+
+
+def test_profiles_are_deterministic():
+    a = profiles.lte_handover(RngStreams(3))
+    b = profiles.lte_handover(RngStreams(3))
+    assert a.capacity == b.capacity
+
+
+def test_by_name_static():
+    profile = profiles.by_name("conference_drop")
+    assert profile.name == "conference_drop"
+
+
+def test_by_name_rng(rng):
+    profile = profiles.by_name("wifi_interference", rng=rng)
+    assert profile.name == "wifi_interference"
+
+
+def test_by_name_rng_required():
+    with pytest.raises(ValueError):
+        profiles.by_name("lte_handover")
+
+
+def test_by_name_unknown():
+    with pytest.raises(KeyError):
+        profiles.by_name("dialup")
+
+
+def test_conference_drop_matches_paper_shape():
+    profile = profiles.conference_drop(duration=30.0)
+    assert profile.capacity.rate_at(5.0) > profile.capacity.rate_at(15.0)
+    assert profile.capacity.rate_at(25.0) == profile.capacity.rate_at(5.0)

@@ -1,0 +1,85 @@
+"""Drop-tail queue invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim.packet import Packet
+from repro.netsim.queue import DropTailQueue
+
+
+def _packet(size: int) -> Packet:
+    return Packet(size_bytes=size)
+
+
+def test_fifo_order():
+    queue = DropTailQueue(10_000)
+    first, second = _packet(100), _packet(200)
+    assert queue.offer(first)
+    assert queue.offer(second)
+    assert queue.pop() is first
+    assert queue.pop() is second
+    assert queue.pop() is None
+
+
+def test_byte_accounting():
+    queue = DropTailQueue(1000)
+    queue.offer(_packet(300))
+    queue.offer(_packet(400))
+    assert queue.backlog_bytes == 700
+    assert queue.backlog_packets == 2
+    queue.pop()
+    assert queue.backlog_bytes == 400
+
+
+def test_overflow_drops_and_counts():
+    queue = DropTailQueue(500)
+    assert queue.offer(_packet(300))
+    assert not queue.offer(_packet(300))  # would exceed 500
+    assert queue.dropped_packets == 1
+    assert queue.dropped_bytes == 300
+    assert queue.backlog_bytes == 300
+    # A smaller packet still fits.
+    assert queue.offer(_packet(200))
+
+
+def test_exact_fill_accepted():
+    queue = DropTailQueue(500)
+    assert queue.offer(_packet(500))
+    assert not queue.offer(_packet(1))
+
+
+def test_peek_does_not_remove():
+    queue = DropTailQueue(1000)
+    packet = _packet(100)
+    queue.offer(packet)
+    assert queue.peek() is packet
+    assert queue.backlog_packets == 1
+
+
+def test_drain_time():
+    queue = DropTailQueue(100_000)
+    queue.offer(_packet(1250))  # 10_000 bits
+    assert queue.drain_time(1_000_000) == pytest.approx(0.01)
+    with pytest.raises(ConfigError):
+        queue.drain_time(0)
+
+
+def test_enqueued_counter_counts_accepted_only():
+    queue = DropTailQueue(500)
+    queue.offer(_packet(400))
+    queue.offer(_packet(400))  # dropped
+    assert queue.enqueued_packets == 1
+
+
+def test_len_matches_backlog():
+    queue = DropTailQueue(10_000)
+    for _ in range(5):
+        queue.offer(_packet(10))
+    assert len(queue) == 5
+
+
+def test_invalid_capacity():
+    with pytest.raises(ConfigError):
+        DropTailQueue(0)

@@ -1,0 +1,174 @@
+"""x264 ABR rate-control dynamics.
+
+These tests pin down exactly the behaviour the paper depends on: steady
+state hits the target; a standard target change converges *slowly* (the
+pathology); renormalize converges *immediately* (the fix).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codec.frames import FrameType
+from repro.codec.model import RateDistortionModel
+from repro.codec.ratecontrol import RateControlConfig, X264RateControl
+from repro.errors import CodecError, ConfigError
+
+FPS = 30.0
+
+
+def _drive(rc, n_frames, complexity=1.0, frame_type=FrameType.P):
+    """Run the control loop with a perfect size model; returns sizes."""
+    sizes = []
+    for _ in range(n_frames):
+        qp = rc.plan_frame(complexity, frame_type)
+        bits = rc.model.frame_bits(qp, complexity, frame_type)
+        rc.on_frame_encoded(bits, complexity, frame_type)
+        sizes.append(bits)
+    return sizes
+
+
+@pytest.fixture
+def rc() -> X264RateControl:
+    return X264RateControl(RateDistortionModel(), FPS, 1_000_000)
+
+
+def test_steady_state_hits_target(rc):
+    sizes = _drive(rc, 200)
+    recent = sizes[-60:]
+    average_bps = sum(recent) / len(recent) * FPS
+    assert average_bps == pytest.approx(1_000_000, rel=0.05)
+
+
+def test_standard_target_drop_converges_slowly(rc):
+    _drive(rc, 120)
+    rc.set_target(200_000)
+    sizes = _drive(rc, 90)
+    # The very next frames still massively overshoot the new budget...
+    budget = 200_000 / FPS
+    early = sum(sizes[:6]) / 6
+    assert early > 2.0 * budget
+    # ...but the loop does converge within a couple of seconds.
+    late = sum(sizes[-30:]) / 30
+    assert late == pytest.approx(budget, rel=0.25)
+
+
+def test_renormalize_converges_immediately(rc):
+    _drive(rc, 120)
+    rc.renormalize(200_000)
+    sizes = _drive(rc, 6)
+    budget = 200_000 / FPS
+    for bits in sizes:
+        assert bits == pytest.approx(budget, rel=0.35)
+
+
+def test_qp_step_limits_per_frame_change(rc):
+    _drive(rc, 30)
+    qp_before = rc.last_qp
+    rc.set_target(100_000)
+    qp_after = rc.plan_frame(1.0, FrameType.P)
+    assert abs(qp_after - qp_before) <= rc._config.qp_step + 1e-9
+    rc.on_frame_encoded(
+        rc.model.frame_bits(qp_after, 1.0, FrameType.P), 1.0, FrameType.P
+    )
+
+
+def test_qp_override_bypasses_step_clamp(rc):
+    _drive(rc, 30)
+    qp = rc.plan_frame(1.0, FrameType.P, qp_override=45.0)
+    assert qp == 45.0
+    rc.on_frame_encoded(1000, 1.0, FrameType.P)
+
+
+def test_qp_override_clamped_to_range(rc):
+    qp = rc.plan_frame(1.0, FrameType.P, qp_override=5.0)
+    assert qp == rc._config.qp_min
+    rc.on_frame_encoded(1000, 1.0, FrameType.P)
+
+
+def test_max_bits_caps_frame(rc):
+    _drive(rc, 30)
+    cap = 4_000.0
+    qp = rc.plan_frame(1.0, FrameType.P, max_bits=cap)
+    assert rc.model.frame_bits(qp, 1.0, FrameType.P) <= cap * 1.01
+    rc.on_frame_encoded(cap, 1.0, FrameType.P)
+
+
+def test_i_frame_gets_lower_qp(rc):
+    _drive(rc, 30)
+    qp_i = rc.plan_frame(1.0, FrameType.I)
+    rc.on_frame_encoded(
+        rc.model.frame_bits(qp_i, 1.0, FrameType.I), 1.0, FrameType.I
+    )
+    qp_p = rc.plan_frame(1.0, FrameType.P)
+    rc.on_frame_encoded(
+        rc.model.frame_bits(qp_p, 1.0, FrameType.P), 1.0, FrameType.P
+    )
+    assert qp_i < qp_p
+
+
+def test_complexity_spike_raises_qp_gradually(rc):
+    _drive(rc, 60)
+    qp_calm = rc.last_qp
+    _drive(rc, 60, complexity=3.0)
+    qp_busy = rc.last_qp
+    assert qp_busy > qp_calm
+
+
+def test_plan_without_account_rejected(rc):
+    rc.plan_frame(1.0, FrameType.P)
+    with pytest.raises(CodecError):
+        rc.plan_frame(1.0, FrameType.P)
+
+
+def test_account_without_plan_rejected(rc):
+    with pytest.raises(CodecError):
+        rc.on_frame_encoded(1000, 1.0, FrameType.P)
+
+
+def test_skip_accounting_lowers_pressure(rc):
+    _drive(rc, 60)
+    rc.set_target(300_000)
+    # Skipping frames accrues unspent budget, so the next planned frame
+    # may be larger than if we had kept encoding.
+    for _ in range(10):
+        rc.on_frame_skipped()
+    qp_after_skips = rc.plan_frame(1.0, FrameType.P)
+    assert qp_after_skips <= rc.last_qp + 1e-9
+    rc.on_frame_encoded(10_000, 1.0, FrameType.P)
+
+
+def test_vbv_caps_frame_sizes():
+    config = RateControlConfig(vbv_buffer_seconds=0.5)
+    rc = X264RateControl(
+        RateDistortionModel(), FPS, 500_000, config
+    )
+    sizes = _drive(rc, 120, complexity=2.0)
+    vbv_bits = 0.5 * 500_000
+    assert max(sizes) <= vbv_bits
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ConfigError):
+        RateControlConfig(qcompress=2.0).validate()
+    with pytest.raises(ConfigError):
+        RateControlConfig(qp_min=40, qp_max=30).validate()
+    with pytest.raises(ConfigError):
+        RateControlConfig(window_decay=0.0).validate()
+    with pytest.raises(ConfigError):
+        X264RateControl(RateDistortionModel(), 0.0, 1e6)
+    with pytest.raises(ConfigError):
+        X264RateControl(RateDistortionModel(), FPS, -1.0)
+    rc = X264RateControl(RateDistortionModel(), FPS, 1e6)
+    with pytest.raises(ConfigError):
+        rc.set_target(0.0)
+
+
+def test_expected_bits_does_not_mutate(rc):
+    _drive(rc, 10)
+    qp_before = rc.last_qp
+    rc.expected_bits(1.0, FrameType.P)
+    assert rc.last_qp == qp_before
+    # A normal plan still works afterwards.
+    rc.plan_frame(1.0, FrameType.P)
+    rc.on_frame_encoded(30_000, 1.0, FrameType.P)

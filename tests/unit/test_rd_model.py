@@ -1,0 +1,129 @@
+"""Rate-distortion model: monotonicity, inversion, calibration sanity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codec.frames import FrameType
+from repro.codec.model import (
+    QP_MAX,
+    QP_MIN,
+    RateDistortionModel,
+    qp_to_qstep,
+    qstep_to_qp,
+)
+from repro.errors import CodecError
+
+
+@pytest.fixture
+def model() -> RateDistortionModel:
+    return RateDistortionModel()
+
+
+def test_qstep_doubles_every_six_qp():
+    assert qp_to_qstep(28) == pytest.approx(2 * qp_to_qstep(22))
+    assert qp_to_qstep(4) == pytest.approx(1.0)
+
+
+def test_qstep_qp_roundtrip():
+    for qp in [0, 10, 23.5, 40, 51]:
+        assert qstep_to_qp(qp_to_qstep(qp)) == pytest.approx(qp)
+
+
+def test_qstep_to_qp_rejects_nonpositive():
+    with pytest.raises(CodecError):
+        qstep_to_qp(0.0)
+
+
+def test_size_decreases_with_qp(model):
+    sizes = [
+        model.frame_bits(qp, 1.0, FrameType.P) for qp in range(10, 50, 5)
+    ]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_size_increases_with_complexity(model):
+    low = model.frame_bits(28, 0.5, FrameType.P)
+    high = model.frame_bits(28, 2.0, FrameType.P)
+    assert high == pytest.approx(4 * low)
+
+
+def test_i_frames_cost_more(model):
+    p = model.frame_bits(28, 1.0, FrameType.P)
+    i = model.frame_bits(28, 1.0, FrameType.I)
+    assert i > 3 * p
+
+
+def test_qp_for_bits_inverts_frame_bits(model):
+    for target in [5_000, 40_000, 200_000]:
+        qp = model.qp_for_bits(target, 1.0, FrameType.P)
+        if QP_MIN < qp < QP_MAX:
+            assert model.frame_bits(qp, 1.0, FrameType.P) == pytest.approx(
+                target, rel=1e-6
+            )
+
+
+def test_qp_for_bits_clamps_at_extremes(model):
+    assert model.qp_for_bits(10, 1.0, FrameType.P) == QP_MAX
+    assert model.qp_for_bits(1e12, 1.0, FrameType.P) == QP_MIN
+
+
+def test_qp_for_bits_rejects_nonpositive(model):
+    with pytest.raises(CodecError):
+        model.qp_for_bits(0, 1.0, FrameType.P)
+
+
+def test_ssim_decreases_with_qp(model):
+    values = [model.ssim(qp, 1.0, 0.5) for qp in range(15, 50, 5)]
+    assert values == sorted(values, reverse=True)
+    assert all(0 <= v <= 1 for v in values)
+
+
+def test_ssim_calibration_anchors(model):
+    # Near the calibration points: QP 25 ~ 0.97, QP 40 ~ 0.88 for
+    # nominal content.
+    assert model.ssim(25, 1.0, 0.5) == pytest.approx(0.97, abs=0.015)
+    assert model.ssim(40, 1.0, 0.5) == pytest.approx(0.88, abs=0.03)
+
+
+def test_psnr_decreases_with_qp(model):
+    assert model.psnr(20, 1.0) > model.psnr(35, 1.0)
+
+
+def test_psnr_penalizes_complexity(model):
+    assert model.psnr(28, 2.0) < model.psnr(28, 0.5)
+
+
+def test_encode_time_grows_with_complexity(model):
+    assert model.encode_time(2.0) > model.encode_time(0.5)
+    assert model.encode_time(1.0) > 0
+
+
+def test_resolution_scaling(model):
+    half = model.at_resolution(0.5)
+    assert half.frame_bits(28, 1.0, FrameType.P) == pytest.approx(
+        0.5 * model.frame_bits(28, 1.0, FrameType.P)
+    )
+    # Lower resolution costs quality (upscale penalty).
+    assert half.ssim(28, 1.0, 0.5) < model.ssim(28, 1.0, 0.5)
+    with pytest.raises(CodecError):
+        model.at_resolution(0.0)
+    with pytest.raises(CodecError):
+        model.at_resolution(1.5)
+
+
+def test_for_resolution_scales_by_pixels():
+    hd = RateDistortionModel.for_resolution(1280, 720)
+    qhd = RateDistortionModel.for_resolution(640, 360)
+    assert qhd.reference_bits == pytest.approx(hd.reference_bits / 4)
+    with pytest.raises(CodecError):
+        RateDistortionModel.for_resolution(0, 720)
+
+
+def test_qp_range_enforced(model):
+    with pytest.raises(CodecError):
+        model.frame_bits(-1, 1.0, FrameType.P)
+    with pytest.raises(CodecError):
+        model.ssim(52, 1.0, 0.5)
+    with pytest.raises(CodecError):
+        model.frame_bits(28, 0.0, FrameType.P)

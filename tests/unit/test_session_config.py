@@ -1,0 +1,68 @@
+"""SessionConfig/NetworkConfig/VideoConfig validation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pipeline.config import (
+    NetworkConfig,
+    PolicyName,
+    SessionConfig,
+    VideoConfig,
+)
+from repro.traces.bandwidth import BandwidthTrace
+from repro.units import mbps
+
+
+def _network():
+    return NetworkConfig(capacity=BandwidthTrace.constant(mbps(2)))
+
+
+def test_valid_default_config():
+    SessionConfig(network=_network()).validate()
+
+
+def test_network_validation():
+    with pytest.raises(ConfigError):
+        dataclasses.replace(_network(), propagation_delay=-1).validate()
+    with pytest.raises(ConfigError):
+        dataclasses.replace(_network(), queue_bytes=0).validate()
+    with pytest.raises(ConfigError):
+        dataclasses.replace(_network(), iid_loss=1.0).validate()
+    with pytest.raises(ConfigError):
+        dataclasses.replace(_network(), cross_traffic_bps=-1).validate()
+
+
+def test_video_validation():
+    with pytest.raises(ConfigError):
+        VideoConfig(fps=0).validate()
+    with pytest.raises(ConfigError):
+        VideoConfig(width=0).validate()
+
+
+def test_session_validation():
+    base = SessionConfig(network=_network())
+    with pytest.raises(ConfigError):
+        dataclasses.replace(base, duration=0).validate()
+    with pytest.raises(ConfigError):
+        dataclasses.replace(base, min_bps=0).validate()
+    with pytest.raises(ConfigError):
+        dataclasses.replace(
+            base, initial_target_bps=base.max_bps * 2
+        ).validate()
+    with pytest.raises(ConfigError):
+        dataclasses.replace(base, feedback_interval=0).validate()
+    with pytest.raises(ConfigError):
+        dataclasses.replace(base, pacing_multiplier=0.5).validate()
+    with pytest.raises(ConfigError):
+        dataclasses.replace(base, abr_update_interval=0).validate()
+    with pytest.raises(ConfigError):
+        dataclasses.replace(base, grace_period=-1).validate()
+
+
+def test_policy_enum_round_trip():
+    for policy in PolicyName:
+        assert PolicyName(policy.value) is policy

@@ -1,0 +1,39 @@
+"""VideoSource capture semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codec.source import VideoSource
+from repro.errors import ConfigError
+from repro.traces.content import ContentClass, ContentTrace
+
+
+@pytest.fixture
+def source(rng) -> VideoSource:
+    content = ContentTrace(ContentClass.MIXED, 100, rng)
+    return VideoSource(content, fps=30.0, width=1280, height=720)
+
+
+def test_frame_interval(source):
+    assert source.frame_interval == pytest.approx(1 / 30)
+
+
+def test_capture_carries_content(source):
+    captured = source.capture(3, 0.1)
+    assert captured.index == 3
+    assert captured.capture_time == 0.1
+    assert captured.content.index == 3
+
+
+def test_capture_past_trace_end_clamps(source):
+    captured = source.capture(500, 16.6)
+    assert captured.content.index == 99
+
+
+def test_invalid_source_params(rng):
+    content = ContentTrace(ContentClass.MIXED, 10, rng)
+    with pytest.raises(ConfigError):
+        VideoSource(content, fps=0)
+    with pytest.raises(ConfigError):
+        VideoSource(content, fps=30, width=0)

@@ -1,0 +1,101 @@
+"""Adaptation strategies in isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strategies import (
+    DrainBudgetStrategy,
+    ResolutionLadder,
+    SkipStrategy,
+)
+from repro.errors import ConfigError
+
+
+def test_drain_budget_reserves_share_while_backlogged():
+    strategy = DrainBudgetStrategy(drain_share=0.25, fps=30.0)
+    with_backlog = strategy.frame_budget(1e6, backlog_delay=0.5)
+    assert with_backlog == pytest.approx(1e6 * 0.75 / 30)
+
+
+def test_drain_budget_full_share_when_clear():
+    strategy = DrainBudgetStrategy(drain_share=0.25, fps=30.0)
+    clear = strategy.frame_budget(1e6, backlog_delay=0.0)
+    assert clear == pytest.approx(1e6 / 30)
+
+
+def test_drain_budget_never_zero():
+    strategy = DrainBudgetStrategy(drain_share=0.9, fps=30.0)
+    assert strategy.frame_budget(1.0, 1.0) >= 1.0
+
+
+def test_drain_budget_validation():
+    with pytest.raises(ConfigError):
+        DrainBudgetStrategy(drain_share=1.0, fps=30.0)
+    with pytest.raises(ConfigError):
+        DrainBudgetStrategy(drain_share=0.2, fps=0.0)
+
+
+def test_skip_triggers_above_threshold():
+    strategy = SkipStrategy(skip_queue_delay=0.2, max_consecutive=3)
+    assert not strategy.should_skip(0.1)
+    assert strategy.should_skip(0.3)
+    assert strategy.consecutive_skips == 1
+
+
+def test_skip_bounded_by_max_consecutive():
+    strategy = SkipStrategy(skip_queue_delay=0.2, max_consecutive=2)
+    assert strategy.should_skip(0.5)
+    assert strategy.should_skip(0.5)
+    assert not strategy.should_skip(0.5)  # forced encode
+    assert strategy.consecutive_skips == 0  # counter reset
+
+
+def test_skip_counter_resets_when_clear():
+    strategy = SkipStrategy(skip_queue_delay=0.2, max_consecutive=5)
+    strategy.should_skip(0.5)
+    strategy.should_skip(0.1)
+    assert strategy.consecutive_skips == 0
+
+
+def test_skip_validation():
+    with pytest.raises(ConfigError):
+        SkipStrategy(0.0, 3)
+    with pytest.raises(ConfigError):
+        SkipStrategy(0.2, -1)
+
+
+def test_ladder_steps_down_when_starved():
+    ladder = ResolutionLadder(
+        (1.0, 0.5, 0.25),
+        min_bits_per_pixel=0.03,
+        native_pixels=1280 * 720,
+        fps=30.0,
+    )
+    assert ladder.current_scale == 1.0
+    # 200 kbps at 720p30: ~7e3 bits/frame over 9.2e5 px = 0.007 bpp.
+    scale = ladder.choose_scale(200_000)
+    assert scale < 1.0
+
+
+def test_ladder_steps_back_up_with_headroom():
+    ladder = ResolutionLadder(
+        (1.0, 0.5), min_bits_per_pixel=0.03,
+        native_pixels=1280 * 720, fps=30.0,
+    )
+    ladder.choose_scale(200_000)
+    assert ladder.current_scale == 0.5
+    # Hysteresis: needs 4x the threshold at the higher rung.
+    mid = ladder.choose_scale(1_500_000)
+    assert mid == 0.5
+    high = ladder.choose_scale(6_000_000)
+    assert high == 1.0
+
+
+def test_ladder_validation():
+    with pytest.raises(ConfigError):
+        ResolutionLadder((), 0.03, 100, 30.0)
+    with pytest.raises(ConfigError):
+        ResolutionLadder((0.5, 1.0), 0.03, 100, 30.0)  # ascending
+    with pytest.raises(ConfigError):
+        ResolutionLadder((1.0,), -0.1, 100, 30.0)

@@ -1,0 +1,116 @@
+"""Temporal scalability: layer assignment and chain semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codec.encoder import SimulatedEncoder
+from repro.codec.frames import FrameType
+from repro.codec.model import RateDistortionModel
+from repro.codec.source import CapturedFrame
+from repro.errors import ConfigError
+from repro.netsim.packet import Packet
+from repro.rtp.jitterbuffer import FrameAssembler
+from repro.simcore.rng import RngStreams
+from repro.traces.content import FrameContent
+
+FPS = 30.0
+
+
+def _capture(index):
+    return CapturedFrame(
+        index=index,
+        capture_time=index / FPS,
+        content=FrameContent(index, 1.0, False, 0.5),
+    )
+
+
+def _encoder(layers, rng):
+    return SimulatedEncoder(
+        RateDistortionModel(), FPS, 1_000_000, rng,
+        temporal_layers=layers, size_noise_sigma=0.0,
+    )
+
+
+def test_single_layer_everything_t0(rng):
+    encoder = _encoder(1, rng)
+    frames = [encoder.encode(_capture(i), i / FPS) for i in range(10)]
+    assert all(f.temporal_layer == 0 for f in frames)
+
+
+def test_two_layers_alternate_by_capture_index(rng):
+    encoder = _encoder(2, rng)
+    frames = [encoder.encode(_capture(i), i / FPS) for i in range(10)]
+    for frame in frames:
+        if frame.frame_type is FrameType.I:
+            assert frame.temporal_layer == 0
+        else:
+            assert frame.temporal_layer == frame.index % 2
+
+
+def test_t0_frames_cost_more_with_layers(rng):
+    from repro.simcore.rng import RngStreams as R
+
+    single = _encoder(1, R(7))
+    double = _encoder(2, R(7))
+    # Compare a T0 P-frame (even index) at the same rate-control state.
+    for i in range(1, 9):
+        single.encode(_capture(i - 1), 0.0)
+        double.encode(_capture(i - 1), 0.0)
+    f1 = single.encode(_capture(10), 0.4)
+    f2 = double.encode(_capture(10), 0.4)
+    assert f2.size_bytes >= f1.size_bytes * 0.9  # T0 carries the +15%
+
+
+def test_invalid_layer_count(rng):
+    with pytest.raises(ConfigError):
+        _encoder(3, rng)
+
+
+def _media_packet(seq, frame, layer, frame_type="P", count=1, position=0):
+    return Packet(
+        size_bytes=1200,
+        seq=seq,
+        frame_index=frame,
+        frame_packet_index=position,
+        frame_packet_count=count,
+        capture_time=frame / FPS,
+        payload={"frame_type": frame_type, "temporal_layer": layer},
+    )
+
+
+def test_lost_t1_frame_does_not_break_chain():
+    plis = []
+    assembler = FrameAssembler(send_pli=lambda: plis.append(1))
+    assembler.on_packet(_media_packet(0, 0, 0, "I"), 0.1)
+    # T1 frame 1: first of two packets arrives, second is lost.
+    assembler.on_packet(_media_packet(1, 1, 1, count=2), 0.13)
+    record = assembler.on_packet(_media_packet(3, 2, 0), 0.17)
+    assert record is not None  # frame 2 displays
+    assert assembler.chain_intact
+    assert plis == []
+    frames = {r.index: r for r in assembler.frames()}
+    assert frames[1].lost
+
+
+def test_lost_t0_frame_still_breaks_chain():
+    plis = []
+    assembler = FrameAssembler(send_pli=lambda: plis.append(1))
+    assembler.on_packet(_media_packet(0, 0, 0, "I"), 0.1)
+    assembler.on_packet(_media_packet(1, 1, 0, count=2), 0.13)
+    record = assembler.on_packet(_media_packet(3, 2, 0), 0.17)
+    assert record is None  # undecodable
+    assert not assembler.chain_intact
+    assert plis == [1]
+
+
+def test_fully_lost_frame_breaks_chain():
+    """A frame whose packets ALL vanish is detected via the unclaimed
+    sequence gap (reference status unknown -> assume broken)."""
+    plis = []
+    assembler = FrameAssembler(send_pli=lambda: plis.append(1))
+    assembler.on_packet(_media_packet(0, 0, 0, "I"), 0.1)
+    # Frame 1 (seq 1) never arrives at all; frame 2 lands.
+    assembler.on_packet(_media_packet(2, 2, 0), 0.17)
+    assert not assembler.chain_intact
+    assert plis == [1]

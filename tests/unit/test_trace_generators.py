@@ -1,0 +1,90 @@
+"""Synthetic bandwidth-trace generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces import generators
+from repro.units import mbps
+
+
+def test_constant():
+    trace = generators.constant(mbps(1))
+    assert trace.rate_at(0) == trace.rate_at(100) == 1e6
+
+
+def test_step_drop_shape():
+    trace = generators.step_drop(mbps(2.5), mbps(0.5), 10.0, 5.0)
+    assert trace.rate_at(9.9) == 2.5e6
+    assert trace.rate_at(10.0) == 0.5e6
+    assert trace.rate_at(14.9) == 0.5e6
+    assert trace.rate_at(15.0) == 2.5e6
+
+
+def test_step_drop_validation():
+    with pytest.raises(TraceError):
+        generators.step_drop(mbps(1), mbps(2), 10.0, 5.0)  # not a drop
+    with pytest.raises(TraceError):
+        generators.step_drop(mbps(2), mbps(1), -1.0, 5.0)
+
+
+def test_multi_drop_shape():
+    trace = generators.multi_drop(
+        mbps(2), [(5.0, mbps(1), 2.0), (10.0, mbps(0.5), 3.0)]
+    )
+    assert trace.rate_at(4) == 2e6
+    assert trace.rate_at(6) == 1e6
+    assert trace.rate_at(8) == 2e6
+    assert trace.rate_at(11) == 0.5e6
+    assert trace.rate_at(14) == 2e6
+
+
+def test_multi_drop_rejects_overlap():
+    with pytest.raises(TraceError):
+        generators.multi_drop(
+            mbps(2), [(5.0, mbps(1), 4.0), (8.0, mbps(0.5), 2.0)]
+        )
+
+
+def test_sawtooth_oscillates():
+    trace = generators.sawtooth(mbps(1), mbps(2), 4.0, 12.0)
+    rates = {trace.rate_at(t) for t in [0.0, 1.0, 2.0, 3.0]}
+    assert min(rates) == 1e6
+    assert max(rates) < 2e6  # ramp tops out just below high
+    # Next period restarts at the bottom.
+    assert trace.rate_at(4.0) == 1e6
+
+
+def test_random_walk_bounds_and_determinism(rng):
+    trace = generators.random_walk(
+        rng, mbps(2), 0.2, 0.5, 30.0, floor_bps=mbps(0.5),
+        ceiling_bps=mbps(5),
+    )
+    for t in range(0, 30, 2):
+        assert mbps(0.5) <= trace.rate_at(float(t)) <= mbps(5)
+    from repro.simcore.rng import RngStreams
+
+    again = generators.random_walk(
+        RngStreams(42), mbps(2), 0.2, 0.5, 30.0, floor_bps=mbps(0.5),
+        ceiling_bps=mbps(5),
+    )
+    assert trace == again
+
+
+def test_cellular_two_levels(rng):
+    trace = generators.cellular(
+        rng, mbps(3), mbps(0.4), 10.0, 3.0, 120.0, jitter_fraction=0.0
+    )
+    rates = {trace.rate_at(float(t)) for t in range(0, 120, 1)}
+    assert rates <= {3e6, 0.4e6}
+    assert len(rates) == 2  # both states visited over 2 minutes
+
+
+def test_drop_ratio_scenario():
+    trace = generators.drop_ratio_scenario(mbps(2.5), 0.2)
+    assert trace.rate_at(12.0) == pytest.approx(0.5e6)
+    with pytest.raises(TraceError):
+        generators.drop_ratio_scenario(mbps(2.5), 1.0)
+    with pytest.raises(TraceError):
+        generators.drop_ratio_scenario(mbps(2.5), 0.0)

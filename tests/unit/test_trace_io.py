@@ -1,0 +1,77 @@
+"""Trace file I/O round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces import io
+from repro.traces.bandwidth import BandwidthTrace
+from repro.units import mbps
+
+
+def test_breakpoint_roundtrip(tmp_path, drop_trace):
+    path = tmp_path / "trace.bw"
+    io.save_breakpoints(drop_trace, path)
+    assert io.load_breakpoints(path) == drop_trace
+
+
+def test_breakpoint_file_has_comment_header(tmp_path, flat_trace):
+    path = tmp_path / "trace.bw"
+    io.save_breakpoints(flat_trace, path)
+    assert path.read_text().startswith("#")
+
+
+def test_load_breakpoints_skips_comments_and_blanks(tmp_path):
+    path = tmp_path / "trace.bw"
+    path.write_text("# header\n\n0.0 1000000\n5.0 500000\n")
+    trace = io.load_breakpoints(path)
+    assert trace.rate_at(6.0) == 5e5
+
+
+def test_load_breakpoints_rejects_malformed(tmp_path):
+    path = tmp_path / "bad.bw"
+    path.write_text("0.0 1000000 extra\n")
+    with pytest.raises(TraceError):
+        io.load_breakpoints(path)
+    path.write_text("abc def\n")
+    with pytest.raises(TraceError):
+        io.load_breakpoints(path)
+    path.write_text("# only comments\n")
+    with pytest.raises(TraceError):
+        io.load_breakpoints(path)
+
+
+def test_mahimahi_export_reflects_rate(tmp_path):
+    trace = BandwidthTrace.constant(mbps(1.2))
+    path = tmp_path / "trace.mahi"
+    io.save_mahimahi(trace, path, duration=10.0)
+    lines = [int(x) for x in path.read_text().split()]
+    # 1.2 Mbps / (1500 B * 8) = 100 packets/s => ~1000 over 10 s.
+    assert 980 <= len(lines) <= 1020
+    assert lines == sorted(lines)
+
+
+def test_mahimahi_roundtrip_rate(tmp_path, drop_trace):
+    path = tmp_path / "trace.mahi"
+    io.save_mahimahi(drop_trace, path, duration=15.0)
+    approx = io.load_mahimahi(path, window=1.0)
+    # Average rate over the whole trace should be preserved within ~10%.
+    assert approx.mean_rate(0, 15) == pytest.approx(
+        drop_trace.mean_rate(0, 15), rel=0.1
+    )
+
+
+def test_load_mahimahi_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.mahi"
+    path.write_text("12\nnot-a-number\n")
+    with pytest.raises(TraceError):
+        io.load_mahimahi(path)
+    path.write_text("")
+    with pytest.raises(TraceError):
+        io.load_mahimahi(path)
+
+
+def test_save_mahimahi_rejects_bad_duration(tmp_path, flat_trace):
+    with pytest.raises(TraceError):
+        io.save_mahimahi(flat_trace, tmp_path / "x", duration=0.0)

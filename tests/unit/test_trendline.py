@@ -1,0 +1,58 @@
+"""Trendline estimator slope recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc.gcc.arrival_filter import DelaySample
+from repro.cc.gcc.trendline import TrendlineEstimator
+
+
+def _feed(est, deltas, dt=0.01, start=0.0):
+    t = start
+    out = None
+    for delta in deltas:
+        t += dt
+        out = est.update(DelaySample(arrival_time=t, delta=delta,
+                                     send_delta=dt))
+    return out
+
+
+def test_zero_deltas_zero_trend():
+    est = TrendlineEstimator(window_size=10)
+    _feed(est, [0.0] * 30)
+    assert est.trend == pytest.approx(0.0, abs=1e-12)
+
+
+def test_positive_deltas_positive_trend():
+    est = TrendlineEstimator(window_size=10)
+    _feed(est, [0.002] * 40)
+    assert est.trend > 0.05
+
+
+def test_negative_deltas_negative_trend():
+    est = TrendlineEstimator(window_size=10)
+    _feed(est, [0.002] * 40)  # build up delay first
+    _feed(est, [-0.002] * 40, start=0.5)
+    assert est.trend < 0
+
+
+def test_modified_trend_scales_with_samples():
+    est = TrendlineEstimator(window_size=10)
+    _feed(est, [0.002] * 15)
+    small = est.modified_trend()
+    _feed(est, [0.002] * 60, start=0.2)
+    large = est.modified_trend()
+    assert abs(large) > abs(small)
+
+
+def test_num_deltas_counted():
+    est = TrendlineEstimator()
+    _feed(est, [0.0] * 7)
+    assert est.num_deltas == 7
+
+
+def test_no_trend_until_window_full():
+    est = TrendlineEstimator(window_size=20)
+    _feed(est, [0.005] * 10)
+    assert est.trend == 0.0
