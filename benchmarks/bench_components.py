@@ -34,6 +34,28 @@ def test_bench_scheduler_throughput(benchmark):
     assert benchmark(run_10k_events) == 10_000
 
 
+def test_bench_scheduler_run_until_hot_loop(benchmark):
+    """The fused peek/step loop in ``run_until``.
+
+    One cancelled-event sweep + one heappop per iteration (previously
+    two heap inspections per event); a third of the events are
+    cancelled so the sweep path is exercised too.
+    """
+
+    def run_until_30k_events():
+        scheduler = Scheduler()
+        events = [
+            scheduler.call_at(i * 1e-4, lambda: None)
+            for i in range(30_000)
+        ]
+        for event in events[::3]:
+            event.cancel()
+        scheduler.run_until(4.0)
+        return scheduler.events_fired
+
+    assert benchmark(run_until_30k_events) == 20_000
+
+
 def test_bench_link_packet_rate(benchmark):
     def push_5k_packets():
         scheduler = Scheduler()

@@ -1,0 +1,72 @@
+"""Wall-clock comparison of the session execution paths.
+
+Serial inline loop vs ``run_many`` (serial backend, process pool, warm
+persistent cache) over one small experiment batch. Run with
+``pytest benchmarks/bench_parallel.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments import scenarios
+from repro.pipeline.config import PolicyName
+from repro.pipeline.parallel import ResultCache, run_many
+from repro.pipeline.runner import run_session
+
+
+def small_batch():
+    configs = []
+    for policy in (PolicyName.WEBRTC, PolicyName.ADAPTIVE):
+        for seed in (1, 2):
+            config = scenarios.step_drop_config(0.2, seed=seed)
+            configs.append(
+                dataclasses.replace(config, policy=policy, duration=6.0)
+            )
+    return configs
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return small_batch()
+
+
+def test_bench_serial_inline_loop(benchmark, batch):
+    results = benchmark.pedantic(
+        lambda: [run_session(c) for c in batch], rounds=1, iterations=1
+    )
+    assert len(results) == len(batch)
+
+
+def test_bench_run_many_serial(benchmark, batch):
+    results = benchmark.pedantic(
+        lambda: run_many(batch, workers=1, cache=None),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(results) == len(batch)
+
+
+def test_bench_run_many_workers2(benchmark, batch):
+    results = benchmark.pedantic(
+        lambda: run_many(batch, workers=2, cache=None),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(results) == len(batch)
+
+
+def test_bench_run_many_warm_cache(benchmark, batch, tmp_path):
+    cache = ResultCache(tmp_path)
+    cold = run_many(batch, workers=1, cache=cache)
+    results = benchmark.pedantic(
+        lambda: run_many(batch, workers=1, cache=cache),
+        rounds=1,
+        iterations=1,
+    )
+    assert [json.dumps(r.to_dict(), sort_keys=True) for r in results] == [
+        json.dumps(r.to_dict(), sort_keys=True) for r in cold
+    ]

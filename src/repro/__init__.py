@@ -30,12 +30,15 @@ from .pipeline import (
     MultiFlowSession,
     NetworkConfig,
     PolicyName,
+    ResultCache,
     RtcSession,
     SessionConfig,
     SessionResult,
     VideoConfig,
     compare_point,
+    configure,
     jain_fairness,
+    run_many,
     run_policies,
     run_repetitions,
     run_session,
@@ -52,10 +55,13 @@ __all__ = [
     "PolicyName",
     "RtcSession",
     "SessionConfig",
+    "ResultCache",
     "SessionResult",
     "VideoConfig",
     "compare_point",
+    "configure",
     "jain_fairness",
+    "run_many",
     "run_policies",
     "run_repetitions",
     "run_session",

@@ -7,6 +7,12 @@ Subcommands:
 * ``table1`` — regenerate the headline table.
 * ``figure`` — print one figure's data series.
 * ``compare`` — all policies on one scenario.
+* ``cache`` — inspect or clear the persistent result cache.
+
+Global execution options (before the subcommand): ``--workers N`` fans
+the experiment's sessions out over N processes; results are reused from
+the persistent cache unless ``--no-cache`` is given. Parallel and cached
+results are bit-identical to serial fresh runs.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import sys
 from .experiments import ablations, comparison, figures, scenarios, table1
 from .metrics.summary import format_series
 from .pipeline.config import PolicyName
+from .pipeline.parallel import ResultCache, configure
 from .pipeline.runner import run_session
 
 
@@ -135,6 +142,17 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir or ResultCache.default_dir())
+    if args.cache_action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+    else:
+        print(f"cache dir : {cache.root}")
+        print(f"entries   : {len(cache)}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI parser."""
     parser = argparse.ArgumentParser(
@@ -143,6 +161,23 @@ def build_parser() -> argparse.ArgumentParser:
             "Adaptive video encoder for network bandwidth drops — "
             "simulation and reproduction harness."
         ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for experiment batches (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-rtc)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -197,6 +232,17 @@ def build_parser() -> argparse.ArgumentParser:
     ext_p.add_argument("--seeds", type=int, default=3)
     ext_p.set_defaults(func=_cmd_extensions)
 
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache"
+    )
+    cache_p.add_argument(
+        "cache_action",
+        choices=["info", "clear"],
+        nargs="?",
+        default="info",
+    )
+    cache_p.set_defaults(func=_cmd_cache)
+
     return parser
 
 
@@ -204,6 +250,10 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or ResultCache.default_dir())
+    configure(workers=max(1, args.workers), cache=cache)
     return args.func(args)
 
 

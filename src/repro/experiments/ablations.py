@@ -14,8 +14,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.config import AdaptiveConfig, DetectorConfig
-from ..pipeline.config import PolicyName
-from ..pipeline.runner import run_session
+from ..pipeline.config import PolicyName, SessionConfig
+from ..pipeline.parallel import run_many
+from ..pipeline.results import SessionResult
 from ..units import ms
 from . import scenarios
 
@@ -30,17 +31,15 @@ class AblationRow:
     mean_ssim: float
 
 
-def _run_variant(
-    variant: str,
+def _variant_configs(
     drop_ratio: float,
     seeds: tuple[int, ...],
     adaptive: AdaptiveConfig | None = None,
     detector: DetectorConfig | None = None,
     rtt: float | None = None,
     feedback_interval: float | None = None,
-) -> AblationRow:
-    start, end = scenarios.DROP_WINDOW
-    lat, p95, ssim = [], [], []
+) -> list[SessionConfig]:
+    configs = []
     for seed in seeds:
         config = scenarios.step_drop_config(drop_ratio, seed=seed)
         config = dataclasses.replace(config, policy=PolicyName.ADAPTIVE)
@@ -54,7 +53,14 @@ def _run_variant(
             config = dataclasses.replace(
                 config, feedback_interval=feedback_interval
             )
-        result = run_session(config)
+        configs.append(config)
+    return configs
+
+
+def _averaged_row(variant: str, results: list[SessionResult]) -> AblationRow:
+    start, end = scenarios.DROP_WINDOW
+    lat, p95, ssim = [], [], []
+    for result in results:
         lat.append(result.mean_latency(start, end))
         p95.append(result.percentile_latency(95, start, end))
         ssim.append(result.mean_displayed_ssim())
@@ -64,6 +70,21 @@ def _run_variant(
         p95_latency=float(np.mean(p95)),
         mean_ssim=float(np.mean(ssim)),
     )
+
+
+def _run_variants(
+    named_configs: list[tuple[str, list[SessionConfig]]],
+) -> list[AblationRow]:
+    """Run every variant's sessions as one batch; one row per variant."""
+    batch = [c for _, configs in named_configs for c in configs]
+    results = run_many(batch)
+    rows, cursor = [], 0
+    for name, configs in named_configs:
+        rows.append(
+            _averaged_row(name, results[cursor:cursor + len(configs)])
+        )
+        cursor += len(configs)
+    return rows
 
 
 def detector_ablation(
@@ -83,10 +104,12 @@ def detector_ablation(
             use_pacer_queue=True)),
         ("fused (all)", DetectorConfig()),
     ]
-    return [
-        _run_variant(name, drop_ratio, seeds, detector=det)
-        for name, det in variants
-    ]
+    return _run_variants(
+        [
+            (name, _variant_configs(drop_ratio, seeds, detector=det))
+            for name, det in variants
+        ]
+    )
 
 
 def strategy_ablation(
@@ -103,10 +126,12 @@ def strategy_ablation(
         ("no renormalize", dataclasses.replace(
             base, enable_renormalize=False)),
     ]
-    return [
-        _run_variant(name, drop_ratio, seeds, adaptive=cfg)
-        for name, cfg in variants
-    ]
+    return _run_variants(
+        [
+            (name, _variant_configs(drop_ratio, seeds, adaptive=cfg))
+            for name, cfg in variants
+        ]
+    )
 
 
 def rtt_sensitivity(
@@ -115,10 +140,15 @@ def rtt_sensitivity(
     seeds: tuple[int, ...] = (1, 2, 3),
 ) -> list[AblationRow]:
     """Ablation C1: detection/feedback delay grows with RTT."""
-    return [
-        _run_variant(f"rtt={rtt * 1e3:.0f}ms", drop_ratio, seeds, rtt=rtt)
-        for rtt in rtts
-    ]
+    return _run_variants(
+        [
+            (
+                f"rtt={rtt * 1e3:.0f}ms",
+                _variant_configs(drop_ratio, seeds, rtt=rtt),
+            )
+            for rtt in rtts
+        ]
+    )
 
 
 def feedback_interval_sensitivity(
@@ -127,15 +157,17 @@ def feedback_interval_sensitivity(
     seeds: tuple[int, ...] = (1, 2, 3),
 ) -> list[AblationRow]:
     """Ablation C2: TWCC cadence bounds reaction time."""
-    return [
-        _run_variant(
-            f"fb={interval * 1e3:.0f}ms",
-            drop_ratio,
-            seeds,
-            feedback_interval=interval,
-        )
-        for interval in intervals
-    ]
+    return _run_variants(
+        [
+            (
+                f"fb={interval * 1e3:.0f}ms",
+                _variant_configs(
+                    drop_ratio, seeds, feedback_interval=interval
+                ),
+            )
+            for interval in intervals
+        ]
+    )
 
 
 def queue_depth_sensitivity(
@@ -149,29 +181,27 @@ def queue_depth_sensitivity(
     buffers absorb more overload as latency (taller baseline spikes,
     no loss); shallow buffers convert it to loss and PLI storms.
     """
-    out = []
-    start, end = scenarios.DROP_WINDOW
+    batch: list[SessionConfig] = []
     for depth in queue_bytes:
-        rows = {}
         for policy in (PolicyName.WEBRTC, PolicyName.ADAPTIVE):
-            lat, p95, ssim = [], [], []
             for seed in seeds:
                 config = scenarios.step_drop_config(drop_ratio, seed=seed)
                 network = dataclasses.replace(
                     config.network, queue_bytes=depth
                 )
-                config = dataclasses.replace(
-                    config, network=network, policy=policy
+                batch.append(
+                    dataclasses.replace(
+                        config, network=network, policy=policy
+                    )
                 )
-                result = run_session(config)
-                lat.append(result.mean_latency(start, end))
-                p95.append(result.percentile_latency(95, start, end))
-                ssim.append(result.mean_displayed_ssim())
-            rows[policy] = AblationRow(
-                variant=f"{depth // 1000}KB/{policy.value}",
-                mean_latency=float(np.mean(lat)),
-                p95_latency=float(np.mean(p95)),
-                mean_ssim=float(np.mean(ssim)),
+    results = iter(run_many(batch))
+    out = []
+    for depth in queue_bytes:
+        rows = {}
+        for policy in (PolicyName.WEBRTC, PolicyName.ADAPTIVE):
+            rows[policy] = _averaged_row(
+                f"{depth // 1000}KB/{policy.value}",
+                [next(results) for _ in seeds],
             )
         out.append(
             (
@@ -190,26 +220,24 @@ def content_sensitivity(
     """Ablation D2: the adaptive win across content classes."""
     from ..traces.content import ContentClass
 
-    out = []
-    start, end = scenarios.DROP_WINDOW
+    batch: list[SessionConfig] = []
     for content in ContentClass:
-        rows = {}
         for policy in (PolicyName.WEBRTC, PolicyName.ADAPTIVE):
-            lat, p95, ssim = [], [], []
             for seed in seeds:
                 config = scenarios.step_drop_config(
                     drop_ratio, seed=seed, content=content
                 )
-                config = dataclasses.replace(config, policy=policy)
-                result = run_session(config)
-                lat.append(result.mean_latency(start, end))
-                p95.append(result.percentile_latency(95, start, end))
-                ssim.append(result.mean_displayed_ssim())
-            rows[policy] = AblationRow(
-                variant=f"{content.value}/{policy.value}",
-                mean_latency=float(np.mean(lat)),
-                p95_latency=float(np.mean(p95)),
-                mean_ssim=float(np.mean(ssim)),
+                batch.append(
+                    dataclasses.replace(config, policy=policy)
+                )
+    results = iter(run_many(batch))
+    out = []
+    for content in ContentClass:
+        rows = {}
+        for policy in (PolicyName.WEBRTC, PolicyName.ADAPTIVE):
+            rows[policy] = _averaged_row(
+                f"{content.value}/{policy.value}",
+                [next(results) for _ in seeds],
             )
         out.append(
             (

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..pipeline.config import PolicyName
-from ..pipeline.runner import run_session
+from ..pipeline.parallel import run_many
 from . import scenarios
 
 ALL_POLICIES = (
@@ -46,14 +46,20 @@ def run_comparison(
 ) -> list[PolicyRow]:
     """Run every policy on the same scenario points."""
     start, end = scenarios.DROP_WINDOW
+    batch = [
+        dataclasses.replace(
+            scenarios.step_drop_config(drop_ratio, seed=seed),
+            policy=policy,
+        )
+        for policy in policies
+        for seed in seeds
+    ]
+    results = iter(run_many(batch))
     rows = []
     for policy in policies:
         lat, p95, peak, ssim, freeze, pli = [], [], [], [], [], []
         for seed in seeds:
-            config = scenarios.step_drop_config(drop_ratio, seed=seed)
-            result = run_session(
-                dataclasses.replace(config, policy=policy)
-            )
+            result = next(results)
             lat.append(result.mean_latency(start, end))
             p95.append(result.percentile_latency(95, start, end))
             peak.append(result.peak_latency(start, end))

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..pipeline.config import NetworkConfig, PolicyName, SessionConfig
-from ..pipeline.runner import run_session
+from ..pipeline.parallel import run_many
 from ..traces.bandwidth import BandwidthTrace
 from ..units import mbps
 from . import scenarios
@@ -43,8 +43,7 @@ def _averaged_row(
 ) -> ExtensionRow:
     start, end = window if window else (None, None)
     lat, p95, ssim, freeze, pli = [], [], [], [], []
-    for config in configs:
-        result = run_session(config)
+    for result in run_many(configs):
         lat.append(result.mean_latency(start, end))
         p95.append(result.percentile_latency(95, start, end))
         ssim.append(result.mean_displayed_ssim())
@@ -160,21 +159,26 @@ def fast_recovery_comparison(
     drop_ratio: float = 0.2, seeds: tuple[int, ...] = (1, 2, 3)
 ) -> list[RecoveryRow]:
     """Ext. H: AIMD-only vs probing, measured after capacity returns."""
+    variants = ((False, "AIMD ramp"), (True, "fast probe"))
+    batch = [
+        dataclasses.replace(
+            scenarios.step_drop_config(drop_ratio, seed=seed),
+            policy=PolicyName.ADAPTIVE,
+            duration=35.0,
+            adaptive=dataclasses.replace(
+                scenarios.ADAPTIVE_TUNING,
+                enable_fast_recovery=enabled,
+            ),
+        )
+        for enabled, _ in variants
+        for seed in seeds
+    ]
+    results = iter(run_many(batch))
     rows = []
-    for enabled, label in ((False, "AIMD ramp"), (True, "fast probe")):
+    for enabled, label in variants:
         bitrate, latency, ssim = [], [], []
-        for seed in seeds:
-            config = scenarios.step_drop_config(drop_ratio, seed=seed)
-            config = dataclasses.replace(
-                config,
-                policy=PolicyName.ADAPTIVE,
-                duration=35.0,
-                adaptive=dataclasses.replace(
-                    scenarios.ADAPTIVE_TUNING,
-                    enable_fast_recovery=enabled,
-                ),
-            )
-            result = run_session(config)
+        for _ in seeds:
+            result = next(results)
             bitrate.append(result.sent_bitrate_bps(25, 35))
             latency.append(result.mean_latency(25, 35))
             ssim.append(result.mean_displayed_ssim(25, 35))
@@ -203,15 +207,22 @@ def audio_impact(
     drop_ratio: float = 0.2, seeds: tuple[int, ...] = (1, 2, 3)
 ) -> list[AudioRow]:
     """Ext. I: what the video overload does to the audio flow."""
+    policies = (PolicyName.WEBRTC, PolicyName.ADAPTIVE)
+    batch = [
+        dataclasses.replace(
+            scenarios.step_drop_config(drop_ratio, seed=seed),
+            policy=policy,
+            enable_audio=True,
+        )
+        for policy in policies
+        for seed in seeds
+    ]
+    results = iter(run_many(batch))
     rows = []
-    for policy in (PolicyName.WEBRTC, PolicyName.ADAPTIVE):
+    for policy in policies:
         steady, drop, loss = [], [], []
-        for seed in seeds:
-            config = scenarios.step_drop_config(drop_ratio, seed=seed)
-            config = dataclasses.replace(
-                config, policy=policy, enable_audio=True
-            )
-            result = run_session(config)
+        for _ in seeds:
+            result = next(results)
             steady.append(result.mean_audio_latency(2, 9))
             drop.append(
                 result.mean_audio_latency(*scenarios.DROP_WINDOW)

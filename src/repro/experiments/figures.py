@@ -14,8 +14,8 @@ import numpy as np
 
 from ..metrics.latency import cdf
 from ..pipeline.config import PolicyName, SessionConfig
+from ..pipeline.parallel import run_many
 from ..pipeline.results import SessionResult
-from ..pipeline.runner import run_session
 from . import scenarios
 
 
@@ -46,8 +46,8 @@ def figure1(
 ) -> dict[str, Series]:
     """Baseline timeline: capacity, CC target, and frame latency."""
     config = scenarios.step_drop_config(drop_ratio, seed=seed)
-    result = run_session(
-        dataclasses.replace(config, policy=PolicyName.WEBRTC)
+    [result] = run_many(
+        [dataclasses.replace(config, policy=PolicyName.WEBRTC)]
     )
     capacity = Series(name="capacity")
     target = Series(name="gcc_target")
@@ -71,11 +71,11 @@ def figure2(
 ) -> dict[str, Series]:
     """Latency over time for both policies on the same drop."""
     config = scenarios.step_drop_config(drop_ratio, seed=seed)
-    base = run_session(
-        dataclasses.replace(config, policy=PolicyName.WEBRTC)
-    )
-    adap = run_session(
-        dataclasses.replace(config, policy=PolicyName.ADAPTIVE)
+    base, adap = run_many(
+        [
+            dataclasses.replace(config, policy=PolicyName.WEBRTC),
+            dataclasses.replace(config, policy=PolicyName.ADAPTIVE),
+        ]
     )
     return {
         "baseline": _latency_timeline(base),
@@ -89,9 +89,12 @@ def figure2(
 def figure3(seed: int = 1) -> dict[str, Series]:
     """Per-frame latency CDFs across five drops of mixed severity."""
     config = scenarios.multi_drop_config(seed=seed)
+    policies = (PolicyName.WEBRTC, PolicyName.ADAPTIVE)
+    results = run_many(
+        [dataclasses.replace(config, policy=p) for p in policies]
+    )
     out: dict[str, Series] = {}
-    for policy in (PolicyName.WEBRTC, PolicyName.ADAPTIVE):
-        result = run_session(dataclasses.replace(config, policy=policy))
+    for policy, result in zip(policies, results):
         values, probs = cdf(result.latencies())
         out[policy.value] = Series(
             name=f"latency_cdf[{policy.value}]",
@@ -112,16 +115,23 @@ def figure4(
     start, end = scenarios.DROP_WINDOW
     reduction = Series(name="latency_reduction_pct")
     ssim_change = Series(name="ssim_change_pct")
+    batch: list[SessionConfig] = []
     for ratio in ratios:
-        reds, dss = [], []
         for seed in seeds:
             config = scenarios.step_drop_config(ratio, seed=seed)
-            base = run_session(
+            batch.append(
                 dataclasses.replace(config, policy=PolicyName.WEBRTC)
             )
-            adap = run_session(
+            batch.append(
                 dataclasses.replace(config, policy=PolicyName.ADAPTIVE)
             )
+    results = run_many(batch)
+    cursor = 0
+    for ratio in ratios:
+        reds, dss = [], []
+        for _ in seeds:
+            base, adap = results[cursor], results[cursor + 1]
+            cursor += 2
             reds.append(
                 (1 - adap.mean_latency(start, end)
                  / base.mean_latency(start, end)) * 100

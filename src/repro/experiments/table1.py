@@ -17,8 +17,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..pipeline.config import PolicyName
-from ..pipeline.runner import run_session
+from ..pipeline.config import PolicyName, SessionConfig
+from ..pipeline.parallel import run_many
+from ..pipeline.results import SessionResult
 from . import scenarios
 
 
@@ -38,21 +39,31 @@ class Table1Row:
     adaptive_pli: float
 
 
-def run_row(
+def _row_configs(
     drop_ratio: float,
-    seeds: tuple[int, ...] = scenarios.TABLE1_SEEDS,
-    baseline: PolicyName = PolicyName.WEBRTC,
+    seeds: tuple[int, ...],
+    baseline: PolicyName,
+) -> list[SessionConfig]:
+    """The (baseline, adaptive) config pairs for one severity point."""
+    configs = []
+    for seed in seeds:
+        config = scenarios.step_drop_config(drop_ratio, seed=seed)
+        configs.append(dataclasses.replace(config, policy=baseline))
+        configs.append(
+            dataclasses.replace(config, policy=PolicyName.ADAPTIVE)
+        )
+    return configs
+
+
+def _row_from_results(
+    drop_ratio: float, results: list[SessionResult]
 ) -> Table1Row:
-    """Compute one table row, averaging the given seeds."""
+    """Average one severity point's (baseline, adaptive) result pairs."""
     start, end = scenarios.DROP_WINDOW
     base_lat, adap_lat, base_ssim, adap_ssim = [], [], [], []
     base_pli, adap_pli = [], []
-    for seed in seeds:
-        config = scenarios.step_drop_config(drop_ratio, seed=seed)
-        base = run_session(dataclasses.replace(config, policy=baseline))
-        adap = run_session(
-            dataclasses.replace(config, policy=PolicyName.ADAPTIVE)
-        )
+    for i in range(0, len(results), 2):
+        base, adap = results[i], results[i + 1]
         base_lat.append(base.mean_latency(start, end))
         adap_lat.append(adap.mean_latency(start, end))
         base_ssim.append(base.mean_displayed_ssim())
@@ -77,12 +88,38 @@ def run_row(
     )
 
 
+def run_row(
+    drop_ratio: float,
+    seeds: tuple[int, ...] = scenarios.TABLE1_SEEDS,
+    baseline: PolicyName = PolicyName.WEBRTC,
+) -> Table1Row:
+    """Compute one table row, averaging the given seeds."""
+    results = run_many(_row_configs(drop_ratio, seeds, baseline))
+    return _row_from_results(drop_ratio, results)
+
+
 def run_table(
     ratios: tuple[float, ...] = scenarios.TABLE1_DROP_RATIOS,
     seeds: tuple[int, ...] = scenarios.TABLE1_SEEDS,
+    baseline: PolicyName = PolicyName.WEBRTC,
 ) -> list[Table1Row]:
-    """Compute the full headline table."""
-    return [run_row(ratio, seeds) for ratio in ratios]
+    """Compute the full headline table.
+
+    All ``len(ratios) × len(seeds) × 2`` sessions go through one
+    :func:`run_many` batch, so a configured worker pool parallelizes
+    the entire table regeneration.
+    """
+    batch: list[SessionConfig] = []
+    spans: list[tuple[float, int, int]] = []
+    for ratio in ratios:
+        configs = _row_configs(ratio, seeds, baseline)
+        spans.append((ratio, len(batch), len(batch) + len(configs)))
+        batch.extend(configs)
+    results = run_many(batch)
+    return [
+        _row_from_results(ratio, results[lo:hi])
+        for ratio, lo, hi in spans
+    ]
 
 
 def format_table(rows: list[Table1Row]) -> str:

@@ -3,6 +3,7 @@
 from .config import NetworkConfig, PolicyName, SessionConfig, VideoConfig
 from .flow import MediaFlow
 from .multiflow import MultiFlowSession, jain_fairness
+from .parallel import ResultCache, config_hash, configure, run_many
 from .results import FrameOutcome, SessionResult, TimeseriesSample
 from .runner import run_policies, run_repetitions, run_session
 from .session import RtcSession
@@ -15,13 +16,17 @@ __all__ = [
     "MultiFlowSession",
     "NetworkConfig",
     "PolicyName",
+    "ResultCache",
     "RtcSession",
     "SessionConfig",
     "SessionResult",
     "TimeseriesSample",
     "VideoConfig",
     "compare_point",
+    "config_hash",
+    "configure",
     "jain_fairness",
+    "run_many",
     "run_policies",
     "run_repetitions",
     "run_session",

@@ -1,0 +1,357 @@
+"""Parallel session execution with persistent result caching.
+
+Every evaluation artifact in this repo — Table 1, the figures, the
+ablations and extensions — is a batch of independent, deterministic
+:func:`~repro.pipeline.runner.run_session` calls. This module gives that
+shape a first-class API:
+
+* :func:`run_many` maps a batch of :class:`SessionConfig`s to
+  :class:`SessionResult`s through a pluggable executor backend
+  (:class:`SerialBackend` or a ``ProcessPoolExecutor``-based
+  :class:`ProcessBackend`);
+* :class:`ResultCache` persists results on disk keyed by a stable
+  content hash of the config (dataclass → canonical JSON → sha256), so
+  re-running an experiment with an unchanged config is a file read.
+
+Determinism is the contract: each session owns its own seeded RNG and
+scheduler, so parallel and cached results are **bit-identical** to a
+serial fresh run (enforced by ``tests/integration/test_parallel_exec.py``).
+
+Example::
+
+    from repro.pipeline.parallel import ResultCache, run_many
+
+    cache = ResultCache.default()
+    results = run_many(configs, workers=8, cache=cache)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Callable, Iterable, Protocol, Sequence
+
+from ..errors import ConfigError
+from ..traces.bandwidth import BandwidthTrace
+from .config import SessionConfig
+from .results import SessionResult
+from .session import RtcSession
+
+#: Bumped whenever the serialized result layout or the simulation's
+#: observable outputs change; stale cache entries are simply missed.
+CACHE_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Config canonicalization and hashing
+# ----------------------------------------------------------------------
+def config_to_dict(value: object) -> object:
+    """Recursively convert a config object to JSON-ready primitives.
+
+    Handles dataclasses, enums, :class:`BandwidthTrace` (encoded as its
+    breakpoint list), tuples/lists, and scalars. The output is stable:
+    the same config always maps to the same structure.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: config_to_dict(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, BandwidthTrace):
+        return {"__bandwidth_trace__": [
+            [float(t), float(r)] for t, r in value.breakpoints()
+        ]}
+    if isinstance(value, (tuple, list)):
+        return [config_to_dict(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ConfigError(
+        f"cannot canonicalize {type(value).__name__!r} for hashing"
+    )
+
+
+def canonical_json(config: SessionConfig) -> str:
+    """The config as deterministic JSON (sorted keys, no whitespace)."""
+    return json.dumps(
+        config_to_dict(config),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=True,
+    )
+
+
+def config_hash(config: SessionConfig) -> str:
+    """Stable sha256 content hash of a session config.
+
+    The hash also covers the cache schema version, so serialized-layout
+    changes invalidate old entries automatically.
+    """
+    payload = f"v{CACHE_SCHEMA_VERSION}:{canonical_json(config)}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Persistent result cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """On-disk store of :class:`SessionResult`s keyed by config hash.
+
+    Entries are JSON files named ``<sha256>.json`` under ``root``.
+    Writes are atomic (temp file + rename) so concurrent workers and
+    interrupted runs never leave a torn entry.
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+
+    @staticmethod
+    def default_dir() -> Path:
+        """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-rtc``."""
+        env = os.environ.get("REPRO_CACHE_DIR")
+        if env:
+            return Path(env)
+        return Path.home() / ".cache" / "repro-rtc"
+
+    @classmethod
+    def default(cls) -> "ResultCache":
+        """Cache at the default location."""
+        return cls(cls.default_dir())
+
+    # ------------------------------------------------------------------
+    def path_for(self, config: SessionConfig) -> Path:
+        """Entry path for a config."""
+        return self.root / f"{config_hash(config)}.json"
+
+    def get(self, config: SessionConfig) -> SessionResult | None:
+        """Load the cached result for ``config``, or ``None`` on miss.
+
+        Unreadable or schema-mismatched entries count as misses.
+        """
+        path = self.path_for(config)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if entry.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        try:
+            return SessionResult.from_dict(entry["result"])
+        except (KeyError, TypeError):
+            return None
+
+    def put(self, config: SessionConfig, result: SessionResult) -> Path:
+        """Store ``result`` under ``config``'s hash (atomically)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(config)
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "config": config_to_dict(config),
+            "result": result.to_dict(),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete all entries; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+# ----------------------------------------------------------------------
+# Executor backends
+# ----------------------------------------------------------------------
+def _run_session_to_dict(config: SessionConfig) -> dict:
+    """Worker entry point: run one session, return its serialized form.
+
+    Returning plain dicts (not the result object) keeps the
+    parent/worker boundary robust: only JSON-ready primitives cross it,
+    and the parent reconstructs through the same
+    :meth:`SessionResult.from_dict` path the cache uses.
+    """
+    return RtcSession(config).run().to_dict()
+
+
+class Executor(Protocol):
+    """Maps a batch of configs to results, preserving input order."""
+
+    def run(
+        self, configs: Sequence[SessionConfig]
+    ) -> list[SessionResult]: ...
+
+
+class SerialBackend:
+    """In-process execution, one config at a time."""
+
+    def run(
+        self, configs: Sequence[SessionConfig]
+    ) -> list[SessionResult]:
+        return [RtcSession(config).run() for config in configs]
+
+
+class ProcessBackend:
+    """``ProcessPoolExecutor`` execution across ``workers`` processes.
+
+    Results come back as serialized dicts and are rebuilt in the
+    parent, so the output is bit-identical to the cache-hit path and
+    to a serial run (sessions are fully deterministic per config).
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers!r}")
+        self.workers = workers
+
+    def run(
+        self, configs: Sequence[SessionConfig]
+    ) -> list[SessionResult]:
+        if not configs:
+            return []
+        chunksize = max(1, len(configs) // (self.workers * 4))
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            payloads = pool.map(
+                _run_session_to_dict, configs, chunksize=chunksize
+            )
+            return [SessionResult.from_dict(p) for p in payloads]
+
+
+def make_backend(workers: int) -> Executor:
+    """Serial backend for ``workers <= 1``, process pool otherwise."""
+    if workers <= 1:
+        return SerialBackend()
+    return ProcessBackend(workers)
+
+
+# ----------------------------------------------------------------------
+# Batch API and process-wide execution defaults
+# ----------------------------------------------------------------------
+_UNSET = object()
+
+
+@dataclasses.dataclass
+class ExecutionContext:
+    """Process-wide defaults consulted by :func:`run_many`.
+
+    The experiment drivers call :func:`run_many` without execution
+    arguments; the CLI (or a script) points these defaults at a worker
+    pool and a cache once, and every layer underneath inherits them.
+    """
+
+    workers: int = 1
+    cache: ResultCache | None = None
+
+
+_context = ExecutionContext()
+
+
+def configure(
+    workers: int | None = None,
+    cache: ResultCache | None | object = _UNSET,
+) -> ExecutionContext:
+    """Set process-wide execution defaults; returns the live context."""
+    if workers is not None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers!r}")
+        _context.workers = workers
+    if cache is not _UNSET:
+        _context.cache = cache  # type: ignore[assignment]
+    return _context
+
+
+def execution_context() -> ExecutionContext:
+    """The live process-wide defaults (mutable)."""
+    return _context
+
+
+def run_many(
+    configs: Iterable[SessionConfig],
+    workers: int | None = None,
+    cache: ResultCache | None | object = _UNSET,
+    progress: Callable[[int, int], None] | None = None,
+) -> list[SessionResult]:
+    """Run a batch of session configs; results in input order.
+
+    Cached results are loaded first; only misses are executed (serially
+    for ``workers <= 1``, in a process pool otherwise) and then stored
+    back. ``workers``/``cache`` default to the process-wide context set
+    via :func:`configure` (serial, no cache, out of the box).
+
+    Args:
+        configs: session configs to run.
+        workers: process count; ``None`` uses the configured default.
+        cache: a :class:`ResultCache`, or ``None`` to disable caching;
+            leave unset to use the configured default.
+        progress: optional ``callback(done, total)`` fired after the
+            cache scan and after the execution phase.
+
+    Returns:
+        One :class:`SessionResult` per config, aligned with the input.
+    """
+    batch = list(configs)
+    effective_workers = (
+        workers if workers is not None else _context.workers
+    )
+    effective_cache = (
+        _context.cache if cache is _UNSET else cache
+    )
+
+    results: list[SessionResult | None] = [None] * len(batch)
+    misses: list[int] = []
+    if effective_cache is not None:
+        for index, config in enumerate(batch):
+            hit = effective_cache.get(config)
+            if hit is not None:
+                results[index] = hit
+            else:
+                misses.append(index)
+    else:
+        misses = list(range(len(batch)))
+
+    if progress is not None:
+        progress(len(batch) - len(misses), len(batch))
+
+    if misses:
+        backend = make_backend(effective_workers)
+        fresh = backend.run([batch[i] for i in misses])
+        for index, result in zip(misses, fresh):
+            results[index] = result
+            if effective_cache is not None:
+                effective_cache.put(batch[index], result)
+
+    if progress is not None:
+        progress(len(batch), len(batch))
+
+    return results  # type: ignore[return-value]

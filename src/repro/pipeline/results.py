@@ -106,6 +106,93 @@ class SessionResult:
     audio_received: int = 0
 
     # ------------------------------------------------------------------
+    # Serialization (lossless: used by the result cache and the
+    # process-pool boundary in :mod:`repro.pipeline.parallel`)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """The full result as JSON-ready primitives.
+
+        Every numeric is coerced to a builtin ``int``/``float`` so the
+        payload serializes identically regardless of whether a field
+        was produced as a numpy scalar; JSON round-trips Python floats
+        exactly, making :meth:`from_dict` lossless.
+        """
+        return {
+            "policy": self.policy,
+            "seed": int(self.seed),
+            "fps": float(self.fps),
+            "frames": [
+                {
+                    "index": int(f.index),
+                    "capture_time": float(f.capture_time),
+                    "skipped": bool(f.skipped),
+                    "frame_type": f.frame_type,
+                    "qp": float(f.qp),
+                    "size_bytes": int(f.size_bytes),
+                    "encoded_ssim": float(f.encoded_ssim),
+                    "psnr": float(f.psnr),
+                    "complexity": float(f.complexity),
+                    "motion": float(f.motion),
+                    "complete_time": (
+                        None if f.complete_time is None
+                        else float(f.complete_time)
+                    ),
+                    "display_time": (
+                        None if f.display_time is None
+                        else float(f.display_time)
+                    ),
+                    "lost": bool(f.lost),
+                    "undecodable": bool(f.undecodable),
+                    "displayed_ssim": float(f.displayed_ssim),
+                }
+                for f in self.frames
+            ],
+            "timeseries": [
+                {
+                    "time": float(s.time),
+                    "target_bps": float(s.target_bps),
+                    "acked_bps": (
+                        None if s.acked_bps is None else float(s.acked_bps)
+                    ),
+                    "capacity_bps": float(s.capacity_bps),
+                    "pacer_queue_delay": float(s.pacer_queue_delay),
+                    "network_queue_delay": float(s.network_queue_delay),
+                    "link_backlog_bytes": int(s.link_backlog_bytes),
+                }
+                for s in self.timeseries
+            ],
+            "drop_events": [float(t) for t in self.drop_events],
+            "pli_count": int(self.pli_count),
+            "finalized": bool(self.finalized),
+            "audio_latencies": [
+                [float(t), float(lat)] for t, lat in self.audio_latencies
+            ],
+            "audio_sent": int(self.audio_sent),
+            "audio_received": int(self.audio_received),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionResult":
+        """Rebuild a result previously produced by :meth:`to_dict`."""
+        return cls(
+            policy=data["policy"],
+            seed=data["seed"],
+            fps=data["fps"],
+            frames=[FrameOutcome(**f) for f in data["frames"]],
+            timeseries=[
+                TimeseriesSample(**s) for s in data["timeseries"]
+            ],
+            drop_events=list(data["drop_events"]),
+            pli_count=data["pli_count"],
+            finalized=data["finalized"],
+            audio_latencies=[
+                (t, lat) for t, lat in data["audio_latencies"]
+            ],
+            audio_sent=data["audio_sent"],
+            audio_received=data["audio_received"],
+        )
+
+    # ------------------------------------------------------------------
     def finalize(self) -> None:
         """Compute displayed quality with freeze accounting."""
         last_ssim: float | None = None

@@ -2,7 +2,9 @@
 
 Sweeps power the figure-style experiments: vary one knob (drop severity,
 RTT, detector settings), run baseline + adaptive per point, and collect
-comparison rows.
+comparison rows. All sessions of a sweep are submitted as one batch
+through :func:`repro.pipeline.parallel.run_many`, so a configured worker
+pool parallelizes across sweep points and policies at once.
 """
 
 from __future__ import annotations
@@ -12,8 +14,20 @@ from dataclasses import dataclass
 from typing import Callable
 
 from .config import PolicyName, SessionConfig
+from .parallel import run_many
 from .results import SessionResult
-from .runner import run_session
+
+
+def _safe_ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with NaN on a zero denominator.
+
+    Degenerate scenarios (e.g. every baseline frame frozen) can yield
+    zero-valued metrics; comparisons against them are undefined, not an
+    error.
+    """
+    if denominator == 0.0:
+        return float("nan")
+    return numerator / denominator
 
 
 @dataclass(frozen=True)
@@ -34,31 +48,34 @@ class ComparisonRow:
 
     @property
     def latency_reduction(self) -> float:
-        """Fractional mean-latency reduction (0.3 = 30% lower)."""
-        return 1.0 - self.adaptive_latency / self.baseline_latency
+        """Fractional mean-latency reduction (0.3 = 30% lower).
+
+        NaN when the baseline latency is zero (degenerate scenario).
+        """
+        return 1.0 - _safe_ratio(
+            self.adaptive_latency, self.baseline_latency
+        )
 
     @property
     def p95_latency_reduction(self) -> float:
-        """Fractional p95-latency reduction."""
-        return 1.0 - self.adaptive_p95_latency / self.baseline_p95_latency
+        """Fractional p95-latency reduction (NaN on a zero baseline)."""
+        return 1.0 - _safe_ratio(
+            self.adaptive_p95_latency, self.baseline_p95_latency
+        )
 
     @property
     def ssim_change(self) -> float:
-        """Fractional SSIM change (positive = adaptive better)."""
-        return self.adaptive_ssim / self.baseline_ssim - 1.0
+        """Fractional SSIM change, positive = adaptive better (NaN on a
+        zero baseline)."""
+        return _safe_ratio(self.adaptive_ssim, self.baseline_ssim) - 1.0
 
 
-def compare_point(
+def _row_from_results(
     label: str,
-    config: SessionConfig,
+    base: SessionResult,
+    adap: SessionResult,
     window: tuple[float, float],
-    baseline: PolicyName = PolicyName.WEBRTC,
 ) -> ComparisonRow:
-    """Run baseline and adaptive on one scenario point."""
-    base_cfg = dataclasses.replace(config, policy=baseline)
-    adap_cfg = dataclasses.replace(config, policy=PolicyName.ADAPTIVE)
-    base = run_session(base_cfg)
-    adap = run_session(adap_cfg)
     start, end = window
     return ComparisonRow(
         label=label,
@@ -71,15 +88,43 @@ def compare_point(
     )
 
 
+def compare_point(
+    label: str,
+    config: SessionConfig,
+    window: tuple[float, float],
+    baseline: PolicyName = PolicyName.WEBRTC,
+) -> ComparisonRow:
+    """Run baseline and adaptive on one scenario point."""
+    base, adap = run_many(
+        [
+            dataclasses.replace(config, policy=baseline),
+            dataclasses.replace(config, policy=PolicyName.ADAPTIVE),
+        ]
+    )
+    return _row_from_results(label, base, adap, window)
+
+
 def sweep(
     labels_and_configs: list[tuple[str, SessionConfig]],
     window: tuple[float, float],
     baseline: PolicyName = PolicyName.WEBRTC,
 ) -> list[ComparisonRow]:
-    """Compare baseline vs adaptive across many scenario points."""
+    """Compare baseline vs adaptive across many scenario points.
+
+    The whole sweep (2 sessions per point) runs as a single batch.
+    """
+    batch: list[SessionConfig] = []
+    for _, config in labels_and_configs:
+        batch.append(dataclasses.replace(config, policy=baseline))
+        batch.append(
+            dataclasses.replace(config, policy=PolicyName.ADAPTIVE)
+        )
+    results = run_many(batch)
     return [
-        compare_point(label, config, window, baseline)
-        for label, config in labels_and_configs
+        _row_from_results(
+            label, results[2 * i], results[2 * i + 1], window
+        )
+        for i, (label, _) in enumerate(labels_and_configs)
     ]
 
 
@@ -87,5 +132,5 @@ def sweep_metric(
     configs: list[SessionConfig],
     metric: Callable[[SessionResult], float],
 ) -> list[float]:
-    """Run each config and extract one scalar metric."""
-    return [metric(run_session(config)) for config in configs]
+    """Run each config (as one batch) and extract one scalar metric."""
+    return [metric(result) for result in run_many(configs)]

@@ -123,14 +123,24 @@ class Scheduler:
         if self._running:
             raise SchedulingError("run_until called re-entrantly")
         self._running = True
+        # Hot loop: fused peek/step — one cancelled-sweep and one
+        # heappop per event instead of two heap inspections (peek_time
+        # sweeps, then step sweeps and pops again).
+        heap = self._heap
+        clock = self.clock
+        pop = heapq.heappop
         try:
             while True:
-                next_time = self.peek_time()
-                if next_time is None or next_time > end_time:
+                while heap and heap[0].cancelled:
+                    pop(heap)
+                if not heap or heap[0].time > end_time:
                     break
-                self.step()
-            if end_time > self.clock.now:
-                self.clock.advance_to(end_time)
+                event = pop(heap)
+                clock.advance_to(event.time)
+                self._events_fired += 1
+                event.fire()
+            if end_time > clock.now:
+                clock.advance_to(end_time)
         finally:
             self._running = False
 

@@ -1,0 +1,79 @@
+"""Determinism of the parallel execution layer.
+
+The headline guarantee of :mod:`repro.pipeline.parallel`: results from a
+process pool and from the persistent cache are **bit-identical** to a
+serial fresh run of the same configs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.experiments import scenarios
+from repro.pipeline.config import PolicyName
+from repro.pipeline.parallel import ResultCache, run_many
+from repro.pipeline.runner import run_session
+
+
+def _batch():
+    """A small mixed batch: two policies x two seeds, short sessions."""
+    configs = []
+    for policy in (PolicyName.WEBRTC, PolicyName.ADAPTIVE):
+        for seed in (1, 2):
+            config = scenarios.step_drop_config(0.3, seed=seed)
+            configs.append(
+                dataclasses.replace(
+                    config, policy=policy, duration=4.0
+                )
+            )
+    return configs
+
+
+def _fingerprints(results):
+    return [
+        json.dumps(r.to_dict(), sort_keys=True) for r in results
+    ]
+
+
+def test_parallel_output_bit_identical_to_serial():
+    configs = _batch()
+    serial = run_many(configs, workers=1, cache=None)
+    parallel = run_many(configs, workers=2, cache=None)
+    assert _fingerprints(parallel) == _fingerprints(serial)
+
+
+def test_serial_run_many_matches_direct_run_session():
+    configs = _batch()
+    batched = run_many(configs, workers=1, cache=None)
+    direct = [run_session(c) for c in configs]
+    assert _fingerprints(batched) == _fingerprints(direct)
+
+
+def test_cache_hit_bit_identical_to_fresh_run(tmp_path):
+    configs = _batch()
+    cache = ResultCache(tmp_path)
+    fresh = run_many(configs, workers=1, cache=cache)
+    assert len(cache) == len(configs)
+    warm = run_many(configs, workers=1, cache=cache)
+    assert _fingerprints(warm) == _fingerprints(fresh)
+    # And the cache-populated-by-parallel path agrees too.
+    warm_parallel = run_many(configs, workers=2, cache=cache)
+    assert _fingerprints(warm_parallel) == _fingerprints(fresh)
+
+
+def test_parallel_cache_and_serial_agree_from_cold(tmp_path):
+    configs = _batch()
+    cold = run_many(
+        configs, workers=2, cache=ResultCache(tmp_path / "cold")
+    )
+    serial = run_many(configs, workers=1, cache=None)
+    assert _fingerprints(cold) == _fingerprints(serial)
+
+
+def test_duplicate_configs_in_one_batch():
+    config = dataclasses.replace(
+        scenarios.step_drop_config(0.2, seed=5), duration=4.0
+    )
+    results = run_many([config, config], workers=2, cache=None)
+    assert _fingerprints(results)[0] == _fingerprints(results)[1]

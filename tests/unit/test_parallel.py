@@ -1,0 +1,269 @@
+"""Config hashing, the result cache, and result serialization."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import scenarios
+from repro.pipeline.config import PolicyName, SessionConfig
+from repro.pipeline.parallel import (
+    CACHE_SCHEMA_VERSION,
+    ProcessBackend,
+    ResultCache,
+    SerialBackend,
+    canonical_json,
+    config_hash,
+    config_to_dict,
+    configure,
+    execution_context,
+    make_backend,
+    run_many,
+)
+from repro.pipeline.results import (
+    FrameOutcome,
+    SessionResult,
+    TimeseriesSample,
+)
+from repro.pipeline.runner import run_session
+
+
+def short_config(seed: int = 1, **overrides) -> SessionConfig:
+    config = scenarios.step_drop_config(0.2, seed=seed)
+    return dataclasses.replace(config, duration=4.0, **overrides)
+
+
+# ----------------------------------------------------------------------
+# Canonicalization and hashing
+# ----------------------------------------------------------------------
+class TestConfigHash:
+    def test_stable_across_equal_configs(self):
+        assert config_hash(short_config()) == config_hash(short_config())
+
+    def test_copy_hashes_identically(self):
+        config = short_config()
+        assert config_hash(config) == config_hash(
+            dataclasses.replace(config)
+        )
+
+    def test_sensitive_to_every_layer(self):
+        config = short_config()
+        base = config_hash(config)
+        assert config_hash(short_config(seed=2)) != base
+        assert config_hash(
+            dataclasses.replace(config, policy=PolicyName.ADAPTIVE)
+        ) != base
+        deeper = dataclasses.replace(
+            config,
+            network=dataclasses.replace(
+                config.network, queue_bytes=99_000
+            ),
+        )
+        assert config_hash(deeper) != base
+
+    def test_trace_breakpoints_are_hashed(self):
+        config = short_config()
+        scaled = dataclasses.replace(
+            config,
+            network=dataclasses.replace(
+                config.network,
+                capacity=config.network.capacity.scaled(1.5),
+            ),
+        )
+        assert config_hash(scaled) != config_hash(config)
+
+    def test_canonical_json_is_deterministic_and_parseable(self):
+        text = canonical_json(short_config())
+        assert text == canonical_json(short_config())
+        payload = json.loads(text)
+        assert payload["policy"] == "webrtc"
+        assert "__bandwidth_trace__" in payload["network"]["capacity"]
+
+    def test_enum_and_tuple_encoding(self):
+        assert config_to_dict(PolicyName.ORACLE) == "oracle"
+        assert config_to_dict((1, (2.5, "x"))) == [1, [2.5, "x"]]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConfigError):
+            config_to_dict(object())
+
+
+# ----------------------------------------------------------------------
+# SessionResult serialization
+# ----------------------------------------------------------------------
+class TestResultSerialization:
+    def test_round_trip_exact(self):
+        result = run_session(
+            short_config(enable_nack=True, enable_audio=True)
+        )
+        rebuilt = SessionResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert rebuilt == result
+        # Bit-identical serialized form, not just dataclass equality.
+        assert json.dumps(rebuilt.to_dict(), sort_keys=True) == json.dumps(
+            result.to_dict(), sort_keys=True
+        )
+
+    def test_round_trip_preserves_collections(self):
+        result = SessionResult(
+            policy="adaptive",
+            seed=7,
+            fps=30.0,
+            frames=[
+                FrameOutcome(index=0, capture_time=0.0, skipped=True),
+                FrameOutcome(
+                    index=1,
+                    capture_time=1 / 30,
+                    frame_type="P",
+                    qp=31.5,
+                    size_bytes=4200,
+                    encoded_ssim=0.97,
+                    complete_time=0.08,
+                    display_time=0.09,
+                ),
+                FrameOutcome(
+                    index=2, capture_time=2 / 30, lost=True
+                ),
+            ],
+            timeseries=[
+                TimeseriesSample(0.1, 1e6, None, 2.5e6, 0.0, 0.01, 1500),
+            ],
+            drop_events=[10.0, 11.25],
+            pli_count=3,
+            audio_latencies=[(0.02, 0.031), (0.04, 0.029)],
+            audio_sent=2,
+            audio_received=2,
+        )
+        rebuilt = SessionResult.from_dict(result.to_dict())
+        assert rebuilt == result
+        assert rebuilt.audio_latencies[0] == (0.02, 0.031)
+        assert isinstance(rebuilt.audio_latencies[0], tuple)
+        assert rebuilt.frames[1].display_time == 0.09
+        assert rebuilt.frames[0].complete_time is None
+
+    def test_metrics_survive_round_trip(self):
+        result = run_session(short_config())
+        rebuilt = SessionResult.from_dict(result.to_dict())
+        assert rebuilt.mean_latency() == result.mean_latency()
+        assert (
+            rebuilt.mean_displayed_ssim() == result.mean_displayed_ssim()
+        )
+        assert rebuilt.freeze_fraction() == result.freeze_fraction()
+
+
+# ----------------------------------------------------------------------
+# Persistent cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = short_config()
+        assert cache.get(config) is None
+        fresh = run_session(config)
+        cache.put(config, fresh)
+        hit = cache.get(config)
+        assert hit == fresh
+
+    def test_hit_is_bit_identical_to_fresh_run(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = short_config()
+        fresh = run_session(config)
+        cache.put(config, fresh)
+        hit = cache.get(config)
+        assert json.dumps(hit.to_dict(), sort_keys=True) == json.dumps(
+            fresh.to_dict(), sort_keys=True
+        )
+
+    def test_entries_keyed_by_config(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a, b = short_config(seed=1), short_config(seed=2)
+        cache.put(a, run_session(a))
+        assert cache.get(b) is None
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = short_config()
+        cache.put(config, run_session(config))
+        cache.path_for(config).write_text("{not json", encoding="utf-8")
+        assert cache.get(config) is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = short_config()
+        cache.put(config, run_session(config))
+        path = cache.path_for(config)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(config) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = short_config()
+        cache.put(config, run_session(config))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.get(config) is None
+
+    def test_default_dir_honors_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        assert ResultCache.default_dir() == tmp_path / "alt"
+
+
+# ----------------------------------------------------------------------
+# run_many and the execution context
+# ----------------------------------------------------------------------
+class TestRunMany:
+    def test_empty_batch(self):
+        assert run_many([]) == []
+
+    def test_preserves_input_order(self):
+        configs = [short_config(seed=s) for s in (3, 1, 2)]
+        results = run_many(configs)
+        assert [r.seed for r in results] == [3, 1, 2]
+
+    def test_cache_used_across_batches(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = short_config()
+        first = run_many([config], cache=cache)
+        assert len(cache) == 1
+        second = run_many([config], cache=cache)
+        assert second[0] == first[0]
+
+    def test_progress_callback_reports_hits_and_total(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = short_config()
+        run_many([config], cache=cache)
+        calls = []
+        run_many(
+            [config, short_config(seed=9)],
+            cache=cache,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(1, 2), (2, 2)]
+
+    def test_backend_selection(self):
+        assert isinstance(make_backend(1), SerialBackend)
+        assert isinstance(make_backend(4), ProcessBackend)
+        with pytest.raises(ConfigError):
+            ProcessBackend(0)
+
+    def test_configure_sets_defaults(self, tmp_path):
+        original = execution_context()
+        before = (original.workers, original.cache)
+        try:
+            cache = ResultCache(tmp_path)
+            configure(workers=1, cache=cache)
+            run_many([short_config()])
+            assert len(cache) == 1
+        finally:
+            configure(workers=before[0], cache=before[1])
+
+    def test_configure_rejects_bad_workers(self):
+        with pytest.raises(ConfigError):
+            configure(workers=0)

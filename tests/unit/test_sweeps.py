@@ -1,0 +1,47 @@
+"""ComparisonRow arithmetic, including degenerate-baseline guards."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.pipeline.sweeps import ComparisonRow
+
+
+def make_row(**overrides) -> ComparisonRow:
+    values = dict(
+        label="point",
+        baseline_latency=0.4,
+        adaptive_latency=0.1,
+        baseline_p95_latency=0.8,
+        adaptive_p95_latency=0.2,
+        baseline_ssim=0.90,
+        adaptive_ssim=0.93,
+    )
+    values.update(overrides)
+    return ComparisonRow(**values)
+
+
+def test_reductions_on_normal_values():
+    row = make_row()
+    assert row.latency_reduction == pytest.approx(0.75)
+    assert row.p95_latency_reduction == pytest.approx(0.75)
+    assert row.ssim_change == pytest.approx(0.93 / 0.90 - 1.0)
+
+
+def test_zero_baseline_latency_yields_nan():
+    row = make_row(baseline_latency=0.0)
+    assert math.isnan(row.latency_reduction)
+    # The other properties are unaffected.
+    assert row.p95_latency_reduction == pytest.approx(0.75)
+
+
+def test_zero_baseline_p95_yields_nan():
+    assert math.isnan(
+        make_row(baseline_p95_latency=0.0).p95_latency_reduction
+    )
+
+
+def test_zero_baseline_ssim_yields_nan():
+    assert math.isnan(make_row(baseline_ssim=0.0).ssim_change)
