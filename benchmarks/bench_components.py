@@ -114,8 +114,8 @@ def test_bench_gcc_feedback_rate(benchmark):
     assert benchmark(process_1k_batches) > 0
 
 
-def test_bench_full_session(benchmark):
-    config = SessionConfig(
+def _session_config(enable_telemetry: bool = False) -> SessionConfig:
+    return SessionConfig(
         network=NetworkConfig(
             capacity=BandwidthTrace.constant(mbps(2)),
             queue_bytes=140_000,
@@ -123,8 +123,27 @@ def test_bench_full_session(benchmark):
         policy=PolicyName.ADAPTIVE,
         duration=10.0,
         seed=1,
+        enable_telemetry=enable_telemetry,
     )
+
+
+def test_bench_full_session(benchmark):
+    config = _session_config()
     result = benchmark.pedantic(
         lambda: run_session(config), rounds=3, iterations=1
     )
     assert len(result.frames) > 250
+
+
+def test_bench_full_session_with_telemetry(benchmark):
+    """Same session with the recorder on — compare against
+    ``test_bench_full_session`` to read the instrumentation overhead
+    (the acceptance bar is ~5% when disabled; enabled costs more, which
+    is fine because traced runs are opt-in)."""
+    config = _session_config(enable_telemetry=True)
+    result = benchmark.pedantic(
+        lambda: run_session(config), rounds=3, iterations=1
+    )
+    assert len(result.frames) > 250
+    assert result.traces is not None
+    assert len(result.traces.series_names()) >= 10

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from ...errors import ConfigError
 from ...rtp.feedback import PacketResult
+from ...telemetry.recorder import NULL_TELEMETRY, Telemetry
 from ..interface import AckedBitrateEstimator, CongestionController
 from .aimd import AimdRateControl
 from .arrival_filter import InterArrival
@@ -24,6 +25,13 @@ from .kalman import KalmanOveruseDetector
 from .loss_based import LossBasedEstimator
 from .overuse import BandwidthUsage, OveruseDetector
 from .trendline import TrendlineEstimator
+
+#: Numeric encoding of the detector state for the ``cc.usage`` probe.
+_USAGE_LEVEL = {
+    BandwidthUsage.UNDERUSE: -1.0,
+    BandwidthUsage.NORMAL: 0.0,
+    BandwidthUsage.OVERUSE: 1.0,
+}
 
 
 class GoogCcController(CongestionController):
@@ -36,6 +44,7 @@ class GoogCcController(CongestionController):
         max_bps: float = 30_000_000.0,
         base_rtt: float = 0.05,
         estimator: str = "trendline",
+        telemetry: Telemetry | None = None,
     ) -> None:
         if initial_bps <= 0:
             raise ConfigError("initial bitrate must be positive")
@@ -58,6 +67,7 @@ class GoogCcController(CongestionController):
         self.last_trend = 0.0
         self.last_loss_fraction = 0.0
         self._last_overuse_time: float | None = None
+        self._telemetry = telemetry or NULL_TELEMETRY
 
     # ------------------------------------------------------------------
     @property
@@ -100,6 +110,7 @@ class GoogCcController(CongestionController):
                     modified, sample.arrival_time
                 )
             self.last_trend = self._trendline.trend
+        previous_usage = self.last_usage
         self.last_usage = usage
         if usage is BandwidthUsage.OVERUSE:
             self._last_overuse_time = now
@@ -111,6 +122,22 @@ class GoogCcController(CongestionController):
         # above the delay-based one forever.
         if self._loss_based.target_bps() > 2.0 * self._aimd.target_bps():
             self._loss_based.set_estimate(2.0 * self._aimd.target_bps())
+
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            telemetry.probe("cc.target_bps", now, self.target_bps())
+            if acked is not None:
+                telemetry.probe("cc.acked_bps", now, acked)
+            telemetry.probe(
+                "cc.loss_fraction", now, self.last_loss_fraction
+            )
+            telemetry.probe("cc.trend", now, self.last_trend)
+            telemetry.probe("cc.usage", now, _USAGE_LEVEL[usage])
+            if (
+                usage is BandwidthUsage.OVERUSE
+                and previous_usage is not BandwidthUsage.OVERUSE
+            ):
+                telemetry.count("cc.overuse_transitions")
 
     # ------------------------------------------------------------------
     def force_estimate(self, bps: float) -> None:

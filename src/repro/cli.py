@@ -7,6 +7,8 @@ Subcommands:
 * ``table1`` — regenerate the headline table.
 * ``figure`` — print one figure's data series.
 * ``compare`` — all policies on one scenario.
+* ``trace`` — run one telemetry-enabled session and export its probe
+  series as JSONL or CSV (see ``docs/telemetry.md``).
 * ``cache`` — inspect or clear the persistent result cache.
 
 Global execution options (before the subcommand): ``--workers N`` fans
@@ -21,11 +23,13 @@ import argparse
 import dataclasses
 import sys
 
+from .errors import ConfigError, ReproError
 from .experiments import ablations, comparison, figures, scenarios, table1
 from .metrics.summary import format_series
 from .pipeline.config import PolicyName
 from .pipeline.parallel import ResultCache, configure
 from .pipeline.runner import run_session
+from .telemetry import export_text
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -142,6 +146,40 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    config = scenarios.step_drop_config(args.drop_ratio, seed=args.seed)
+    config = dataclasses.replace(
+        config,
+        policy=PolicyName(args.policy),
+        duration=args.duration,
+        enable_telemetry=True,
+    )
+    result = run_session(config)
+    assert result.traces is not None
+    if args.list:
+        for name in result.traces.series_names():
+            print(f"{name}  ({len(result.traces.series(name))} samples)")
+        return 0
+    try:
+        text = export_text(
+            result.traces, fmt=args.format, series=args.series or None
+        )
+    except ReproError as exc:  # unknown --series name
+        print(f"repro-rtc: error: {exc}", file=sys.stderr)
+        return 2
+    if args.output is None or args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"wrote {len(result.traces.series_names())} series to "
+            f"{args.output}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir or ResultCache.default_dir())
     if args.cache_action == "clear":
@@ -232,6 +270,43 @@ def build_parser() -> argparse.ArgumentParser:
     ext_p.add_argument("--seeds", type=int, default=3)
     ext_p.set_defaults(func=_cmd_extensions)
 
+    trace_p = sub.add_parser(
+        "trace",
+        help="run one telemetry-enabled session and export its traces",
+    )
+    trace_p.add_argument(
+        "--policy",
+        choices=[p.value for p in PolicyName],
+        default="adaptive",
+    )
+    trace_p.add_argument("--drop-ratio", type=float, default=0.2)
+    trace_p.add_argument("--duration", type=float, default=25.0)
+    trace_p.add_argument("--seed", type=int, default=1)
+    trace_p.add_argument(
+        "--format",
+        choices=["jsonl", "csv"],
+        default="jsonl",
+        help="export format (default: jsonl)",
+    )
+    trace_p.add_argument(
+        "--series",
+        action="append",
+        metavar="NAME",
+        help="export only this probe series (repeatable; default: all)",
+    )
+    trace_p.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="output file (default or '-': stdout)",
+    )
+    trace_p.add_argument(
+        "--list",
+        action="store_true",
+        help="list recorded series names instead of exporting",
+    )
+    trace_p.set_defaults(func=_cmd_trace)
+
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache"
     )
@@ -253,6 +328,16 @@ def main(argv: list[str] | None = None) -> int:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or ResultCache.default_dir())
+        try:
+            cache.ensure_writable()
+        except ConfigError as exc:
+            print(f"repro-rtc: error: {exc}", file=sys.stderr)
+            print(
+                "repro-rtc: hint: pass --cache-dir WRITABLE_PATH or "
+                "--no-cache",
+                file=sys.stderr,
+            )
+            return 2
     configure(workers=max(1, args.workers), cache=cache)
     return args.func(args)
 

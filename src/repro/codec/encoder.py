@@ -18,8 +18,9 @@ Control surface used by the adaptation strategies:
 
 from __future__ import annotations
 
-from ..errors import CodecError, ConfigError
+from ..errors import ConfigError
 from ..simcore.rng import RngStreams
+from ..telemetry.recorder import NULL_TELEMETRY, Telemetry
 from .frames import EncodedFrame, FrameType
 from .model import RateDistortionModel
 from .ratecontrol import RateControlConfig, X264RateControl
@@ -41,6 +42,7 @@ class SimulatedEncoder:
         size_noise_sigma: float = 0.08,
         temporal_layers: int = 1,
         stream: str = "encoder-noise",
+        telemetry: Telemetry | None = None,
     ) -> None:
         if size_noise_sigma < 0:
             raise ConfigError("size_noise_sigma must be >= 0")
@@ -68,6 +70,7 @@ class SimulatedEncoder:
         self._next_qp_override: float | None = None
         self._resolution_scale = 1.0
         self._target_scale = 1.0
+        self._telemetry = telemetry or NULL_TELEMETRY
 
     # ------------------------------------------------------------------
     # Control surface
@@ -177,6 +180,27 @@ class SimulatedEncoder:
             0 if frame_type is FrameType.I else self._frames_since_key + 1
         )
 
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            telemetry.probe("encoder.qp", now, qp)
+            telemetry.probe("encoder.frame_bytes", now, size_bytes)
+            telemetry.probe(
+                "encoder.target_frame_bytes",
+                now,
+                self.rate_control.target_bps / self._fps / 8.0,
+            )
+            telemetry.probe(
+                "encoder.target_bps", now, self.rate_control.target_bps
+            )
+            telemetry.probe(
+                "encoder.vbv_fullness",
+                now,
+                self.rate_control.vbv_fullness,
+            )
+            telemetry.count("encoder.frames")
+            if frame_type is FrameType.I:
+                telemetry.count("encoder.keyframes")
+
         return EncodedFrame(
             index=captured.index,
             capture_time=captured.capture_time,
@@ -195,6 +219,7 @@ class SimulatedEncoder:
     def skip_frame(self) -> None:
         """Account a deliberately skipped capture."""
         self.rate_control.on_frame_skipped()
+        self._telemetry.count("encoder.skips")
 
     # ------------------------------------------------------------------
     def _decide_frame_type(self, scene_cut: bool) -> tuple[FrameType, bool]:

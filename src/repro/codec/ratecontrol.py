@@ -137,6 +137,24 @@ class X264RateControl:
         """QP of the most recently planned frame."""
         return self._qp_prev
 
+    @property
+    def vbv_fullness(self) -> float:
+        """Occupancy fraction of the rate buffer (telemetry probe).
+
+        With a configured VBV this is the real buffer fill
+        (``1.0`` = full budget available, ``0.0`` = exhausted). Without
+        one, x264's ABR overflow buffer (``2 · rate_tolerance`` seconds
+        of bits) plays the same role: ``1.0`` when output tracks the
+        budget exactly, sinking toward ``0.0`` as cumulative overshoot
+        consumes the tolerance (and rising above ``1.0`` on undershoot).
+        """
+        if self._config.vbv_buffer_seconds is not None:
+            capacity = self._vbv_capacity_bits()
+            return self._vbv_fill_bits / capacity if capacity > 0 else 0.0
+        abr_buffer = 2.0 * self._config.rate_tolerance * self._target_bps
+        diff = self._total_bits - self._total_wanted
+        return max(0.0, 1.0 - diff / abr_buffer)
+
     def set_model(self, model: RateDistortionModel) -> None:
         """Swap the RD model (resolution adaptation)."""
         self._model = model

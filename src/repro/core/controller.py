@@ -28,6 +28,7 @@ from ..codec.encoder import SimulatedEncoder
 from ..codec.frames import EncodedFrame
 from ..rtp.feedback import FeedbackReport, PacketResult
 from ..rtp.pacer import Pacer
+from ..telemetry.recorder import NULL_TELEMETRY, Telemetry
 from .config import AdaptiveConfig, DetectorConfig
 from .detector import DropDetector, DropEvent
 from .interface import EncoderAdaptation, FrameDirective
@@ -46,6 +47,7 @@ class AdaptiveEncoderController(EncoderAdaptation):
         config: AdaptiveConfig | None = None,
         detector_config: DetectorConfig | None = None,
         native_pixels: int = 1280 * 720,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._encoder = encoder
         self._pacer = pacer
@@ -80,6 +82,7 @@ class AdaptiveEncoderController(EncoderAdaptation):
         self._last_probe_time = float("-inf")
         self._last_episode_end = float("-inf")
         self._ceiling_updated = 0.0
+        self._telemetry = telemetry or NULL_TELEMETRY
 
     # ------------------------------------------------------------------
     @property
@@ -122,6 +125,16 @@ class AdaptiveEncoderController(EncoderAdaptation):
             self._encoder.set_target_bitrate(target)
             self._pacer.set_target_rate(target)
             self._apply_resolution(target)
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            telemetry.probe(
+                "policy.episode_active",
+                now,
+                1.0 if self._episode_active else 0.0,
+            )
+            telemetry.probe(
+                "policy.backlog_delay", now, self._backlog_delay(now)
+            )
 
     def before_frame(
         self, now: float, capture_index: int = 0
@@ -134,6 +147,7 @@ class AdaptiveEncoderController(EncoderAdaptation):
         if self._config.enable_skip and self._skip.should_skip(backlog_delay):
             self.frames_skipped += 1
             self._last_capture_skipped = True
+            self._telemetry.count("policy.frames_skipped")
             return FrameDirective(skip=True)
         if (
             self._encoder_has_t1
@@ -145,6 +159,7 @@ class AdaptiveEncoderController(EncoderAdaptation):
             # a row, so the stream (and its feedback) keeps flowing.
             self.t1_frames_dropped += 1
             self._last_capture_skipped = True
+            self._telemetry.count("policy.t1_frames_dropped")
             return FrameDirective(skip=True)
         self._last_capture_skipped = False
         directive = FrameDirective()
@@ -211,6 +226,7 @@ class AdaptiveEncoderController(EncoderAdaptation):
         bumped = min(target * cfg.recovery_step, 0.9 * ceiling)
         self._gcc.force_estimate(bumped)
         self.recovery_probes += 1
+        self._telemetry.count("policy.recovery_probes")
 
     def _start_episode(self, now: float, event: DropEvent) -> None:
         capacity = event.estimated_capacity_bps
@@ -222,6 +238,10 @@ class AdaptiveEncoderController(EncoderAdaptation):
         self._episode_capacity = capacity
         self._episode_started = now
         self.episodes.append(event)
+        self._telemetry.count("policy.episodes")
+        self._telemetry.probe(
+            "policy.episode_capacity_bps", now, capacity
+        )
         if self._config.enable_renormalize:
             self._encoder.renormalize(safe_target)
             self._gcc.force_estimate(safe_target)

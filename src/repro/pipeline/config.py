@@ -110,6 +110,9 @@ class SessionConfig:
         adaptive / detector: controller tuning (ADAPTIVE policy).
         abr_update_interval: app reconfig timer (DEFAULT_ABR policy).
         cc_estimator: GCC delay estimator ("trendline" or "kalman").
+        enable_telemetry: record probe series/counters into the result
+            (see ``docs/telemetry.md``); off by default — disabled runs
+            pay no recording cost. Part of the cache key.
         grace_period: extra simulated time after the last capture.
     """
 
@@ -134,6 +137,7 @@ class SessionConfig:
     enable_playout: bool = False
     playout: PlayoutConfig = field(default_factory=PlayoutConfig)
     enable_audio: bool = False
+    enable_telemetry: bool = False
     grace_period: float = 2.0
 
     def validate(self) -> None:

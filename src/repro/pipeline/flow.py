@@ -26,6 +26,7 @@ from ..rtp.sender import Sender
 from ..simcore.process import PeriodicProcess
 from ..simcore.rng import RngStreams
 from ..simcore.scheduler import Scheduler
+from ..telemetry.recorder import NULL_TELEMETRY, Telemetry
 from ..traces.content import ContentTrace
 from .config import PolicyName, SessionConfig
 from .results import FrameOutcome, SessionResult, TimeseriesSample
@@ -45,11 +46,13 @@ class MediaFlow:
         rng: RngStreams,
         flow_suffix: str = "",
         capture_offset: float = 0.0,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.config = config
         self.scheduler = scheduler
         self.network = network
         self._suffix = flow_suffix
+        self.telemetry = telemetry or NULL_TELEMETRY
 
         video = config.video
         n_frames = int(config.duration * video.fps) + 2
@@ -74,6 +77,7 @@ class MediaFlow:
             size_noise_sigma=video.size_noise_sigma,
             temporal_layers=video.temporal_layers,
             stream=f"encoder-noise{flow_suffix}",
+            telemetry=telemetry,
         )
         self.sender = Sender(
             scheduler,
@@ -85,6 +89,7 @@ class MediaFlow:
             enable_fec=config.enable_fec,
             fec_config=config.fec,
             flow_suffix=flow_suffix,
+            telemetry=telemetry,
         )
         self.receiver = Receiver(
             scheduler,
@@ -96,6 +101,7 @@ class MediaFlow:
             enable_playout=config.enable_playout,
             playout_config=config.playout,
             flow_suffix=flow_suffix,
+            telemetry=telemetry,
         )
 
         self.gcc = GoogCcController(
@@ -104,6 +110,7 @@ class MediaFlow:
             config.max_bps,
             base_rtt=2 * config.network.propagation_delay,
             estimator=config.cc_estimator,
+            telemetry=telemetry,
         )
         self._oracle: OracleController | None = None
         self.cc: CongestionController = self.gcc
@@ -142,6 +149,7 @@ class MediaFlow:
                 config=cfg.adaptive,
                 detector_config=cfg.detector,
                 native_pixels=cfg.video.width * cfg.video.height,
+                telemetry=self.telemetry,
             )
         if policy is PolicyName.DEFAULT_ABR:
             return DefaultAbrPolicy(
@@ -230,6 +238,7 @@ class MediaFlow:
         self.encoder.request_keyframe()
         self.policy.on_pli(self.scheduler.now)
         self.result.pli_count += 1
+        self.telemetry.count("sender.pli_received")
 
     def _sample_telemetry(self, _tick: int) -> None:
         now = self.scheduler.now
@@ -248,6 +257,26 @@ class MediaFlow:
                 link_backlog_bytes=self.network.forward.backlog_bytes(),
             )
         )
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.probe(
+                "scheduler.queue_depth", now, self.scheduler.pending
+            )
+            telemetry.probe(
+                "net.capacity_bps",
+                now,
+                self.config.network.capacity.rate_at(now),
+            )
+            telemetry.probe(
+                "net.queue_delay",
+                now,
+                self.network.forward.estimated_queue_delay(),
+            )
+            telemetry.probe(
+                "net.backlog_bytes",
+                now,
+                self.network.forward.backlog_bytes(),
+            )
 
     # ------------------------------------------------------------------
     def finish(self) -> SessionResult:

@@ -45,7 +45,7 @@ from .session import RtcSession
 
 #: Bumped whenever the serialized result layout or the simulation's
 #: observable outputs change; stale cache entries are simply missed.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -126,6 +126,26 @@ class ResultCache:
         return cls(cls.default_dir())
 
     # ------------------------------------------------------------------
+    def ensure_writable(self) -> None:
+        """Create the cache root and probe it with a real write.
+
+        Raises:
+            ConfigError: when the root cannot be created or written —
+                callers (the CLI) turn this into a clean error message
+                instead of a traceback at first ``put``.
+        """
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, probe = tempfile.mkstemp(
+                dir=self.root, prefix=".probe-", suffix=".tmp"
+            )
+            os.close(fd)
+            os.unlink(probe)
+        except OSError as exc:
+            raise ConfigError(
+                f"cache directory {self.root} is not writable: {exc}"
+            ) from exc
+
     def path_for(self, config: SessionConfig) -> Path:
         """Entry path for a config."""
         return self.root / f"{config_hash(config)}.json"

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ReproError
+from ..telemetry.recorder import Telemetry
 
 
 @dataclass
@@ -104,6 +105,9 @@ class SessionResult:
     )
     audio_sent: int = 0
     audio_received: int = 0
+    #: Telemetry recorder attached when the session ran with telemetry
+    #: enabled (probe series, counters, gauges); ``None`` otherwise.
+    traces: Telemetry | None = None
 
     # ------------------------------------------------------------------
     # Serialization (lossless: used by the result cache and the
@@ -169,6 +173,9 @@ class SessionResult:
             ],
             "audio_sent": int(self.audio_sent),
             "audio_received": int(self.audio_received),
+            "traces": (
+                None if self.traces is None else self.traces.to_dict()
+            ),
         }
 
     @classmethod
@@ -190,6 +197,11 @@ class SessionResult:
             ],
             audio_sent=data["audio_sent"],
             audio_received=data["audio_received"],
+            traces=(
+                None
+                if data.get("traces") is None
+                else Telemetry.from_dict(data["traces"])
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -16,18 +16,33 @@ from ..netsim.network import DuplexNetwork
 from ..rtp.audio import AudioStream
 from ..simcore.rng import RngStreams
 from ..simcore.scheduler import Scheduler
+from ..telemetry.recorder import Telemetry
 from .config import SessionConfig
 from .flow import MediaFlow
 from .results import SessionResult
 
 
 class RtcSession:
-    """One simulated real-time call under a chosen adaptation policy."""
+    """One simulated real-time call under a chosen adaptation policy.
 
-    def __init__(self, config: SessionConfig) -> None:
+    Telemetry: pass a :class:`~repro.telemetry.Telemetry` recorder (or
+    set ``config.enable_telemetry``) to collect the probe series and
+    counters catalogued in ``docs/telemetry.md``; the recorder rides on
+    the returned result as ``SessionResult.traces``. Recording is purely
+    observational — the simulated outcomes are identical either way.
+    """
+
+    def __init__(
+        self,
+        config: SessionConfig,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         config.validate()
         self.config = config
-        self.scheduler = Scheduler()
+        if telemetry is None and config.enable_telemetry:
+            telemetry = Telemetry()
+        self.telemetry = telemetry
+        self.scheduler = Scheduler(telemetry=telemetry)
         self.rng = RngStreams(config.seed)
 
         net = config.network
@@ -47,7 +62,11 @@ class RtcSession:
         )
 
         self.flow = MediaFlow(
-            self.scheduler, self.network, config, self.rng
+            self.scheduler,
+            self.network,
+            config,
+            self.rng,
+            telemetry=telemetry,
         )
 
         if net.cross_traffic_bps > 0:
@@ -123,4 +142,6 @@ class RtcSession:
             result.audio_latencies = list(self.audio.stats.latencies)
             result.audio_sent = self.audio.stats.sent
             result.audio_received = self.audio.stats.received
+        if self.telemetry is not None and self.telemetry.enabled:
+            result.traces = self.telemetry
         return result

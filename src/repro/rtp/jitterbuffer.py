@@ -18,6 +18,7 @@ from typing import Callable
 
 from ..errors import TransportError
 from ..netsim.packet import Packet
+from ..telemetry.recorder import NULL_TELEMETRY, Telemetry
 
 #: Fixed decode latency added after the last packet arrives.
 DECODE_DELAY = 0.005
@@ -82,8 +83,10 @@ class FrameAssembler:
         send_pli: Callable[[], None] | None = None,
         pli_min_interval: float = 0.3,
         playout=None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._playout = playout
+        self._telemetry = telemetry or NULL_TELEMETRY
         self._frames: dict[int, FrameRecord] = {}
         self._highest_seq = -1
         self._chain_intact = True
@@ -165,6 +168,17 @@ class FrameAssembler:
             )
         else:
             record.display_time = now + DECODE_DELAY
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            telemetry.probe(
+                "rtp.playout_delay", now, record.display_time - now
+            )
+            telemetry.probe(
+                "rtp.frame_latency",
+                now,
+                record.display_time - record.capture_time,
+            )
+            telemetry.count("rtp.frames_displayed")
         return record
 
     def _detect_losses(self, now: float) -> None:

@@ -19,11 +19,12 @@ RTC stacks implement both.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import ConfigError, TransportError
 from ..netsim.packet import Packet
+from ..telemetry.recorder import NULL_TELEMETRY, Telemetry
 from .jitterbuffer import DECODE_DELAY, FrameRecord
 
 
@@ -124,8 +125,10 @@ class NackFrameAssembler:
         config: NackConfig | None = None,
         pli_min_interval: float = 0.3,
         playout=None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._playout = playout
+        self._telemetry = telemetry or NULL_TELEMETRY
         self._config = config or NackConfig()
         self._config.validate()
         self._send_nack = send_nack
@@ -229,6 +232,7 @@ class NackFrameAssembler:
                 missing.next_nack_at = now + self._config.retry_interval
         if to_nack:
             self.nacks_sent += len(to_nack)
+            self._telemetry.count("rtp.nacks_sent", len(to_nack))
             self._send_nack(sorted(to_nack))
         if newly_lost:
             self._on_losses_confirmed(now, newly_lost)
@@ -306,6 +310,17 @@ class NackFrameAssembler:
                 )
             else:
                 record.display_time = now + DECODE_DELAY
+            telemetry = self._telemetry
+            if telemetry.enabled:
+                telemetry.probe(
+                    "rtp.playout_delay", now, record.display_time - now
+                )
+                telemetry.probe(
+                    "rtp.frame_latency",
+                    now,
+                    record.display_time - record.capture_time,
+                )
+                telemetry.count("rtp.frames_displayed")
             self._last_displayed_index = record.index
             displayed.append(record)
         return displayed

@@ -10,6 +10,7 @@ from ..netsim.network import DuplexNetwork
 from ..netsim.packet import Packet
 from ..simcore.process import PeriodicProcess
 from ..simcore.scheduler import Scheduler
+from ..telemetry.recorder import NULL_TELEMETRY, Telemetry
 from .fec import FecDecoder
 from .feedback import FeedbackCollector
 from .jitterbuffer import FrameAssembler, FrameRecord
@@ -41,9 +42,11 @@ class Receiver:
         enable_playout: bool = False,
         playout_config: PlayoutConfig | None = None,
         flow_suffix: str = "",
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._scheduler = scheduler
         self._network = network
+        self._telemetry = telemetry or NULL_TELEMETRY
         self._media_flow = f"media{flow_suffix}"
         self._feedback_flow = f"feedback{flow_suffix}"
         self._rtcp_flow = f"rtcp{flow_suffix}"
@@ -61,6 +64,7 @@ class Receiver:
                 send_pli=self._send_pli if enable_pli else None,
                 config=nack_config,
                 playout=self.playout,
+                telemetry=telemetry,
             )
             self.assembler = None
             self._nack_process = PeriodicProcess(
@@ -70,6 +74,7 @@ class Receiver:
             self.assembler = FrameAssembler(
                 send_pli=self._send_pli if enable_pli else None,
                 playout=self.playout,
+                telemetry=telemetry,
             )
         self.collector = FeedbackCollector()
         self._feedback_process = PeriodicProcess(
@@ -118,6 +123,7 @@ class Receiver:
         # Recover first, then register the parity sequences (the other
         # order would confirm the gap as a loss prematurely).
         for recovered in self.fec_decoder.on_parity(packet):
+            self._telemetry.count("fec.recovered_packets")
             self._assemble(recovered, now)
         # Register the frame's whole announced parity range: a *lost*
         # parity is harmless and must not read as a lost frame.
@@ -154,6 +160,7 @@ class Receiver:
         packet.send_time = self._scheduler.now
         self._network.send_reverse(packet)
         self.feedback_sent += 1
+        self._telemetry.count("receiver.feedback_sent")
 
     def _send_pli(self) -> None:
         packet = Packet(
@@ -161,6 +168,7 @@ class Receiver:
         )
         packet.send_time = self._scheduler.now
         self._network.send_reverse(packet)
+        self._telemetry.count("receiver.pli_sent")
 
     def _send_nack(self, seqs: list[int]) -> None:
         packet = Packet(
@@ -171,3 +179,4 @@ class Receiver:
         packet.send_time = self._scheduler.now
         self._network.send_reverse(packet)
         self.nack_packets_sent += 1
+        self._telemetry.count("receiver.nack_packets_sent")

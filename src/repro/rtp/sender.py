@@ -14,6 +14,7 @@ from ..codec.frames import EncodedFrame
 from ..netsim.network import DuplexNetwork
 from ..netsim.packet import Packet
 from ..simcore.scheduler import Scheduler
+from ..telemetry.recorder import NULL_TELEMETRY, Telemetry
 from .fec import FecConfig, FecEncoder
 from .feedback import FeedbackReport, PacketResult, SendHistory
 from .nack import RetransmissionBuffer
@@ -39,9 +40,11 @@ class Sender:
         enable_fec: bool = False,
         fec_config: FecConfig | None = None,
         flow_suffix: str = "",
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._scheduler = scheduler
         self._network = network
+        self._telemetry = telemetry or NULL_TELEMETRY
         self.media_flow = f"media{flow_suffix}"
         self._feedback_flow = f"feedback{flow_suffix}"
         self._rtcp_flow = f"rtcp{flow_suffix}"
@@ -90,6 +93,7 @@ class Sender:
                 "frame_type": frame.frame_type.value,
                 "temporal_layer": frame.temporal_layer,
             }
+        media_count = len(packets)
         if self.fec is not None:
             packets = self.fec.protect(
                 packets, self.packetizer.allocate_seq
@@ -97,6 +101,21 @@ class Sender:
         self.pacer.enqueue(packets)
         self.frames_sent += 1
         self.bytes_sent += frame.size_bytes
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            now = self._scheduler.now
+            telemetry.probe(
+                "pacer.queue_delay", now, self.pacer.queue_delay()
+            )
+            telemetry.probe(
+                "pacer.backlog_bytes", now, self.pacer.queue_bytes
+            )
+            telemetry.count("sender.frames")
+            telemetry.count("sender.media_packets", media_count)
+            if len(packets) > media_count:
+                telemetry.count(
+                    "fec.parity_packets", len(packets) - media_count
+                )
 
     # ------------------------------------------------------------------
     def _send_packet(self, packet: Packet) -> None:
@@ -132,6 +151,10 @@ class Sender:
         ):
             seqs = list(packet.payload[1])
             self.nacks_received += 1
+            self._telemetry.count("sender.nacks_received")
             clones = self.rtx_buffer.fetch(seqs, self._scheduler.now)
             if clones:
+                self._telemetry.count(
+                    "sender.retransmissions", len(clones)
+                )
                 self.pacer.enqueue_front(clones)

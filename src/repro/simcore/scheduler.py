@@ -19,6 +19,7 @@ import math
 from typing import Callable
 
 from ..errors import SchedulingError
+from ..telemetry.recorder import NULL_TELEMETRY, Telemetry
 from .clock import Clock
 from .events import Event
 
@@ -35,11 +36,14 @@ class Scheduler:
         [1.0]
     """
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(
+        self, start: float = 0.0, telemetry: Telemetry | None = None
+    ) -> None:
         self.clock = Clock(start)
         self._heap: list[Event] = []
         self._events_fired = 0
         self._running = False
+        self._telemetry = telemetry or NULL_TELEMETRY
 
     @property
     def now(self) -> float:
@@ -125,20 +129,47 @@ class Scheduler:
         self._running = True
         # Hot loop: fused peek/step — one cancelled-sweep and one
         # heappop per event instead of two heap inspections (peek_time
-        # sweeps, then step sweeps and pops again).
+        # sweeps, then step sweeps and pops again). The telemetry
+        # variant is a separate copy so the disabled path stays free of
+        # per-event bookkeeping beyond this one branch.
         heap = self._heap
         clock = self.clock
         pop = heapq.heappop
+        telemetry = self._telemetry
         try:
-            while True:
-                while heap and heap[0].cancelled:
-                    pop(heap)
-                if not heap or heap[0].time > end_time:
-                    break
-                event = pop(heap)
-                clock.advance_to(event.time)
-                self._events_fired += 1
-                event.fire()
+            if not telemetry.enabled:
+                while True:
+                    while heap and heap[0].cancelled:
+                        pop(heap)
+                    if not heap or heap[0].time > end_time:
+                        break
+                    event = pop(heap)
+                    clock.advance_to(event.time)
+                    self._events_fired += 1
+                    event.fire()
+            else:
+                fired_before = self._events_fired
+                max_depth = len(heap)
+                while True:
+                    while heap and heap[0].cancelled:
+                        pop(heap)
+                    if not heap or heap[0].time > end_time:
+                        break
+                    event = pop(heap)
+                    clock.advance_to(event.time)
+                    self._events_fired += 1
+                    event.fire()
+                    if len(heap) > max_depth:
+                        max_depth = len(heap)
+                telemetry.count(
+                    "scheduler.events", self._events_fired - fired_before
+                )
+                prev_max = telemetry.gauges.get(
+                    "scheduler.max_queue_depth", 0.0
+                )
+                telemetry.gauge(
+                    "scheduler.max_queue_depth", max(prev_max, max_depth)
+                )
             if end_time > clock.now:
                 clock.advance_to(end_time)
         finally:

@@ -1,0 +1,14 @@
+"""Lightweight session instrumentation (see ``docs/telemetry.md``)."""
+
+from .export import csv_lines, export_text, jsonl_lines
+from .recorder import NULL_TELEMETRY, NullTelemetry, ProbeSeries, Telemetry
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "ProbeSeries",
+    "Telemetry",
+    "csv_lines",
+    "export_text",
+    "jsonl_lines",
+]

@@ -1,0 +1,163 @@
+"""Session telemetry: counters, gauges, and time-series probes.
+
+A :class:`Telemetry` recorder collects three kinds of instrumentation,
+all recorded against the *simulation* clock:
+
+* **counters** — monotonically accumulated event counts
+  (``scheduler.events``, ``rtp.nacks_sent``, …);
+* **gauges** — last-value-wins scalars (``scheduler.max_queue_depth``);
+* **probe series** — timestamped ``(time, value)`` samples
+  (``encoder.qp``, ``cc.target_bps``, ``rtp.playout_delay``, …).
+
+The instrumented components (scheduler, encoder, transport, congestion
+control, adaptation policies) each hold a recorder reference. When
+telemetry is off they hold the shared :data:`NULL_TELEMETRY` instead,
+whose ``enabled`` flag is ``False`` and whose methods are no-ops — hot
+paths guard on ``telemetry.enabled`` so a disabled session pays one
+attribute check, nothing more. Recording never consumes randomness and
+never schedules events, so enabling telemetry does not perturb the
+simulation: results are bit-identical with it on or off.
+
+The full probe catalogue lives in ``docs/telemetry.md``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+class ProbeSeries:
+    """One named time series of ``(time, value)`` samples."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(
+        self,
+        name: str,
+        times: list[float] | None = None,
+        values: list[float] | None = None,
+    ) -> None:
+        self.name = name
+        self.times: list[float] = times if times is not None else []
+        self.values: list[float] = values if values is not None else []
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def last(self) -> float:
+        """Most recent value."""
+        if not self.values:
+            raise ReproError(f"probe series {self.name!r} is empty")
+        return self.values[-1]
+
+
+class Telemetry:
+    """Live recorder threaded through a session's components."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self._series: dict[str, ProbeSeries] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def count(self, name: str, n: float = 1) -> None:
+        """Accumulate ``n`` onto counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest value."""
+        self.gauges[name] = value
+
+    def probe(self, name: str, time: float, value: float) -> None:
+        """Append one timestamped sample to series ``name``."""
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = ProbeSeries(name)
+        series.times.append(time)
+        series.values.append(value)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def series(self, name: str) -> ProbeSeries:
+        """The named probe series (raises if never recorded)."""
+        if name not in self._series:
+            raise ReproError(f"no probe series named {name!r}")
+        return self._series[name]
+
+    def series_names(self) -> list[str]:
+        """All recorded series names, sorted."""
+        return sorted(self._series)
+
+    def all_series(self) -> list[ProbeSeries]:
+        """All recorded series, sorted by name."""
+        return [self._series[name] for name in self.series_names()]
+
+    # ------------------------------------------------------------------
+    # Serialization (lossless: rides inside SessionResult through the
+    # result cache and the process-pool boundary)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready payload; every numeric coerced to a builtin."""
+        return {
+            "counters": {
+                name: float(value)
+                for name, value in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: float(value)
+                for name, value in sorted(self.gauges.items())
+            },
+            "series": {
+                name: [
+                    [float(t), float(v)]
+                    for t, v in zip(series.times, series.values)
+                ]
+                for name, series in sorted(self._series.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Telemetry":
+        """Rebuild a recorder previously produced by :meth:`to_dict`."""
+        recorder = cls()
+        recorder.counters = dict(data["counters"])
+        recorder.gauges = dict(data["gauges"])
+        for name, samples in data["series"].items():
+            recorder._series[name] = ProbeSeries(
+                name,
+                times=[t for t, _ in samples],
+                values=[v for _, v in samples],
+            )
+        return recorder
+
+
+class NullTelemetry(Telemetry):
+    """Disabled recorder: every method is a no-op.
+
+    Components default to the shared :data:`NULL_TELEMETRY` so they can
+    call recording methods unconditionally on cold paths and guard only
+    the hot ones with ``if telemetry.enabled``.
+    """
+
+    enabled = False
+
+    def count(self, name: str, n: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def probe(self, name: str, time: float, value: float) -> None:
+        pass
+
+
+#: Shared disabled recorder (stateless: all methods are no-ops).
+NULL_TELEMETRY = NullTelemetry()

@@ -1,0 +1,150 @@
+"""End-to-end telemetry: probe coverage, non-perturbation, cache and
+CLI round-trips."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.cli import main
+from repro.experiments import scenarios
+from repro.pipeline.config import PolicyName
+from repro.pipeline.parallel import ResultCache
+from repro.pipeline.results import SessionResult
+from repro.pipeline.session import RtcSession
+from repro.telemetry import Telemetry
+
+#: Names the acceptance criteria call out explicitly.
+REQUIRED_SERIES = (
+    "encoder.qp",
+    "encoder.vbv_fullness",
+    "cc.target_bps",
+    "rtp.playout_delay",
+)
+
+
+def traced_config(duration: float = 12.0, seed: int = 3):
+    config = scenarios.step_drop_config(0.2, seed=seed)
+    return dataclasses.replace(
+        config,
+        policy=PolicyName.ADAPTIVE,
+        duration=duration,
+        enable_telemetry=True,
+    )
+
+
+def run_traced(duration: float = 12.0, seed: int = 3) -> SessionResult:
+    return RtcSession(traced_config(duration, seed)).run()
+
+
+def test_enabled_session_exposes_probe_catalogue():
+    result = run_traced()
+    assert result.traces is not None
+    names = result.traces.series_names()
+    assert len(names) >= 10
+    for required in REQUIRED_SERIES:
+        assert required in names, f"missing probe series {required}"
+    assert result.traces.counters["encoder.frames"] > 0
+    assert result.traces.counters["scheduler.events"] > 0
+    assert result.traces.gauges["scheduler.max_queue_depth"] >= 1
+
+
+def test_disabled_session_has_no_traces_and_identical_outcomes():
+    traced = run_traced()
+    plain_config = dataclasses.replace(
+        traced_config(), enable_telemetry=False
+    )
+    plain = RtcSession(plain_config).run()
+    assert plain.traces is None
+    traced_dict = traced.to_dict()
+    traced_dict.pop("traces")
+    plain_dict = plain.to_dict()
+    plain_dict.pop("traces")
+    assert traced_dict == plain_dict
+
+
+def test_explicit_recorder_is_attached():
+    recorder = Telemetry()
+    config = dataclasses.replace(
+        traced_config(duration=6.0), enable_telemetry=False
+    )
+    result = RtcSession(config, telemetry=recorder).run()
+    assert result.traces is recorder
+    assert recorder.series_names()
+
+
+def test_traces_round_trip_through_result_cache(tmp_path):
+    config = traced_config(duration=8.0)
+    result = RtcSession(config).run()
+    cache = ResultCache(tmp_path / "cache")
+    cache.put(config, result)
+    cached = cache.get(config)
+    assert cached is not None
+    assert cached.traces is not None
+    # Bit-identical: the serialized forms match exactly.
+    assert cached.to_dict() == result.to_dict()
+    assert cached.traces.to_dict() == result.traces.to_dict()
+
+
+def test_trace_cli_matches_direct_run(capsys):
+    result = run_traced(duration=8.0, seed=5)
+    code = main(
+        [
+            "--no-cache",
+            "trace",
+            "--policy",
+            "adaptive",
+            "--drop-ratio",
+            "0.2",
+            "--duration",
+            "8",
+            "--seed",
+            "5",
+            "--series",
+            "encoder.qp",
+        ]
+    )
+    assert code == 0
+    lines = [
+        json.loads(line)
+        for line in capsys.readouterr().out.splitlines()
+        if json.loads(line)["type"] == "sample"
+    ]
+    series = result.traces.series("encoder.qp")
+    assert len(lines) == len(series)
+    assert [(r["time"], r["value"]) for r in lines] == list(series)
+
+
+def test_trace_cli_list_and_csv(capsys):
+    assert (
+        main(["--no-cache", "trace", "--duration", "6", "--list"]) == 0
+    )
+    listing = capsys.readouterr().out
+    assert "encoder.qp" in listing
+
+    assert (
+        main(
+            [
+                "--no-cache",
+                "trace",
+                "--duration",
+                "6",
+                "--format",
+                "csv",
+                "--series",
+                "encoder.qp",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert out.splitlines()[0] == "series,time,value"
+    assert out.splitlines()[1].startswith("encoder.qp,")
+
+
+def test_trace_cli_unknown_series_is_clean_error(capsys):
+    code = main(
+        ["--no-cache", "trace", "--duration", "6", "--series", "bogus"]
+    )
+    assert code == 2
+    assert "error" in capsys.readouterr().err

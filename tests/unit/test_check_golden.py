@@ -1,0 +1,91 @@
+"""The golden-metrics gate: comparison logic and the committed file."""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDEN_FILE = REPO_ROOT / "golden_metrics.json"
+
+
+def _load_check_golden():
+    spec = importlib.util.spec_from_file_location(
+        "check_golden", REPO_ROOT / "tools" / "check_golden.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_golden = _load_check_golden()
+
+
+@pytest.fixture()
+def golden() -> dict:
+    return json.loads(GOLDEN_FILE.read_text(encoding="utf-8"))
+
+
+def test_golden_file_is_committed(golden):
+    assert golden["seeds"] == list(check_golden.GOLDEN_SEEDS)
+    assert len(golden["rows"]) == 5
+    for row in golden["rows"]:
+        assert row["latency_reduction_pct"] > 0
+
+
+def test_compare_passes_on_identical(golden):
+    assert check_golden.compare(golden, copy.deepcopy(golden)) == []
+
+
+def test_compare_fails_on_latency_perturbation(golden):
+    perturbed = copy.deepcopy(golden)
+    perturbed["rows"][0]["latency_reduction_pct"] += 1.0
+    failures = check_golden.compare(golden, perturbed)
+    assert len(failures) == 1
+    assert "latency_reduction_pct" in failures[0]
+
+
+def test_compare_fails_on_ssim_perturbation(golden):
+    perturbed = copy.deepcopy(golden)
+    perturbed["rows"][-1]["ssim_change_pct"] -= 0.5
+    failures = check_golden.compare(golden, perturbed)
+    assert failures and "ssim_change_pct" in failures[0]
+
+
+def test_compare_within_tolerance_passes(golden):
+    nudged = copy.deepcopy(golden)
+    # Far inside the 0.05-point latency tolerance.
+    nudged["rows"][0]["latency_reduction_pct"] += 0.001
+    assert check_golden.compare(golden, nudged) == []
+
+
+def test_compare_tolerance_scale(golden):
+    perturbed = copy.deepcopy(golden)
+    perturbed["rows"][0]["latency_reduction_pct"] += 1.0
+    assert check_golden.compare(golden, perturbed, scale=100.0) == []
+
+
+def test_compare_detects_seed_set_change(golden):
+    perturbed = copy.deepcopy(golden)
+    perturbed["seeds"] = [7, 8]
+    failures = check_golden.compare(golden, perturbed)
+    assert failures and "seed set changed" in failures[0]
+
+
+def test_compare_detects_row_set_change(golden):
+    perturbed = copy.deepcopy(golden)
+    perturbed["rows"] = perturbed["rows"][:-1]
+    failures = check_golden.compare(golden, perturbed)
+    assert failures and "row set changed" in failures[0]
+
+
+def test_missing_golden_file_is_usage_error(tmp_path, capsys):
+    code = check_golden.main(
+        ["--golden", str(tmp_path / "absent.json"), "--workers", "1"]
+    )
+    assert code == 2
+    assert "not found" in capsys.readouterr().err

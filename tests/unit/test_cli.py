@@ -66,3 +66,41 @@ def test_extensions_flag_parsed():
     parser = build_parser()
     args = parser.parse_args(["extensions", "--seeds", "2"])
     assert args.seeds == 2
+
+
+def test_unwritable_cache_dir_is_clean_error(tmp_path, capsys):
+    # A path nested under a regular file can never be created, even
+    # when the tests run as root (where chmod-based setups are moot).
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory")
+    code = main(
+        ["--cache-dir", str(blocker / "cache"), "run", "--duration", "6"]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "not writable" in err
+    assert "--no-cache" in err
+
+
+def test_no_cache_skips_writability_probe(tmp_path, capsys):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory")
+    code = main(
+        ["--no-cache", "--cache-dir", str(blocker / "cache"),
+         "run", "--duration", "6", "--seed", "2"]
+    )
+    assert code == 0
+    assert "mean latency" in capsys.readouterr().out
+
+
+def test_trace_flags_parsed():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["trace", "--format", "csv", "--series", "encoder.qp",
+         "--series", "cc.target_bps", "-o", "out.csv"]
+    )
+    assert args.format == "csv"
+    assert args.series == ["encoder.qp", "cc.target_bps"]
+    assert args.output == "out.csv"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["trace", "--format", "xml"])
