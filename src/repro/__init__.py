@@ -33,6 +33,7 @@ from .pipeline import (
     ResultCache,
     RtcSession,
     SessionConfig,
+    SessionPerf,
     SessionResult,
     VideoConfig,
     compare_point,
@@ -56,6 +57,7 @@ __all__ = [
     "RtcSession",
     "SessionConfig",
     "ResultCache",
+    "SessionPerf",
     "SessionResult",
     "VideoConfig",
     "compare_point",

@@ -20,7 +20,7 @@ from ...rtp.feedback import PacketResult
 BURST_WINDOW = 0.005
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DelaySample:
     """One inter-group delay-variation observation."""
 
@@ -29,7 +29,7 @@ class DelaySample:
     send_delta: float
 
 
-@dataclass
+@dataclass(slots=True)
 class _Group:
     first_send: float
     last_send: float
@@ -39,6 +39,8 @@ class _Group:
 
 class InterArrival:
     """Groups packet results into bursts and emits delay variations."""
+
+    __slots__ = ("_window", "_current", "_previous")
 
     def __init__(self, burst_window: float = BURST_WINDOW) -> None:
         self._window = burst_window

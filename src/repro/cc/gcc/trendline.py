@@ -21,6 +21,19 @@ THRESHOLD_GAIN = 4.0
 class TrendlineEstimator:
     """Delay-gradient slope over a sliding window."""
 
+    __slots__ = (
+        "_window_size",
+        "_smoothing",
+        "_gain",
+        "_xs",
+        "_ys",
+        "_accumulated",
+        "_smoothed",
+        "_num_deltas",
+        "_first_arrival",
+        "_trend",
+    )
+
     def __init__(
         self,
         window_size: int = DEFAULT_WINDOW,
@@ -30,7 +43,12 @@ class TrendlineEstimator:
         self._window_size = window_size
         self._smoothing = smoothing
         self._gain = threshold_gain
-        self._history: deque[tuple[float, float]] = deque(maxlen=window_size)
+        # Parallel deques (x = relative arrival, y = smoothed delay):
+        # builtin sum() over a plain float deque runs at C speed, and its
+        # left-to-right accumulation matches the original tuple-deque
+        # sums bit for bit.
+        self._xs: deque[float] = deque(maxlen=window_size)
+        self._ys: deque[float] = deque(maxlen=window_size)
         self._accumulated = 0.0
         self._smoothed = 0.0
         self._num_deltas = 0
@@ -62,19 +80,24 @@ class TrendlineEstimator:
             + (1 - self._smoothing) * self._accumulated
         )
         x = sample.arrival_time - self._first_arrival
-        self._history.append((x, self._smoothed))
-        if len(self._history) == self._window_size:
+        self._xs.append(x)
+        self._ys.append(self._smoothed)
+        if len(self._xs) == self._window_size:
             self._trend = self._linear_fit_slope()
         return self.modified_trend()
 
     def _linear_fit_slope(self) -> float:
-        n = len(self._history)
-        mean_x = sum(x for x, _ in self._history) / n
-        mean_y = sum(y for _, y in self._history) / n
-        numer = sum(
-            (x - mean_x) * (y - mean_y) for x, y in self._history
-        )
-        denom = sum((x - mean_x) ** 2 for x, _ in self._history)
+        xs = self._xs
+        ys = self._ys
+        n = len(xs)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        numer = 0.0
+        denom = 0.0
+        for x, y in zip(xs, ys):
+            dx = x - mean_x
+            numer += dx * (y - mean_y)
+            denom += dx**2
         if denom == 0:
             return self._trend
         return numer / denom

@@ -30,13 +30,19 @@ class AckedBitrateEstimator:
     """Throughput actually delivered, from acked bytes in a sliding
     window. GCC's multiplicative decrease anchors on this value."""
 
+    __slots__ = ("_window", "_samples", "_total_bytes")
+
     def __init__(self, window: float = 0.5) -> None:
         self._window = window
         self._samples: deque[tuple[float, int]] = deque()
+        # Running byte total of the window (integer arithmetic, so it
+        # stays exactly equal to re-summing the deque every call).
+        self._total_bytes = 0
 
     def on_ack(self, arrival_time: float, size_bytes: int) -> None:
         """Record one acked packet."""
         self._samples.append((arrival_time, size_bytes))
+        self._total_bytes += size_bytes
         self._evict(arrival_time)
 
     def rate_bps(self, now: float) -> float | None:
@@ -47,9 +53,10 @@ class AckedBitrateEstimator:
         span = now - self._samples[0][0]
         if span <= 0:
             return None
-        total_bytes = sum(size for _, size in self._samples)
-        return total_bytes * 8 / span
+        return self._total_bytes * 8 / span
 
     def _evict(self, now: float) -> None:
-        while self._samples and self._samples[0][0] < now - self._window:
-            self._samples.popleft()
+        samples = self._samples
+        floor = now - self._window
+        while samples and samples[0][0] < floor:
+            self._total_bytes -= samples.popleft()[1]

@@ -9,6 +9,8 @@ Subcommands:
 * ``compare`` — all policies on one scenario.
 * ``trace`` — run one telemetry-enabled session and export its probe
   series as JSONL or CSV (see ``docs/telemetry.md``).
+* ``profile`` — run one pinned session under cProfile and print the
+  top-N hotspots as text or JSON (see ``docs/running-fast.md``).
 * ``cache`` — inspect or clear the persistent result cache.
 
 Global execution options (before the subcommand): ``--workers N`` fans
@@ -55,6 +57,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"displayed SSIM    : {result.mean_displayed_ssim():.4f}")
     print(f"freeze fraction   : {result.freeze_fraction():.3f}")
     print(f"PLI count         : {result.pli_count}")
+    if result.perf is not None:
+        print(
+            f"perf              : {result.perf.wall_seconds:.3f} s wall, "
+            f"{result.perf.events_fired} events "
+            f"({result.perf.events_per_sec:,.0f}/s)"
+        )
     return 0
 
 
@@ -175,6 +183,33 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(
             f"wrote {len(result.traces.series_names())} series to "
             f"{args.output}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .profiling import profile_session
+
+    report = profile_session(
+        policy=args.policy,
+        drop_ratio=args.drop_ratio,
+        duration=args.duration,
+        seed=args.seed,
+        top=args.top,
+        sort=args.sort,
+    )
+    if args.format == "json":
+        text = report.to_json() + "\n"
+    else:
+        text = report.format_text()
+    if args.output is None or args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"wrote {len(report.hotspots)} hotspots to {args.output}",
             file=sys.stderr,
         )
     return 0
@@ -306,6 +341,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="list recorded series names instead of exporting",
     )
     trace_p.set_defaults(func=_cmd_trace)
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="profile one pinned session and print the top hotspots",
+    )
+    prof_p.add_argument(
+        "--policy",
+        choices=[p.value for p in PolicyName],
+        default="adaptive",
+    )
+    prof_p.add_argument("--drop-ratio", type=float, default=0.2)
+    prof_p.add_argument("--duration", type=float, default=25.0)
+    prof_p.add_argument("--seed", type=int, default=1)
+    prof_p.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="hotspot rows to report (default: 20)",
+    )
+    prof_p.add_argument(
+        "--sort",
+        choices=["tottime", "cumtime"],
+        default="tottime",
+        help="ranking key (default: tottime)",
+    )
+    prof_p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
+    prof_p.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="output file (default or '-': stdout)",
+    )
+    prof_p.set_defaults(func=_cmd_profile)
 
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache"

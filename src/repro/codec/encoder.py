@@ -30,6 +30,26 @@ from .source import CapturedFrame
 class SimulatedEncoder:
     """An x264-like encoder driven one frame at a time."""
 
+    __slots__ = (
+        "_base_model",
+        "_model",
+        "rate_control",
+        "_fps",
+        "_gop_frames",
+        "_scene_cut_keyframes",
+        "_noise_sigma",
+        "_temporal_layers",
+        "_gen",
+        "_frames_encoded",
+        "_frames_since_key",
+        "_keyframe_requested",
+        "_max_frame_bits",
+        "_next_qp_override",
+        "_resolution_scale",
+        "_target_scale",
+        "_telemetry",
+    )
+
     def __init__(
         self,
         model: RateDistortionModel,

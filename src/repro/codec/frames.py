@@ -17,7 +17,7 @@ class FrameType(Enum):
     P = "P"
 
 
-@dataclass
+@dataclass(slots=True)
 class EncodedFrame:
     """Output of the encoder for one captured frame.
 

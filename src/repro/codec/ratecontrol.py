@@ -92,6 +92,22 @@ class RateControlConfig:
 class X264RateControl:
     """Single-pass ABR controller for the simulated encoder."""
 
+    __slots__ = (
+        "_model",
+        "_fps",
+        "_config",
+        "_target_bps",
+        "_blurred_complexity",
+        "_qp_prev",
+        "_total_bits",
+        "_total_wanted",
+        "_pending_rceq",
+        "_pending_qscale",
+        "_vbv_fill_bits",
+        "_cplxr_sum",
+        "_wanted_bits_window",
+    )
+
     def __init__(
         self,
         model: RateDistortionModel,

@@ -43,7 +43,7 @@ def service_end_time(
         t = boundary
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkStats:
     """Aggregate counters the link maintains."""
 
@@ -69,6 +69,18 @@ class Link:
             drop-tail queue of ``queue_bytes``.
     """
 
+    __slots__ = (
+        "_scheduler",
+        "_clock",
+        "_capacity",
+        "_propagation",
+        "queue",
+        "_deliver",
+        "_loss",
+        "_busy",
+        "stats",
+    )
+
     def __init__(
         self,
         scheduler: Scheduler,
@@ -84,6 +96,7 @@ class Link:
                 f"propagation delay must be >= 0, got {propagation_delay!r}"
             )
         self._scheduler = scheduler
+        self._clock = scheduler.clock
         self._capacity = capacity
         self._propagation = propagation_delay
         self.queue = queue if queue is not None else DropTailQueue(queue_bytes)
@@ -105,7 +118,7 @@ class Link:
 
     def current_rate(self) -> float:
         """Capacity right now, in bits/second."""
-        return self._capacity.rate_at(self._scheduler.now)
+        return self._capacity.rate_at(self._clock._now)
 
     def backlog_bytes(self) -> int:
         """Bytes waiting in the queue (excludes the packet in service)."""
@@ -120,25 +133,26 @@ class Link:
     def send(self, packet: Packet) -> bool:
         """Offer a packet to the link; returns False if dropped at the
         queue."""
-        if not self.queue.offer(packet, self._scheduler.now):
+        if not self.queue.offer(packet, self._clock._now):
             return False
         if not self._busy:
             self._start_service()
         return True
 
     def _start_service(self) -> None:
-        packet = self.queue.pop(self._scheduler.now)
+        now = self._clock._now
+        packet = self.queue.pop(now)
         if packet is None:
             self._busy = False
             return
         self._busy = True
         finish = service_end_time(
-            self._capacity, self._scheduler.now, packet.size_bytes * 8
+            self._capacity, now, packet.size_bytes * 8
         )
         self._scheduler.call_at(finish, lambda: self._finish_service(packet))
 
     def _finish_service(self, packet: Packet) -> None:
-        arrival = self._scheduler.now + self._propagation
+        arrival = self._clock._now + self._propagation
         if self._loss.should_drop(packet):
             self.stats.channel_lost_packets += 1
         else:
@@ -148,9 +162,10 @@ class Link:
         self._start_service()
 
     def _arrive(self, packet: Packet) -> None:
-        packet.arrival_time = self._scheduler.now
-        self.stats.delivered_packets += 1
-        self.stats.delivered_bytes += packet.size_bytes
-        flow_count = self.stats.per_flow_delivered
+        packet.arrival_time = self._clock._now
+        stats = self.stats
+        stats.delivered_packets += 1
+        stats.delivered_bytes += packet.size_bytes
+        flow_count = stats.per_flow_delivered
         flow_count[packet.flow] = flow_count.get(packet.flow, 0) + 1
         self._deliver(packet)

@@ -16,7 +16,7 @@ from typing import Any
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One network packet.
 

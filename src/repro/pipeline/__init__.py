@@ -4,7 +4,12 @@ from .config import NetworkConfig, PolicyName, SessionConfig, VideoConfig
 from .flow import MediaFlow
 from .multiflow import MultiFlowSession, jain_fairness
 from .parallel import ResultCache, config_hash, configure, run_many
-from .results import FrameOutcome, SessionResult, TimeseriesSample
+from .results import (
+    FrameOutcome,
+    SessionPerf,
+    SessionResult,
+    TimeseriesSample,
+)
 from .runner import run_policies, run_repetitions, run_session
 from .session import RtcSession
 from .sweeps import ComparisonRow, compare_point, sweep, sweep_metric
@@ -19,6 +24,7 @@ __all__ = [
     "ResultCache",
     "RtcSession",
     "SessionConfig",
+    "SessionPerf",
     "SessionResult",
     "TimeseriesSample",
     "VideoConfig",

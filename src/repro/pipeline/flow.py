@@ -260,7 +260,7 @@ class MediaFlow:
         telemetry = self.telemetry
         if telemetry.enabled:
             telemetry.probe(
-                "scheduler.queue_depth", now, self.scheduler.pending
+                "scheduler.queue_depth", now, self.scheduler.pending_active
             )
             telemetry.probe(
                 "net.capacity_bps",

@@ -45,7 +45,9 @@ from .session import RtcSession
 
 #: Bumped whenever the serialized result layout or the simulation's
 #: observable outputs change; stale cache entries are simply missed.
-CACHE_SCHEMA_VERSION = 2
+#: v3: telemetry's scheduler.queue_depth probe / max_queue_depth gauge
+#: now report active (non-cancelled) queue depth.
+CACHE_SCHEMA_VERSION = 3
 
 
 # ----------------------------------------------------------------------

@@ -20,7 +20,7 @@ from ..errors import ReproError
 from ..telemetry.recorder import Telemetry
 
 
-@dataclass
+@dataclass(slots=True)
 class FrameOutcome:
     """Joined fate of one capture slot.
 
@@ -67,7 +67,7 @@ class FrameOutcome:
         return self.display_time - self.capture_time
 
 
-@dataclass
+@dataclass(slots=True)
 class TimeseriesSample:
     """Periodic telemetry snapshot."""
 
@@ -84,6 +84,28 @@ class TimeseriesSample:
 #: hurts less than frozen sports).
 FREEZE_DECAY = 0.02
 FREEZE_FLOOR = 0.6
+
+
+@dataclass(slots=True)
+class SessionPerf:
+    """Wall-clock execution counters for one session run.
+
+    Diagnostics only: deliberately **excluded** from
+    :meth:`SessionResult.to_dict`, so cached/parallel results stay
+    byte-identical to fresh serial runs (wall time is machine noise,
+    not simulation output). A result loaded from the cache or a worker
+    process therefore has ``perf = None``.
+    """
+
+    wall_seconds: float
+    events_fired: int
+
+    @property
+    def events_per_sec(self) -> float:
+        """Simulation event throughput (0 for a zero-length run)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_fired / self.wall_seconds
 
 
 @dataclass
@@ -108,6 +130,10 @@ class SessionResult:
     #: Telemetry recorder attached when the session ran with telemetry
     #: enabled (probe series, counters, gauges); ``None`` otherwise.
     traces: Telemetry | None = None
+    #: Wall-clock counters for the run that produced this result; not
+    #: serialized (see :class:`SessionPerf`), so ``None`` after a cache
+    #: or process-pool round trip.
+    perf: SessionPerf | None = field(default=None, compare=False)
 
     # ------------------------------------------------------------------
     # Serialization (lossless: used by the result cache and the

@@ -9,6 +9,8 @@ simulation, and returns a :class:`~repro.pipeline.results.SessionResult`.
 
 from __future__ import annotations
 
+import time
+
 from ..netsim.aqm import CoDelQueue
 from ..netsim.crosstraffic import CbrCrossTraffic
 from ..netsim.loss import IidLoss
@@ -19,7 +21,7 @@ from ..simcore.scheduler import Scheduler
 from ..telemetry.recorder import Telemetry
 from .config import SessionConfig
 from .flow import MediaFlow
-from .results import SessionResult
+from .results import SessionPerf, SessionResult
 
 
 class RtcSession:
@@ -136,8 +138,13 @@ class RtcSession:
     def run(self) -> SessionResult:
         """Run to completion and return the joined result."""
         end = self.config.duration + self.config.grace_period
+        wall_start = time.perf_counter()
         self.scheduler.run_until(end)
+        wall = time.perf_counter() - wall_start
         result = self.flow.finish()
+        result.perf = SessionPerf(
+            wall_seconds=wall, events_fired=self.scheduler.events_fired
+        )
         if self.audio is not None:
             result.audio_latencies = list(self.audio.stats.latencies)
             result.audio_sent = self.audio.stats.sent

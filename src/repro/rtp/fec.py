@@ -27,7 +27,7 @@ from ..errors import ConfigError
 from ..netsim.packet import Packet
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProtectedMeta:
     """Metadata needed to reconstruct one protected packet."""
 
@@ -82,6 +82,8 @@ class FecEncoder:
     #: EWMA weight per feedback report (~1 s time constant at 20 Hz
     #: feedback) — per-batch loss is far too noisy to switch FEC on/off.
     LOSS_SMOOTHING = 0.05
+
+    __slots__ = ("_config", "_loss_fraction", "parity_sent")
 
     def __init__(self, config: FecConfig | None = None) -> None:
         self._config = config or FecConfig()
@@ -164,6 +166,8 @@ class FecEncoder:
 
 class FecDecoder:
     """Receiver side: recovers single losses within protected groups."""
+
+    __slots__ = ("_history", "_received", "_order", "recovered")
 
     def __init__(self, history: int = 512) -> None:
         if history <= 0:

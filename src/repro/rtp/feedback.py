@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ArrivalRecord:
     """One received media packet, as reported by the receiver."""
 
@@ -21,7 +21,7 @@ class ArrivalRecord:
     size_bytes: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FeedbackReport:
     """A TWCC-like feedback batch.
 
@@ -43,7 +43,7 @@ class FeedbackReport:
         return 36 + 4 * len(self.arrivals)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PacketResult:
     """Sender-side join of send history with a feedback arrival record.
 
@@ -62,7 +62,7 @@ class PacketResult:
         return self.arrival_time < 0
 
 
-@dataclass
+@dataclass(slots=True)
 class FeedbackCollector:
     """Receiver-side accumulator producing :class:`FeedbackReport`."""
 
@@ -98,6 +98,8 @@ class SendHistory:
     Entries are evicted once acknowledged or once ``max_age`` older than
     the newest send, at which point unacked entries are reported lost.
     """
+
+    __slots__ = ("_entries", "_max_age", "_newest_send")
 
     def __init__(self, max_age: float = 2.0) -> None:
         self._entries: dict[int, tuple[float, int]] = {}

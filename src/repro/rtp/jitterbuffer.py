@@ -24,7 +24,7 @@ from ..telemetry.recorder import NULL_TELEMETRY, Telemetry
 DECODE_DELAY = 0.005
 
 
-@dataclass
+@dataclass(slots=True)
 class FrameRecord:
     """Receiver-side fate of one video frame.
 
@@ -78,6 +78,21 @@ class FrameRecord:
 class FrameAssembler:
     """Reassembles frames and maintains the decode reference chain."""
 
+    __slots__ = (
+        "_playout",
+        "_telemetry",
+        "_frames",
+        "_open",
+        "_highest_seq",
+        "_chain_intact",
+        "_send_pli",
+        "_pli_min_interval",
+        "_last_pli_time",
+        "_received_seqs",
+        "_gap_scan_floor",
+        "pli_sent",
+    )
+
     def __init__(
         self,
         send_pli: Callable[[], None] | None = None,
@@ -88,6 +103,9 @@ class FrameAssembler:
         self._playout = playout
         self._telemetry = telemetry or NULL_TELEMETRY
         self._frames: dict[int, FrameRecord] = {}
+        # Incomplete, not-yet-lost records only: the per-packet loss scan
+        # walks this instead of every frame ever seen.
+        self._open: dict[int, FrameRecord] = {}
         self._highest_seq = -1
         self._chain_intact = True
         self._send_pli = send_pli
@@ -111,7 +129,8 @@ class FrameAssembler:
         """Register a non-media sequence number (FEC parity) so gap
         detection doesn't mistake it for a lost frame."""
         self._received_seqs.add(seq)
-        self._highest_seq = max(self._highest_seq, seq)
+        if seq > self._highest_seq:
+            self._highest_seq = seq
         self._detect_losses(now)
 
     # ------------------------------------------------------------------
@@ -139,17 +158,20 @@ class FrameAssembler:
                 base_seq=packet.seq - packet.frame_packet_index,
             )
             self._frames[packet.frame_index] = record
+            self._open[packet.frame_index] = record
         if packet.frame_packet_index in record.positions:
             return None  # duplicate
         record.positions.add(packet.frame_packet_index)
         record.received_packets += 1
         self._received_seqs.add(packet.seq)
-        self._highest_seq = max(self._highest_seq, packet.seq)
+        if packet.seq > self._highest_seq:
+            self._highest_seq = packet.seq
 
         self._detect_losses(now)
 
         if record.received_packets == record.packet_count and not record.lost:
             record.complete_time = now
+            self._open.pop(record.index, None)
             return self._try_display(record, now)
         return None
 
@@ -189,24 +211,31 @@ class FrameAssembler:
         losing a T0 frame — or a sequence belonging to no known frame,
         i.e. a frame lost in its entirety — does.
         """
-        for record in self._frames.values():
-            if record.lost or record.complete_time is not None:
-                continue
-            if self._highest_seq > record.end_seq:
+        highest = self._highest_seq
+        newly_lost = None
+        for record in self._open.values():
+            if highest > record.end_seq:
                 record.lost = True
+                if newly_lost is None:
+                    newly_lost = [record.index]
+                else:
+                    newly_lost.append(record.index)
                 if record.temporal_layer == 0:
                     self._chain_intact = False
                     self._request_pli(now)
+        if newly_lost is not None:
+            for index in newly_lost:
+                del self._open[index]
         # Sequences below the highest that nobody claims: an entire
         # frame vanished, reference status unknown — assume broken.
-        for seq in range(self._gap_scan_floor, self._highest_seq + 1):
+        for seq in range(self._gap_scan_floor, highest + 1):
             if seq in self._received_seqs:
                 continue
             if any(r.covers_seq(seq) for r in self._frames.values()):
                 continue
             self._chain_intact = False
             self._request_pli(now)
-        self._gap_scan_floor = self._highest_seq + 1
+        self._gap_scan_floor = highest + 1
 
     def _request_pli(self, now: float) -> None:
         if self._send_pli is None:

@@ -19,6 +19,7 @@ RTC stacks implement both.
 from __future__ import annotations
 
 import copy
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Callable
 
@@ -56,7 +57,7 @@ class NackConfig:
             raise ConfigError("buffer_age must be positive")
 
 
-@dataclass
+@dataclass(slots=True)
 class _MissingSeq:
     first_seen: float
     nacks_sent: int = 0
@@ -66,6 +67,8 @@ class _MissingSeq:
 
 class RetransmissionBuffer:
     """Sender-side store of recently sent packets, by sequence."""
+
+    __slots__ = ("_max_age", "_packets", "retransmitted")
 
     def __init__(self, max_age: float = 1.0) -> None:
         if max_age <= 0:
@@ -118,6 +121,28 @@ class NackFrameAssembler:
       lost, breaking the chain and triggering PLI.
     """
 
+    __slots__ = (
+        "_playout",
+        "_telemetry",
+        "_config",
+        "_send_nack",
+        "_send_pli",
+        "_pli_min_interval",
+        "_last_pli_time",
+        "_frames",
+        "_order",
+        "_scan_start",
+        "_received_seqs",
+        "_missing",
+        "_highest_seq",
+        "_chain_intact",
+        "_last_displayed_index",
+        "pli_sent",
+        "nacks_sent",
+        "recovered_seqs",
+        "stale_frames",
+    )
+
     def __init__(
         self,
         send_nack: Callable[[list[int]], None],
@@ -136,6 +161,12 @@ class NackFrameAssembler:
         self._pli_min_interval = pli_min_interval
         self._last_pli_time = float("-inf")
         self._frames: dict[int, FrameRecord] = {}
+        # Frame indices in sorted order plus a scan floor: the display
+        # sweep resumes after the settled prefix (displayed, discarded,
+        # or lost frames never change state) instead of re-sorting and
+        # re-walking every frame on every packet.
+        self._order: list[int] = []
+        self._scan_start = 0
         self._received_seqs: set[int] = set()
         self._missing: dict[int, _MissingSeq] = {}
         self._highest_seq = -1
@@ -260,6 +291,18 @@ class NackFrameAssembler:
                 base_seq=packet.seq - packet.frame_packet_index,
             )
             self._frames[packet.frame_index] = record
+            order = self._order
+            index = packet.frame_index
+            if not order or index > order[-1]:
+                order.append(index)
+            else:
+                pos = bisect_left(order, index)
+                insort(order, index)
+                if pos < self._scan_start:
+                    # A late retransmission resurrected a frame below the
+                    # scan floor; rewind so the sweep visits (and
+                    # discards) it.
+                    self._scan_start = pos
         return record
 
     def _display_barrier(self) -> int:
@@ -273,10 +316,27 @@ class NackFrameAssembler:
         return min(unresolved)
 
     def _advance_display(self, now: float) -> list[FrameRecord]:
+        frames = self._frames
+        order = self._order
+        n = len(order)
+        i = self._scan_start
+        # Advance the floor past settled records before sweeping.
+        while i < n:
+            record = frames[order[i]]
+            if (
+                record.display_time is None
+                and not record.undecodable
+                and not record.lost
+            ):
+                break
+            i += 1
+        self._scan_start = i
         barrier = self._display_barrier()
         displayed: list[FrameRecord] = []
-        for index in sorted(self._frames):
-            record = self._frames[index]
+        while i < n:
+            index = order[i]
+            i += 1
+            record = frames[index]
             if record.display_time is not None or record.undecodable:
                 continue
             if record.lost:

@@ -24,6 +24,18 @@ from ..simcore.scheduler import Scheduler
 class Pacer:
     """Leaky-bucket pacer releasing packets at the pacing rate."""
 
+    __slots__ = (
+        "_scheduler",
+        "_send",
+        "_multiplier",
+        "_rate_bps",
+        "_queue",
+        "_queue_bytes",
+        "_sending",
+        "sent_packets",
+        "sent_bytes",
+    )
+
     def __init__(
         self,
         scheduler: Scheduler,
@@ -97,10 +109,13 @@ class Pacer:
             self._sending = False
             return
         packet = self._queue.popleft()
-        self._queue_bytes -= packet.size_bytes
-        packet.send_time = self._scheduler.now
+        size = packet.size_bytes
+        self._queue_bytes -= size
+        scheduler = self._scheduler
+        now = scheduler.clock._now
+        packet.send_time = now
         self._send(packet)
         self.sent_packets += 1
-        self.sent_bytes += packet.size_bytes
-        gap = packet.size_bytes * 8 / self._rate_bps
-        self._scheduler.call_in(gap, self._release_next)
+        self.sent_bytes += size
+        gap = size * 8 / self._rate_bps
+        scheduler.call_at(now + gap, self._release_next)

@@ -20,6 +20,8 @@ class Packetizer:
     """Splits frames into MTU-sized packets with monotone sequence
     numbers."""
 
+    __slots__ = ("_mtu", "_overhead", "_flow", "_next_seq")
+
     def __init__(
         self,
         mtu_payload_bytes: int = DEFAULT_MTU,

@@ -13,6 +13,8 @@ from ..errors import SimulationError
 class Clock:
     """Monotonic simulated clock measured in seconds."""
 
+    __slots__ = ("_now",)
+
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
 

@@ -1,43 +1,83 @@
 """Event objects for the discrete-event simulation kernel.
 
 An :class:`Event` couples a firing time with a zero-argument callback.
-Events are totally ordered by ``(time, priority, sequence)`` so that the
-scheduler is deterministic: two events at the same instant fire in the
-order they were scheduled unless an explicit priority says otherwise.
+The scheduler keeps events in a binary heap of
+``(time, priority, sequence)``-keyed tuples so that execution is
+deterministic: two events at the same instant fire in the order they
+were scheduled unless an explicit priority says otherwise. Sequence
+numbers are assigned by the owning :class:`~repro.simcore.scheduler.
+Scheduler` (per-scheduler, starting at 0), so an event's repr and
+ordering are reproducible regardless of how many sessions ran earlier
+in the process.
+
+``Event`` is a ``__slots__`` class rather than a dataclass: it is
+allocated once per scheduled callback — the single hottest allocation
+in the simulator — and slots keep both construction and attribute
+access cheap.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
-#: Module-wide monotonically increasing tie-breaker for event ordering.
-_sequence = itertools.count()
+
+def _noop() -> None:
+    return None
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback in the simulation.
 
     Attributes:
         time: Absolute simulation time (seconds) at which to fire.
         priority: Lower fires first among events at the same time.
-        sequence: Scheduling order tie-breaker, assigned automatically.
+        sequence: Scheduling order tie-breaker, assigned by the
+            scheduler (per-scheduler counter, starting at 0).
         callback: The zero-argument callable to invoke.
         cancelled: Set via :meth:`cancel`; cancelled events are skipped.
     """
 
-    time: float
-    priority: int = 0
-    sequence: int = field(default_factory=lambda: next(_sequence))
-    callback: Callable[[], None] = field(compare=False, default=lambda: None)
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "priority", "sequence", "callback", "cancelled", "_scheduler")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int = 0,
+        sequence: int = 0,
+        callback: Callable[[], None] = _noop,
+        cancelled: bool = False,
+        scheduler=None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = cancelled
+        #: Back-reference used for cancellation accounting; the owning
+        #: scheduler detaches it once the event leaves the heap.
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
-        """Mark the event so the scheduler drops it instead of firing it."""
+        """Mark the event so the scheduler drops it instead of firing it.
+
+        Idempotent. While the event is still queued, the owning
+        scheduler is notified so it can track the cancelled fraction of
+        its heap (and compact it lazily once dead timers dominate).
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler._note_cancelled()
 
     def fire(self) -> None:
         """Invoke the callback (the scheduler checks ``cancelled`` first)."""
         self.callback()
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return (
+            f"Event(time={self.time!r}, priority={self.priority!r}, "
+            f"sequence={self.sequence!r}{state})"
+        )

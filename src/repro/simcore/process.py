@@ -23,6 +23,16 @@ class PeriodicProcess:
     the cadence is drift-free in simulated time.
     """
 
+    __slots__ = (
+        "_scheduler",
+        "_period",
+        "_callback",
+        "_priority",
+        "_tick",
+        "_stopped",
+        "_pending",
+    )
+
     def __init__(
         self,
         scheduler: Scheduler,

@@ -10,18 +10,36 @@ Determinism guarantees:
 * events fire in ``(time, priority, scheduling order)`` order;
 * the clock advances only inside :meth:`run_until` / :meth:`step`;
 * no real time or OS entropy is consulted anywhere in the kernel.
+
+Performance notes (this file is the hottest loop in the repo — see
+``repro-rtc profile``):
+
+* the heap stores ``(time, priority, seq, event)`` tuples, so heap
+  sift comparisons are C tuple comparisons instead of Python-level
+  ``Event.__lt__`` calls;
+* the sequence tie-breaker is a per-scheduler counter, so event
+  ordering and reprs are reproducible regardless of process history;
+* cancelled events are dropped lazily when popped, and the heap is
+  compacted outright once cancelled entries exceed
+  :attr:`Scheduler.COMPACT_FRACTION` of it (cancellation-heavy
+  workloads — NACK/retransmit timers — otherwise drag dead weight
+  through every sift).
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+from heapq import heappush as _heappush
 from typing import Callable
 
 from ..errors import SchedulingError
 from ..telemetry.recorder import NULL_TELEMETRY, Telemetry
 from .clock import Clock
 from .events import Event
+
+_isfinite = math.isfinite
+_INF = float("inf")
 
 
 class Scheduler:
@@ -36,19 +54,37 @@ class Scheduler:
         [1.0]
     """
 
+    __slots__ = (
+        "clock",
+        "_heap",
+        "_events_fired",
+        "_running",
+        "_telemetry",
+        "_next_seq",
+        "_cancelled_pending",
+    )
+
+    #: Lazy-compaction thresholds: the heap is rebuilt without cancelled
+    #: entries once at least ``COMPACT_MIN`` of them linger *and* they
+    #: make up more than ``COMPACT_FRACTION`` of the heap.
+    COMPACT_MIN = 64
+    COMPACT_FRACTION = 0.25
+
     def __init__(
         self, start: float = 0.0, telemetry: Telemetry | None = None
     ) -> None:
         self.clock = Clock(start)
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._events_fired = 0
         self._running = False
         self._telemetry = telemetry or NULL_TELEMETRY
+        self._next_seq = 0
+        self._cancelled_pending = 0
 
     @property
     def now(self) -> float:
         """Current simulation time (seconds)."""
-        return self.clock.now
+        return self.clock._now
 
     @property
     def events_fired(self) -> int:
@@ -57,8 +93,21 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
-        """Number of events in the queue, including cancelled ones."""
+        """Raw event-queue size, **including** cancelled events that
+        have not been swept yet. Use :attr:`pending_active` for the
+        number of events that will actually fire."""
         return len(self._heap)
+
+    @property
+    def pending_active(self) -> int:
+        """Number of queued events that are not cancelled — the queue
+        depth that matters for diagnostics and telemetry."""
+        return len(self._heap) - self._cancelled_pending
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still sitting in the heap (diagnostics)."""
+        return self._cancelled_pending
 
     def call_at(
         self,
@@ -74,14 +123,22 @@ class Scheduler:
             SchedulingError: if ``time`` precedes the current clock or is
                 not a finite number.
         """
-        if not math.isfinite(time):
-            raise SchedulingError(f"event time must be finite, got {time!r}")
-        if time < self.clock.now:
+        # Hot path: `time >= now` is False for NaN and past times, so one
+        # comparison clears both checks for the common case; the precise
+        # error is sorted out only on the slow path.
+        now = self.clock._now
+        if not time >= now or time == _INF:
+            if not _isfinite(time):
+                raise SchedulingError(
+                    f"event time must be finite, got {time!r}"
+                )
             raise SchedulingError(
-                f"cannot schedule at {time:.9f} before now={self.clock.now:.9f}"
+                f"cannot schedule at {time:.9f} before now={now:.9f}"
             )
-        event = Event(time=time, priority=priority, callback=callback)
-        heapq.heappush(self._heap, event)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, priority, seq, callback, scheduler=self)
+        _heappush(self._heap, (time, priority, seq, event))
         return event
 
     def call_in(
@@ -93,14 +150,14 @@ class Scheduler:
         """Schedule ``callback`` after a relative ``delay`` seconds."""
         if delay < 0:
             raise SchedulingError(f"delay must be >= 0, got {delay!r}")
-        return self.call_at(self.clock.now + delay, callback, priority)
+        return self.call_at(self.clock._now + delay, callback, priority)
 
     def peek_time(self) -> float | None:
         """Time of the next non-cancelled event, or ``None`` if empty."""
         self._drop_cancelled()
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def step(self) -> bool:
         """Fire the single next event.
@@ -111,10 +168,11 @@ class Scheduler:
         self._drop_cancelled()
         if not self._heap:
             return False
-        event = heapq.heappop(self._heap)
-        self.clock.advance_to(event.time)
+        time, _, _, event = heapq.heappop(self._heap)
+        event._scheduler = None
+        self.clock.advance_to(time)
         self._events_fired += 1
-        event.fire()
+        event.callback()
         return True
 
     def run_until(self, end_time: float) -> None:
@@ -127,40 +185,55 @@ class Scheduler:
         if self._running:
             raise SchedulingError("run_until called re-entrantly")
         self._running = True
-        # Hot loop: fused peek/step — one cancelled-sweep and one
-        # heappop per event instead of two heap inspections (peek_time
-        # sweeps, then step sweeps and pops again). The telemetry
-        # variant is a separate copy so the disabled path stays free of
-        # per-event bookkeeping beyond this one branch.
+        # Hot loop: fused sweep/pop — one cancelled-check and one
+        # heappop per event, on tuple entries (C comparisons). The
+        # telemetry variant is a separate copy so the disabled path
+        # stays free of per-event bookkeeping beyond this one branch.
         heap = self._heap
         clock = self.clock
         pop = heapq.heappop
         telemetry = self._telemetry
+        fired = 0
         try:
             if not telemetry.enabled:
-                while True:
-                    while heap and heap[0].cancelled:
+                while heap:
+                    entry = heap[0]
+                    event = entry[3]
+                    if event.cancelled:
                         pop(heap)
-                    if not heap or heap[0].time > end_time:
+                        event._scheduler = None
+                        self._cancelled_pending -= 1
+                        continue
+                    time = entry[0]
+                    if time > end_time:
                         break
-                    event = pop(heap)
-                    clock.advance_to(event.time)
-                    self._events_fired += 1
-                    event.fire()
+                    pop(heap)
+                    event._scheduler = None
+                    clock._now = time
+                    fired += 1
+                    event.callback()
             else:
                 fired_before = self._events_fired
-                max_depth = len(heap)
-                while True:
-                    while heap and heap[0].cancelled:
+                max_depth = len(heap) - self._cancelled_pending
+                while heap:
+                    entry = heap[0]
+                    event = entry[3]
+                    if event.cancelled:
                         pop(heap)
-                    if not heap or heap[0].time > end_time:
+                        event._scheduler = None
+                        self._cancelled_pending -= 1
+                        continue
+                    time = entry[0]
+                    if time > end_time:
                         break
-                    event = pop(heap)
-                    clock.advance_to(event.time)
+                    pop(heap)
+                    event._scheduler = None
+                    clock._now = time
                     self._events_fired += 1
-                    event.fire()
-                    if len(heap) > max_depth:
-                        max_depth = len(heap)
+                    event.callback()
+                    depth = len(heap) - self._cancelled_pending
+                    if depth > max_depth:
+                        max_depth = depth
                 telemetry.count(
                     "scheduler.events", self._events_fired - fired_before
                 )
@@ -170,9 +243,10 @@ class Scheduler:
                 telemetry.gauge(
                     "scheduler.max_queue_depth", max(prev_max, max_depth)
                 )
-            if end_time > clock.now:
+            if end_time > clock._now:
                 clock.advance_to(end_time)
         finally:
+            self._events_fired += fired
             self._running = False
 
     def run(self) -> None:
@@ -180,6 +254,38 @@ class Scheduler:
         while self.step():
             pass
 
+    # ------------------------------------------------------------------
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            _, _, _, event = heapq.heappop(heap)
+            event._scheduler = None
+            self._cancelled_pending -= 1
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` while the event is queued."""
+        count = self._cancelled_pending + 1
+        self._cancelled_pending = count
+        if (
+            count >= self.COMPACT_MIN
+            and count > len(self._heap) * self.COMPACT_FRACTION
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Heap order is fully determined by the ``(time, priority, seq)``
+        key, so re-heapifying the surviving entries preserves the exact
+        firing order.
+        """
+        survivors = []
+        for entry in self._heap:
+            event = entry[3]
+            if event.cancelled:
+                event._scheduler = None
+            else:
+                survivors.append(entry)
+        heapq.heapify(survivors)
+        self._heap = survivors
+        self._cancelled_pending = 0

@@ -54,6 +54,7 @@ def test_structural_invariants_under_loss(plan):
         ),
     )
     now = 0.0
+    seen: set[int] = set()
     for seq, frame, position, count, frame_type, lost in plan:
         now += 0.01
         if lost:
@@ -61,12 +62,12 @@ def test_structural_invariants_under_loss(plan):
         assembler.on_packet(
             _packet(seq, frame, position, count, frame_type), now
         )
-        displayed_order.extend(_poll_displays(assembler, now))
+        displayed_order.extend(_poll_displays(assembler, seen))
     # Let retries expire and the barrier resolve.
     for _ in range(10):
         now += 0.05
         assembler.poll(now)
-        displayed_order.extend(_poll_displays(assembler, now))
+        displayed_order.extend(_poll_displays(assembler, seen))
 
     # Display order is strictly increasing frame order, no duplicates.
     assert displayed_order == sorted(set(displayed_order))
@@ -83,14 +84,12 @@ def test_structural_invariants_under_loss(plan):
         assert sum(states) <= 1 or (record.lost and record.undecodable) is False
 
 
-def _poll_displays(assembler, now):
+def _poll_displays(assembler, seen):
     """poll() records displays on the FrameRecords; detect new ones."""
     out = []
     for record in assembler.frames():
-        if record.display_time is not None and not getattr(
-            record, "_seen", False
-        ):
-            record._seen = True  # test-local marker
+        if record.display_time is not None and record.index not in seen:
+            seen.add(record.index)
             out.append(record.index)
     return out
 

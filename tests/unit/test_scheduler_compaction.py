@@ -1,0 +1,144 @@
+"""Cancellation-heavy scheduler workloads: lazy compaction semantics.
+
+The scheduler drops cancelled events lazily (when popped) and compacts
+the heap outright once cancelled entries exceed ``COMPACT_FRACTION`` of
+it. These tests pin down that machinery: the compaction trigger, the
+``pending`` vs ``pending_active`` split, and that neither lazy dropping
+nor compaction can ever change which events fire or in what order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore.scheduler import Scheduler
+
+
+def test_pending_counts_raw_heap_pending_active_excludes_cancelled(
+    scheduler,
+):
+    events = [scheduler.call_at(float(i), lambda: None) for i in range(10)]
+    assert scheduler.pending == 10
+    assert scheduler.pending_active == 10
+    for event in events[:4]:
+        event.cancel()
+    # Lazy cancellation: the raw heap still holds all ten entries.
+    assert scheduler.pending == 10
+    assert scheduler.pending_active == 6
+    assert scheduler.cancelled_pending == 4
+
+
+def test_cancel_is_idempotent_for_counters(scheduler):
+    event = scheduler.call_at(1.0, lambda: None)
+    scheduler.call_at(2.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    event.cancel()
+    assert scheduler.cancelled_pending == 1
+    assert scheduler.pending_active == 1
+
+
+def test_compaction_triggers_above_fraction_threshold(scheduler):
+    # Enough events that COMPACT_MIN is reachable, then cancel until
+    # the cancelled fraction crosses COMPACT_FRACTION.
+    total = Scheduler.COMPACT_MIN * 5
+    events = [
+        scheduler.call_at(float(i), lambda: None) for i in range(total)
+    ]
+    threshold = int(total * Scheduler.COMPACT_FRACTION) + 1
+    assert threshold >= Scheduler.COMPACT_MIN
+    for event in events[:threshold]:
+        event.cancel()
+    # The compaction fired: cancelled entries were physically removed.
+    assert scheduler.cancelled_pending == 0
+    assert scheduler.pending == total - threshold
+    assert scheduler.pending == scheduler.pending_active
+
+
+def test_no_compaction_below_min_count(scheduler):
+    # A small queue never compacts even at a 100% cancelled fraction:
+    # lazy dropping is cheap enough there.
+    events = [
+        scheduler.call_at(float(i), lambda: None)
+        for i in range(Scheduler.COMPACT_MIN - 1)
+    ]
+    for event in events:
+        event.cancel()
+    assert scheduler.cancelled_pending == len(events)
+    assert scheduler.pending == len(events)
+    assert scheduler.pending_active == 0
+
+
+def test_cancelled_events_never_fire_across_compaction(scheduler):
+    """Heavy cancellation churn: survivors fire exactly once, in order."""
+    fired = []
+    total = Scheduler.COMPACT_MIN * 4
+    events = [
+        scheduler.call_at(float(i), lambda i=i: fired.append(i))
+        for i in range(total)
+    ]
+    # Cancel every other event — crosses the compaction threshold at
+    # least once while survivors remain interleaved through the heap.
+    for event in events[::2]:
+        event.cancel()
+    scheduler.run_until(float(total) + 1.0)
+    assert fired == list(range(1, total, 2))
+    assert scheduler.pending == 0
+    assert scheduler.cancelled_pending == 0
+
+
+def test_ordering_preserved_at_equal_time_and_priority(scheduler):
+    """Compaction must not disturb FIFO order among equal keys."""
+    fired = []
+    keep = []
+    for i in range(Scheduler.COMPACT_MIN * 4):
+        event = scheduler.call_at(
+            5.0, lambda i=i: fired.append(i), priority=3
+        )
+        if i % 3 == 0:
+            event.cancel()
+        else:
+            keep.append(i)
+    scheduler.run_until(10.0)
+    assert fired == keep
+
+
+def test_cancel_after_fire_does_not_corrupt_counter(scheduler):
+    event = scheduler.call_at(1.0, lambda: None)
+    scheduler.call_at(2.0, lambda: None)
+    scheduler.run_until(1.5)
+    # The event already fired and left the heap; cancelling it now is a
+    # no-op for the pending-cancelled bookkeeping.
+    event.cancel()
+    assert scheduler.cancelled_pending == 0
+    assert scheduler.pending == 1
+    assert scheduler.pending_active == 1
+
+
+def test_step_and_peek_skip_cancelled_entries(scheduler):
+    fired = []
+    first = scheduler.call_at(1.0, lambda: fired.append("a"))
+    scheduler.call_at(2.0, lambda: fired.append("b"))
+    first.cancel()
+    assert scheduler.peek_time() == 2.0
+    assert scheduler.step() is True
+    assert fired == ["b"]
+    assert scheduler.step() is False
+
+
+def test_run_until_reentrancy_raises(scheduler):
+    def reenter():
+        scheduler.run_until(5.0)
+
+    scheduler.call_at(1.0, reenter)
+    with pytest.raises(SimulationError):
+        scheduler.run_until(2.0)
+
+
+def test_events_fired_counts_only_fired_events(scheduler):
+    events = [scheduler.call_at(float(i), lambda: None) for i in range(8)]
+    for event in events[:3]:
+        event.cancel()
+    scheduler.run_until(100.0)
+    assert scheduler.events_fired == 5

