@@ -19,7 +19,7 @@ RTC stacks implement both.
 from __future__ import annotations
 
 import copy
-from bisect import bisect_left, insort
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Callable
 
@@ -297,7 +297,7 @@ class NackFrameAssembler:
                 order.append(index)
             else:
                 pos = bisect_left(order, index)
-                insort(order, index)
+                order.insert(pos, index)
                 if pos < self._scan_start:
                     # A late retransmission resurrected a frame below the
                     # scan floor; rewind so the sweep visits (and

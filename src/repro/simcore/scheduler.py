@@ -193,7 +193,6 @@ class Scheduler:
         clock = self.clock
         pop = heapq.heappop
         telemetry = self._telemetry
-        fired = 0
         try:
             if not telemetry.enabled:
                 while heap:
@@ -210,7 +209,9 @@ class Scheduler:
                     pop(heap)
                     event._scheduler = None
                     clock._now = time
-                    fired += 1
+                    # Per-event so ``events_fired`` read from inside a
+                    # callback is live, matching the telemetry path.
+                    self._events_fired += 1
                     event.callback()
             else:
                 fired_before = self._events_fired
@@ -246,7 +247,6 @@ class Scheduler:
             if end_time > clock._now:
                 clock.advance_to(end_time)
         finally:
-            self._events_fired += fired
             self._running = False
 
     def run(self) -> None:
@@ -273,11 +273,13 @@ class Scheduler:
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap without cancelled entries.
+        """Rebuild the heap without cancelled entries, in place.
 
         Heap order is fully determined by the ``(time, priority, seq)``
         key, so re-heapifying the surviving entries preserves the exact
-        firing order.
+        firing order. The list object must stay the same one:
+        :meth:`run_until` holds a local alias to ``self._heap``, and
+        compaction can run mid-loop when a callback cancels events.
         """
         survivors = []
         for entry in self._heap:
@@ -287,5 +289,5 @@ class Scheduler:
             else:
                 survivors.append(entry)
         heapq.heapify(survivors)
-        self._heap = survivors
+        self._heap[:] = survivors
         self._cancelled_pending = 0

@@ -127,6 +127,44 @@ def test_step_and_peek_skip_cancelled_entries(scheduler):
     assert scheduler.step() is False
 
 
+def test_compaction_inside_run_until_keeps_heap_alias_valid(scheduler):
+    """A callback that cancels enough events to trigger compaction
+    mid-run must not strand the loop on a stale heap: events scheduled
+    after the compaction still fire, survivors fire exactly once, and
+    the cancelled-pending counter lands at zero."""
+    fired = []
+    victims = [
+        scheduler.call_at(10.0 + i, lambda: fired.append("victim"))
+        for i in range(Scheduler.COMPACT_MIN * 5)
+    ]
+    survivor_times = [3.0, 4.0]
+    for t in survivor_times:
+        scheduler.call_at(t, lambda t=t: fired.append(t))
+
+    def canceller():
+        for event in victims:
+            event.cancel()
+        scheduler.call_at(2.0, lambda: fired.append("late"))
+
+    scheduler.call_at(1.0, canceller)
+    scheduler.run_until(100.0)
+    assert fired == ["late", 3.0, 4.0]
+    assert scheduler.pending == 0
+    assert scheduler.pending_active == 0
+    assert scheduler.cancelled_pending == 0
+
+
+def test_events_fired_is_live_inside_callbacks(scheduler):
+    """``events_fired`` read from within a callback reflects the events
+    fired so far in the current run, not the stale pre-run count."""
+    seen = []
+    for i in range(3):
+        scheduler.call_at(float(i + 1), lambda: seen.append(scheduler.events_fired))
+    scheduler.run_until(10.0)
+    assert seen == [1, 2, 3]
+    assert scheduler.events_fired == 3
+
+
 def test_run_until_reentrancy_raises(scheduler):
     def reenter():
         scheduler.run_until(5.0)
