@@ -11,6 +11,9 @@ Subcommands:
   series as JSONL or CSV (see ``docs/telemetry.md``).
 * ``profile`` — run one pinned session under cProfile and print the
   top-N hotspots as text or JSON (see ``docs/running-fast.md``).
+* ``chaos`` — run the fault-injection robustness matrix and export the
+  degradation report as a table, JSON, or CSV (see
+  ``docs/robustness.md``).
 * ``cache`` — inspect or clear the persistent result cache.
 
 Global execution options (before the subcommand): ``--workers N`` fans
@@ -26,7 +29,14 @@ import dataclasses
 import sys
 
 from .errors import ConfigError, ReproError
-from .experiments import ablations, comparison, figures, scenarios, table1
+from .experiments import (
+    ablations,
+    comparison,
+    figures,
+    robustness,
+    scenarios,
+    table1,
+)
 from .metrics.summary import format_series
 from .pipeline.config import PolicyName
 from .pipeline.parallel import ResultCache, configure
@@ -215,6 +225,58 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.list_faults:
+        for name in robustness.FAULT_NAMES:
+            schedule = robustness.fault_suite(args.fault_at)[name]
+            labels = ", ".join(spec.label() for spec in schedule)
+            print(f"{name:<22} {labels}")
+        return 0
+    if args.quick:
+        scenario_names = ("steady",)
+        fault_names = ("feedback_blackout", "capacity_outage")
+        policies = (PolicyName.ADAPTIVE,)
+        seeds: tuple[int, ...] = (1,)
+        duration = 14.0
+    else:
+        scenario_names = tuple(
+            args.scenarios or robustness.DEFAULT_SCENARIOS
+        )
+        fault_names = tuple(args.faults or robustness.DEFAULT_FAULTS)
+        policies = tuple(
+            PolicyName(p) for p in (
+                args.policies
+                or [p.value for p in robustness.DEFAULT_POLICIES]
+            )
+        )
+        seeds = tuple(range(1, args.seeds + 1))
+        duration = args.duration
+    report = robustness.run_matrix(
+        scenario_names=scenario_names,
+        fault_names=fault_names,
+        policies=policies,
+        seeds=seeds,
+        duration=duration,
+        fault_at=args.fault_at,
+    )
+    if args.format == "json":
+        text = report.to_json() + "\n"
+    elif args.format == "csv":
+        text = report.to_csv()
+    else:
+        text = report.format_table() + "\n"
+    if args.output is None or args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"wrote {len(report.cells)} cells to {args.output}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir or ResultCache.default_dir())
     if args.cache_action == "clear":
@@ -379,6 +441,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="output file (default or '-': stdout)",
     )
     prof_p.set_defaults(func=_cmd_profile)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="run the fault-injection robustness matrix",
+    )
+    chaos_p.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        choices=sorted(robustness.SCENARIOS),
+        help="scenario to include (repeatable; default: "
+        f"{', '.join(robustness.DEFAULT_SCENARIOS)})",
+    )
+    chaos_p.add_argument(
+        "--fault",
+        action="append",
+        dest="faults",
+        choices=list(robustness.FAULT_NAMES),
+        help="fault schedule to include (repeatable; default: all)",
+    )
+    chaos_p.add_argument(
+        "--policy",
+        action="append",
+        dest="policies",
+        choices=[p.value for p in PolicyName],
+        help="policy to include (repeatable; default: "
+        f"{', '.join(p.value for p in robustness.DEFAULT_POLICIES)})",
+    )
+    chaos_p.add_argument("--seeds", type=int, default=2)
+    chaos_p.add_argument(
+        "--duration", type=float, default=robustness.DURATION
+    )
+    chaos_p.add_argument(
+        "--fault-at",
+        type=float,
+        default=robustness.FAULT_AT,
+        help="when fault windows open (default: "
+        f"{robustness.FAULT_AT:g} s)",
+    )
+    chaos_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny pinned grid (CI smoke): steady scenario, two "
+        "faults, adaptive policy, one seed",
+    )
+    chaos_p.add_argument(
+        "--format",
+        choices=["table", "json", "csv"],
+        default="table",
+        help="output format (default: table)",
+    )
+    chaos_p.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="output file (default or '-': stdout)",
+    )
+    chaos_p.add_argument(
+        "--list",
+        dest="list_faults",
+        action="store_true",
+        help="list the canonical fault schedules instead of running",
+    )
+    chaos_p.set_defaults(func=_cmd_chaos)
 
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache"

@@ -47,6 +47,7 @@ class SimulatedEncoder:
         "_next_qp_override",
         "_resolution_scale",
         "_target_scale",
+        "_stall_until",
         "_telemetry",
     )
 
@@ -90,6 +91,7 @@ class SimulatedEncoder:
         self._next_qp_override: float | None = None
         self._resolution_scale = 1.0
         self._target_scale = 1.0
+        self._stall_until: float | None = None
         self._telemetry = telemetry or NULL_TELEMETRY
 
     # ------------------------------------------------------------------
@@ -161,6 +163,11 @@ class SimulatedEncoder:
         self._resolution_scale = scale
         self.rate_control.set_model(self._model)
 
+    def set_stall_until(self, until: float | None) -> None:
+        """Simulate a hung encoder: frames submitted before ``until``
+        finish only after it (fault injection; ``None`` clears)."""
+        self._stall_until = until
+
     # ------------------------------------------------------------------
     # Encoding
     # ------------------------------------------------------------------
@@ -200,6 +207,13 @@ class SimulatedEncoder:
             0 if frame_type is FrameType.I else self._frames_since_key + 1
         )
 
+        encode_latency = self._model.encode_time(content.complexity)
+        done_time = now + encode_latency
+        if self._stall_until is not None and now < self._stall_until:
+            # The encoder is hung: work submitted during the stall
+            # completes in a burst right after it clears.
+            done_time = self._stall_until + encode_latency
+
         telemetry = self._telemetry
         if telemetry.enabled:
             telemetry.probe("encoder.qp", now, qp)
@@ -224,7 +238,7 @@ class SimulatedEncoder:
         return EncodedFrame(
             index=captured.index,
             capture_time=captured.capture_time,
-            encode_done_time=now + self._model.encode_time(content.complexity),
+            encode_done_time=done_time,
             frame_type=frame_type,
             qp=qp,
             size_bytes=size_bytes,

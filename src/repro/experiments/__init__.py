@@ -6,6 +6,7 @@ from . import (
     comparison,
     extensions,
     figures,
+    robustness,
     scenarios,
     table1,
 )
@@ -15,6 +16,7 @@ __all__ = [
     "comparison",
     "extensions",
     "figures",
+    "robustness",
     "scenarios",
     "table1",
 ]

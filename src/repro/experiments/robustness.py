@@ -1,0 +1,411 @@
+"""Robustness matrix: scenario × fault grid with a degradation report.
+
+Every cell runs the same (scenario, policy, seed) session twice — once
+clean, once with a canonical :class:`~repro.faults.FaultSchedule` — and
+reports how much the fault degraded the call:
+
+* **Δp95 latency** and **ΔSSIM** over the post-warm-up window;
+* **Δfreeze** (change in frozen-slot fraction);
+* **recovery time**: how long after each fault window closed until a
+  fresh frame reached the screen at near-baseline latency.
+
+Everything goes through :func:`~repro.pipeline.parallel.run_many`, so
+the grid caches, parallelizes, and stays bit-identical across workers.
+The report's JSON/CSV encodings are deterministic: same seeds + same
+grid = byte-identical output (enforced by the ``chaos-smoke`` CI job).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..faults.spec import FaultKind, FaultSchedule, FaultSpec
+from ..pipeline.config import NetworkConfig, PolicyName, SessionConfig, VideoConfig
+from ..pipeline.parallel import run_many
+from ..pipeline.results import SessionResult
+from ..traces.bandwidth import BandwidthTrace
+from ..traces.content import ContentClass
+from ..units import mbps
+from . import scenarios
+
+#: When the canonical fault windows open (s into the session).
+FAULT_AT = 8.0
+
+#: Default session length for the matrix (shorter than the Table 1
+#: sessions — every cell is a *pair* of runs).
+DURATION = 20.0
+
+#: Metrics window start: skip congestion-control warm-up.
+MEASURE_FROM = 2.0
+
+#: A slot counts as "recovered" once a displayed frame captured after
+#: the fault window lands within ``factor × baseline`` mean latency
+#: (with an absolute slack floor for very low-latency baselines).
+RECOVERY_LATENCY_FACTOR = 1.2
+RECOVERY_LATENCY_SLACK = 0.03
+
+
+# ----------------------------------------------------------------------
+# Scenario and fault grids
+# ----------------------------------------------------------------------
+def _steady_config(seed: int, duration: float) -> SessionConfig:
+    """Constant capacity at the canonical base rate."""
+    return SessionConfig(
+        network=NetworkConfig(
+            capacity=BandwidthTrace.constant(scenarios.BASE_RATE_BPS),
+            queue_bytes=scenarios.QUEUE_BYTES,
+        ),
+        video=VideoConfig(content_class=ContentClass.TALKING_HEAD),
+        duration=duration,
+        seed=seed,
+        adaptive=scenarios.ADAPTIVE_TUNING,
+    )
+
+
+def _drop_config(ratio: float):
+    def build(seed: int, duration: float) -> SessionConfig:
+        return dataclasses.replace(
+            scenarios.step_drop_config(ratio, seed=seed),
+            duration=duration,
+        )
+
+    return build
+
+
+#: Named scenario builders: ``name -> f(seed, duration) -> SessionConfig``.
+SCENARIOS = {
+    "steady": _steady_config,
+    "drop45": _drop_config(0.45),
+    "drop20": _drop_config(0.20),
+}
+
+#: Scenarios exercised when the caller does not pick.
+DEFAULT_SCENARIOS = ("steady", "drop45")
+
+
+def fault_suite(at: float = FAULT_AT) -> dict[str, FaultSchedule]:
+    """The canonical named schedules: one per fault kind plus a combo.
+
+    Windows open at ``at`` seconds and close within 4 s, leaving the
+    tail of a :data:`DURATION` session to observe recovery.
+    """
+    k = FaultKind
+    return {
+        "feedback_blackout": FaultSchedule.of(
+            FaultSpec(k.FEEDBACK_BLACKOUT, at, 2.0)
+        ),
+        "rtcp_delay": FaultSchedule.of(
+            FaultSpec(k.RTCP_DELAY, at, 3.0, delay=0.25)
+        ),
+        "encoder_stall": FaultSchedule.of(
+            FaultSpec(k.ENCODER_STALL, at, 1.0)
+        ),
+        "keyframe_storm": FaultSchedule.of(
+            FaultSpec(k.KEYFRAME_STORM, at, 2.0, interval=0.2)
+        ),
+        "capacity_outage": FaultSchedule.of(
+            FaultSpec(k.CAPACITY_OUTAGE, at, 1.5, rate_bps=0.0)
+        ),
+        "link_flap": FaultSchedule.of(
+            FaultSpec(k.LINK_FLAP, at, 3.0, up_time=0.7, down_time=0.3)
+        ),
+        "loss_storm": FaultSchedule.of(
+            FaultSpec(
+                k.LOSS_STORM,
+                at,
+                3.0,
+                probability=1.0,
+                burst_packets=8.0,
+                gap_packets=32.0,
+            )
+        ),
+        "cross_traffic_surge": FaultSchedule.of(
+            FaultSpec(k.CROSS_TRAFFIC_SURGE, at, 4.0, rate_bps=mbps(1.5))
+        ),
+        "blackout_plus_outage": FaultSchedule.of(
+            FaultSpec(k.FEEDBACK_BLACKOUT, at, 2.0),
+            FaultSpec(k.CAPACITY_OUTAGE, at + 0.5, 1.5, rate_bps=0.0),
+        ),
+    }
+
+
+#: Canonical fault names (stable order; used by the CLI's choices).
+FAULT_NAMES = tuple(fault_suite())
+
+#: Faults exercised when the caller does not pick.
+DEFAULT_FAULTS = FAULT_NAMES
+
+#: Policies exercised when the caller does not pick.
+DEFAULT_POLICIES = (PolicyName.ADAPTIVE, PolicyName.WEBRTC)
+
+
+# ----------------------------------------------------------------------
+# Degradation metrics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RobustnessCell:
+    """Seed-averaged degradation of one (scenario, fault, policy) cell.
+
+    Attributes:
+        baseline_* / faulted_*: window metrics of the clean and faulted
+            runs; ``delta_* = faulted - baseline``.
+        recovery_s: mean time from fault-window close to the first
+            near-baseline displayed frame, over the (seed, fault-spec)
+            pairs that recovered; ``None`` when none did.
+        unrecovered: how many (seed, fault-spec) pairs never recovered
+            before the session ended.
+    """
+
+    scenario: str
+    fault: str
+    policy: str
+    baseline_p95_ms: float
+    faulted_p95_ms: float
+    delta_p95_ms: float
+    baseline_ssim: float
+    faulted_ssim: float
+    delta_ssim: float
+    delta_freeze: float
+    recovery_s: float | None
+    unrecovered: int
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload."""
+        return dataclasses.asdict(self)
+
+
+def recovery_time(
+    result: SessionResult, fault_end: float, baseline_mean_latency: float
+) -> float | None:
+    """Seconds from ``fault_end`` until the call is back to normal.
+
+    "Back to normal" is the first displayed frame captured at or after
+    ``fault_end`` whose capture→display latency is within
+    :data:`RECOVERY_LATENCY_FACTOR` of the clean run's mean (plus an
+    absolute slack floor). ``None`` when no such frame exists.
+    """
+    threshold = max(
+        RECOVERY_LATENCY_FACTOR * baseline_mean_latency,
+        baseline_mean_latency + RECOVERY_LATENCY_SLACK,
+    )
+    for outcome in result.frames:
+        if outcome.capture_time < fault_end:
+            continue
+        latency = outcome.latency()
+        if latency is not None and latency <= threshold:
+            return outcome.capture_time - fault_end
+    return None
+
+
+# ----------------------------------------------------------------------
+# The matrix
+# ----------------------------------------------------------------------
+@dataclass
+class RobustnessReport:
+    """The full grid plus the parameters that produced it."""
+
+    scenarios: tuple[str, ...]
+    faults: tuple[str, ...]
+    policies: tuple[str, ...]
+    seeds: tuple[int, ...]
+    duration: float
+    fault_at: float
+    measure_from: float
+    cells: list[RobustnessCell]
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload."""
+        return {
+            "scenarios": list(self.scenarios),
+            "faults": list(self.faults),
+            "policies": list(self.policies),
+            "seeds": [int(s) for s in self.seeds],
+            "duration": float(self.duration),
+            "fault_at": float(self.fault_at),
+            "measure_from": float(self.measure_from),
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON (sorted keys, fixed cell order)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def to_csv(self) -> str:
+        """Deterministic CSV, one row per cell."""
+        columns = [f.name for f in dataclasses.fields(RobustnessCell)]
+        lines = [",".join(columns)]
+        for cell in self.cells:
+            row = []
+            for name in columns:
+                value = getattr(cell, name)
+                if value is None:
+                    row.append("")
+                elif isinstance(value, float):
+                    row.append(repr(value))
+                else:
+                    row.append(str(value))
+            lines.append(",".join(row))
+        return "\n".join(lines) + "\n"
+
+    def format_table(self) -> str:
+        """Aligned text table, grouped by scenario."""
+        header = (
+            f"{'fault':<22} {'policy':<10} {'Δp95':>9} {'ΔSSIM':>8} "
+            f"{'Δfreeze':>8} {'recovery':>9} {'unrec':>6}"
+        )
+        lines = []
+        for scenario in self.scenarios:
+            lines.append(f"scenario: {scenario}")
+            lines.append(header)
+            lines.append("-" * len(header))
+            for cell in self.cells:
+                if cell.scenario != scenario:
+                    continue
+                recovery = (
+                    "never" if cell.recovery_s is None
+                    else f"{cell.recovery_s:.2f}s"
+                )
+                lines.append(
+                    f"{cell.fault:<22} {cell.policy:<10} "
+                    f"{cell.delta_p95_ms:>+7.1f}ms "
+                    f"{cell.delta_ssim:>+8.4f} "
+                    f"{cell.delta_freeze:>+8.3f} "
+                    f"{recovery:>9} "
+                    f"{cell.unrecovered:>6d}"
+                )
+            lines.append("")
+        return "\n".join(lines).rstrip("\n")
+
+
+def run_matrix(
+    scenario_names: tuple[str, ...] = DEFAULT_SCENARIOS,
+    fault_names: tuple[str, ...] = DEFAULT_FAULTS,
+    policies: tuple[PolicyName, ...] = DEFAULT_POLICIES,
+    seeds: tuple[int, ...] = (1, 2),
+    duration: float = DURATION,
+    fault_at: float = FAULT_AT,
+) -> RobustnessReport:
+    """Run the scenario × fault grid and aggregate the degradation.
+
+    Per (scenario, policy, seed): one clean baseline session plus one
+    session per fault schedule, all batched through a single
+    :func:`run_many` call so caching and worker fan-out apply. The
+    deltas in each cell compare against the *same-seed* baseline, so
+    encoder noise and content draws cancel out exactly.
+    """
+    suite = fault_suite(fault_at)
+    for name in scenario_names:
+        if name not in SCENARIOS:
+            raise ConfigError(
+                f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+            )
+    for name in fault_names:
+        if name not in suite:
+            raise ConfigError(
+                f"unknown fault {name!r}; known: {sorted(suite)}"
+            )
+    if not seeds:
+        raise ConfigError("need at least one seed")
+    if duration <= fault_at:
+        raise ConfigError(
+            f"duration {duration!r} must exceed fault_at {fault_at!r}"
+        )
+
+    # One flat batch in a fixed order: baseline then each fault, per
+    # (scenario, policy, seed). run_many preserves input order.
+    batch: list[SessionConfig] = []
+    for scenario in scenario_names:
+        build = SCENARIOS[scenario]
+        for policy in policies:
+            for seed in seeds:
+                base = dataclasses.replace(
+                    build(seed, duration), policy=policy
+                )
+                batch.append(base)
+                for fault in fault_names:
+                    batch.append(
+                        dataclasses.replace(base, faults=suite[fault])
+                    )
+    results = iter(run_many(batch))
+
+    window = (MEASURE_FROM, duration)
+    cells: list[RobustnessCell] = []
+    for scenario in scenario_names:
+        for policy in policies:
+            per_fault: dict[str, dict[str, list[float]]] = {
+                fault: {
+                    "p95": [], "ssim": [], "freeze": [], "recovery": []
+                }
+                for fault in fault_names
+            }
+            unrecovered = {fault: 0 for fault in fault_names}
+            base_p95, base_ssim, base_freeze = [], [], []
+            for _seed in seeds:
+                baseline = next(results)
+                base_mean = baseline.mean_latency(*window)
+                base_p95.append(baseline.percentile_latency(95, *window))
+                base_ssim.append(baseline.mean_displayed_ssim(*window))
+                base_freeze.append(baseline.freeze_fraction(*window))
+                for fault in fault_names:
+                    faulted = next(results)
+                    bucket = per_fault[fault]
+                    bucket["p95"].append(
+                        faulted.percentile_latency(95, *window)
+                    )
+                    bucket["ssim"].append(
+                        faulted.mean_displayed_ssim(*window)
+                    )
+                    bucket["freeze"].append(
+                        faulted.freeze_fraction(*window)
+                    )
+                    for spec in suite[fault]:
+                        fault_end = min(spec.end, duration)
+                        rec = recovery_time(faulted, fault_end, base_mean)
+                        if rec is None:
+                            unrecovered[fault] += 1
+                        else:
+                            bucket["recovery"].append(rec)
+            mean_base_p95 = float(np.mean(base_p95))
+            mean_base_ssim = float(np.mean(base_ssim))
+            mean_base_freeze = float(np.mean(base_freeze))
+            for fault in fault_names:
+                bucket = per_fault[fault]
+                p95 = float(np.mean(bucket["p95"]))
+                ssim = float(np.mean(bucket["ssim"]))
+                freeze = float(np.mean(bucket["freeze"]))
+                cells.append(
+                    RobustnessCell(
+                        scenario=scenario,
+                        fault=fault,
+                        policy=policy.value,
+                        baseline_p95_ms=mean_base_p95 * 1e3,
+                        faulted_p95_ms=p95 * 1e3,
+                        delta_p95_ms=(p95 - mean_base_p95) * 1e3,
+                        baseline_ssim=mean_base_ssim,
+                        faulted_ssim=ssim,
+                        delta_ssim=ssim - mean_base_ssim,
+                        delta_freeze=freeze - mean_base_freeze,
+                        recovery_s=(
+                            float(np.mean(bucket["recovery"]))
+                            if bucket["recovery"]
+                            else None
+                        ),
+                        unrecovered=unrecovered[fault],
+                    )
+                )
+
+    return RobustnessReport(
+        scenarios=tuple(scenario_names),
+        faults=tuple(fault_names),
+        policies=tuple(p.value for p in policies),
+        seeds=tuple(seeds),
+        duration=duration,
+        fault_at=fault_at,
+        measure_from=MEASURE_FROM,
+        cells=cells,
+    )

@@ -1,0 +1,40 @@
+"""Deterministic fault injection for RTC sessions.
+
+Declarative :class:`FaultSchedule`s (validated, serializable, optionally
+generated from seeded RNG streams) perturb a session's control loop —
+feedback blackouts, RTCP delay spikes, encoder stalls, keyframe storms,
+capacity outages, link flaps, loss storms, cross-traffic surges — while
+keeping runs bit-reproducible. Attach one via
+``SessionConfig(faults=...)``; sessions without a schedule are untouched.
+
+See ``docs/robustness.md`` for the robustness-matrix experiment built on
+top of this package.
+"""
+
+from .apply import (
+    WindowedLoss,
+    capacity_fault_windows,
+    faulted_capacity,
+    faulted_loss,
+)
+from .injector import FaultInjector
+from .spec import (
+    CAPACITY_KINDS,
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+    random_schedule,
+)
+
+__all__ = [
+    "CAPACITY_KINDS",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultSpec",
+    "WindowedLoss",
+    "capacity_fault_windows",
+    "faulted_capacity",
+    "faulted_loss",
+    "random_schedule",
+]

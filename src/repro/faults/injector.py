@@ -1,0 +1,156 @@
+"""Runtime fault injection: timers that apply and revoke faults.
+
+The :class:`FaultInjector` arms deterministic scheduler timers for the
+faults that need runtime action — feedback blackouts and RTCP delay
+spikes (a reverse-path hook on the duplex network), encoder stalls and
+keyframe storms (encoder control surface), and cross-traffic surges
+(extra CBR senders). Capacity and loss faults are applied at build time
+(:mod:`repro.faults.apply`); the injector still marks their windows so
+every fault shows up in telemetry and in :attr:`FaultInjector.events`.
+
+Injected timers never consume randomness from other components' streams
+and never reorder existing events (the scheduler fires ties in
+scheduling order, and all injector timers are armed up front), so a
+faulted run is exactly as reproducible as a clean one.
+"""
+
+from __future__ import annotations
+
+from ..netsim.crosstraffic import CbrCrossTraffic
+from ..simcore.scheduler import Scheduler
+from ..telemetry.recorder import NULL_TELEMETRY, Telemetry
+from .spec import FaultKind, FaultSchedule, FaultSpec
+
+
+class FaultInjector:
+    """Arms one session's fault schedule onto its scheduler.
+
+    Args:
+        scheduler: the session's event scheduler.
+        schedule: validated fault schedule.
+        encoder: the session's encoder (stall / keyframe faults); may be
+            ``None`` if the schedule has no codec faults.
+        network: the session's duplex network (reverse-path faults and
+            cross-traffic surges); may be ``None`` if unused.
+        telemetry: recorder for fault event marks (optional).
+
+    Attributes:
+        events: ``(time, label, applied)`` tuples appended as fault
+            windows open (``True``) and close (``False``) — diagnostics
+            that work with telemetry off.
+        cross_traffic: the surge generators owned by this injector.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        schedule: FaultSchedule,
+        encoder=None,
+        network=None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        schedule.validate()
+        self._scheduler = scheduler
+        self.schedule = schedule
+        self._encoder = encoder
+        self._network = network
+        self._telemetry = telemetry or NULL_TELEMETRY
+        self.events: list[tuple[float, str, bool]] = []
+        self.cross_traffic: list[CbrCrossTraffic] = []
+        self._blackouts = schedule.windows(FaultKind.FEEDBACK_BLACKOUT)
+        self._delays = [
+            (s.start, s.end, s.delay)
+            for s in schedule.by_kind(FaultKind.RTCP_DELAY)
+        ]
+        self._arm()
+
+    # ------------------------------------------------------------------
+    def _arm(self) -> None:
+        if (self._blackouts or self._delays) and self._network is not None:
+            self._network.set_reverse_fault(self._reverse_verdict)
+        for index, spec in enumerate(self.schedule):
+            kind = spec.kind
+            if kind is FaultKind.ENCODER_STALL:
+                self._scheduler.call_at(
+                    spec.start,
+                    lambda s=spec: self._encoder.set_stall_until(s.end),
+                )
+                self._scheduler.call_at(
+                    spec.end,
+                    lambda: self._encoder.set_stall_until(None),
+                )
+            elif kind is FaultKind.KEYFRAME_STORM:
+                self._scheduler.call_at(
+                    spec.start, lambda s=spec: self._storm_tick(s)
+                )
+            elif kind is FaultKind.CROSS_TRAFFIC_SURGE:
+                self.cross_traffic.append(
+                    CbrCrossTraffic(
+                        self._scheduler,
+                        self._network.send_forward,
+                        spec.rate_bps,
+                        start_at=spec.start,
+                        stop_at=spec.end,
+                        flow=f"cross-fault-{index}",
+                    )
+                )
+            # Every window — including the build-time capacity/loss
+            # faults — gets open/close marks.
+            self._scheduler.call_at(
+                spec.start, lambda s=spec: self._mark(s, True)
+            )
+            self._scheduler.call_at(
+                spec.end, lambda s=spec: self._mark(s, False)
+            )
+
+    # ------------------------------------------------------------------
+    def _mark(self, spec: FaultSpec, applied: bool) -> None:
+        now = self._scheduler.now
+        self.events.append((now, spec.label(), applied))
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            telemetry.count(
+                "faults.applied" if applied else "faults.revoked"
+            )
+            telemetry.probe(
+                f"fault.{spec.kind.value}", now, 1.0 if applied else 0.0
+            )
+            telemetry.probe(
+                "fault.active_count",
+                now,
+                float(self.active_count(now)),
+            )
+
+    def active_count(self, time: float) -> int:
+        """How many fault windows contain ``time``.
+
+        The close boundary counts as inactive, matching the injector's
+        apply/revoke timers.
+        """
+        return sum(
+            1 for s in self.schedule if s.start <= time < s.end
+        )
+
+    # ------------------------------------------------------------------
+    def _storm_tick(self, spec: FaultSpec) -> None:
+        now = self._scheduler.now
+        if now >= spec.end:
+            return
+        self._encoder.request_keyframe()
+        self._telemetry.count("faults.forced_keyframes")
+        self._scheduler.call_in(
+            spec.interval, lambda: self._storm_tick(spec)
+        )
+
+    def _reverse_verdict(self, packet) -> float | None:
+        """Reverse-path fate: ``None`` drops, a float adds entry delay."""
+        now = self._scheduler.now
+        for start, end in self._blackouts:
+            if start <= now < end:
+                self._telemetry.count("faults.feedback_dropped")
+                return None
+        for start, end, delay in self._delays:
+            if start <= now < end:
+                self._telemetry.count("faults.feedback_delayed")
+                return delay
+        return 0.0

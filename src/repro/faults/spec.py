@@ -1,0 +1,277 @@
+"""Declarative fault specifications and schedules.
+
+A :class:`FaultSpec` names one timed perturbation of the control loop —
+a feedback blackout, an encoder stall, a link flap — and a
+:class:`FaultSchedule` is a validated, serializable list of them. The
+schedule is part of :class:`~repro.pipeline.config.SessionConfig`, so it
+flows through config hashing (result cache), the process-pool boundary,
+and the robustness experiment unchanged: **same seed + same schedule =
+bit-identical run**.
+
+Fault kinds and the layer they attack:
+
+=====================  =========  =========================================
+kind                   layer      effect
+=====================  =========  =========================================
+``feedback_blackout``  rtp/cc     all reverse-path RTCP/TWCC packets dropped
+``rtcp_delay``         rtp/cc     reverse-path packets held ``delay`` extra
+``encoder_stall``      codec      frames submitted during the window finish
+                                  only after it ends (hung encoder)
+``keyframe_storm``     codec      a keyframe forced every ``interval`` s
+``capacity_outage``    netsim     capacity clamped to ``rate_bps`` (0 = dead)
+``link_flap``          netsim     capacity alternates dead ``down_time`` /
+                                  alive ``up_time`` across the window
+``loss_storm``         netsim     bursty Gilbert–Elliott channel loss
+``cross_traffic_surge``  netsim   CBR competitor at ``rate_bps``
+=====================  =========  =========================================
+
+Random schedules are generated from :class:`~repro.simcore.rng.RngStreams`
+(:func:`random_schedule`), so chaos sweeps are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from enum import Enum
+from typing import Sequence
+
+from ..errors import ConfigError
+from ..simcore.rng import RngStreams
+
+
+class FaultKind(Enum):
+    """The fault library (see module docstring for semantics)."""
+
+    FEEDBACK_BLACKOUT = "feedback_blackout"
+    RTCP_DELAY = "rtcp_delay"
+    ENCODER_STALL = "encoder_stall"
+    KEYFRAME_STORM = "keyframe_storm"
+    CAPACITY_OUTAGE = "capacity_outage"
+    LINK_FLAP = "link_flap"
+    LOSS_STORM = "loss_storm"
+    CROSS_TRAFFIC_SURGE = "cross_traffic_surge"
+
+
+#: Kinds applied by rewriting the capacity trace before the run.
+CAPACITY_KINDS = (FaultKind.CAPACITY_OUTAGE, FaultKind.LINK_FLAP)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One timed fault. Unused knobs stay at their defaults.
+
+    Attributes:
+        kind: which perturbation to apply.
+        start: window start (simulation seconds, >= 0).
+        duration: window length in seconds (> 0).
+        delay: extra one-way delay for reverse-path packets
+            (``rtcp_delay`` only).
+        rate_bps: surge rate (``cross_traffic_surge``) or capacity floor
+            (``capacity_outage``; 0 = full outage).
+        interval: keyframe period (``keyframe_storm`` only).
+        up_time / down_time: alive/dead spans of a ``link_flap``.
+        probability: bad-state loss probability of a ``loss_storm``.
+        burst_packets / gap_packets: mean bad/good state residence of a
+            ``loss_storm``, in packets (Gilbert–Elliott transition
+            probabilities are their reciprocals).
+    """
+
+    kind: FaultKind
+    start: float
+    duration: float
+    delay: float = 0.0
+    rate_bps: float = 0.0
+    interval: float = 0.0
+    up_time: float = 0.0
+    down_time: float = 0.0
+    probability: float = 1.0
+    burst_packets: float = 8.0
+    gap_packets: float = 32.0
+
+    @property
+    def end(self) -> float:
+        """Window end (``start + duration``)."""
+        return self.start + self.duration
+
+    def label(self) -> str:
+        """Short human name, e.g. ``link_flap@10s``."""
+        return f"{self.kind.value}@{self.start:g}s"
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on out-of-range parameters."""
+        if not isinstance(self.kind, FaultKind):
+            raise ConfigError(f"kind must be a FaultKind, got {self.kind!r}")
+        if self.start < 0:
+            raise ConfigError(f"fault start must be >= 0, got {self.start!r}")
+        if self.duration <= 0:
+            raise ConfigError(
+                f"fault duration must be positive, got {self.duration!r}"
+            )
+        kind = self.kind
+        if kind is FaultKind.RTCP_DELAY and self.delay <= 0:
+            raise ConfigError(
+                f"rtcp_delay needs delay > 0, got {self.delay!r}"
+            )
+        if kind is FaultKind.KEYFRAME_STORM and self.interval <= 0:
+            raise ConfigError(
+                f"keyframe_storm needs interval > 0, got {self.interval!r}"
+            )
+        if kind is FaultKind.CROSS_TRAFFIC_SURGE and self.rate_bps <= 0:
+            raise ConfigError(
+                f"cross_traffic_surge needs rate_bps > 0, "
+                f"got {self.rate_bps!r}"
+            )
+        if kind is FaultKind.CAPACITY_OUTAGE and self.rate_bps < 0:
+            raise ConfigError(
+                f"capacity_outage floor must be >= 0, got {self.rate_bps!r}"
+            )
+        if kind is FaultKind.LINK_FLAP and (
+            self.up_time <= 0 or self.down_time <= 0
+        ):
+            raise ConfigError(
+                "link_flap needs up_time > 0 and down_time > 0, got "
+                f"{self.up_time!r}/{self.down_time!r}"
+            )
+        if kind is FaultKind.LOSS_STORM:
+            if not 0 < self.probability <= 1:
+                raise ConfigError(
+                    f"loss_storm probability must be in (0, 1], "
+                    f"got {self.probability!r}"
+                )
+            if self.burst_packets < 1 or self.gap_packets < 1:
+                raise ConfigError(
+                    "loss_storm burst_packets and gap_packets must be "
+                    f">= 1, got {self.burst_packets!r}/{self.gap_packets!r}"
+                )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready payload (kind as its string value)."""
+        out: dict = {"kind": self.kind.value}
+        for f in fields(self):
+            if f.name == "kind":
+                continue
+            out[f.name] = float(getattr(self, f.name))
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Rebuild a spec previously produced by :meth:`to_dict`."""
+        payload = dict(data)
+        payload["kind"] = FaultKind(payload["kind"])
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, validated collection of timed faults."""
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Accept any iterable for ergonomics; store a hashable tuple.
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def validate(self) -> None:
+        """Validate every spec."""
+        for spec in self.specs:
+            spec.validate()
+
+    # ------------------------------------------------------------------
+    def by_kind(self, *kinds: FaultKind) -> tuple[FaultSpec, ...]:
+        """Specs of the given kind(s), in schedule order."""
+        return tuple(s for s in self.specs if s.kind in kinds)
+
+    def windows(self, *kinds: FaultKind) -> list[tuple[float, float]]:
+        """Sorted ``(start, end)`` windows of the given kind(s)."""
+        return sorted((s.start, s.end) for s in self.by_kind(*kinds))
+
+    def end_time(self) -> float:
+        """When the last fault is over (0.0 for an empty schedule)."""
+        if not self.specs:
+            return 0.0
+        return max(s.end for s in self.specs)
+
+    def shifted(self, offset: float) -> "FaultSchedule":
+        """A copy with every window moved by ``offset`` seconds."""
+        return FaultSchedule(
+            tuple(replace(s, start=s.start + offset) for s in self.specs)
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready payload."""
+        return {"specs": [s.to_dict() for s in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSchedule":
+        """Rebuild a schedule previously produced by :meth:`to_dict`."""
+        return cls(tuple(FaultSpec.from_dict(s) for s in data["specs"]))
+
+    @classmethod
+    def of(cls, *specs: FaultSpec) -> "FaultSchedule":
+        """Convenience constructor from individual specs."""
+        return cls(tuple(specs))
+
+
+def random_schedule(
+    rng: RngStreams,
+    duration: float,
+    count: int = 3,
+    kinds: Sequence[FaultKind] | None = None,
+    stream: str = "fault-schedule",
+) -> FaultSchedule:
+    """A reproducible random schedule of ``count`` faults.
+
+    Fault windows land in the first 80% of ``duration`` (so recovery is
+    observable) with 0.5–3 s lengths and kind-appropriate parameters.
+    The draw order is fixed, so the same master seed always yields the
+    same schedule.
+    """
+    if duration <= 0:
+        raise ConfigError(f"duration must be positive, got {duration!r}")
+    if count < 1:
+        raise ConfigError(f"count must be >= 1, got {count!r}")
+    pool: tuple[FaultKind, ...] = (
+        tuple(kinds) if kinds is not None else tuple(FaultKind)
+    )
+    if not pool:
+        raise ConfigError("kinds must not be empty")
+    gen = rng.stream(stream)
+    specs = []
+    for _ in range(count):
+        kind = pool[int(gen.integers(0, len(pool)))]
+        start = float(gen.uniform(0.05, 0.8)) * duration
+        length = float(gen.uniform(0.5, 3.0))
+        spec = FaultSpec(
+            kind=kind,
+            start=start,
+            duration=length,
+            delay=float(gen.uniform(0.1, 0.5)),
+            rate_bps=(
+                float(gen.uniform(0.5e6, 2e6))
+                if kind is FaultKind.CROSS_TRAFFIC_SURGE
+                else 0.0
+            ),
+            interval=float(gen.uniform(0.1, 0.4)),
+            up_time=float(gen.uniform(0.2, 0.8)),
+            down_time=float(gen.uniform(0.1, 0.5)),
+            probability=float(gen.uniform(0.5, 1.0)),
+            burst_packets=float(gen.uniform(4.0, 16.0)),
+            gap_packets=float(gen.uniform(16.0, 64.0)),
+        )
+        specs.append(spec)
+    specs.sort(key=lambda s: (s.start, s.kind.value))
+    schedule = FaultSchedule(tuple(specs))
+    schedule.validate()
+    return schedule

@@ -10,6 +10,7 @@ the packet in service, exactly like a real token-bucket-shaped bottleneck.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -25,7 +26,13 @@ def service_end_time(
     trace: BandwidthTrace, start: float, bits: float
 ) -> float:
     """When a transmission of ``bits`` starting at ``start`` finishes,
-    integrating the (piecewise-constant) capacity trace."""
+    integrating the (piecewise-constant) capacity trace.
+
+    Zero-rate segments (full outages) serve nothing: the in-service
+    packet stalls until the next breakpoint. If the trace ends on a
+    zero rate with bits still unserved, the transmission never
+    completes and ``inf`` is returned.
+    """
     if bits <= 0:
         return start
     t = start
@@ -34,12 +41,15 @@ def service_end_time(
         rate = trace.rate_at(t)
         boundary = trace.next_change_after(t)
         if boundary is None:
+            if rate <= 0:
+                return math.inf
             return t + remaining / rate
-        span = boundary - t
-        capacity_bits = span * rate
-        if capacity_bits >= remaining:
-            return t + remaining / rate
-        remaining -= capacity_bits
+        if rate > 0:
+            span = boundary - t
+            capacity_bits = span * rate
+            if capacity_bits >= remaining:
+                return t + remaining / rate
+            remaining -= capacity_bits
         t = boundary
 
 
@@ -126,8 +136,16 @@ class Link:
 
     def estimated_queue_delay(self) -> float:
         """Backlog divided by the current rate — the standing latency a
-        new packet would see (ignoring future rate changes)."""
-        return self.queue.backlog_bytes * 8 / self.current_rate()
+        new packet would see (ignoring future rate changes). During a
+        zero-capacity outage the estimate integrates the trace to the
+        drain time instead (``inf`` if capacity never returns)."""
+        rate = self.current_rate()
+        if rate <= 0:
+            now = self._clock._now
+            return service_end_time(
+                self._capacity, now, self.queue.backlog_bytes * 8
+            ) - now
+        return self.queue.backlog_bytes * 8 / rate
 
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> bool:
@@ -149,6 +167,12 @@ class Link:
         finish = service_end_time(
             self._capacity, now, packet.size_bytes * 8
         )
+        if finish == math.inf:
+            # Capacity is zero for the rest of the trace: the packet in
+            # service (and everything queued behind it) never completes.
+            # Leaving the link busy with no finish event models a dead
+            # link; the queue keeps absorbing offers until it overflows.
+            return
         self._scheduler.call_at(finish, lambda: self._finish_service(packet))
 
     def _finish_service(self, packet: Packet) -> None:

@@ -35,9 +35,11 @@ class IidLoss(LossModel):
     def __init__(
         self, probability: float, rng: RngStreams, stream: str = "loss-iid"
     ) -> None:
-        if not 0 <= probability < 1:
+        # probability 1.0 is a legitimate operating point: a total
+        # blackout (used by the fault-injection subsystem).
+        if not 0 <= probability <= 1:
             raise ConfigError(
-                f"loss probability must be in [0, 1), got {probability!r}"
+                f"loss probability must be in [0, 1], got {probability!r}"
             )
         self._p = probability
         self._gen = rng.stream(stream)

@@ -38,8 +38,10 @@ class DuplexNetwork:
         reverse_loss: LossModel | None = None,
         forward_queue=None,
     ) -> None:
+        self._scheduler = scheduler
         self._handlers_forward: dict[str, Handler] = {}
         self._handlers_reverse: dict[str, Handler] = {}
+        self._reverse_fault: Callable[[Packet], float | None] | None = None
         self.forward = Link(
             scheduler=scheduler,
             capacity=capacity,
@@ -75,8 +77,31 @@ class DuplexNetwork:
         """Inject a packet on the media direction."""
         return self.forward.send(packet)
 
+    def set_reverse_fault(
+        self, hook: Callable[[Packet], float | None] | None
+    ) -> None:
+        """Install a fault hook on the feedback direction.
+
+        The hook sees every reverse-path packet before it enters the
+        reverse link and returns ``None`` to drop it (feedback
+        blackout) or a delay in seconds to hold it back (RTCP delay
+        spike; ``0.0`` passes through). Used by
+        :class:`~repro.faults.FaultInjector`.
+        """
+        self._reverse_fault = hook
+
     def send_reverse(self, packet: Packet) -> bool:
         """Inject a packet on the feedback direction."""
+        hook = self._reverse_fault
+        if hook is not None:
+            verdict = hook(packet)
+            if verdict is None:
+                return False
+            if verdict > 0:
+                self._scheduler.call_in(
+                    verdict, lambda: self.reverse.send(packet)
+                )
+                return True
         return self.reverse.send(packet)
 
     def rtt(self) -> float:

@@ -13,6 +13,7 @@ from enum import Enum
 from ..codec.ratecontrol import RateControlConfig
 from ..core.config import AdaptiveConfig, DetectorConfig
 from ..errors import ConfigError
+from ..faults.spec import FaultSchedule
 from ..rtp.fec import FecConfig
 from ..rtp.nack import NackConfig
 from ..rtp.playout import PlayoutConfig
@@ -57,8 +58,8 @@ class NetworkConfig:
             raise ConfigError("propagation delay must be >= 0")
         if self.queue_bytes <= 0:
             raise ConfigError("queue_bytes must be positive")
-        if not 0 <= self.iid_loss < 1:
-            raise ConfigError("iid_loss must be in [0, 1)")
+        if not 0 <= self.iid_loss <= 1:
+            raise ConfigError("iid_loss must be in [0, 1]")
         if self.cross_traffic_bps < 0:
             raise ConfigError("cross_traffic_bps must be >= 0")
         if self.aqm not in ("droptail", "codel"):
@@ -113,6 +114,10 @@ class SessionConfig:
         enable_telemetry: record probe series/counters into the result
             (see ``docs/telemetry.md``); off by default — disabled runs
             pay no recording cost. Part of the cache key.
+        faults: optional deterministic fault schedule (see
+            ``docs/robustness.md``). ``None`` (the default) leaves the
+            session untouched — results are bit-identical to a build
+            without the faults subsystem. Part of the cache key.
         grace_period: extra simulated time after the last capture.
     """
 
@@ -138,6 +143,7 @@ class SessionConfig:
     playout: PlayoutConfig = field(default_factory=PlayoutConfig)
     enable_audio: bool = False
     enable_telemetry: bool = False
+    faults: FaultSchedule | None = None
     grace_period: float = 2.0
 
     def validate(self) -> None:
@@ -164,3 +170,5 @@ class SessionConfig:
         self.nack.validate()
         self.fec.validate()
         self.playout.validate()
+        if self.faults is not None:
+            self.faults.validate()

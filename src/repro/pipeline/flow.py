@@ -249,7 +249,10 @@ class MediaFlow:
                 time=now,
                 target_bps=self.cc.target_bps(),
                 acked_bps=self.gcc.acked_bps(now),
-                capacity_bps=self.config.network.capacity.rate_at(now),
+                # The link's trace, not the config's: capacity faults
+                # rewrite the former, and the probes should show what
+                # the bottleneck actually enforced.
+                capacity_bps=self.network.forward.capacity.rate_at(now),
                 pacer_queue_delay=self.sender.pacer.queue_delay(),
                 network_queue_delay=(
                     self.network.forward.estimated_queue_delay()
@@ -265,7 +268,7 @@ class MediaFlow:
             telemetry.probe(
                 "net.capacity_bps",
                 now,
-                self.config.network.capacity.rate_at(now),
+                self.network.forward.capacity.rate_at(now),
             )
             telemetry.probe(
                 "net.queue_delay",

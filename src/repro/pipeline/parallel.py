@@ -47,7 +47,9 @@ from .session import RtcSession
 #: observable outputs change; stale cache entries are simply missed.
 #: v3: telemetry's scheduler.queue_depth probe / max_queue_depth gauge
 #: now report active (non-cancelled) queue depth.
-CACHE_SCHEMA_VERSION = 3
+#: v4: SessionConfig gained the ``faults`` schedule (part of the config
+#: hash) and capacity probes report the link's effective trace.
+CACHE_SCHEMA_VERSION = 4
 
 
 # ----------------------------------------------------------------------

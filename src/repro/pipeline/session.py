@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import time
 
+from ..faults.apply import faulted_capacity, faulted_loss
+from ..faults.injector import FaultInjector
 from ..netsim.aqm import CoDelQueue
 from ..netsim.crosstraffic import CbrCrossTraffic
 from ..netsim.loss import IidLoss
@@ -32,6 +34,13 @@ class RtcSession:
     counters catalogued in ``docs/telemetry.md``; the recorder rides on
     the returned result as ``SessionResult.traces``. Recording is purely
     observational — the simulated outcomes are identical either way.
+
+    Faults: when ``config.faults`` carries a
+    :class:`~repro.faults.FaultSchedule`, capacity faults and loss
+    storms are composed into the network substrate and a
+    :class:`~repro.faults.FaultInjector` arms the rest
+    (see ``docs/robustness.md``). With no schedule this path is inert
+    and results are bit-identical to a faults-free build.
     """
 
     def __init__(
@@ -48,15 +57,25 @@ class RtcSession:
         self.rng = RngStreams(config.seed)
 
         net = config.network
+        faults = config.faults if config.faults else None
+        capacity = net.capacity
         loss = None
         if net.iid_loss > 0:
             loss = IidLoss(net.iid_loss, self.rng)
+        if faults is not None:
+            # Capacity faults and loss storms are composed into the
+            # substrate before the run; the remaining fault kinds are
+            # armed as timers by the injector below.
+            capacity = faulted_capacity(capacity, faults)
+            loss = faulted_loss(
+                faults, loss, self.rng, self.scheduler.clock
+            )
         forward_queue = None
         if net.aqm == "codel":
             forward_queue = CoDelQueue(net.queue_bytes)
         self.network = DuplexNetwork(
             self.scheduler,
-            net.capacity,
+            capacity,
             net.propagation_delay,
             net.queue_bytes,
             forward_loss=loss,
@@ -84,6 +103,16 @@ class RtcSession:
         if config.enable_audio:
             self.audio = AudioStream(
                 self.scheduler, self.network, stop_at=config.duration
+            )
+
+        self.fault_injector: FaultInjector | None = None
+        if faults is not None:
+            self.fault_injector = FaultInjector(
+                self.scheduler,
+                faults,
+                encoder=self.flow.encoder,
+                network=self.network,
+                telemetry=telemetry,
             )
 
     # ------------------------------------------------------------------

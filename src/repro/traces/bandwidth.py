@@ -39,7 +39,9 @@ class BandwidthTrace:
         breakpoints: iterable of ``(start_time, rate_bps)`` pairs. Must be
             sorted by time, start at ``t <= 0`` coverage is implied by the
             first breakpoint (queried times before it return its rate),
-            and all rates must be positive.
+            and all rates must be >= 0. A zero rate models a full outage:
+            the link serves nothing until the next breakpoint (see
+            :func:`~repro.netsim.link.service_end_time`).
     """
 
     def __init__(self, breakpoints: Iterable[tuple[float, float]]) -> None:
@@ -49,8 +51,8 @@ class BandwidthTrace:
         times = [t for t, _ in points]
         if any(b <= a for a, b in zip(times, times[1:])):
             raise TraceError("breakpoint times must be strictly increasing")
-        if any(r <= 0 for _, r in points):
-            raise TraceError("all rates must be positive")
+        if any(r < 0 for _, r in points):
+            raise TraceError("all rates must be >= 0")
         self._times = times
         self._rates = [r for _, r in points]
 

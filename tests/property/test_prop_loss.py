@@ -1,0 +1,77 @@
+"""Statistical properties of the Gilbert–Elliott loss model.
+
+The two-state chain has closed-form stationary behaviour; under pinned
+seeds the empirical loss rate and mean burst length must land on the
+analytic values within sampling tolerance. This is the guarantee the
+fault-injection loss storms lean on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.loss import GilbertElliott
+from repro.netsim.packet import Packet
+from repro.simcore.rng import RngStreams
+
+#: Packets per chain realization — large enough that the sampling error
+#: of both statistics sits well inside the asserted tolerance.
+N_PACKETS = 60_000
+
+
+def _drop_sequence(model: GilbertElliott, n: int) -> list[bool]:
+    packet = Packet(size_bytes=100)
+    return [model.should_drop(packet) for _ in range(n)]
+
+
+def _mean_burst_length(drops: list[bool]) -> float:
+    bursts = []
+    run = 0
+    for dropped in drops:
+        if dropped:
+            run += 1
+        elif run:
+            bursts.append(run)
+            run = 0
+    if run:
+        bursts.append(run)
+    assert bursts, "chain produced no loss bursts"
+    return sum(bursts) / len(bursts)
+
+
+@pytest.mark.parametrize("p_gb,p_bg", [(0.02, 0.25), (0.05, 0.10)])
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_ge_loss_rate_and_burst_length_match_analytics(seed, p_gb, p_bg):
+    # With loss_good = 0 and loss_bad = 1 every drop is exactly a
+    # bad-state packet: the loss rate is the stationary bad probability
+    # p_gb / (p_gb + p_bg), and a burst is a bad-state residence, which
+    # is geometric with mean 1 / p_bg.
+    model = GilbertElliott(
+        p_good_to_bad=p_gb,
+        p_bad_to_good=p_bg,
+        loss_good=0.0,
+        loss_bad=1.0,
+        rng=RngStreams(seed),
+    )
+    drops = _drop_sequence(model, N_PACKETS)
+    stationary_bad = p_gb / (p_gb + p_bg)
+    assert sum(drops) / N_PACKETS == pytest.approx(stationary_bad, rel=0.12)
+    assert _mean_burst_length(drops) == pytest.approx(1 / p_bg, rel=0.12)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_ge_partial_loss_rate_matches_stationary_mixture(seed):
+    # General case: the loss rate is the stationary mixture of the
+    # per-state loss probabilities.
+    p_gb, p_bg, loss_good, loss_bad = 0.03, 0.15, 0.01, 0.7
+    model = GilbertElliott(
+        p_good_to_bad=p_gb,
+        p_bad_to_good=p_bg,
+        loss_good=loss_good,
+        loss_bad=loss_bad,
+        rng=RngStreams(seed),
+    )
+    drops = _drop_sequence(model, N_PACKETS)
+    stationary_bad = p_gb / (p_gb + p_bg)
+    expected = (1 - stationary_bad) * loss_good + stationary_bad * loss_bad
+    assert sum(drops) / N_PACKETS == pytest.approx(expected, rel=0.10)

@@ -80,9 +80,18 @@ def test_invalid_traces_rejected():
     with pytest.raises(TraceError):
         BandwidthTrace([(0.0, 1e6), (0.0, 2e6)])  # not increasing
     with pytest.raises(TraceError):
-        BandwidthTrace([(0.0, 0.0)])  # nonpositive rate
+        BandwidthTrace([(0.0, -1e6)])  # negative rate
     with pytest.raises(TraceError):
         BandwidthTrace([(1.0, 1e6), (0.5, 2e6)])  # out of order
+
+
+def test_zero_rate_segments_allowed():
+    # Zero capacity models a full outage (the fault-injection
+    # primitive); only negative rates are rejected.
+    trace = BandwidthTrace([(0.0, 1e6), (2.0, 0.0), (4.0, 1e6)])
+    assert trace.rate_at(3.0) == 0.0
+    assert trace.min_rate() == 0.0
+    assert trace.bits_between(0.0, 5.0) == pytest.approx(3e6)
 
 
 def test_invalid_queries_rejected(drop_trace):

@@ -93,6 +93,48 @@ def test_no_cache_skips_writability_probe(tmp_path, capsys):
     assert "mean latency" in capsys.readouterr().out
 
 
+def test_chaos_flags_parsed():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["chaos", "--scenario", "steady", "--fault", "link_flap",
+         "--policy", "adaptive", "--seeds", "1", "--format", "csv",
+         "-o", "out.csv"]
+    )
+    assert args.scenarios == ["steady"]
+    assert args.faults == ["link_flap"]
+    assert args.policies == ["adaptive"]
+    assert args.format == "csv"
+    assert args.output == "out.csv"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["chaos", "--fault", "bogus"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["chaos", "--scenario", "bogus"])
+
+
+def test_chaos_list_prints_fault_suite(capsys):
+    code = main(["--no-cache", "chaos", "--list"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "feedback_blackout" in out
+    assert "blackout_plus_outage" in out
+
+
+def test_chaos_quick_writes_json_report(tmp_path, capsys):
+    out_path = tmp_path / "degradation.json"
+    code = main(
+        ["--no-cache", "chaos", "--quick", "--format", "json",
+         "-o", str(out_path)]
+    )
+    assert code == 0
+    import json
+
+    payload = json.loads(out_path.read_text())
+    assert payload["scenarios"] == ["steady"]
+    assert payload["policies"] == ["adaptive"]
+    assert len(payload["cells"]) == 2
+    assert "wrote 2 cells" in capsys.readouterr().err
+
+
 def test_trace_flags_parsed():
     parser = build_parser()
     args = parser.parse_args(

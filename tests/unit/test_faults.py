@@ -1,0 +1,231 @@
+"""Unit tests for the fault-injection subsystem (repro.faults)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    CAPACITY_KINDS,
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+    WindowedLoss,
+    capacity_fault_windows,
+    faulted_capacity,
+    faulted_loss,
+    random_schedule,
+)
+from repro.netsim.loss import IidLoss
+from repro.netsim.packet import Packet
+from repro.simcore.clock import Clock
+from repro.simcore.rng import RngStreams
+from repro.traces.bandwidth import BandwidthTrace
+
+
+def _packet(seq: int = 0) -> Packet:
+    return Packet(flow="video", seq=seq, size_bytes=1200, send_time=0.0)
+
+
+# ----------------------------------------------------------------------
+# Spec validation
+# ----------------------------------------------------------------------
+def test_valid_specs_pass_validation():
+    FaultSpec(FaultKind.FEEDBACK_BLACKOUT, 1.0, 2.0).validate()
+    FaultSpec(FaultKind.RTCP_DELAY, 1.0, 2.0, delay=0.2).validate()
+    FaultSpec(FaultKind.ENCODER_STALL, 0.0, 0.5).validate()
+    FaultSpec(FaultKind.KEYFRAME_STORM, 1.0, 2.0, interval=0.1).validate()
+    FaultSpec(FaultKind.CAPACITY_OUTAGE, 1.0, 2.0, rate_bps=0.0).validate()
+    FaultSpec(
+        FaultKind.LINK_FLAP, 1.0, 2.0, up_time=0.5, down_time=0.2
+    ).validate()
+    FaultSpec(FaultKind.LOSS_STORM, 1.0, 2.0, probability=1.0).validate()
+    FaultSpec(
+        FaultKind.CROSS_TRAFFIC_SURGE, 1.0, 2.0, rate_bps=1e6
+    ).validate()
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        FaultSpec(FaultKind.FEEDBACK_BLACKOUT, -1.0, 2.0),
+        FaultSpec(FaultKind.FEEDBACK_BLACKOUT, 1.0, 0.0),
+        FaultSpec(FaultKind.RTCP_DELAY, 1.0, 2.0, delay=0.0),
+        FaultSpec(FaultKind.KEYFRAME_STORM, 1.0, 2.0, interval=0.0),
+        FaultSpec(FaultKind.CROSS_TRAFFIC_SURGE, 1.0, 2.0, rate_bps=0.0),
+        FaultSpec(FaultKind.CAPACITY_OUTAGE, 1.0, 2.0, rate_bps=-1.0),
+        FaultSpec(FaultKind.LINK_FLAP, 1.0, 2.0, up_time=0.0, down_time=0.2),
+        FaultSpec(FaultKind.LOSS_STORM, 1.0, 2.0, probability=0.0),
+        FaultSpec(FaultKind.LOSS_STORM, 1.0, 2.0, burst_packets=0.5),
+    ],
+)
+def test_invalid_specs_rejected(spec):
+    with pytest.raises(ConfigError):
+        spec.validate()
+
+
+def test_spec_end_and_label():
+    spec = FaultSpec(FaultKind.LINK_FLAP, 10.0, 3.0, up_time=1, down_time=1)
+    assert spec.end == 13.0
+    assert spec.label() == "link_flap@10s"
+
+
+# ----------------------------------------------------------------------
+# Schedule container and serialization
+# ----------------------------------------------------------------------
+def test_schedule_helpers():
+    blackout = FaultSpec(FaultKind.FEEDBACK_BLACKOUT, 5.0, 2.0)
+    outage = FaultSpec(FaultKind.CAPACITY_OUTAGE, 8.0, 1.0)
+    schedule = FaultSchedule.of(blackout, outage)
+    assert bool(schedule) and len(schedule) == 2
+    assert schedule.by_kind(FaultKind.CAPACITY_OUTAGE) == (outage,)
+    assert schedule.by_kind(*CAPACITY_KINDS) == (outage,)
+    assert schedule.windows(FaultKind.FEEDBACK_BLACKOUT) == [(5.0, 7.0)]
+    assert schedule.end_time() == 9.0
+    shifted = schedule.shifted(1.5)
+    assert shifted.windows(FaultKind.FEEDBACK_BLACKOUT) == [(6.5, 8.5)]
+    assert not FaultSchedule()
+    assert FaultSchedule().end_time() == 0.0
+
+
+def test_schedule_accepts_any_iterable():
+    specs = [FaultSpec(FaultKind.ENCODER_STALL, 1.0, 1.0)]
+    schedule = FaultSchedule(specs)
+    assert isinstance(schedule.specs, tuple)
+    assert hash(schedule) == hash(FaultSchedule(tuple(specs)))
+
+
+def test_schedule_json_round_trip():
+    schedule = random_schedule(RngStreams(7), duration=30.0, count=5)
+    payload = json.dumps(schedule.to_dict(), sort_keys=True)
+    rebuilt = FaultSchedule.from_dict(json.loads(payload))
+    assert rebuilt == schedule
+
+
+def test_random_schedule_deterministic():
+    a = random_schedule(RngStreams(42), duration=20.0, count=4)
+    b = random_schedule(RngStreams(42), duration=20.0, count=4)
+    c = random_schedule(RngStreams(43), duration=20.0, count=4)
+    assert a == b
+    assert a != c
+    a.validate()
+    assert all(spec.end <= 20.0 * 0.8 + 3.0 for spec in a)
+
+
+def test_random_schedule_respects_kind_pool():
+    schedule = random_schedule(
+        RngStreams(1),
+        duration=20.0,
+        count=6,
+        kinds=(FaultKind.LOSS_STORM,),
+    )
+    assert all(s.kind is FaultKind.LOSS_STORM for s in schedule)
+    with pytest.raises(ConfigError):
+        random_schedule(RngStreams(1), duration=0.0)
+    with pytest.raises(ConfigError):
+        random_schedule(RngStreams(1), duration=10.0, count=0)
+
+
+# ----------------------------------------------------------------------
+# Capacity transforms
+# ----------------------------------------------------------------------
+def test_outage_clamps_trace_inside_window_only():
+    trace = BandwidthTrace.constant(2e6)
+    schedule = FaultSchedule.of(
+        FaultSpec(FaultKind.CAPACITY_OUTAGE, 5.0, 2.0, rate_bps=0.0)
+    )
+    faulted = faulted_capacity(trace, schedule)
+    assert faulted.rate_at(4.99) == 2e6
+    assert faulted.rate_at(5.0) == 0.0
+    assert faulted.rate_at(6.99) == 0.0
+    assert faulted.rate_at(7.0) == 2e6
+
+
+def test_outage_floor_composes_with_underlying_drop():
+    trace = BandwidthTrace([(0.0, 2e6), (6.0, 0.5e6)])
+    schedule = FaultSchedule.of(
+        FaultSpec(FaultKind.CAPACITY_OUTAGE, 5.0, 2.0, rate_bps=1e6)
+    )
+    faulted = faulted_capacity(trace, schedule)
+    assert faulted.rate_at(5.5) == 1e6  # clamp below the base rate
+    assert faulted.rate_at(6.5) == 0.5e6  # trace already below the floor
+
+
+def test_link_flap_alternates_dead_and_alive_spans():
+    schedule = FaultSchedule.of(
+        FaultSpec(
+            FaultKind.LINK_FLAP, 10.0, 2.5, up_time=0.5, down_time=0.5
+        )
+    )
+    windows = capacity_fault_windows(schedule)
+    assert windows == [
+        (10.0, 10.5, 0.0),
+        (11.0, 11.5, 0.0),
+        (12.0, 12.5, 0.0),
+    ]
+    faulted = faulted_capacity(BandwidthTrace.constant(1e6), schedule)
+    assert faulted.rate_at(10.25) == 0.0
+    assert faulted.rate_at(10.75) == 1e6
+    assert faulted.rate_at(12.25) == 0.0
+    assert faulted.rate_at(12.75) == 1e6
+
+
+def test_no_capacity_faults_returns_same_object():
+    trace = BandwidthTrace.constant(1e6)
+    schedule = FaultSchedule.of(
+        FaultSpec(FaultKind.FEEDBACK_BLACKOUT, 1.0, 1.0)
+    )
+    assert faulted_capacity(trace, schedule) is trace
+
+
+# ----------------------------------------------------------------------
+# Windowed loss
+# ----------------------------------------------------------------------
+def test_windowed_loss_switches_models_by_clock():
+    clock = Clock()
+
+    class Always:
+        def should_drop(self, packet):
+            return True
+
+    class Never:
+        def should_drop(self, packet):
+            return False
+
+    loss = WindowedLoss(clock, Never(), [(5.0, 7.0, Always())])
+    clock.advance_to(4.9)
+    assert not loss.should_drop(_packet())
+    clock.advance_to(5.0)
+    assert loss.should_drop(_packet())
+    clock.advance_to(7.0)
+    assert not loss.should_drop(_packet())
+
+
+def test_faulted_loss_without_storms_returns_base():
+    base = IidLoss(0.1, RngStreams(1))
+    schedule = FaultSchedule.of(
+        FaultSpec(FaultKind.ENCODER_STALL, 1.0, 1.0)
+    )
+    assert faulted_loss(schedule, base, RngStreams(1), Clock()) is base
+
+
+def test_faulted_loss_storm_drops_everything_in_window():
+    clock = Clock()
+    schedule = FaultSchedule.of(
+        FaultSpec(
+            FaultKind.LOSS_STORM,
+            2.0,
+            1.0,
+            probability=1.0,
+            burst_packets=1e9,  # never leaves the bad state in practice
+            gap_packets=1.0,  # enters the bad state on the first step
+        )
+    )
+    loss = faulted_loss(schedule, None, RngStreams(3), clock)
+    clock.advance_to(2.5)
+    drops = sum(loss.should_drop(_packet(i)) for i in range(50))
+    assert drops >= 49  # first packet may start in the good state
+    clock.advance_to(5.0)
+    assert not any(loss.should_drop(_packet(i)) for i in range(50))

@@ -30,9 +30,15 @@ def test_iid_loss_rate_close_to_p(rng):
     assert drops / n == pytest.approx(0.1, abs=0.01)
 
 
+def test_iid_certain_loss_drops_everything(rng):
+    # p = 1.0 is the blackout primitive the fault injector relies on.
+    model = IidLoss(1.0, rng)
+    assert all(model.should_drop(_packet()) for _ in range(100))
+
+
 def test_iid_rejects_invalid_probability(rng):
     with pytest.raises(ConfigError):
-        IidLoss(1.0, rng)
+        IidLoss(1.5, rng)
     with pytest.raises(ConfigError):
         IidLoss(-0.1, rng)
 

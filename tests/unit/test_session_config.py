@@ -31,7 +31,9 @@ def test_network_validation():
     with pytest.raises(ConfigError):
         dataclasses.replace(_network(), queue_bytes=0).validate()
     with pytest.raises(ConfigError):
-        dataclasses.replace(_network(), iid_loss=1.0).validate()
+        dataclasses.replace(_network(), iid_loss=1.5).validate()
+    # A total blackout (iid_loss = 1.0) is a valid operating point.
+    dataclasses.replace(_network(), iid_loss=1.0).validate()
     with pytest.raises(ConfigError):
         dataclasses.replace(_network(), cross_traffic_bps=-1).validate()
 
