@@ -14,12 +14,22 @@ Subcommands:
 * ``chaos`` — run the fault-injection robustness matrix and export the
   degradation report as a table, JSON, or CSV (see
   ``docs/robustness.md``).
+* ``resume`` — replay an interrupted supervised batch from its run
+  manifest; finished cells come from the result cache.
 * ``cache`` — inspect or clear the persistent result cache.
 
 Global execution options (before the subcommand): ``--workers N`` fans
 the experiment's sessions out over N processes; results are reused from
 the persistent cache unless ``--no-cache`` is given. Parallel and cached
 results are bit-identical to serial fresh runs.
+
+Supervision options (on ``run``/``table1``/``chaos``):
+``--session-timeout``, ``--max-retries``, and ``--manifest`` enable the
+supervised executor — per-session wall-clock timeouts, bounded retries,
+worker-crash recovery, quarantine with ``FAILED(...)`` markers, and a
+persistent run manifest for ``resume`` (see ``docs/robustness.md``).
+Exit codes: 0 ok, 1 error, 2 usage, 3 partial (quarantined sessions in
+the output), 130 interrupted.
 """
 
 from __future__ import annotations
@@ -27,8 +37,16 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
+from pathlib import Path
 
-from .errors import ConfigError, ReproError
+from .errors import (
+    EXIT_INTERRUPT,
+    EXIT_OK,
+    EXIT_PARTIAL,
+    EXIT_USAGE,
+    ConfigError,
+    ReproError,
+)
 from .experiments import (
     ablations,
     comparison,
@@ -39,8 +57,20 @@ from .experiments import (
 )
 from .metrics.summary import format_series
 from .pipeline.config import PolicyName
-from .pipeline.parallel import ResultCache, configure
+from .pipeline.manifest import (
+    RunManifest,
+    find_manifest,
+    manifest_dir,
+    new_run_id,
+)
+from .pipeline.parallel import ResultCache, configure, run_many
 from .pipeline.runner import run_session
+from .pipeline.supervisor import (
+    FailedSession,
+    RetryPolicy,
+    SupervisorPlan,
+    SupervisorPolicy,
+)
 from .telemetry import export_text
 
 
@@ -51,7 +81,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         policy=PolicyName(args.policy),
         duration=args.duration,
     )
-    result = run_session(config)
+    [result] = run_many([config])
+    if isinstance(result, FailedSession):
+        print(f"policy            : {args.policy}")
+        print(f"result            : {result.marker}")
+        return 0
     start, end = scenarios.DROP_WINDOW
     print(f"policy            : {result.policy}")
     print(f"frames            : {len(result.frames)}")
@@ -79,7 +113,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_table1(args: argparse.Namespace) -> int:
     seeds = tuple(range(1, args.seeds + 1))
     rows = table1.run_table(seeds=seeds)
-    print(table1.format_table(rows))
+    if args.format == "json":
+        text = table1.to_json(rows) + "\n"
+    elif args.format == "csv":
+        text = table1.to_csv(rows)
+    else:
+        text = table1.format_table(rows) + "\n"
+    if args.output is None or args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"wrote {len(rows)} rows to {args.output}", file=sys.stderr
+        )
     return 0
 
 
@@ -288,6 +335,40 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
+    """Supervised-execution knobs shared by run/table1/chaos."""
+    group = parser.add_argument_group(
+        "supervision",
+        "passing any of these enables the supervised executor "
+        "(timeouts, retries, quarantine, run manifest; see "
+        "docs/robustness.md)",
+    )
+    group.add_argument(
+        "--session-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-session wall-clock limit; a hung session is killed, "
+        "retried, and quarantined if it never finishes",
+    )
+    group.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry budget per session for transient/infrastructure "
+        "failures (default: 2)",
+    )
+    group.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="run-manifest file (default: auto under "
+        "$REPRO_MANIFEST_DIR or <cache dir>/runs); pass to "
+        "'repro-rtc resume' to continue an interrupted batch",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI parser."""
     parser = argparse.ArgumentParser(
@@ -325,10 +406,24 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--drop-ratio", type=float, default=0.2)
     run_p.add_argument("--duration", type=float, default=25.0)
     run_p.add_argument("--seed", type=int, default=1)
+    _add_supervision_flags(run_p)
     run_p.set_defaults(func=_cmd_run)
 
     t1_p = sub.add_parser("table1", help="regenerate the headline table")
     t1_p.add_argument("--seeds", type=int, default=5)
+    t1_p.add_argument(
+        "--format",
+        choices=["table", "json", "csv"],
+        default="table",
+        help="output format (default: table)",
+    )
+    t1_p.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="output file (default or '-': stdout)",
+    )
+    _add_supervision_flags(t1_p)
     t1_p.set_defaults(func=_cmd_table1)
 
     fig_p = sub.add_parser("figure", help="print one figure's data")
@@ -504,7 +599,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the canonical fault schedules instead of running",
     )
+    _add_supervision_flags(chaos_p)
     chaos_p.set_defaults(func=_cmd_chaos)
+
+    resume_p = sub.add_parser(
+        "resume",
+        help="continue an interrupted supervised batch from its "
+        "run manifest",
+    )
+    resume_p.add_argument(
+        "run_id",
+        metavar="RUN_ID_OR_PATH",
+        help="run id (under the manifest dir) or manifest file path",
+    )
+    resume_p.set_defaults(func=None)
 
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache"
@@ -520,10 +628,102 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_supervision(
+    args: argparse.Namespace, raw_argv: list[str]
+) -> tuple[SupervisorPlan | None, RunManifest | None]:
+    """A :class:`SupervisorPlan` when any supervision flag is present.
+
+    Raises:
+        ConfigError: on invalid ``--session-timeout``/``--max-retries``.
+    """
+    timeout = getattr(args, "session_timeout", None)
+    retries = getattr(args, "max_retries", None)
+    manifest_arg = getattr(args, "manifest", None)
+    if timeout is None and retries is None and manifest_arg is None:
+        return None, None
+    retry = (
+        RetryPolicy()
+        if retries is None
+        else RetryPolicy(max_retries=retries)
+    )
+    policy = SupervisorPolicy(session_timeout=timeout, retry=retry)
+    policy.validate()
+    if manifest_arg is not None:
+        manifest = RunManifest.create(
+            Path(manifest_arg),
+            argv=raw_argv,
+            command=args.command,
+            workers=max(1, args.workers),
+            session_timeout=timeout,
+            max_retries=retry.max_retries,
+        )
+    else:
+        run_id = new_run_id(raw_argv)
+        manifest = RunManifest(
+            manifest_dir() / f"{run_id}.json",
+            run_id=run_id,
+            argv=raw_argv,
+            command=args.command,
+            workers=max(1, args.workers),
+            session_timeout=timeout,
+            max_retries=retry.max_retries,
+        )
+    manifest.save(force=True)
+    print(
+        f"repro-rtc: run {manifest.run_id} "
+        f"(manifest: {manifest.path})",
+        file=sys.stderr,
+    )
+    print(
+        f"repro-rtc: resume with: repro-rtc resume {manifest.path}",
+        file=sys.stderr,
+    )
+    return SupervisorPlan(policy=policy, manifest=manifest), manifest
+
+
+def _resume(run_id_or_path: str) -> int:
+    """Replay the command line recorded in a run manifest.
+
+    Finished cells are served by the result cache; only unfinished
+    cells re-execute. Raises :class:`ConfigError` when the manifest is
+    missing, unreadable, or itself records a ``resume`` invocation.
+    """
+    path = find_manifest(run_id_or_path)
+    manifest = RunManifest.load(path)
+    argv = list(manifest.argv)
+    if not argv:
+        raise ConfigError(
+            f"run manifest {path} records no command line to replay"
+        )
+    if "resume" in argv:
+        raise ConfigError(
+            f"run manifest {path} records a 'resume' invocation; "
+            "refusing to recurse"
+        )
+    if "--manifest" not in argv:
+        argv += ["--manifest", str(path)]
+    counts = manifest.counts()
+    done = counts.get("ok", 0)
+    total = len(manifest.records)
+    print(
+        f"repro-rtc: resuming run {manifest.run_id} "
+        f"({done}/{total} cells finished)",
+        file=sys.stderr,
+    )
+    return main(argv)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw_argv)
+    if args.command == "resume":
+        try:
+            return _resume(args.run_id)
+        except ConfigError as exc:
+            print(f"repro-rtc: error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or ResultCache.default_dir())
@@ -536,9 +736,47 @@ def main(argv: list[str] | None = None) -> int:
                 "--no-cache",
                 file=sys.stderr,
             )
-            return 2
-    configure(workers=max(1, args.workers), cache=cache)
-    return args.func(args)
+            return EXIT_USAGE
+    try:
+        plan, manifest = _build_supervision(args, raw_argv)
+    except ConfigError as exc:
+        print(f"repro-rtc: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    configure(workers=max(1, args.workers), cache=cache, supervisor=plan)
+    try:
+        code = args.func(args)
+    except KeyboardInterrupt:
+        # The supervisor already sealed the manifest mid-batch; this
+        # covers interrupts that land outside a batch.
+        if manifest is not None:
+            if manifest.status == "running":
+                manifest.finish(
+                    "interrupted",
+                    plan.stats.to_counters() if plan else {},
+                )
+            print(
+                f"repro-rtc: interrupted; resume with: "
+                f"repro-rtc resume {manifest.path}",
+                file=sys.stderr,
+            )
+        else:
+            print("repro-rtc: interrupted", file=sys.stderr)
+        return EXIT_INTERRUPT
+    except ConfigError as exc:
+        print(f"repro-rtc: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    finally:
+        configure(supervisor=None)
+    if code == EXIT_OK and plan is not None and plan.stats.quarantined:
+        for name, value in sorted(plan.stats.to_counters().items()):
+            print(f"repro-rtc: {name} = {value}", file=sys.stderr)
+        print(
+            f"repro-rtc: {plan.stats.quarantined} session(s) "
+            "quarantined; output contains FAILED(...) markers",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL
+    return code
 
 
 if __name__ == "__main__":

@@ -17,18 +17,25 @@ from ..core.config import AdaptiveConfig, DetectorConfig
 from ..pipeline.config import PolicyName, SessionConfig
 from ..pipeline.parallel import run_many
 from ..pipeline.results import SessionResult
+from ..pipeline.supervisor import failure_label, split_failures
 from ..units import ms
 from . import scenarios
 
 
 @dataclass(frozen=True)
 class AblationRow:
-    """Latency/quality of one controller variant on one scenario."""
+    """Latency/quality of one controller variant on one scenario.
+
+    ``failed`` is ``None`` on the normal path; under supervised
+    execution a quarantined session yields NaN metrics plus the
+    ``FAILED(<reason>)`` marker.
+    """
 
     variant: str
     mean_latency: float
     p95_latency: float
     mean_ssim: float
+    failed: str | None = None
 
 
 def _variant_configs(
@@ -58,6 +65,16 @@ def _variant_configs(
 
 
 def _averaged_row(variant: str, results: list[SessionResult]) -> AblationRow:
+    _ok, failures = split_failures(results)
+    if failures:
+        nan = float("nan")
+        return AblationRow(
+            variant=variant,
+            mean_latency=nan,
+            p95_latency=nan,
+            mean_ssim=nan,
+            failed=failure_label(failures),
+        )
     start, end = scenarios.DROP_WINDOW
     lat, p95, ssim = [], [], []
     for result in results:
@@ -259,6 +276,10 @@ def format_paired_rows(
     )
     lines = [title, header, "-" * len(header)]
     for label, base, adap in pairs:
+        if base.failed is not None or adap.failed is not None:
+            marker = base.failed or adap.failed
+            lines.append(f"{label:<15} {marker}")
+            continue
         reduction = (1 - adap.mean_latency / base.mean_latency) * 100
         lines.append(
             f"{label:<15} "
@@ -278,6 +299,9 @@ def format_rows(rows: list[AblationRow], title: str) -> str:
     )
     lines = [title, header, "-" * len(header)]
     for row in rows:
+        if row.failed is not None:
+            lines.append(f"{row.variant:<20} {row.failed}")
+            continue
         lines.append(
             f"{row.variant:<20} "
             f"{row.mean_latency * 1e3:>8.1f}ms "

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..pipeline.config import PolicyName
 from ..pipeline.parallel import run_many
+from ..pipeline.supervisor import failure_label, split_failures
 from . import scenarios
 
 ALL_POLICIES = (
@@ -28,7 +29,12 @@ ALL_POLICIES = (
 
 @dataclass(frozen=True)
 class PolicyRow:
-    """Seed-averaged metrics for one policy on one scenario."""
+    """Seed-averaged metrics for one policy on one scenario.
+
+    ``failed`` is ``None`` on the normal path; under supervised
+    execution a quarantined session yields NaN metrics plus the
+    ``FAILED(<reason>)`` marker.
+    """
 
     policy: str
     mean_latency: float
@@ -37,6 +43,7 @@ class PolicyRow:
     mean_ssim: float
     freeze_fraction: float
     pli_count: float
+    failed: str | None = None
 
 
 def run_comparison(
@@ -57,9 +64,25 @@ def run_comparison(
     results = iter(run_many(batch))
     rows = []
     for policy in policies:
+        per_policy = [next(results) for _ in seeds]
+        _ok, failures = split_failures(per_policy)
+        if failures:
+            nan = float("nan")
+            rows.append(
+                PolicyRow(
+                    policy=policy.value,
+                    mean_latency=nan,
+                    p95_latency=nan,
+                    peak_latency=nan,
+                    mean_ssim=nan,
+                    freeze_fraction=nan,
+                    pli_count=nan,
+                    failed=failure_label(failures),
+                )
+            )
+            continue
         lat, p95, peak, ssim, freeze, pli = [], [], [], [], [], []
-        for seed in seeds:
-            result = next(results)
+        for result in per_policy:
             lat.append(result.mean_latency(start, end))
             p95.append(result.percentile_latency(95, start, end))
             peak.append(result.peak_latency(start, end))
@@ -88,6 +111,9 @@ def format_comparison(rows: list[PolicyRow], title: str) -> str:
     )
     lines = [title, header, "-" * len(header)]
     for row in rows:
+        if row.failed is not None:
+            lines.append(f"{row.policy:<13} {row.failed}")
+            continue
         lines.append(
             f"{row.policy:<13} "
             f"{row.mean_latency * 1e3:>8.1f}ms "

@@ -16,16 +16,28 @@ from ..metrics.latency import cdf
 from ..pipeline.config import PolicyName, SessionConfig
 from ..pipeline.parallel import run_many
 from ..pipeline.results import SessionResult
+from ..pipeline.supervisor import failure_label, split_failures
 from . import scenarios
 
 
 @dataclass
 class Series:
-    """One plotted line."""
+    """One plotted line.
+
+    ``failed`` is ``None`` on the normal path; under supervised
+    execution a quarantined source session produces an empty series
+    carrying the ``FAILED(<reason>)`` marker instead of aborting the
+    figure.
+    """
 
     name: str
     x: list[float] = field(default_factory=list)
     y: list[float] = field(default_factory=list)
+    failed: str | None = None
+
+
+def _failed_series(name: str, failures) -> Series:
+    return Series(name=name, failed=failure_label(failures))
 
 
 def _latency_timeline(result: SessionResult) -> Series:
@@ -49,6 +61,12 @@ def figure1(
     [result] = run_many(
         [dataclasses.replace(config, policy=PolicyName.WEBRTC)]
     )
+    _ok, failures = split_failures([result])
+    if failures:
+        return {
+            name: _failed_series(name, failures)
+            for name in ("capacity", "target", "latency")
+        }
     capacity = Series(name="capacity")
     target = Series(name="gcc_target")
     for sample in result.timeseries:
@@ -77,10 +95,15 @@ def figure2(
             dataclasses.replace(config, policy=PolicyName.ADAPTIVE),
         ]
     )
-    return {
-        "baseline": _latency_timeline(base),
-        "adaptive": _latency_timeline(adap),
-    }
+    out: dict[str, Series] = {}
+    for name, result in (("baseline", base), ("adaptive", adap)):
+        _ok, failures = split_failures([result])
+        out[name] = (
+            _failed_series(name, failures)
+            if failures
+            else _latency_timeline(result)
+        )
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -95,9 +118,14 @@ def figure3(seed: int = 1) -> dict[str, Series]:
     )
     out: dict[str, Series] = {}
     for policy, result in zip(policies, results):
+        name = f"latency_cdf[{policy.value}]"
+        _ok, failures = split_failures([result])
+        if failures:
+            out[policy.value] = _failed_series(name, failures)
+            continue
         values, probs = cdf(result.latencies())
         out[policy.value] = Series(
-            name=f"latency_cdf[{policy.value}]",
+            name=name,
             x=[float(v) for v in values],
             y=[float(p) for p in probs],
         )
@@ -127,8 +155,16 @@ def figure4(
             )
     results = run_many(batch)
     cursor = 0
+    failed_points: list = []
     for ratio in ratios:
         reds, dss = [], []
+        point = results[cursor:cursor + 2 * len(seeds)]
+        _ok, failures = split_failures(point)
+        if failures:
+            # Skip the severity point but keep the sweep going.
+            failed_points.extend(failures)
+            cursor += 2 * len(seeds)
+            continue
         for _ in seeds:
             base, adap = results[cursor], results[cursor + 1]
             cursor += 2
@@ -144,4 +180,9 @@ def figure4(
         reduction.y.append(float(np.mean(reds)))
         ssim_change.x.append(ratio)
         ssim_change.y.append(float(np.mean(dss)))
+    if failed_points:
+        # Surviving points keep their data; the marker records the gap.
+        marker = failure_label(failed_points)
+        reduction.failed = marker
+        ssim_change.failed = marker
     return {"reduction": reduction, "ssim_change": ssim_change}

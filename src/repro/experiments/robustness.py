@@ -28,6 +28,7 @@ from ..faults.spec import FaultKind, FaultSchedule, FaultSpec
 from ..pipeline.config import NetworkConfig, PolicyName, SessionConfig, VideoConfig
 from ..pipeline.parallel import run_many
 from ..pipeline.results import SessionResult
+from ..pipeline.supervisor import failure_label, split_failures
 from ..traces.bandwidth import BandwidthTrace
 from ..traces.content import ContentClass
 from ..units import mbps
@@ -159,6 +160,10 @@ class RobustnessCell:
             pairs that recovered; ``None`` when none did.
         unrecovered: how many (seed, fault-spec) pairs never recovered
             before the session ended.
+        failed: ``None`` on the normal path; under supervised execution
+            a quarantined session (clean or faulted) marks the cell —
+            metrics become NaN and ``failed`` carries the
+            ``FAILED(<reason>)`` marker in every output format.
     """
 
     scenario: str
@@ -173,6 +178,7 @@ class RobustnessCell:
     delta_freeze: float
     recovery_s: float | None
     unrecovered: int
+    failed: str | None = None
 
     def to_dict(self) -> dict:
         """JSON-ready payload."""
@@ -266,6 +272,12 @@ class RobustnessReport:
             for cell in self.cells:
                 if cell.scenario != scenario:
                     continue
+                if cell.failed is not None:
+                    lines.append(
+                        f"{cell.fault:<22} {cell.policy:<10} "
+                        f"{cell.failed}"
+                    )
+                    continue
                 recovery = (
                     "never" if cell.recovery_s is None
                     else f"{cell.recovery_s:.2f}s"
@@ -344,15 +356,32 @@ def run_matrix(
                 for fault in fault_names
             }
             unrecovered = {fault: 0 for fault in fault_names}
+            base_failures: list = []
+            fault_failures: dict[str, list] = {
+                fault: [] for fault in fault_names
+            }
             base_p95, base_ssim, base_freeze = [], [], []
             for _seed in seeds:
                 baseline = next(results)
-                base_mean = baseline.mean_latency(*window)
-                base_p95.append(baseline.percentile_latency(95, *window))
-                base_ssim.append(baseline.mean_displayed_ssim(*window))
-                base_freeze.append(baseline.freeze_fraction(*window))
+                _ok, broken = split_failures([baseline])
+                if broken:
+                    base_failures.extend(broken)
+                    base_mean = None
+                else:
+                    base_mean = baseline.mean_latency(*window)
+                    base_p95.append(
+                        baseline.percentile_latency(95, *window)
+                    )
+                    base_ssim.append(
+                        baseline.mean_displayed_ssim(*window)
+                    )
+                    base_freeze.append(baseline.freeze_fraction(*window))
                 for fault in fault_names:
                     faulted = next(results)
+                    _ok, broken = split_failures([faulted])
+                    if broken:
+                        fault_failures[fault].extend(broken)
+                        continue
                     bucket = per_fault[fault]
                     bucket["p95"].append(
                         faulted.percentile_latency(95, *window)
@@ -363,6 +392,10 @@ def run_matrix(
                     bucket["freeze"].append(
                         faulted.freeze_fraction(*window)
                     )
+                    if base_mean is None:
+                        # Recovery is measured against the same-seed
+                        # clean run; without it the notion is undefined.
+                        continue
                     for spec in suite[fault]:
                         fault_end = min(spec.end, duration)
                         rec = recovery_time(faulted, fault_end, base_mean)
@@ -370,10 +403,34 @@ def run_matrix(
                             unrecovered[fault] += 1
                         else:
                             bucket["recovery"].append(rec)
-            mean_base_p95 = float(np.mean(base_p95))
-            mean_base_ssim = float(np.mean(base_ssim))
-            mean_base_freeze = float(np.mean(base_freeze))
+            nan = float("nan")
+            if base_failures:
+                mean_base_p95 = mean_base_ssim = mean_base_freeze = nan
+            else:
+                mean_base_p95 = float(np.mean(base_p95))
+                mean_base_ssim = float(np.mean(base_ssim))
+                mean_base_freeze = float(np.mean(base_freeze))
             for fault in fault_names:
+                broken = base_failures + fault_failures[fault]
+                if broken:
+                    cells.append(
+                        RobustnessCell(
+                            scenario=scenario,
+                            fault=fault,
+                            policy=policy.value,
+                            baseline_p95_ms=nan,
+                            faulted_p95_ms=nan,
+                            delta_p95_ms=nan,
+                            baseline_ssim=nan,
+                            faulted_ssim=nan,
+                            delta_ssim=nan,
+                            delta_freeze=nan,
+                            recovery_s=None,
+                            unrecovered=unrecovered[fault],
+                            failed=failure_label(broken),
+                        )
+                    )
+                    continue
                 bucket = per_fault[fault]
                 p95 = float(np.mean(bucket["p95"]))
                 ssim = float(np.mean(bucket["ssim"]))

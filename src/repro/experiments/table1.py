@@ -13,6 +13,7 @@ change. Rows are averaged over :data:`~repro.experiments.scenarios.TABLE1_SEEDS`
 from __future__ import annotations
 
 import dataclasses
+import json
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,12 +21,19 @@ import numpy as np
 from ..pipeline.config import PolicyName, SessionConfig
 from ..pipeline.parallel import run_many
 from ..pipeline.results import SessionResult
+from ..pipeline.supervisor import failure_label, split_failures
 from . import scenarios
 
 
 @dataclass(frozen=True)
 class Table1Row:
-    """One severity point of the headline table (seed-averaged)."""
+    """One severity point of the headline table (seed-averaged).
+
+    ``failed`` is ``None`` on the normal path. Under supervised
+    execution a quarantined session marks its whole severity point:
+    metrics become NaN and ``failed`` carries the ``FAILED(<reason>)``
+    marker rendered by every output format.
+    """
 
     drop_ratio: float
     label: str
@@ -37,6 +45,7 @@ class Table1Row:
     ssim_change_pct: float
     baseline_pli: float
     adaptive_pli: float
+    failed: str | None = None
 
 
 def _row_configs(
@@ -55,10 +64,30 @@ def _row_configs(
     return configs
 
 
+def _failed_row(drop_ratio: float, marker: str) -> Table1Row:
+    nan = float("nan")
+    return Table1Row(
+        drop_ratio=drop_ratio,
+        label=scenarios.ratio_label(drop_ratio),
+        baseline_latency=nan,
+        adaptive_latency=nan,
+        latency_reduction_pct=nan,
+        baseline_ssim=nan,
+        adaptive_ssim=nan,
+        ssim_change_pct=nan,
+        baseline_pli=nan,
+        adaptive_pli=nan,
+        failed=marker,
+    )
+
+
 def _row_from_results(
     drop_ratio: float, results: list[SessionResult]
 ) -> Table1Row:
     """Average one severity point's (baseline, adaptive) result pairs."""
+    _ok, failures = split_failures(results)
+    if failures:
+        return _failed_row(drop_ratio, failure_label(failures))
     start, end = scenarios.DROP_WINDOW
     base_lat, adap_lat, base_ssim, adap_ssim = [], [], [], []
     base_pli, adap_pli = [], []
@@ -136,6 +165,9 @@ def format_table(rows: list[Table1Row]) -> str:
         "-" * len(header),
     ]
     for row in rows:
+        if row.failed is not None:
+            lines.append(f"{row.label:<14} {row.failed}")
+            continue
         lines.append(
             f"{row.label:<14} "
             f"{row.baseline_latency * 1e3:>7.1f}ms "
@@ -147,3 +179,52 @@ def format_table(rows: list[Table1Row]) -> str:
             f"{row.baseline_pli:>4.1f}/{row.adaptive_pli:<3.1f}"
         )
     return "\n".join(lines)
+
+
+#: Metric columns (everything except identity/failure fields).
+_METRIC_FIELDS = tuple(
+    f.name
+    for f in dataclasses.fields(Table1Row)
+    if f.name not in ("drop_ratio", "label", "failed")
+)
+
+
+def rows_to_dicts(rows: list[Table1Row]) -> list[dict]:
+    """JSON-ready rows; failed rows carry ``null`` metrics + a marker."""
+    out = []
+    for row in rows:
+        payload: dict = {
+            "drop_ratio": row.drop_ratio,
+            "label": row.label,
+            "failed": row.failed,
+        }
+        for name in _METRIC_FIELDS:
+            value = getattr(row, name)
+            payload[name] = None if row.failed is not None else float(value)
+        out.append(payload)
+    return out
+
+
+def to_json(rows: list[Table1Row]) -> str:
+    """Deterministic JSON encoding of the table (stable key order)."""
+    return json.dumps(
+        {"table1": rows_to_dicts(rows)}, indent=2, sort_keys=True
+    )
+
+
+def to_csv(rows: list[Table1Row]) -> str:
+    """Deterministic CSV, one row per severity point."""
+    columns = ["drop_ratio", "label", *_METRIC_FIELDS, "failed"]
+    lines = [",".join(columns)]
+    for payload in rows_to_dicts(rows):
+        cells = []
+        for name in columns:
+            value = payload[name]
+            if value is None:
+                cells.append("")
+            elif isinstance(value, float):
+                cells.append(repr(value))
+            else:
+                cells.append(str(value))
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"

@@ -3,6 +3,7 @@
 from .config import NetworkConfig, PolicyName, SessionConfig, VideoConfig
 from .flow import MediaFlow
 from .multiflow import MultiFlowSession, jain_fairness
+from .manifest import RunManifest, find_manifest, manifest_dir
 from .parallel import ResultCache, config_hash, configure, run_many
 from .results import (
     FrameOutcome,
@@ -12,30 +13,53 @@ from .results import (
 )
 from .runner import run_policies, run_repetitions, run_session
 from .session import RtcSession
+from .supervisor import (
+    FailedSession,
+    RetryPolicy,
+    Supervisor,
+    SupervisorPlan,
+    SupervisorPolicy,
+    SupervisorStats,
+    failure_label,
+    split_failures,
+    supervised_run_many,
+)
 from .sweeps import ComparisonRow, compare_point, sweep, sweep_metric
 
 __all__ = [
     "ComparisonRow",
+    "FailedSession",
     "FrameOutcome",
     "MediaFlow",
     "MultiFlowSession",
     "NetworkConfig",
     "PolicyName",
     "ResultCache",
+    "RetryPolicy",
     "RtcSession",
+    "RunManifest",
     "SessionConfig",
     "SessionPerf",
     "SessionResult",
+    "Supervisor",
+    "SupervisorPlan",
+    "SupervisorPolicy",
+    "SupervisorStats",
     "TimeseriesSample",
     "VideoConfig",
     "compare_point",
     "config_hash",
     "configure",
+    "failure_label",
+    "find_manifest",
     "jain_fairness",
+    "manifest_dir",
     "run_many",
     "run_policies",
     "run_repetitions",
     "run_session",
+    "split_failures",
+    "supervised_run_many",
     "sweep",
     "sweep_metric",
 ]

@@ -1,0 +1,150 @@
+"""Self-chaos harness: sabotage workers on purpose, deterministically.
+
+PR 4 made the *simulated network* hostile; this module makes the
+*execution substrate* hostile so the supervised executor
+(:mod:`repro.pipeline.supervisor`) can be tested against the failures
+it exists to survive: killed workers, hung workers, and sessions that
+raise. It is inert unless the :data:`ENV_RULES` environment variable is
+set, so production runs pay one ``os.environ.get`` per worker session.
+
+Rules are declared as a JSON list in ``REPRO_CHAOS``::
+
+    [{"action": "kill", "match": "3fb2", "times": 1}]
+
+* ``action`` — ``kill`` (SIGKILL own process), ``hang`` (sleep
+  ``hang_seconds``), ``raise-transient`` / ``raise-deterministic``
+  (raise the corresponding taxonomy error).
+* ``match`` — config-hash prefix the rule applies to ("" = every
+  session).
+* ``times`` — sabotage only the first N executions *of each matching
+  config* (-1 = always). Cross-process counting needs
+  ``REPRO_CHAOS_STATE`` to point at a shared directory.
+
+Every worker execution is also appended to
+``<state-dir>/executions.log`` (one config hash per line) when the
+state directory is set, which is how the resume tests count exactly
+which cells re-executed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from pathlib import Path
+
+from ..errors import ConfigError, SimulationError, TransientError
+
+#: Environment variable holding the JSON rule list.
+ENV_RULES = "REPRO_CHAOS"
+#: Environment variable naming the shared state directory.
+ENV_STATE = "REPRO_CHAOS_STATE"
+
+_ACTIONS = ("kill", "hang", "raise-transient", "raise-deterministic")
+
+
+def _state_dir() -> Path | None:
+    env = os.environ.get(ENV_STATE)
+    return Path(env) if env else None
+
+
+def _load_rules() -> list[dict]:
+    raw = os.environ.get(ENV_RULES)
+    if not raw:
+        return []
+    try:
+        rules = json.loads(raw)
+    except ValueError as exc:
+        raise ConfigError(f"{ENV_RULES} is not valid JSON: {exc}") from exc
+    if not isinstance(rules, list):
+        raise ConfigError(f"{ENV_RULES} must be a JSON list of rules")
+    for rule in rules:
+        if rule.get("action") not in _ACTIONS:
+            raise ConfigError(
+                f"chaos action must be one of {_ACTIONS}, "
+                f"got {rule.get('action')!r}"
+            )
+    return rules
+
+
+def _claim_sabotage(
+    state: Path, rule_index: int, config_hash: str, times: int
+) -> bool:
+    """Atomically claim one sabotage slot for (rule, config).
+
+    Slots are O_EXCL-created marker files, so concurrent workers (and
+    workers across pool restarts) never sabotage more than ``times``
+    executions of the same config.
+    """
+    state.mkdir(parents=True, exist_ok=True)
+    slot = 0
+    while times < 0 or slot < times:
+        marker = state / f"sabotage-{rule_index}-{config_hash[:16]}-{slot}"
+        try:
+            fd = os.open(str(marker), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            slot += 1
+            continue
+        os.close(fd)
+        return True
+    return False
+
+
+def note_execution(config_hash: str) -> None:
+    """Append this execution to the shared log (no-op without state)."""
+    state = _state_dir()
+    if state is None:
+        return
+    state.mkdir(parents=True, exist_ok=True)
+    # O_APPEND writes of one short line are atomic on POSIX.
+    with open(state / "executions.log", "a", encoding="utf-8") as handle:
+        handle.write(config_hash + "\n")
+
+
+def executions(state: Path | str) -> list[str]:
+    """The logged execution hashes, in order (parent-side helper)."""
+    path = Path(state) / "executions.log"
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return []
+    return [line for line in text.splitlines() if line]
+
+
+def maybe_sabotage(config_hash: str) -> None:
+    """Apply the first matching active chaos rule, if any.
+
+    Called by the supervised worker entry point before it runs the
+    session. Raising/killing/hanging here is indistinguishable from the
+    session itself failing, which is the point.
+    """
+    rules = _load_rules()
+    if not rules:
+        return
+    state = _state_dir()
+    for index, rule in enumerate(rules):
+        if not config_hash.startswith(rule.get("match", "")):
+            continue
+        times = int(rule.get("times", -1))
+        if times >= 0:
+            if state is None:
+                raise ConfigError(
+                    f"chaos rule with times={times} needs {ENV_STATE}"
+                )
+            if not _claim_sabotage(state, index, config_hash, times):
+                continue
+        action = rule["action"]
+        if action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif action == "hang":
+            time.sleep(float(rule.get("hang_seconds", 60.0)))
+        elif action == "raise-transient":
+            raise TransientError(
+                f"chaos: injected transient failure ({config_hash[:12]})"
+            )
+        elif action == "raise-deterministic":
+            raise SimulationError(
+                f"chaos: injected deterministic failure ({config_hash[:12]})"
+            )
+        return

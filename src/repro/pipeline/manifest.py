@@ -1,0 +1,299 @@
+"""Persistent run manifests: the on-disk ledger of a supervised batch.
+
+A :class:`RunManifest` is one JSON file describing one batch run: the
+command line that produced it, the supervision knobs, per-config-hash
+records (status, attempts, wall time, error class), and the final
+supervisor counters. It is updated **atomically** (temp file + rename)
+as cells change state, so a SIGKILLed parent, a powered-off laptop, or
+a plain Ctrl-C always leaves a loadable manifest behind.
+
+``repro-rtc resume <run-id>`` loads the manifest, replays the recorded
+command line, and lets the :class:`~repro.pipeline.parallel.ResultCache`
+serve every cell that already finished — only unfinished cells
+re-execute (see ``docs/running-fast.md``).
+
+Record statuses::
+
+    pending -> running -> ok
+                       -> pending   (failed attempt, will retry)
+                       -> quarantined (failed all attempts)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from ..errors import ConfigError
+
+#: Manifest file layout version.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Statuses a record can hold.
+STATUSES = ("pending", "running", "ok", "quarantined")
+
+#: Minimum seconds between non-forced saves (big batches would
+#: otherwise rewrite the file once per cell transition).
+SAVE_INTERVAL = 0.5
+
+
+def manifest_dir() -> Path:
+    """``$REPRO_MANIFEST_DIR`` or ``<default cache dir>/runs``."""
+    env = os.environ.get("REPRO_MANIFEST_DIR")
+    if env:
+        return Path(env)
+    from .parallel import ResultCache
+
+    return ResultCache.default_dir() / "runs"
+
+
+def new_run_id(argv: list[str] | None = None) -> str:
+    """A unique, human-sortable run id (timestamp + short digest)."""
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    seed = f"{time.time_ns()}:{os.getpid()}:{argv!r}"
+    digest = hashlib.sha256(seed.encode("utf-8")).hexdigest()[:8]
+    return f"{stamp}-{digest}"
+
+
+def find_manifest(run_id_or_path: str) -> Path:
+    """Resolve a run id or path to an existing manifest file.
+
+    Raises:
+        ConfigError: when nothing matches.
+    """
+    direct = Path(run_id_or_path)
+    if direct.is_file():
+        return direct
+    candidate = manifest_dir() / f"{run_id_or_path}.json"
+    if candidate.is_file():
+        return candidate
+    raise ConfigError(
+        f"no run manifest named {run_id_or_path!r} (looked for a file at "
+        f"{direct} and {candidate})"
+    )
+
+
+class RunManifest:
+    """Atomic, resumable ledger of one supervised batch run."""
+
+    def __init__(
+        self,
+        path: Path | str,
+        run_id: str,
+        argv: list[str] | None = None,
+        command: str | None = None,
+        workers: int = 1,
+        session_timeout: float | None = None,
+        max_retries: int = 2,
+    ) -> None:
+        self.path = Path(path)
+        self.run_id = run_id
+        self.argv = list(argv) if argv is not None else []
+        self.command = command
+        self.workers = workers
+        self.session_timeout = session_timeout
+        self.max_retries = max_retries
+        self.created = time.time()
+        self.status = "running"
+        self.stats: dict[str, int] = {}
+        self.records: dict[str, dict] = {}
+        self._started: dict[str, float] = {}
+        self._last_save = 0.0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: Path | str,
+        argv: list[str] | None = None,
+        command: str | None = None,
+        workers: int = 1,
+        session_timeout: float | None = None,
+        max_retries: int = 2,
+    ) -> "RunManifest":
+        """A fresh manifest; resumes in place if ``path`` already holds
+        one (running records are reset to pending, ok records kept)."""
+        target = Path(path)
+        if target.is_file():
+            manifest = cls.load(target)
+            manifest.status = "running"
+            for record in manifest.records.values():
+                if record["status"] == "running":
+                    record["status"] = "pending"
+            return manifest
+        return cls(
+            target,
+            run_id=new_run_id(argv),
+            argv=argv,
+            command=command,
+            workers=workers,
+            session_timeout=session_timeout,
+            max_retries=max_retries,
+        )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "RunManifest":
+        """Load a manifest previously written by :meth:`save`."""
+        source = Path(path)
+        try:
+            data = json.loads(source.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise ConfigError(
+                f"cannot load run manifest {source}: {exc}"
+            ) from exc
+        if data.get("schema") != MANIFEST_SCHEMA_VERSION:
+            raise ConfigError(
+                f"run manifest {source} has schema "
+                f"{data.get('schema')!r}, expected {MANIFEST_SCHEMA_VERSION}"
+            )
+        manifest = cls(
+            source,
+            run_id=data["run_id"],
+            argv=list(data.get("argv", [])),
+            command=data.get("command"),
+            workers=int(data.get("workers", 1)),
+            session_timeout=data.get("session_timeout"),
+            max_retries=int(data.get("max_retries", 2)),
+        )
+        manifest.created = float(data.get("created", 0.0))
+        manifest.status = data.get("status", "running")
+        manifest.stats = dict(data.get("stats", {}))
+        manifest.records = dict(data.get("records", {}))
+        return manifest
+
+    # ------------------------------------------------------------------
+    # Record transitions
+    # ------------------------------------------------------------------
+    def ensure(self, config_hash: str, config: dict | None = None) -> None:
+        """Register a cell (idempotent; keeps existing status)."""
+        if config_hash not in self.records:
+            self.records[config_hash] = {
+                "status": "pending",
+                "attempts": 0,
+                "wall_s": None,
+                "error_class": None,
+                "error": None,
+                "cached": False,
+                "config": config,
+            }
+
+    def _record(self, config_hash: str) -> dict:
+        self.ensure(config_hash)
+        return self.records[config_hash]
+
+    def mark_running(self, config_hash: str) -> None:
+        record = self._record(config_hash)
+        record["status"] = "running"
+        self._started[config_hash] = time.monotonic()
+        self.save()
+
+    def mark_ok(self, config_hash: str, cached: bool = False) -> None:
+        record = self._record(config_hash)
+        record["status"] = "ok"
+        record["cached"] = cached
+        record["error_class"] = None
+        record["error"] = None
+        started = self._started.pop(config_hash, None)
+        if started is not None:
+            record["wall_s"] = round(time.monotonic() - started, 6)
+        self.save()
+
+    def mark_retry(
+        self, config_hash: str, error_class: str, error: str
+    ) -> None:
+        """A failed attempt that will be retried: back to pending."""
+        record = self._record(config_hash)
+        record["status"] = "pending"
+        record["attempts"] += 1
+        record["error_class"] = error_class
+        record["error"] = error
+        self._started.pop(config_hash, None)
+        self.save(force=True)
+
+    def mark_quarantined(
+        self, config_hash: str, error_class: str, error: str
+    ) -> None:
+        """A cell that failed every allowed attempt."""
+        record = self._record(config_hash)
+        record["status"] = "quarantined"
+        record["attempts"] += 1
+        record["error_class"] = error_class
+        record["error"] = error
+        self._started.pop(config_hash, None)
+        self.save(force=True)
+
+    def requeue(self, config_hash: str) -> None:
+        """Back to pending with no attempt charged (pool respawn)."""
+        record = self._record(config_hash)
+        record["status"] = "pending"
+        self._started.pop(config_hash, None)
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """Record count per status (only statuses present)."""
+        out: dict[str, int] = {}
+        for record in self.records.values():
+            out[record["status"]] = out.get(record["status"], 0) + 1
+        return out
+
+    def unfinished(self) -> list[str]:
+        """Hashes not yet ok (pending/running/quarantined)."""
+        return [
+            config_hash
+            for config_hash, record in self.records.items()
+            if record["status"] != "ok"
+        ]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready payload."""
+        return {
+            "schema": MANIFEST_SCHEMA_VERSION,
+            "run_id": self.run_id,
+            "created": self.created,
+            "argv": self.argv,
+            "command": self.command,
+            "workers": self.workers,
+            "session_timeout": self.session_timeout,
+            "max_retries": self.max_retries,
+            "status": self.status,
+            "stats": self.stats,
+            "records": self.records,
+        }
+
+    def save(self, force: bool = False) -> None:
+        """Atomically write the manifest (throttled unless ``force``)."""
+        now = time.monotonic()
+        if not force and now - self._last_save < SAVE_INTERVAL:
+            return
+        self._last_save = now
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=".manifest-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def finish(self, status: str, stats: dict[str, int]) -> None:
+        """Seal the manifest: final status + supervisor counters."""
+        self.status = status
+        self.stats = dict(stats)
+        self.save(force=True)

@@ -33,9 +33,13 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Callable, Iterable, Protocol, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Protocol, Sequence
+
+if TYPE_CHECKING:
+    from .supervisor import SupervisorPlan
 
 from ..errors import ConfigError
 from ..traces.bandwidth import BandwidthTrace
@@ -157,20 +161,47 @@ class ResultCache:
     def get(self, config: SessionConfig) -> SessionResult | None:
         """Load the cached result for ``config``, or ``None`` on miss.
 
-        Unreadable or schema-mismatched entries count as misses.
+        Schema-mismatched entries (older builds) are plain misses.
+        Corrupt entries — truncated JSON, wrong shape, a result payload
+        that no longer deserializes — are also misses, but the bad file
+        is quarantined to ``<cache-dir>/corrupt/`` with a warning so a
+        torn write can never crash (or permanently wedge) a batch.
         """
         path = self.path_for(config)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
+            return None
+        except ValueError:
+            self._quarantine(path, "not valid JSON")
+            return None
+        if not isinstance(entry, dict) or "schema" not in entry:
+            self._quarantine(path, "missing schema field")
             return None
         if entry.get("schema") != CACHE_SCHEMA_VERSION:
             return None
         try:
             return SessionResult.from_dict(entry["result"])
-        except (KeyError, TypeError):
+        except (KeyError, TypeError, ValueError, AttributeError):
+            self._quarantine(path, "undeserializable result payload")
             return None
+
+    def _quarantine(self, path: Path, why: str) -> None:
+        """Move a corrupt entry aside so it is never re-read."""
+        dest_dir = self.root / "corrupt"
+        try:
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest_dir / path.name)
+            moved = f"; moved to {dest_dir / path.name}"
+        except OSError:
+            moved = "; could not move it aside"
+        warnings.warn(
+            f"quarantined corrupt result-cache entry {path.name} "
+            f"({why}){moved}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def put(self, config: SessionConfig, result: SessionResult) -> Path:
         """Store ``result`` under ``config``'s hash (atomically)."""
@@ -265,11 +296,22 @@ class ProcessBackend:
         if not configs:
             return []
         chunksize = max(1, len(configs) // (self.workers * 4))
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        try:
             payloads = pool.map(
                 _run_session_to_dict, configs, chunksize=chunksize
             )
-            return [SessionResult.from_dict(p) for p in payloads]
+            results = [SessionResult.from_dict(p) for p in payloads]
+        except KeyboardInterrupt:
+            # Ctrl-C: drop pending work and kill the workers instead of
+            # unwinding with a pool-internals traceback. The CLI maps
+            # the re-raised interrupt to exit code 130.
+            from .supervisor import terminate_pool
+
+            terminate_pool(pool)
+            raise
+        pool.shutdown(wait=True)
+        return results
 
 
 def make_backend(workers: int) -> Executor:
@@ -291,11 +333,17 @@ class ExecutionContext:
 
     The experiment drivers call :func:`run_many` without execution
     arguments; the CLI (or a script) points these defaults at a worker
-    pool and a cache once, and every layer underneath inherits them.
+    pool, a cache, and optionally a supervision plan once, and every
+    layer underneath inherits them.
     """
 
     workers: int = 1
     cache: ResultCache | None = None
+    #: When set, every batch routes through the supervised executor
+    #: (timeouts, retries, quarantine, manifest) — see
+    #: :mod:`repro.pipeline.supervisor`. ``None`` (the default) keeps
+    #: the original fail-fast behavior bit for bit.
+    supervisor: "SupervisorPlan | None" = None
 
 
 _context = ExecutionContext()
@@ -304,6 +352,7 @@ _context = ExecutionContext()
 def configure(
     workers: int | None = None,
     cache: ResultCache | None | object = _UNSET,
+    supervisor: "SupervisorPlan | None | object" = _UNSET,
 ) -> ExecutionContext:
     """Set process-wide execution defaults; returns the live context."""
     if workers is not None:
@@ -312,6 +361,8 @@ def configure(
         _context.workers = workers
     if cache is not _UNSET:
         _context.cache = cache  # type: ignore[assignment]
+    if supervisor is not _UNSET:
+        _context.supervisor = supervisor  # type: ignore[assignment]
     return _context
 
 
@@ -343,6 +394,10 @@ def run_many(
 
     Returns:
         One :class:`SessionResult` per config, aligned with the input.
+        Under a configured :class:`~repro.pipeline.supervisor.SupervisorPlan`,
+        permanently-failing configs come back as
+        :class:`~repro.pipeline.supervisor.FailedSession` placeholders
+        instead of raising (graceful degradation).
     """
     batch = list(configs)
     effective_workers = (
@@ -351,6 +406,17 @@ def run_many(
     effective_cache = (
         _context.cache if cache is _UNSET else cache
     )
+
+    if _context.supervisor is not None:
+        from .supervisor import supervised_run_many
+
+        return supervised_run_many(
+            batch,
+            workers=effective_workers,
+            cache=effective_cache,
+            plan=_context.supervisor,
+            progress=progress,
+        )
 
     results: list[SessionResult | None] = [None] * len(batch)
     misses: list[int] = []

@@ -1,0 +1,566 @@
+"""Supervised batch execution: timeouts, retries, respawn, quarantine.
+
+:func:`~repro.pipeline.parallel.run_many` maps configs to results fast,
+but one hung or SIGKILLed worker aborts the whole batch and throws away
+every finished session. This module wraps the same batch shape in a
+:class:`Supervisor` that is engineered to **finish** and to tell the
+truth about what didn't:
+
+* per-session **wall-clock timeouts** (a hung worker forfeits its cell
+  and the pool is respawned);
+* **bounded retries** with exponential backoff + deterministic jitter,
+  driven by the error taxonomy in :mod:`repro.errors` — transient and
+  infrastructure failures retry, deterministic failures do not;
+* **BrokenProcessPool recovery**: the pool is respawned and surviving
+  in-flight cells are re-queued without being charged an attempt;
+* a **quarantine**: a cell that fails every allowed attempt becomes a
+  :class:`FailedSession` placeholder in the result list instead of an
+  exception, so experiment drivers render ``FAILED(<reason>)`` markers
+  and the batch completes;
+* a persistent :class:`~repro.pipeline.manifest.RunManifest` updated
+  atomically at every transition, enabling ``repro-rtc resume``;
+* ``supervisor.*`` telemetry counters (retries, timeouts,
+  pool_restarts, …) mirrored into :class:`SupervisorStats`.
+
+Completed results are written to the :class:`ResultCache` *as they
+finish*, so an interrupted batch loses only its in-flight cells. On the
+failure-free path the output is bit-identical to an unsupervised run:
+results cross the worker boundary through the same
+``to_dict``/``from_dict`` serialization the cache uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import heapq
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import (
+    ConfigError,
+    ErrorClass,
+    SessionTimeoutError,
+    WorkerCrashError,
+    classify_error,
+)
+from ..telemetry.recorder import Telemetry
+from . import chaosharness
+from .config import SessionConfig
+from .manifest import RunManifest
+from .results import SessionResult
+from .session import RtcSession
+
+
+# ----------------------------------------------------------------------
+# Worker entry point
+# ----------------------------------------------------------------------
+def _supervised_worker(config: SessionConfig, config_hash: str) -> dict:
+    """Run one session in a worker; serialized dict crosses the boundary.
+
+    The self-chaos harness hook runs first so tests/CI can sabotage
+    exactly this execution (kill, hang, raise) — see
+    :mod:`repro.pipeline.chaosharness`.
+    """
+    chaosharness.note_execution(config_hash)
+    chaosharness.maybe_sabotage(config_hash)
+    return RtcSession(config).run().to_dict()
+
+
+# ----------------------------------------------------------------------
+# Policy objects
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    Attempt ``n``'s retry delay is
+    ``min(cap, base * multiplier**(n-1)) * (1 + jitter * u)`` where
+    ``u ∈ [0, 1)`` is derived from a hash of ``(key, n)`` — stable
+    across reruns (no wall-clock randomness), different across cells
+    (no thundering herd).
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.5
+    backoff_multiplier: float = 2.0
+    backoff_cap: float = 30.0
+    jitter: float = 0.5
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on bad values."""
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries!r}"
+            )
+        if self.backoff_base <= 0 or self.backoff_cap <= 0:
+            raise ConfigError("backoff base/cap must be positive")
+        if self.backoff_multiplier < 1:
+            raise ConfigError("backoff_multiplier must be >= 1")
+        if self.jitter < 0:
+            raise ConfigError("jitter must be >= 0")
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based) of ``key``."""
+        raw = min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_multiplier ** (attempt - 1),
+        )
+        digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64
+        return raw * (1.0 + self.jitter * unit)
+
+    def allows(self, error_class: ErrorClass, attempts: int) -> bool:
+        """Whether a cell with ``attempts`` failures may try again."""
+        if error_class is ErrorClass.DETERMINISTIC:
+            return False
+        return attempts <= self.max_retries
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """The supervision knobs for one run."""
+
+    session_timeout: float | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on bad values."""
+        if self.session_timeout is not None and self.session_timeout <= 0:
+            raise ConfigError(
+                f"session timeout must be positive, got "
+                f"{self.session_timeout!r}"
+            )
+        self.retry.validate()
+
+
+@dataclass
+class SupervisorStats:
+    """Counters accumulated across every batch of a supervised run."""
+
+    executed: int = 0
+    ok: int = 0
+    cached: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    pool_restarts: int = 0
+    quarantined: int = 0
+
+    def to_counters(self) -> dict[str, int]:
+        """``supervisor.*`` telemetry-counter view."""
+        return {
+            f"supervisor.{f.name}": getattr(self, f.name)
+            for f in dataclasses.fields(self)
+        }
+
+
+@dataclass
+class SupervisorPlan:
+    """Everything :func:`supervised_run_many` needs, bundled so the CLI
+    can configure it once (via the execution context) and every
+    experiment driver underneath inherits it."""
+
+    policy: SupervisorPolicy = field(default_factory=SupervisorPolicy)
+    manifest: RunManifest | None = None
+    stats: SupervisorStats = field(default_factory=SupervisorStats)
+    telemetry: Telemetry = field(default_factory=Telemetry)
+
+    def sync_telemetry(self) -> None:
+        """Mirror the stats into ``supervisor.*`` telemetry gauges."""
+        for name, value in self.stats.to_counters().items():
+            self.telemetry.gauge(name, float(value))
+
+
+# ----------------------------------------------------------------------
+# Failure placeholder
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FailedSession:
+    """Placeholder result for a quarantined cell.
+
+    Experiment drivers receive these *in place of* a
+    :class:`SessionResult` and render :meth:`marker` instead of
+    aborting (graceful degradation).
+    """
+
+    config_hash: str
+    error_class: ErrorClass
+    error_type: str
+    message: str
+    attempts: int
+
+    @property
+    def reason(self) -> str:
+        """Short deterministic reason string."""
+        if self.error_type == "SessionTimeoutError":
+            return "timeout"
+        if self.error_type == "WorkerCrashError":
+            return "worker-crash"
+        message = self.message.strip()
+        if len(message) > 60:
+            message = message[:57] + "..."
+        return f"{self.error_type}: {message}" if message else self.error_type
+
+    @property
+    def marker(self) -> str:
+        """The ``FAILED(<reason>)`` marker used in report output."""
+        return f"FAILED({self.reason})"
+
+
+def split_failures(
+    results: Sequence[object],
+) -> tuple[list[SessionResult], list[FailedSession]]:
+    """Partition a mixed result list into (ok, failed)."""
+    ok = [r for r in results if isinstance(r, SessionResult)]
+    failed = [r for r in results if isinstance(r, FailedSession)]
+    return ok, failed
+
+
+def failure_label(failures: Sequence[FailedSession]) -> str:
+    """One combined ``FAILED(...)`` marker for a group of failures."""
+    reasons = sorted({f.reason for f in failures})
+    return "FAILED(" + "; ".join(reasons) + ")"
+
+
+# ----------------------------------------------------------------------
+# The supervisor
+# ----------------------------------------------------------------------
+class _Cell:
+    """Mutable bookkeeping for one config in flight."""
+
+    __slots__ = ("index", "config", "hash", "attempts")
+
+    def __init__(self, index: int, config: SessionConfig, digest: str):
+        self.index = index
+        self.config = config
+        self.hash = digest
+        self.attempts = 0
+
+
+def terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool: kill workers, drop pending work, don't block.
+
+    ``shutdown(wait=True)`` would block behind a hung worker forever;
+    killing the worker processes first guarantees the join returns.
+    (``_processes`` is stable CPython plumbing; guarded anyway.)
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except (OSError, ValueError, AttributeError):
+            pass
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+#: Indirection over ``concurrent.futures.wait`` so tests can inject
+#: interrupts at the exact point a real Ctrl-C lands.
+_wait = wait
+
+#: Upper bound on one scheduling tick (keeps Ctrl-C responsive).
+_MAX_TICK = 0.5
+
+
+class Supervisor:
+    """Drives one batch of cells to completion through a worker pool."""
+
+    def __init__(
+        self,
+        workers: int,
+        policy: SupervisorPolicy,
+        stats: SupervisorStats,
+        manifest: RunManifest | None = None,
+        cache=None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers!r}")
+        policy.validate()
+        self.workers = workers
+        self.policy = policy
+        self.stats = stats
+        self.manifest = manifest
+        self.cache = cache
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str, stat: str) -> None:
+        self.telemetry.count(name)
+        setattr(self.stats, stat, getattr(self.stats, stat) + 1)
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    def _mark_ok(self, cell: _Cell, result: SessionResult) -> None:
+        if self.cache is not None:
+            self.cache.put(cell.config, result)
+        if self.manifest is not None:
+            self.manifest.mark_ok(cell.hash)
+        self.stats.ok += 1
+
+    def _record_failure(
+        self,
+        cell: _Cell,
+        exc: BaseException,
+        now: float,
+        waiting: list,
+        seq: list[int],
+        outcomes: dict[int, object],
+    ) -> None:
+        """Charge one failed attempt; schedule a retry or quarantine."""
+        error_class = classify_error(exc)
+        cell.attempts += 1
+        if isinstance(exc, SessionTimeoutError):
+            self._count("supervisor.timeouts", "timeouts")
+        elif error_class is ErrorClass.INFRASTRUCTURE:
+            self._count("supervisor.crashes", "crashes")
+        message = f"{type(exc).__name__}: {exc}"
+        if self.policy.retry.allows(error_class, cell.attempts):
+            delay = self.policy.retry.delay(cell.hash, cell.attempts)
+            self._count("supervisor.retries", "retries")
+            seq[0] += 1
+            heapq.heappush(waiting, (now + delay, seq[0], cell))
+            if self.manifest is not None:
+                self.manifest.mark_retry(
+                    cell.hash, error_class.value, message
+                )
+        else:
+            outcomes[cell.index] = FailedSession(
+                config_hash=cell.hash,
+                error_class=error_class,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                attempts=cell.attempts,
+            )
+            self._count("supervisor.quarantined", "quarantined")
+            if self.manifest is not None:
+                self.manifest.mark_quarantined(
+                    cell.hash, error_class.value, message
+                )
+
+    def _respawn(
+        self,
+        pool: ProcessPoolExecutor,
+        inflight: dict,
+        ready: deque,
+    ) -> ProcessPoolExecutor:
+        """Kill the pool; re-queue surviving cells without charging them."""
+        self._count("supervisor.pool_restarts", "pool_restarts")
+        for future, (cell, _deadline) in list(inflight.items()):
+            ready.appendleft(cell)
+            if self.manifest is not None:
+                self.manifest.requeue(cell.hash)
+        inflight.clear()
+        terminate_pool(pool)
+        return self._new_pool()
+
+    # ------------------------------------------------------------------
+    def run(
+        self, cells: list[tuple[int, SessionConfig, str]]
+    ) -> dict[int, object]:
+        """Execute cells; returns index → SessionResult | FailedSession.
+
+        On :class:`KeyboardInterrupt` the pool is killed, the manifest
+        is flushed with status ``interrupted``, and the interrupt
+        propagates (the CLI maps it to exit code 130).
+        """
+        outcomes: dict[int, object] = {}
+        ready: deque[_Cell] = deque(
+            _Cell(index, config, digest) for index, config, digest in cells
+        )
+        waiting: list[tuple[float, int, _Cell]] = []
+        seq = [0]
+        timeout = self.policy.session_timeout
+        inflight: dict[object, tuple[_Cell, float | None]] = {}
+        pool = self._new_pool()
+        try:
+            while ready or waiting or inflight:
+                now = time.monotonic()
+                while waiting and waiting[0][0] <= now:
+                    ready.append(heapq.heappop(waiting)[2])
+
+                while ready and len(inflight) < self.workers:
+                    cell = ready.popleft()
+                    try:
+                        future = pool.submit(
+                            _supervised_worker, cell.config, cell.hash
+                        )
+                    except BrokenExecutor:
+                        ready.appendleft(cell)
+                        pool = self._respawn(pool, inflight, ready)
+                        continue
+                    deadline = (
+                        now + timeout if timeout is not None else None
+                    )
+                    inflight[future] = (cell, deadline)
+                    self._count("supervisor.executed", "executed")
+                    if self.manifest is not None:
+                        self.manifest.mark_running(cell.hash)
+
+                if not inflight:
+                    if waiting:
+                        pause = max(0.0, waiting[0][0] - time.monotonic())
+                        time.sleep(min(pause, _MAX_TICK))
+                    continue
+
+                tick = _MAX_TICK
+                if waiting:
+                    tick = min(tick, max(0.0, waiting[0][0] - now))
+                for _cell, deadline in inflight.values():
+                    if deadline is not None:
+                        tick = min(tick, max(0.0, deadline - now))
+                done, _pending = _wait(
+                    list(inflight),
+                    timeout=tick,
+                    return_when=FIRST_COMPLETED,
+                )
+
+                broken = False
+                now = time.monotonic()
+                for future in done:
+                    cell, _deadline = inflight.pop(future)
+                    try:
+                        payload = future.result()
+                    except KeyboardInterrupt:
+                        raise
+                    except BrokenExecutor as exc:
+                        broken = True
+                        crash = WorkerCrashError(
+                            f"worker pool broke while running "
+                            f"{cell.hash[:12]} ({exc})"
+                        )
+                        self._record_failure(
+                            cell, crash, now, waiting, seq, outcomes
+                        )
+                    except BaseException as exc:
+                        self._record_failure(
+                            cell, exc, now, waiting, seq, outcomes
+                        )
+                    else:
+                        result = SessionResult.from_dict(payload)
+                        outcomes[cell.index] = result
+                        self._mark_ok(cell, result)
+
+                timed_out = [
+                    future
+                    for future, (_cell, deadline) in inflight.items()
+                    if deadline is not None
+                    and now >= deadline
+                    and not future.done()
+                ]
+                for future in timed_out:
+                    cell, deadline = inflight.pop(future)
+                    broken = True  # the hung worker poisons the pool
+                    self._record_failure(
+                        cell,
+                        SessionTimeoutError(
+                            f"session {cell.hash[:12]} exceeded "
+                            f"{timeout:g} s wall clock"
+                        ),
+                        now,
+                        waiting,
+                        seq,
+                        outcomes,
+                    )
+
+                if broken or getattr(pool, "_broken", False):
+                    pool = self._respawn(pool, inflight, ready)
+        except KeyboardInterrupt:
+            terminate_pool(pool)
+            if self.manifest is not None:
+                for cell in ready:
+                    self.manifest.requeue(cell.hash)
+                for _ready_time, _seq, cell in waiting:
+                    self.manifest.requeue(cell.hash)
+                for cell, _deadline in inflight.values():
+                    self.manifest.requeue(cell.hash)
+                self.manifest.finish(
+                    "interrupted", self.stats.to_counters()
+                )
+            raise
+        else:
+            pool.shutdown(wait=True)
+        return outcomes
+
+
+# ----------------------------------------------------------------------
+# Batch API
+# ----------------------------------------------------------------------
+def supervised_run_many(
+    configs: Sequence[SessionConfig],
+    workers: int,
+    cache,
+    plan: SupervisorPlan,
+    progress=None,
+) -> list[object]:
+    """The supervised counterpart of :func:`repro.pipeline.parallel.run_many`.
+
+    Same contract — results in input order, cache hits served first —
+    but permanent failures come back as :class:`FailedSession`
+    placeholders instead of exceptions, and every transition lands in
+    the plan's manifest. Called by ``run_many`` itself whenever a
+    :class:`SupervisorPlan` is configured on the execution context.
+    """
+    from .parallel import config_hash, config_to_dict
+
+    batch = list(configs)
+    hashes = [config_hash(config) for config in batch]
+    manifest = plan.manifest
+    if manifest is not None:
+        for config, digest in zip(batch, hashes):
+            manifest.ensure(digest, config_to_dict(config))
+
+    results: list[object] = [None] * len(batch)
+    misses: list[int] = []
+    if cache is not None:
+        for index, config in enumerate(batch):
+            hit = cache.get(config)
+            if hit is not None:
+                results[index] = hit
+                plan.stats.cached += 1
+                plan.telemetry.count("supervisor.cached")
+                if manifest is not None:
+                    manifest.mark_ok(hashes[index], cached=True)
+            else:
+                misses.append(index)
+    else:
+        misses = list(range(len(batch)))
+
+    if progress is not None:
+        progress(len(batch) - len(misses), len(batch))
+
+    if misses:
+        supervisor = Supervisor(
+            workers=max(1, workers),
+            policy=plan.policy,
+            stats=plan.stats,
+            manifest=manifest,
+            cache=cache,
+            telemetry=plan.telemetry,
+        )
+        outcomes = supervisor.run(
+            [(index, batch[index], hashes[index]) for index in misses]
+        )
+        for index in misses:
+            results[index] = outcomes[index]
+
+    if manifest is not None:
+        _ok, failed = split_failures(results)
+        manifest.finish(
+            "partial" if failed else "complete",
+            plan.stats.to_counters(),
+        )
+    plan.sync_telemetry()
+
+    if progress is not None:
+        progress(len(batch), len(batch))
+    return results

@@ -16,6 +16,7 @@ from typing import Callable
 from .config import PolicyName, SessionConfig
 from .parallel import run_many
 from .results import SessionResult
+from .supervisor import failure_label, split_failures
 
 
 def _safe_ratio(numerator: float, denominator: float) -> float:
@@ -36,6 +37,10 @@ class ComparisonRow:
 
     Latency metrics are evaluated over the scenario's measurement window
     (typically the drop episode); quality over the full session.
+
+    ``failed`` is ``None`` on the normal path; under supervised
+    execution a quarantined session yields NaN metrics plus the
+    ``FAILED(<reason>)`` marker.
     """
 
     label: str
@@ -45,6 +50,7 @@ class ComparisonRow:
     adaptive_p95_latency: float
     baseline_ssim: float
     adaptive_ssim: float
+    failed: str | None = None
 
     @property
     def latency_reduction(self) -> float:
@@ -76,6 +82,19 @@ def _row_from_results(
     adap: SessionResult,
     window: tuple[float, float],
 ) -> ComparisonRow:
+    _ok, failures = split_failures([base, adap])
+    if failures:
+        nan = float("nan")
+        return ComparisonRow(
+            label=label,
+            baseline_latency=nan,
+            adaptive_latency=nan,
+            baseline_p95_latency=nan,
+            adaptive_p95_latency=nan,
+            baseline_ssim=nan,
+            adaptive_ssim=nan,
+            failed=failure_label(failures),
+        )
     start, end = window
     return ComparisonRow(
         label=label,
@@ -132,5 +151,12 @@ def sweep_metric(
     configs: list[SessionConfig],
     metric: Callable[[SessionResult], float],
 ) -> list[float]:
-    """Run each config (as one batch) and extract one scalar metric."""
-    return [metric(result) for result in run_many(configs)]
+    """Run each config (as one batch) and extract one scalar metric.
+
+    Quarantined sessions (supervised execution) yield NaN.
+    """
+    return [
+        metric(result) if isinstance(result, SessionResult)
+        else float("nan")
+        for result in run_many(configs)
+    ]

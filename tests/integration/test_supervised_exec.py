@@ -1,0 +1,299 @@
+"""Supervised execution under sabotage: kill, hang, fail, interrupt.
+
+The self-chaos harness (:mod:`repro.pipeline.chaosharness`) sabotages
+workers through environment-driven rules, and these tests assert the
+supervisor's headline guarantees:
+
+* a SIGKILLed worker is retried and the batch output stays
+  **bit-identical** to a clean serial run;
+* a hung worker trips the session timeout, the pool respawns, and the
+  retry succeeds;
+* a deterministically-failing config is quarantined without retries
+  while its siblings finish;
+* ``resume`` re-executes **only** the unfinished cells;
+* Ctrl-C flushes the manifest and propagates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import EXIT_PARTIAL, ErrorClass
+from repro.experiments import scenarios
+from repro.pipeline import chaosharness
+from repro.pipeline.config import PolicyName
+from repro.pipeline.manifest import RunManifest
+from repro.pipeline.parallel import ResultCache, config_hash, run_many
+from repro.pipeline.supervisor import (
+    FailedSession,
+    RetryPolicy,
+    SupervisorPlan,
+    SupervisorPolicy,
+    split_failures,
+    supervised_run_many,
+)
+
+
+def _configs(count=2, duration=2.0):
+    out = []
+    for seed in range(1, count + 1):
+        config = scenarios.step_drop_config(0.3, seed=seed)
+        out.append(
+            dataclasses.replace(
+                config, policy=PolicyName.WEBRTC, duration=duration
+            )
+        )
+    return out
+
+
+def _fingerprints(results):
+    return [json.dumps(r.to_dict(), sort_keys=True) for r in results]
+
+
+def _chaos(monkeypatch, tmp_path, rules):
+    state = tmp_path / "chaos-state"
+    state.mkdir(exist_ok=True)
+    monkeypatch.setenv(chaosharness.ENV_RULES, json.dumps(rules))
+    monkeypatch.setenv(chaosharness.ENV_STATE, str(state))
+    return state
+
+
+def _plan(timeout=None, max_retries=2, manifest=None):
+    return SupervisorPlan(
+        policy=SupervisorPolicy(
+            session_timeout=timeout,
+            retry=RetryPolicy(
+                max_retries=max_retries,
+                backoff_base=0.05,
+                backoff_cap=0.2,
+            ),
+        ),
+        manifest=manifest,
+    )
+
+
+def test_clean_path_bit_identical_to_serial():
+    configs = _configs()
+    serial = run_many(configs, workers=1, cache=None)
+    plan = _plan()
+    supervised = supervised_run_many(
+        configs, workers=2, cache=None, plan=plan
+    )
+    assert _fingerprints(supervised) == _fingerprints(serial)
+    assert plan.stats.ok == len(configs)
+    assert plan.stats.quarantined == 0
+    assert plan.stats.retries == 0
+
+
+def test_sigkilled_worker_is_retried_to_completion(
+    monkeypatch, tmp_path
+):
+    configs = _configs()
+    target = config_hash(configs[0])
+    _chaos(
+        monkeypatch,
+        tmp_path,
+        [{"action": "kill", "match": target[:16], "times": 1}],
+    )
+    serial = run_many(configs, workers=1, cache=None)
+
+    plan = _plan()
+    supervised = supervised_run_many(
+        configs, workers=2, cache=None, plan=plan
+    )
+    assert _fingerprints(supervised) == _fingerprints(serial)
+    assert plan.stats.crashes >= 1
+    assert plan.stats.retries >= 1
+    assert plan.stats.pool_restarts >= 1
+    assert plan.stats.quarantined == 0
+    assert plan.telemetry.counters["supervisor.pool_restarts"] >= 1
+
+
+def test_hung_worker_times_out_and_retry_succeeds(
+    monkeypatch, tmp_path
+):
+    configs = _configs(count=1)
+    target = config_hash(configs[0])
+    _chaos(
+        monkeypatch,
+        tmp_path,
+        [
+            {
+                "action": "hang",
+                "match": target[:16],
+                "times": 1,
+                "hang_seconds": 120,
+            }
+        ],
+    )
+    serial = run_many(configs, workers=1, cache=None)
+
+    plan = _plan(timeout=3.0)
+    supervised = supervised_run_many(
+        configs, workers=1, cache=None, plan=plan
+    )
+    assert _fingerprints(supervised) == _fingerprints(serial)
+    assert plan.stats.timeouts == 1
+    assert plan.stats.retries == 1
+    assert plan.stats.pool_restarts >= 1
+
+
+def test_deterministic_failure_quarantines_without_retry(
+    monkeypatch, tmp_path
+):
+    configs = _configs()
+    target = config_hash(configs[0])
+    _chaos(
+        monkeypatch,
+        tmp_path,
+        [
+            {
+                "action": "raise-deterministic",
+                "match": target[:16],
+                "times": -1,
+            }
+        ],
+    )
+    plan = _plan(max_retries=3)
+    results = supervised_run_many(
+        configs, workers=2, cache=None, plan=plan
+    )
+    ok, failed = split_failures(results)
+    assert len(failed) == 1 and len(ok) == 1
+    [placeholder] = failed
+    assert isinstance(placeholder, FailedSession)
+    assert placeholder.error_class is ErrorClass.DETERMINISTIC
+    assert placeholder.attempts == 1  # no retries were spent
+    assert placeholder.marker.startswith("FAILED(SimulationError")
+    assert plan.stats.retries == 0
+    assert plan.stats.quarantined == 1
+    # The sibling config still produced its normal result.
+    assert results[1].seed == configs[1].seed
+
+
+def test_transient_failure_retries_then_succeeds(
+    monkeypatch, tmp_path
+):
+    configs = _configs(count=1)
+    target = config_hash(configs[0])
+    _chaos(
+        monkeypatch,
+        tmp_path,
+        [
+            {
+                "action": "raise-transient",
+                "match": target[:16],
+                "times": 2,
+            }
+        ],
+    )
+    serial = run_many(configs, workers=1, cache=None)
+    plan = _plan(max_retries=2)
+    supervised = supervised_run_many(
+        configs, workers=1, cache=None, plan=plan
+    )
+    assert _fingerprints(supervised) == _fingerprints(serial)
+    assert plan.stats.retries == 2
+    assert plan.stats.quarantined == 0
+
+
+def test_resume_executes_only_unfinished_cells(
+    monkeypatch, tmp_path
+):
+    configs = _configs(count=3)
+    state = _chaos(monkeypatch, tmp_path, [])
+    cache = ResultCache(tmp_path / "cache")
+    manifest_path = tmp_path / "run.json"
+
+    # First (interrupted) pass: only the first two cells finish.
+    manifest = RunManifest.create(manifest_path, argv=["x"], workers=1)
+    supervised_run_many(
+        configs[:2], workers=1, cache=cache, plan=_plan(manifest=manifest)
+    )
+    first_pass = chaosharness.executions(state)
+    assert len(first_pass) == 2
+
+    # Resume: the full batch goes through, cache serves finished cells.
+    manifest = RunManifest.create(manifest_path, argv=["x"], workers=1)
+    plan = _plan(manifest=manifest)
+    results = supervised_run_many(
+        configs, workers=1, cache=cache, plan=plan
+    )
+    second_pass = chaosharness.executions(state)[len(first_pass):]
+    assert len(second_pass) == 1  # only the third cell executed
+    assert second_pass[0] == config_hash(configs[2])
+    assert plan.stats.cached == 2
+
+    # And the resumed output equals a clean serial run of all three.
+    serial = run_many(configs, workers=1, cache=None)
+    assert _fingerprints(results) == _fingerprints(serial)
+    assert manifest.status == "complete"
+
+
+def test_keyboard_interrupt_flushes_manifest(monkeypatch, tmp_path):
+    from repro.pipeline import supervisor as supervisor_mod
+
+    def interrupting_wait(*args, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(supervisor_mod, "_wait", interrupting_wait)
+    configs = _configs()
+    manifest = RunManifest.create(
+        tmp_path / "run.json", argv=["x"], workers=1
+    )
+    with pytest.raises(KeyboardInterrupt):
+        supervised_run_many(
+            configs,
+            workers=1,
+            cache=None,
+            plan=_plan(manifest=manifest),
+        )
+    loaded = RunManifest.load(tmp_path / "run.json")
+    assert loaded.status == "interrupted"
+    # Every cell was rewound to pending — nothing is stuck "running".
+    statuses = {r["status"] for r in loaded.records.values()}
+    assert statuses == {"pending"}
+
+
+def test_cli_partial_failure_renders_markers_and_exit_code(
+    monkeypatch, tmp_path, capsys
+):
+    from repro.cli import main
+
+    _chaos(
+        monkeypatch,
+        tmp_path,
+        [{"action": "raise-deterministic", "match": "", "times": -1}],
+    )
+    out_path = tmp_path / "table.csv"
+    code = main(
+        [
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "table1",
+            "--seeds",
+            "1",
+            "--max-retries",
+            "0",
+            "--manifest",
+            str(tmp_path / "run.json"),
+            "--format",
+            "csv",
+            "-o",
+            str(out_path),
+        ]
+    )
+    assert code == EXIT_PARTIAL
+    text = out_path.read_text(encoding="utf-8")
+    assert "FAILED(SimulationError" in text
+    err = capsys.readouterr().err
+    assert "quarantined" in err
+    manifest = RunManifest.load(tmp_path / "run.json")
+    assert manifest.status == "partial"
+    assert all(
+        record["status"] == "quarantined"
+        for record in manifest.records.values()
+    )

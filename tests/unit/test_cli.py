@@ -135,6 +135,123 @@ def test_chaos_quick_writes_json_report(tmp_path, capsys):
     assert "wrote 2 cells" in capsys.readouterr().err
 
 
+def test_table1_format_flags_parsed():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["table1", "--seeds", "2", "--format", "csv", "-o", "t.csv"]
+    )
+    assert args.format == "csv"
+    assert args.output == "t.csv"
+    args = parser.parse_args(["table1"])
+    assert args.format == "table"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["table1", "--format", "xml"])
+
+
+def test_supervision_flags_parsed():
+    parser = build_parser()
+    for command in ("run", "table1", "chaos"):
+        args = parser.parse_args(
+            [command, "--session-timeout", "30", "--max-retries", "1",
+             "--manifest", "m.json"]
+        )
+        assert args.session_timeout == 30.0
+        assert args.max_retries == 1
+        assert args.manifest == "m.json"
+        args = parser.parse_args([command])
+        assert args.session_timeout is None
+        assert args.max_retries is None
+        assert args.manifest is None
+
+
+def test_bad_session_timeout_is_clean_usage_error(capsys):
+    code = main(
+        ["--no-cache", "run", "--session-timeout", "0", "--duration", "6"]
+    )
+    assert code == 2
+    assert "session timeout" in capsys.readouterr().err
+
+
+def test_bad_max_retries_is_clean_usage_error(capsys):
+    code = main(
+        ["--no-cache", "run", "--max-retries", "-1", "--duration", "6"]
+    )
+    assert code == 2
+    assert "max_retries" in capsys.readouterr().err
+
+
+def test_resume_unknown_run_is_clean_usage_error(capsys):
+    code = main(["resume", "no-such-run-id"])
+    assert code == 2
+    assert "no run manifest" in capsys.readouterr().err
+
+
+def test_resume_refuses_recursive_manifest(tmp_path, capsys):
+    import json
+
+    manifest = {
+        "schema": 1,
+        "run_id": "r",
+        "created": 0.0,
+        "argv": ["resume", "other"],
+        "command": "resume",
+        "workers": 1,
+        "session_timeout": None,
+        "max_retries": 2,
+        "status": "interrupted",
+        "stats": {},
+        "records": {},
+    }
+    path = tmp_path / "m.json"
+    path.write_text(json.dumps(manifest), encoding="utf-8")
+    code = main(["resume", str(path)])
+    assert code == 2
+    assert "refusing to recurse" in capsys.readouterr().err
+
+
+def test_supervised_run_writes_manifest(tmp_path, capsys):
+    manifest_path = tmp_path / "run.json"
+    code = main(
+        ["--cache-dir", str(tmp_path / "cache"),
+         "run", "--duration", "6", "--seed", "3",
+         "--manifest", str(manifest_path)]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "mean latency" in captured.out
+    assert "resume with" in captured.err
+    import json
+
+    payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+    assert payload["status"] == "complete"
+    assert all(
+        record["status"] == "ok"
+        for record in payload["records"].values()
+    )
+
+
+def test_interrupt_exits_130_and_seals_manifest(
+    tmp_path, capsys, monkeypatch
+):
+    from repro.experiments import robustness
+
+    def interrupted(**kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(robustness, "run_matrix", interrupted)
+    manifest_path = tmp_path / "run.json"
+    code = main(
+        ["--no-cache", "chaos", "--quick",
+         "--manifest", str(manifest_path)]
+    )
+    assert code == 130
+    assert "interrupted" in capsys.readouterr().err
+    import json
+
+    payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+    assert payload["status"] == "interrupted"
+
+
 def test_trace_flags_parsed():
     parser = build_parser()
     args = parser.parse_args(

@@ -190,7 +190,44 @@ class TestResultCache:
         config = short_config()
         cache.put(config, run_session(config))
         cache.path_for(config).write_text("{not json", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get(config) is None
+
+    def test_corrupt_entry_is_quarantined_aside(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = short_config()
+        cache.put(config, run_session(config))
+        path = cache.path_for(config)
+        path.write_text("truncated{", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="not valid JSON"):
+            assert cache.get(config) is None
+        # The bad file is moved, not left to wedge every later batch.
+        assert not path.exists()
+        assert (tmp_path / "corrupt" / path.name).exists()
+        # And the slot is a plain (silent) miss from now on.
         assert cache.get(config) is None
+
+    def test_wrong_shape_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = short_config()
+        cache.put(config, run_session(config))
+        path = cache.path_for(config)
+        path.write_text(json.dumps(["not", "a", "dict"]), encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="missing schema"):
+            assert cache.get(config) is None
+        assert (tmp_path / "corrupt" / path.name).exists()
+
+    def test_undeserializable_payload_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = short_config()
+        cache.put(config, run_session(config))
+        path = cache.path_for(config)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["result"] = {"bogus": True}
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="undeserializable"):
+            assert cache.get(config) is None
+        assert (tmp_path / "corrupt" / path.name).exists()
 
     def test_schema_mismatch_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -201,6 +238,10 @@ class TestResultCache:
         entry["schema"] = CACHE_SCHEMA_VERSION + 1
         path.write_text(json.dumps(entry), encoding="utf-8")
         assert cache.get(config) is None
+        # A legitimate old-version entry is NOT corruption: it stays
+        # in place (an older build may still be using this cache dir).
+        assert path.exists()
+        assert not (tmp_path / "corrupt" / path.name).exists()
 
     def test_clear(self, tmp_path):
         cache = ResultCache(tmp_path)
