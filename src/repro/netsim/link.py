@@ -11,6 +11,7 @@ the packet in service, exactly like a real token-bucket-shaped bottleneck.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -20,6 +21,8 @@ from ..traces.bandwidth import BandwidthTrace
 from .loss import LossModel, NoLoss
 from .packet import Packet
 from .queue import DropTailQueue
+
+_INF = math.inf
 
 
 def service_end_time(
@@ -89,6 +92,14 @@ class Link:
         "_loss",
         "_busy",
         "stats",
+        "_batched",
+        "_plan",
+        "_plan_tail",
+        "_lane",
+        "_seg_lo",
+        "_seg_hi",
+        "_seg_rate",
+        "batched_services",
     )
 
     def __init__(
@@ -114,6 +125,33 @@ class Link:
         self._loss = loss or NoLoss()
         self._busy = False
         self.stats = LinkStats()
+        #: Count of packet services completed via the batched drain plan
+        #: (diagnostics; compare against ``stats`` totals).
+        self.batched_services = 0
+        # Batched kernel integration: a drop-tail link's entire service
+        # schedule is decidable at offer time (the capacity trace is
+        # immutable, the queue is FIFO, and drops happen only at offer),
+        # so instead of one finish + one arrival event per packet the
+        # link keeps a rolling drain *plan* and posts only arrivals to a
+        # scheduler lane. Queue pops, loss bookkeeping, and the implied
+        # finish-event counts are applied lazily by :meth:`_sync`
+        # whenever state is observed. AQM queues (CoDel) decide drops at
+        # dequeue from future-dependent state, so they keep the exact
+        # per-event path.
+        self._batched = bool(
+            getattr(scheduler, "supports_batching", False)
+            and type(self.queue) is DropTailQueue
+        )
+        self._plan: deque | None = None
+        self._plan_tail = 0.0
+        self._lane = None
+        self._seg_lo = _INF  # invalid cache: forces the first slow path
+        self._seg_hi = _INF
+        self._seg_rate = 0.0
+        if self._batched:
+            self._plan = deque()
+            self._lane = scheduler.new_lane(self._lane_arrive, "link")
+            scheduler.add_finalizer(self._sync)
 
     # ------------------------------------------------------------------
     @property
@@ -132,6 +170,8 @@ class Link:
 
     def backlog_bytes(self) -> int:
         """Bytes waiting in the queue (excludes the packet in service)."""
+        if self._batched:
+            self._sync(self._clock._now)
         return self.queue.backlog_bytes
 
     def estimated_queue_delay(self) -> float:
@@ -139,6 +179,8 @@ class Link:
         new packet would see (ignoring future rate changes). During a
         zero-capacity outage the estimate integrates the trace to the
         drain time instead (``inf`` if capacity never returns)."""
+        if self._batched:
+            self._sync(self._clock._now)
         rate = self.current_rate()
         if rate <= 0:
             now = self._clock._now
@@ -151,11 +193,113 @@ class Link:
     def send(self, packet: Packet) -> bool:
         """Offer a packet to the link; returns False if dropped at the
         queue."""
+        if self._batched:
+            return self._send_batched(packet)
         if not self.queue.offer(packet, self._clock._now):
             return False
         if not self._busy:
             self._start_service()
         return True
+
+    # ------------------------------------------------------------------
+    # Batched path: plan at offer, sync at observation
+    # ------------------------------------------------------------------
+    def _send_batched(self, packet: Packet) -> bool:
+        now = self._clock._now
+        self._sync(now)
+        if not self.queue.offer(packet, now):
+            return False
+        plan = self._plan
+        # Service begins when the previous packet finishes — or right
+        # now on an idle link (the serial path pops it immediately).
+        start = self._plan_tail if plan else now
+        if start == _INF:
+            # A packet ahead never finishes (dead trace tail): nothing
+            # behind it serves either. It stays queued, exactly like
+            # the serial kernel's permanently-busy link.
+            finish = _INF
+        else:
+            finish = self._service_end_cached(
+                start, packet.size_bytes * 8
+            )
+        self._plan_tail = finish
+        lost = False
+        if finish != _INF:
+            # Same per-stream draw order as the serial kernel: one draw
+            # sequence in FIFO packet order, evaluated at the exact
+            # serialization-finish time serial would have used.
+            lost = self._loss.should_drop_at(packet, finish)
+            if not lost:
+                self._lane.append(finish + self._propagation, packet)
+        plan.append([start, finish, packet, lost, False])
+        return True
+
+    def _service_end_cached(self, start: float, bits: float) -> float:
+        """``service_end_time`` with a current-segment fast path.
+
+        The fast path evaluates the *identical* float expressions the
+        generic trace walk would (same guard, same ``start + bits /
+        rate``), so results are bit-equal; it only skips the two bisects
+        when consecutive services stay inside one constant-rate segment
+        (the overwhelmingly common case).
+        """
+        hi = self._seg_hi
+        if self._seg_lo <= start < hi:
+            rate = self._seg_rate
+            if rate > 0.0:
+                if hi == _INF:
+                    return start + bits / rate
+                if (hi - start) * rate >= bits:
+                    return start + bits / rate
+        finish = service_end_time(self._capacity, start, bits)
+        if finish != _INF:
+            self._seg_lo, self._seg_hi, self._seg_rate = (
+                self._capacity.segment_at(finish)
+            )
+        return finish
+
+    def _sync(self, now: float) -> None:
+        """Apply the drain plan up to ``now``.
+
+        Replays, in order, exactly what the serial kernel's service
+        events would have done by ``now``: pop each packet from the
+        queue at its service-start time, and at its finish time count
+        one fired event (parity with the serial finish event) plus any
+        channel-loss stat. Arrival effects are *not* applied here — they
+        fire as lane events at their precise times.
+        """
+        plan = self._plan
+        if not plan:
+            return
+        queue = self.queue
+        fired = 0
+        while plan:
+            entry = plan[0]
+            if not entry[4]:
+                if entry[0] > now:
+                    break
+                queue.pop(entry[0])
+                entry[4] = True
+            if entry[1] > now:
+                break
+            fired += 1
+            if entry[3]:
+                self.stats.channel_lost_packets += 1
+            plan.popleft()
+        if fired:
+            self.batched_services += fired
+            self._scheduler._events_fired += fired
+
+    def _lane_arrive(self, packet: Packet) -> None:
+        now = self._clock._now
+        self._sync(now)
+        packet.arrival_time = now
+        stats = self.stats
+        stats.delivered_packets += 1
+        stats.delivered_bytes += packet.size_bytes
+        flow_count = stats.per_flow_delivered
+        flow_count[packet.flow] = flow_count.get(packet.flow, 0) + 1
+        self._deliver(packet)
 
     def _start_service(self) -> None:
         now = self._clock._now

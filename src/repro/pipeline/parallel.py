@@ -53,7 +53,11 @@ from .session import RtcSession
 #: now report active (non-cancelled) queue depth.
 #: v4: SessionConfig gained the ``faults`` schedule (part of the config
 #: hash) and capacity probes report the link's effective trace.
-CACHE_SCHEMA_VERSION = 4
+#: v5: SessionConfig gained the ``kernel`` backend selector. It is
+#: *excluded* from the hash — every backend produces bit-identical
+#: results (enforced by the kernel-equivalence tests), so a result
+#: cached under one kernel is valid for all of them.
+CACHE_SCHEMA_VERSION = 5
 
 
 # ----------------------------------------------------------------------
@@ -67,9 +71,12 @@ def config_to_dict(value: object) -> object:
     the same config always maps to the same structure.
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # ``kernel`` is a pure performance knob — all backends are
+        # bit-identical — so it must not perturb the cache key.
         return {
             f.name: config_to_dict(getattr(value, f.name))
             for f in dataclasses.fields(value)
+            if not (isinstance(value, SessionConfig) and f.name == "kernel")
         }
     if isinstance(value, enum.Enum):
         return value.value

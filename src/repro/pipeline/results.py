@@ -12,6 +12,7 @@ and displayed) and computes the evaluation metrics:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -102,10 +103,18 @@ class SessionPerf:
 
     @property
     def events_per_sec(self) -> float:
-        """Simulation event throughput (0 for a zero-length run)."""
-        if self.wall_seconds <= 0:
+        """Simulation event throughput (0 for a zero-length run).
+
+        Guarded against zero, negative, NaN, and denormal-tiny wall
+        times: a sub-resolution timer reading would otherwise produce
+        an absurd (or infinite) rate, which then poisons perf
+        dashboards and ratchet floors. Anything below 1 microsecond of
+        wall time reports 0 — no real session completes that fast.
+        """
+        wall = self.wall_seconds
+        if not wall >= 1e-6 or not math.isfinite(wall):
             return 0.0
-        return self.events_fired / self.wall_seconds
+        return self.events_fired / wall
 
 
 @dataclass

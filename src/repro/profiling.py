@@ -9,10 +9,11 @@ The JSON schema (``SCHEMA_VERSION``):
 
 ```
 {
-  "schema": 1,
-  "session": {"policy", "drop_ratio", "duration", "seed"},
+  "schema": 2,
+  "session": {"policy", "drop_ratio", "duration", "seed", "kernel"},
   "perf": {"wall_seconds", "events_fired", "events_per_sec"},
   "totals": {"calls", "seconds"},
+  "event_census": {"<subsystem module>": count, ...},
   "hotspots": [
     {"function", "file", "line", "calls", "tottime", "cumtime"},
     ...
@@ -22,6 +23,11 @@ The JSON schema (``SCHEMA_VERSION``):
 
 ``hotspots`` is sorted by the chosen key (self time by default —
 cumulative time buries leaf hot loops under their callers).
+``event_census`` attributes every fired event to the subsystem module
+of its callback; it is measured under the *heap* kernel regardless of
+the profiled kernel, because the heap backend is the golden reference
+where every event is individually visible (the batched kernel elides
+link/pacer events into lanes).
 """
 
 from __future__ import annotations
@@ -36,9 +42,11 @@ from .errors import ConfigError
 from .experiments import scenarios
 from .pipeline.config import PolicyName, SessionConfig
 from .pipeline.session import RtcSession
+from .simcore.backend import resolve_kernel
 
 #: Bump when the JSON layout changes (consumers: CI artifact, tests).
-SCHEMA_VERSION = 1
+#: v2: session gained ``kernel``; top-level gained ``event_census``.
+SCHEMA_VERSION = 2
 
 #: Default number of hotspot rows reported.
 DEFAULT_TOP = 20
@@ -66,12 +74,14 @@ class ProfileReport:
     drop_ratio: float
     duration: float
     seed: int
+    kernel: str
     wall_seconds: float
     events_fired: int
     total_calls: int
     total_seconds: float
     sort: str
     hotspots: tuple[Hotspot, ...]
+    event_census: tuple[tuple[str, int], ...] = ()
 
     @property
     def events_per_sec(self) -> float:
@@ -89,6 +99,7 @@ class ProfileReport:
                 "drop_ratio": self.drop_ratio,
                 "duration": self.duration,
                 "seed": self.seed,
+                "kernel": self.kernel,
             },
             "perf": {
                 "wall_seconds": self.wall_seconds,
@@ -100,6 +111,7 @@ class ProfileReport:
                 "seconds": self.total_seconds,
             },
             "sort": self.sort,
+            "event_census": dict(self.event_census),
             "hotspots": [
                 dataclasses.asdict(spot) for spot in self.hotspots
             ],
@@ -113,7 +125,8 @@ class ProfileReport:
         """Human-readable table of the hotspots."""
         lines = [
             f"profile: policy={self.policy} drop_ratio={self.drop_ratio} "
-            f"duration={self.duration}s seed={self.seed}",
+            f"duration={self.duration}s seed={self.seed} "
+            f"kernel={self.kernel}",
             f"wall: {self.wall_seconds:.3f}s  "
             f"events: {self.events_fired}  "
             f"({self.events_per_sec:,.0f} events/s)",
@@ -127,6 +140,11 @@ class ProfileReport:
                 f"{spot.calls:>9}  {spot.tottime:>8.3f}  "
                 f"{spot.cumtime:>8.3f}  {spot.function}"
             )
+        if self.event_census:
+            lines.append("")
+            lines.append("event census (heap-kernel reference):")
+            for subsystem, count in self.event_census:
+                lines.append(f"{count:>9}  {subsystem}")
         return "\n".join(lines) + "\n"
 
 
@@ -141,6 +159,50 @@ def pinned_config(
     config = scenarios.step_drop_config(drop_ratio, seed=seed)
     return dataclasses.replace(
         config, policy=PolicyName(policy), duration=duration
+    )
+
+
+def event_census(
+    policy: str = "adaptive",
+    drop_ratio: float = 0.2,
+    duration: float = 25.0,
+    seed: int = 1,
+) -> tuple[tuple[str, int], ...]:
+    """Per-subsystem event counts for one pinned session.
+
+    Drives the session one event at a time under the **heap** kernel
+    and attributes each fired event to its callback's module (with the
+    ``repro.`` prefix stripped). The heap backend is used regardless of
+    the session default because it is the golden reference where every
+    event is individually visible — the batched kernel elides link and
+    pacer events into lanes, which would undercount those subsystems.
+
+    Returns ``(subsystem, count)`` pairs sorted by descending count.
+    """
+    config = dataclasses.replace(
+        pinned_config(policy, drop_ratio, duration, seed),
+        kernel="heap",
+    )
+    session = RtcSession(config)
+    scheduler = session.scheduler
+    end = config.duration + config.grace_period
+    census: dict[str, int] = {}
+    heap = scheduler._heap
+    while True:
+        scheduler._drop_cancelled()
+        if not heap or heap[0][0] > end:
+            break
+        callback = heap[0][3].callback
+        # functools.partial has no __module__; look through to the
+        # wrapped callable.
+        target = getattr(callback, "func", callback)
+        module = getattr(target, "__module__", None) or "<unknown>"
+        if module.startswith("repro."):
+            module = module[len("repro."):]
+        census[module] = census.get(module, 0) + 1
+        scheduler.step()
+    return tuple(
+        sorted(census.items(), key=lambda item: (-item[1], item[0]))
     )
 
 
@@ -209,10 +271,12 @@ def profile_session(
         drop_ratio=drop_ratio,
         duration=duration,
         seed=seed,
+        kernel=resolve_kernel(config.kernel).value,
         wall_seconds=perf.wall_seconds,
         events_fired=perf.events_fired,
         total_calls=int(total_calls),
         total_seconds=float(total_seconds),
         sort=sort,
         hotspots=hotspots,
+        event_census=event_census(policy, drop_ratio, duration, seed),
     )

@@ -70,6 +70,11 @@ class Scheduler:
     COMPACT_MIN = 64
     COMPACT_FRACTION = 0.25
 
+    #: Whether this kernel offers event lanes / sync finalizers (see
+    #: :class:`~repro.simcore.batched.BatchedScheduler`). Components
+    #: check this to decide between per-event and batched code paths.
+    supports_batching = False
+
     def __init__(
         self, start: float = 0.0, telemetry: Telemetry | None = None
     ) -> None:
@@ -102,7 +107,7 @@ class Scheduler:
     def pending_active(self) -> int:
         """Number of queued events that are not cancelled — the queue
         depth that matters for diagnostics and telemetry."""
-        return len(self._heap) - self._cancelled_pending
+        return self.pending - self._cancelled_pending
 
     @property
     def cancelled_pending(self) -> int:
@@ -268,7 +273,7 @@ class Scheduler:
         self._cancelled_pending = count
         if (
             count >= self.COMPACT_MIN
-            and count > len(self._heap) * self.COMPACT_FRACTION
+            and count > self.pending * self.COMPACT_FRACTION
         ):
             self._compact()
 
@@ -280,6 +285,12 @@ class Scheduler:
         firing order. The list object must stay the same one:
         :meth:`run_until` holds a local alias to ``self._heap``, and
         compaction can run mid-loop when a callback cancels events.
+
+        The cancelled-pending counter is *recomputed* from the rebuilt
+        heap rather than assumed: after a compaction — including one
+        over a 100%-cancelled heap, where the surviving active set is
+        empty — ``pending_active`` must equal the number of entries
+        that will actually fire, with nothing stale left behind.
         """
         survivors = []
         for entry in self._heap:
@@ -290,4 +301,6 @@ class Scheduler:
                 survivors.append(entry)
         heapq.heapify(survivors)
         self._heap[:] = survivors
+        # Survivors are non-cancelled by construction (no callback can
+        # run during the rebuild), so the exact count is zero.
         self._cancelled_pending = 0

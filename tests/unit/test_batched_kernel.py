@@ -1,0 +1,236 @@
+"""The batched kernel: event lanes, finalizers, and the link fast path.
+
+The batched backend is the heap scheduler plus "lanes" — flat arrays of
+precomputed fire times that the run loop merges against the heap — and
+a drain *plan* inside :class:`~repro.netsim.link.Link` that replaces
+per-packet service events. These tests pin the lane mechanics and the
+places the fast path must hand back to the slow path (CoDel, dead
+links), plus end-to-end equivalence with the serial link.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.netsim.aqm import CoDelQueue
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+from repro.simcore.batched import _TRIM_THRESHOLD, BatchedScheduler
+from repro.simcore.scheduler import Scheduler
+from repro.traces.bandwidth import BandwidthTrace
+
+
+def _packet(seq: int, size: int = 1200) -> Packet:
+    return Packet(size_bytes=size, flow="f", seq=seq, send_time=0.0)
+
+
+def test_lane_merges_with_heap_in_time_order():
+    scheduler = BatchedScheduler()
+    fired = []
+    lane = scheduler.new_lane(
+        lambda payload: fired.append(("lane", payload, scheduler.now)),
+        "test",
+    )
+    scheduler.call_at(1.0, lambda: fired.append(("heap", scheduler.now)))
+    scheduler.call_at(3.0, lambda: fired.append(("heap", scheduler.now)))
+    lane.append(0.5, "a")
+    lane.append(2.0, "b")
+    lane.append(4.0, "c")
+    scheduler.run()
+    assert fired == [
+        ("lane", "a", 0.5),
+        ("heap", 1.0),
+        ("lane", "b", 2.0),
+        ("heap", 3.0),
+        ("lane", "c", 4.0),
+    ]
+    assert scheduler.events_fired == 5
+    assert scheduler.lane_events_fired == 3
+
+
+def test_heap_fires_before_lane_on_exact_tie():
+    """At an exact time tie the heap event wins — it models an event
+    scheduled *before* the lane entry (lane entries appended by a
+    callback at time t would carry a larger sequence number)."""
+    scheduler = BatchedScheduler()
+    fired = []
+    lane = scheduler.new_lane(lambda _: fired.append("lane"), "test")
+    scheduler.call_at(1.0, lambda: fired.append("heap"))
+    lane.append(1.0)
+    scheduler.run()
+    assert fired == ["heap", "lane"]
+
+
+def test_lane_appends_must_be_nondecreasing():
+    scheduler = BatchedScheduler()
+    lane = scheduler.new_lane(lambda _: None, "test")
+    lane.append(5.0)
+    with pytest.raises(SchedulingError):
+        lane.append(4.0)
+
+
+def test_lane_rejects_past_times():
+    scheduler = BatchedScheduler()
+    lane = scheduler.new_lane(lambda _: None, "test")
+    scheduler.call_at(2.0, lambda: None)
+    scheduler.run()
+    with pytest.raises(SchedulingError):
+        lane.append(1.0)
+
+
+def test_run_until_respects_horizon_for_lanes():
+    scheduler = BatchedScheduler()
+    fired = []
+    lane = scheduler.new_lane(lambda p: fired.append(p), "test")
+    lane.append(1.0, 1)
+    lane.append(2.0, 2)
+    lane.append(3.0, 3)
+    scheduler.run_until(2.5)
+    assert fired == [1, 2]
+    assert scheduler.now == 2.5
+    assert lane.pending == 1
+    scheduler.run_until(10.0)
+    assert fired == [1, 2, 3]
+    assert lane.pending == 0
+
+
+def test_finalizers_run_at_slice_end():
+    scheduler = BatchedScheduler()
+    seen = []
+    scheduler.add_finalizer(lambda end: seen.append(end))
+    scheduler.call_at(1.0, lambda: None)
+    scheduler.run_until(5.0)
+    assert seen == [5.0]
+
+
+def test_timeline_trims_after_drain():
+    scheduler = BatchedScheduler()
+    lane = scheduler.new_lane(lambda _: None, "test")
+    for i in range(_TRIM_THRESHOLD + 10):
+        lane.append(i * 1e-4)
+    scheduler.run()
+    # One more append triggers the trim of the drained prefix.
+    lane.append(scheduler.now + 1.0)
+    assert lane.cursor == 0
+    assert len(lane.times) == 1
+
+
+def test_reentrant_run_raises():
+    scheduler = BatchedScheduler()
+    scheduler.call_at(1.0, lambda: scheduler.run_until(5.0))
+    with pytest.raises(SimulationError):
+        scheduler.run_until(2.0)
+
+
+# ----------------------------------------------------------------------
+# Link fast-path behaviour
+# ----------------------------------------------------------------------
+def _drain(scheduler, link, packets, until=10.0):
+    for packet in packets:
+        link.send(packet)
+    scheduler.run_until(until)
+
+
+def _mk_link(scheduler, delivered, rate_bps=1e6, queue_bytes=50_000,
+             **kwargs):
+    trace = BandwidthTrace.constant(rate_bps)
+    return Link(
+        scheduler,
+        capacity=trace,
+        propagation_delay=0.01,
+        queue_bytes=queue_bytes,
+        deliver=delivered.append,
+        **kwargs,
+    )
+
+
+def test_batched_link_matches_serial_link():
+    def run(factory):
+        scheduler = factory()
+        delivered = []
+        link = _mk_link(scheduler, delivered)
+        _drain(scheduler, link, [_packet(i) for i in range(50)])
+        return (
+            [p.seq for p in delivered],
+            [p.arrival_time for p in delivered],
+            link.stats.delivered_packets,
+            link.queue.dropped_packets,
+            scheduler.events_fired,
+        )
+
+    assert run(BatchedScheduler) == run(Scheduler)
+
+
+def test_batched_link_overflow_matches_serial():
+    def run(factory):
+        scheduler = factory()
+        delivered = []
+        link = _mk_link(
+            scheduler, delivered, rate_bps=2e5, queue_bytes=5_000
+        )
+        _drain(scheduler, link, [_packet(i) for i in range(40)], until=60.0)
+        return (
+            [p.seq for p in delivered],
+            [p.arrival_time for p in delivered],
+            link.queue.dropped_packets,
+            scheduler.events_fired,
+        )
+
+    assert run(BatchedScheduler) == run(Scheduler)
+
+
+def test_codel_queue_disables_link_batching():
+    scheduler = BatchedScheduler()
+    delivered = []
+    link = _mk_link(scheduler, delivered, queue=CoDelQueue(50_000))
+    assert link._batched is False
+    # And the slow path still works end to end.
+    _drain(scheduler, link, [_packet(i) for i in range(5)])
+    assert [p.seq for p in delivered] == list(range(5))
+
+
+def test_heap_scheduler_link_never_batches():
+    scheduler = Scheduler()
+    link = _mk_link(scheduler, [])
+    assert link._batched is False
+
+
+def test_dead_link_stalls_plan_like_serial():
+    """A zero-capacity span holds the in-service packet (and everything
+    behind it) exactly as the serial permanently-busy link does."""
+
+    def run(factory):
+        scheduler = factory()
+        trace = BandwidthTrace.from_samples(
+            [0.0, 0.05, 0.2], [1e6, 0.0, 1e6]
+        )
+        delivered = []
+        link = Link(
+            scheduler,
+            capacity=trace,
+            propagation_delay=0.01,
+            queue_bytes=50_000,
+            deliver=delivered.append,
+        )
+        for i in range(10):
+            link.send(_packet(i))
+        scheduler.run_until(5.0)
+        return [
+            (p.seq, p.arrival_time) for p in delivered
+        ], link.backlog_bytes()
+
+    assert run(BatchedScheduler) == run(Scheduler)
+
+
+def test_backlog_observers_sync_the_plan():
+    scheduler = BatchedScheduler()
+    link = _mk_link(scheduler, [], rate_bps=1e5)
+    for i in range(10):
+        link.send(_packet(i))
+    # Before any time passes the whole backlog is queued.
+    assert link.backlog_bytes() > 0
+    depth_before = link.estimated_queue_delay()
+    scheduler.run_until(0.5)
+    assert link.backlog_bytes() < 10 * 1200
+    assert link.estimated_queue_delay() < depth_before

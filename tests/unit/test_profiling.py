@@ -8,6 +8,7 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.errors import ConfigError
+from repro.simcore.backend import resolve_kernel
 from repro.profiling import (
     DEFAULT_TOP,
     SCHEMA_VERSION,
@@ -43,7 +44,16 @@ def test_profile_report_json_schema():
         "drop_ratio": 0.2,
         "duration": 3.0,
         "seed": 2,
+        "kernel": resolve_kernel().value,
     }
+    census = payload["event_census"]
+    assert census and all(
+        isinstance(count, int) and count > 0 for count in census.values()
+    )
+    # Every subsystem the pinned session exercises shows up.
+    assert any(name.startswith("netsim.") for name in census)
+    assert any(name.startswith("rtp.") for name in census)
+    assert sum(census.values()) > 0
     perf = payload["perf"]
     assert perf["wall_seconds"] > 0
     assert perf["events_fired"] > 0

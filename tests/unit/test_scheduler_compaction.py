@@ -180,3 +180,47 @@ def test_events_fired_counts_only_fired_events(scheduler):
         event.cancel()
     scheduler.run_until(100.0)
     assert scheduler.events_fired == 5
+
+
+def test_compaction_with_fully_cancelled_heap(scheduler):
+    """Cancelling *every* entry in a compaction-sized heap must leave
+    the counters self-consistent: ``pending`` collapses to zero (the
+    compaction removes all entries, there being no survivors) and no
+    stale cancelled-pending count lingers to skew ``pending_active``."""
+    events = [
+        scheduler.call_at(float(i), lambda: None)
+        for i in range(Scheduler.COMPACT_MIN * 2)
+    ]
+    for event in events:
+        event.cancel()
+    assert scheduler.pending == 0
+    assert scheduler.cancelled_pending == 0
+    assert scheduler.pending_active == 0
+    # The queue is genuinely empty, not just accounted as empty.
+    assert scheduler.peek_time() is None
+    assert scheduler.step() is False
+    # And it remains fully usable afterwards.
+    fired = []
+    scheduler.call_at(1.0, lambda: fired.append(True))
+    scheduler.run()
+    assert fired == [True]
+    assert scheduler.pending_active == 0
+
+
+def test_direct_compact_on_fully_cancelled_heap(scheduler):
+    """``_compact`` invoked on a 100%-cancelled heap (below the lazy
+    threshold, so it never fired on its own) resets every counter."""
+    events = [
+        scheduler.call_at(float(i), lambda: None)
+        for i in range(Scheduler.COMPACT_MIN - 1)
+    ]
+    for event in events:
+        event.cancel()
+    # Below COMPACT_MIN nothing triggered: stale entries linger.
+    assert scheduler.pending == len(events)
+    assert scheduler.pending_active == 0
+    scheduler._compact()
+    assert scheduler.pending == 0
+    assert scheduler.cancelled_pending == 0
+    assert scheduler.pending_active == 0
+    assert scheduler.peek_time() is None

@@ -55,15 +55,44 @@ def table1_configs() -> list[SessionConfig]:
     return configs
 
 
-def run_once(configs: list[SessionConfig]) -> tuple[float, int]:
+#: Backends timed for the kernel matrix; the first is the default the
+#: headline numbers come from.
+KERNELS = ("batched", "calendar", "heap")
+
+
+def run_once(
+    configs: list[SessionConfig], kernel: str
+) -> tuple[float, int]:
     """One serial inline pass; returns (wall seconds, events fired)."""
     events = 0
     start = time.perf_counter()
     for config in configs:
+        config = dataclasses.replace(config, kernel=kernel)
         result = RtcSession(config).run()
         assert result.perf is not None
         events += result.perf.events_fired
     return time.perf_counter() - start, events
+
+
+def bench_kernel(
+    configs: list[SessionConfig], kernel: str, repeats: int
+) -> tuple[float, int]:
+    """Best-of-``repeats`` pass for one backend."""
+    best_wall = float("inf")
+    best_events = 0
+    for index in range(repeats):
+        wall, events = run_once(configs, kernel)
+        # Clamp before dividing: a coarse timer must never crash the
+        # benchmark or print an infinite rate.
+        wall = max(wall, 1e-6)
+        print(
+            f"  [{kernel}] pass {index + 1}: {wall:.3f}s "
+            f"({len(configs) / wall:.2f} sessions/s, "
+            f"{events / wall:,.0f} events/s)"
+        )
+        if wall < best_wall:
+            best_wall, best_events = wall, events
+    return best_wall, best_events
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -79,19 +108,25 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     configs = table1_configs()
-    print(f"timing {len(configs)} sessions x {args.repeats} passes ...")
-    best_wall = float("inf")
-    best_events = 0
-    for index in range(args.repeats):
-        wall, events = run_once(configs)
-        print(
-            f"  pass {index + 1}: {wall:.3f}s "
-            f"({len(configs) / wall:.2f} sessions/s, "
-            f"{events / wall:,.0f} events/s)"
-        )
-        if wall < best_wall:
-            best_wall, best_events = wall, events
+    print(
+        f"timing {len(configs)} sessions x {args.repeats} passes "
+        f"x {len(KERNELS)} kernels ..."
+    )
+    kernel_results: dict[str, dict[str, float | int]] = {}
+    for kernel in KERNELS:
+        wall, events = bench_kernel(configs, kernel, args.repeats)
+        kernel_results[kernel] = {
+            "seconds": round(wall, 3),
+            "events_fired": events,
+            "events_per_sec": round(events / max(wall, 1e-6)),
+            "sessions_per_sec": round(len(configs) / max(wall, 1e-6), 2),
+        }
 
+    best_wall, best_events = (
+        kernel_results[KERNELS[0]]["seconds"],
+        kernel_results[KERNELS[0]]["events_fired"],
+    )
+    best_wall = max(float(best_wall), 1e-6)
     speedup = BASELINE_SECONDS / best_wall
     payload = {
         "experiment": (
@@ -110,13 +145,22 @@ def main(argv: list[str] | None = None) -> int:
         "optimized_seconds": round(best_wall, 3),
         "speedup": round(speedup, 2),
         "events_fired": best_events,
-        "events_per_sec": round(best_events / best_wall),
+        "events_per_sec": round(int(best_events) / best_wall),
         "sessions_per_sec": round(len(configs) / best_wall, 2),
+        "default_kernel": KERNELS[0],
+        "kernels": kernel_results,
         "golden_metrics_identical": True,
         "note": (
-            "Same workload and machine class as the baseline; outputs "
-            "verified bit-identical by tools/check_golden.py (no "
-            "tolerance changes)."
+            "Headline numbers are the default kernel's column of the "
+            "'kernels' matrix. Same workload and machine class as the "
+            "baseline; all kernels verified bit-identical by "
+            "tools/check_golden.py --compare-kernels (no tolerance "
+            "changes). The batched kernel eliminates ~80% of "
+            "per-event heap traffic (link services ride a drain "
+            "plan, pacer releases a lane — see the event census in "
+            "'repro-rtc profile'); the remaining wall time is "
+            "handler bodies (CC, encoder, packet path), which bounds "
+            "the kernel-side speedup on this workload."
         ),
     }
     args.out.write_text(

@@ -39,9 +39,11 @@ from repro.pipeline.config import PolicyName  # noqa: E402
 from repro.pipeline.session import RtcSession  # noqa: E402
 from repro.profiling import profile_session  # noqa: E402
 
-#: The optimized hot path sustains ~8 sessions/sec on the single-core
-#: reference container (BENCH_hotpath.json); 2.5 gives ~3x headroom.
-DEFAULT_FLOOR = 2.5
+#: The batched-kernel hot path sustains ~8 sessions/sec on the
+#: single-core reference container (BENCH_hotpath.json kernel matrix);
+#: 3.0 gives ~2.6x headroom for slower CI runners while still
+#: ratcheting in the kernel win over the pre-batching floor of 2.5.
+DEFAULT_FLOOR = 3.0
 
 #: Pinned batch: (policy, drop_ratio), seed 1, default 25s duration.
 PINNED_SESSIONS = (
@@ -85,6 +87,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     wall, events = run_batch()
+    # Clamp the denominator so a coarse or broken timer can't turn the
+    # report into a ZeroDivisionError or an infinite rate.
+    wall = max(wall, 1e-6)
     sessions_per_sec = len(PINNED_SESSIONS) / wall
     print(
         f"perf smoke: {len(PINNED_SESSIONS)} sessions in {wall:.2f}s "
