@@ -16,6 +16,12 @@ Subcommands:
   ``docs/robustness.md``).
 * ``resume`` — replay an interrupted supervised batch from its run
   manifest; finished cells come from the result cache.
+* ``shard`` — the distributed sweep fabric (see
+  ``docs/running-fast.md``): ``shard plan`` partitions a grid into K
+  deterministic shards, ``shard run`` executes one shard anywhere with
+  the supervised executor (per-shard manifest + cache, resumable via
+  ``repro-rtc resume``), and ``shard merge`` folds shard outputs into
+  one report byte-identical to a single-host serial run.
 * ``cache`` — inspect or clear the persistent result cache.
 
 Global execution options (before the subcommand): ``--workers N`` fans
@@ -64,6 +70,7 @@ from .pipeline.manifest import (
     manifest_dir,
     new_run_id,
 )
+from .pipeline import shards
 from .pipeline.parallel import ResultCache, configure, run_many
 from .pipeline.runner import run_session
 from .pipeline.supervisor import (
@@ -115,12 +122,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_table1(args: argparse.Namespace) -> int:
     seeds = tuple(range(1, args.seeds + 1))
     rows = table1.run_table(seeds=seeds)
-    if args.format == "json":
-        text = table1.to_json(rows) + "\n"
-    elif args.format == "csv":
-        text = table1.to_csv(rows)
-    else:
-        text = table1.format_table(rows) + "\n"
+    text = table1.render(rows, args.format)
     if args.output is None or args.output == "-":
         sys.stdout.write(text)
     else:
@@ -152,7 +154,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
     print(
         comparison.format_comparison(
-            rows, f"All policies, drop to {args.drop_ratio:.0%}"
+            rows, comparison.comparison_title(args.drop_ratio)
         )
     )
     return 0
@@ -324,6 +326,125 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+def _cmd_shard_plan(args: argparse.Namespace) -> int:
+    params: dict = {}
+    if args.seeds is not None:
+        params["seeds"] = list(range(1, args.seeds + 1))
+    if args.ratios:
+        params["ratios"] = args.ratios
+    if args.baseline is not None:
+        params["baseline"] = args.baseline
+    if args.drop_ratio is not None:
+        params["drop_ratio"] = args.drop_ratio
+    if args.policies:
+        params["policies"] = args.policies
+    plan = shards.build_plan(args.grid, params, args.shards)
+    if args.output is None or args.output == "-":
+        import json
+
+        sys.stdout.write(
+            json.dumps(plan.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+    else:
+        plan.save(args.output)
+    print(
+        f"repro-rtc: plan {plan.plan_id}: {len(plan.hashes)} cells of "
+        f"grid '{plan.kind}' over {plan.shards} shards",
+        file=sys.stderr,
+    )
+    return EXIT_OK
+
+
+def _cmd_shard_run(args: argparse.Namespace) -> int:
+    plan = shards.ShardPlan.load(args.plan)
+    retry = (
+        RetryPolicy()
+        if args.max_retries is None
+        else RetryPolicy(max_retries=args.max_retries)
+    )
+    policy = SupervisorPolicy(
+        session_timeout=args.session_timeout, retry=retry
+    )
+    policy.validate()
+    manifest_path = (
+        Path(args.manifest)
+        if args.manifest is not None
+        else shards.shard_dir(args.out, args.index) / "manifest.json"
+    )
+    try:
+        results, splan = shards.run_shard(
+            plan,
+            args.index,
+            args.out,
+            workers=max(1, args.workers),
+            policy=policy,
+            argv=getattr(args, "raw_argv", None),
+            manifest_path=manifest_path,
+        )
+    except KeyboardInterrupt:
+        print(
+            f"repro-rtc: shard {args.index} interrupted; resume with: "
+            f"repro-rtc resume {manifest_path}",
+            file=sys.stderr,
+        )
+        raise
+    quarantined = [r for r in results if isinstance(r, FailedSession)]
+    print(
+        f"repro-rtc: shard {args.index}/{plan.shards} of plan "
+        f"{plan.plan_id}: {len(results)} cells, "
+        f"{len(results) - len(quarantined)} ok, "
+        f"{splan.stats.cached} from cache, "
+        f"{len(quarantined)} quarantined "
+        f"(manifest: {splan.manifest.path})",
+        file=sys.stderr,
+    )
+    if quarantined:
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
+def _cmd_shard_merge(args: argparse.Namespace) -> int:
+    plan = shards.ShardPlan.load(args.plan)
+    base = Path(args.dir)
+    shard_dirs = [
+        shards.shard_dir(base, index)
+        for index in range(plan.shards)
+        if shards.shard_dir(base, index).is_dir()
+    ]
+    if not shard_dirs:
+        raise ConfigError(
+            f"no shard directories under {base} (expected "
+            f"{shards.SHARD_DIR_FORMAT.format(index=0)} .. "
+            f"{shards.SHARD_DIR_FORMAT.format(index=plan.shards - 1)})"
+        )
+    cache, manifest, summary = shards.merge_shards(
+        plan, shard_dirs, args.out
+    )
+    text, quarantined = shards.render_merged(
+        plan, cache, manifest, args.format
+    )
+    if args.output is None or args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    print(
+        f"repro-rtc: merged {summary.shards_seen} shard dir(s) of plan "
+        f"{plan.plan_id}: {summary.cells} cells, {summary.ok} ok, "
+        f"{summary.quarantined} quarantined "
+        f"(merged cache: {cache.root})",
+        file=sys.stderr,
+    )
+    if quarantined:
+        print(
+            f"repro-rtc: {quarantined} cell(s) quarantined; report "
+            "contains FAILED(...) markers",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL
+    return EXIT_OK
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -624,6 +745,127 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resume_p.set_defaults(func=None)
 
+    shard_p = sub.add_parser(
+        "shard",
+        help="plan, execute, and merge sharded sweeps "
+        "(see docs/running-fast.md)",
+    )
+    shard_sub = shard_p.add_subparsers(dest="shard_command", required=True)
+
+    splan_p = shard_sub.add_parser(
+        "plan",
+        help="partition a grid into K deterministic manifest shards",
+    )
+    splan_p.add_argument(
+        "--grid",
+        choices=sorted(shards.GRIDS),
+        default="table1",
+        help="which grid to shard (default: table1)",
+    )
+    splan_p.add_argument(
+        "--shards",
+        type=int,
+        required=True,
+        metavar="K",
+        help="number of shards to stripe the grid over",
+    )
+    splan_p.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="seeds 1..N per point (default: the grid's canonical set)",
+    )
+    splan_p.add_argument(
+        "--ratio",
+        dest="ratios",
+        action="append",
+        type=float,
+        metavar="R",
+        help="table1 grid: drop ratio to include (repeatable; "
+        "default: the canonical five)",
+    )
+    splan_p.add_argument(
+        "--baseline",
+        choices=[p.value for p in PolicyName],
+        default=None,
+        help="table1 grid: baseline policy (default: webrtc)",
+    )
+    splan_p.add_argument(
+        "--drop-ratio",
+        type=float,
+        default=None,
+        help="compare grid: scenario severity (default: 0.2)",
+    )
+    splan_p.add_argument(
+        "--policy",
+        dest="policies",
+        action="append",
+        choices=[p.value for p in PolicyName],
+        help="compare grid: policy to include (repeatable; "
+        "default: all)",
+    )
+    splan_p.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="plan file (default or '-': stdout)",
+    )
+    splan_p.set_defaults(func=_cmd_shard_plan)
+
+    srun_p = shard_sub.add_parser(
+        "run",
+        help="execute one shard of a plan with the supervised executor",
+    )
+    srun_p.add_argument("plan", metavar="PLAN", help="plan file")
+    srun_p.add_argument(
+        "--index",
+        type=int,
+        required=True,
+        metavar="I",
+        help="which shard to execute (0-based)",
+    )
+    srun_p.add_argument(
+        "--out",
+        default="shards",
+        metavar="DIR",
+        help="shard base directory; this shard writes "
+        "DIR/shard-NNN/{manifest.json,cache} (default: shards)",
+    )
+    _add_supervision_flags(srun_p)
+    srun_p.set_defaults(func=_cmd_shard_run)
+
+    smerge_p = shard_sub.add_parser(
+        "merge",
+        help="merge shard manifests/caches into one byte-stable report",
+    )
+    smerge_p.add_argument("plan", metavar="PLAN", help="plan file")
+    smerge_p.add_argument(
+        "--dir",
+        default="shards",
+        metavar="DIR",
+        help="shard base directory to merge from (default: shards)",
+    )
+    smerge_p.add_argument(
+        "--out",
+        default="merged",
+        metavar="DIR",
+        help="merged cache + manifest directory (default: merged)",
+    )
+    smerge_p.add_argument(
+        "--format",
+        choices=["table", "json", "csv"],
+        default="table",
+        help="report format (default: table)",
+    )
+    smerge_p.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="report file (default or '-': stdout)",
+    )
+    smerge_p.set_defaults(func=_cmd_shard_merge)
+
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache"
     )
@@ -753,7 +995,16 @@ def main(argv: list[str] | None = None) -> int:
             )
             return EXIT_USAGE
     try:
-        plan, manifest = _build_supervision(args, raw_argv)
+        if args.command == "shard":
+            # Shard runs own their supervision: the manifest and cache
+            # live in the shard directory (the plan decides where), so
+            # the generic flag handling must not mint a second
+            # manifest. ``shard run`` reads the supervision flags
+            # itself; the recorded argv makes ``resume`` replay work.
+            args.raw_argv = raw_argv
+            plan, manifest = None, None
+        else:
+            plan, manifest = _build_supervision(args, raw_argv)
     except ConfigError as exc:
         print(f"repro-rtc: error: {exc}", file=sys.stderr)
         return EXIT_USAGE

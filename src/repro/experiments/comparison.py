@@ -13,8 +13,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..pipeline.config import PolicyName
+from ..pipeline.config import PolicyName, SessionConfig
 from ..pipeline.parallel import run_many
+from ..pipeline.results import SessionResult
 from ..pipeline.supervisor import failure_label, split_failures
 from . import scenarios
 
@@ -46,14 +47,18 @@ class PolicyRow:
     failed: str | None = None
 
 
-def run_comparison(
+def plan_batch(
     drop_ratio: float = 0.2,
     seeds: tuple[int, ...] = (1, 2, 3),
     policies: tuple[PolicyName, ...] = ALL_POLICIES,
-) -> list[PolicyRow]:
-    """Run every policy on the same scenario points."""
-    start, end = scenarios.DROP_WINDOW
-    batch = [
+) -> list[SessionConfig]:
+    """The comparison's session batch (policy-major, seed-minor order).
+
+    Deterministic enumeration shared with the shard fabric
+    (:mod:`repro.pipeline.shards`); :func:`rows_from_results` folds the
+    results back into rows.
+    """
+    return [
         dataclasses.replace(
             scenarios.step_drop_config(drop_ratio, seed=seed),
             policy=policy,
@@ -61,7 +66,16 @@ def run_comparison(
         for policy in policies
         for seed in seeds
     ]
-    results = iter(run_many(batch))
+
+
+def rows_from_results(
+    batch_results: list[SessionResult],
+    seeds: tuple[int, ...],
+    policies: tuple[PolicyName, ...] = ALL_POLICIES,
+) -> list[PolicyRow]:
+    """Fold batch results (in :func:`plan_batch` order) into rows."""
+    start, end = scenarios.DROP_WINDOW
+    results = iter(batch_results)
     rows = []
     for policy in policies:
         per_policy = [next(results) for _ in seeds]
@@ -101,6 +115,21 @@ def run_comparison(
             )
         )
     return rows
+
+
+def run_comparison(
+    drop_ratio: float = 0.2,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    policies: tuple[PolicyName, ...] = ALL_POLICIES,
+) -> list[PolicyRow]:
+    """Run every policy on the same scenario points."""
+    batch = plan_batch(drop_ratio, seeds, policies)
+    return rows_from_results(run_many(batch), seeds, policies)
+
+
+def comparison_title(drop_ratio: float) -> str:
+    """The canonical report title (shared by CLI and shard merge)."""
+    return f"All policies, drop to {drop_ratio:.0%}"
 
 
 def format_comparison(rows: list[PolicyRow], title: str) -> str:

@@ -127,6 +127,39 @@ def run_row(
     return _row_from_results(drop_ratio, results)
 
 
+def plan_batch(
+    ratios: tuple[float, ...] = scenarios.TABLE1_DROP_RATIOS,
+    seeds: tuple[int, ...] = scenarios.TABLE1_SEEDS,
+    baseline: PolicyName = PolicyName.WEBRTC,
+) -> tuple[list[SessionConfig], list[tuple[float, int, int]]]:
+    """The table's session batch plus its ``(ratio, lo, hi)`` row spans.
+
+    Deterministic enumeration: the same arguments always produce the
+    same configs in the same order. The shard fabric
+    (:mod:`repro.pipeline.shards`) partitions exactly this batch, and
+    :func:`rows_from_results` folds results — wherever they were
+    executed — back into rows.
+    """
+    batch: list[SessionConfig] = []
+    spans: list[tuple[float, int, int]] = []
+    for ratio in ratios:
+        configs = _row_configs(ratio, seeds, baseline)
+        spans.append((ratio, len(batch), len(batch) + len(configs)))
+        batch.extend(configs)
+    return batch, spans
+
+
+def rows_from_results(
+    results: list[SessionResult],
+    spans: list[tuple[float, int, int]],
+) -> list[Table1Row]:
+    """Fold a batch's results (in :func:`plan_batch` order) into rows."""
+    return [
+        _row_from_results(ratio, results[lo:hi])
+        for ratio, lo, hi in spans
+    ]
+
+
 def run_table(
     ratios: tuple[float, ...] = scenarios.TABLE1_DROP_RATIOS,
     seeds: tuple[int, ...] = scenarios.TABLE1_SEEDS,
@@ -138,17 +171,8 @@ def run_table(
     :func:`run_many` batch, so a configured worker pool parallelizes
     the entire table regeneration.
     """
-    batch: list[SessionConfig] = []
-    spans: list[tuple[float, int, int]] = []
-    for ratio in ratios:
-        configs = _row_configs(ratio, seeds, baseline)
-        spans.append((ratio, len(batch), len(batch) + len(configs)))
-        batch.extend(configs)
-    results = run_many(batch)
-    return [
-        _row_from_results(ratio, results[lo:hi])
-        for ratio, lo, hi in spans
-    ]
+    batch, spans = plan_batch(ratios, seeds, baseline)
+    return rows_from_results(run_many(batch), spans)
 
 
 def format_table(rows: list[Table1Row]) -> str:
@@ -210,6 +234,19 @@ def to_json(rows: list[Table1Row]) -> str:
     return json.dumps(
         {"table1": rows_to_dicts(rows)}, indent=2, sort_keys=True
     )
+
+
+def render(rows: list[Table1Row], fmt: str) -> str:
+    """One format dispatch for the CLI *and* the shard-merge path.
+
+    Both must write byte-identical reports for the same rows, so the
+    trailing-newline conventions live here and nowhere else.
+    """
+    if fmt == "json":
+        return to_json(rows) + "\n"
+    if fmt == "csv":
+        return to_csv(rows)
+    return format_table(rows) + "\n"
 
 
 def to_csv(rows: list[Table1Row]) -> str:

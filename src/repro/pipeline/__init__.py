@@ -13,6 +13,15 @@ from .results import (
 )
 from .runner import run_policies, run_repetitions, run_session
 from .session import RtcSession
+from .shards import (
+    MergeSummary,
+    ShardPlan,
+    build_plan,
+    merge_shards,
+    render_merged,
+    run_shard,
+    shard_dir,
+)
 from .supervisor import (
     FailedSession,
     RetryPolicy,
@@ -31,6 +40,7 @@ __all__ = [
     "FailedSession",
     "FrameOutcome",
     "MediaFlow",
+    "MergeSummary",
     "MultiFlowSession",
     "NetworkConfig",
     "PolicyName",
@@ -41,12 +51,14 @@ __all__ = [
     "SessionConfig",
     "SessionPerf",
     "SessionResult",
+    "ShardPlan",
     "Supervisor",
     "SupervisorPlan",
     "SupervisorPolicy",
     "SupervisorStats",
     "TimeseriesSample",
     "VideoConfig",
+    "build_plan",
     "compare_point",
     "config_hash",
     "configure",
@@ -54,10 +66,14 @@ __all__ = [
     "find_manifest",
     "jain_fairness",
     "manifest_dir",
+    "merge_shards",
+    "render_merged",
     "run_many",
     "run_policies",
     "run_repetitions",
     "run_session",
+    "run_shard",
+    "shard_dir",
     "split_failures",
     "supervised_run_many",
     "sweep",

@@ -21,9 +21,12 @@ Record statuses::
 
 from __future__ import annotations
 
+import glob
 import hashlib
 import json
 import os
+import re
+import socket
 import tempfile
 import time
 from pathlib import Path
@@ -51,19 +54,48 @@ def manifest_dir() -> Path:
     return ResultCache.default_dir() / "runs"
 
 
+def host_tag() -> str:
+    """A short filename-safe tag identifying this host (lowercased
+    hostname, non-alphanumerics collapsed to ``-``, 12 chars max)."""
+    try:
+        host = socket.gethostname()
+    except OSError:
+        host = ""
+    tag = re.sub(r"[^a-z0-9]+", "-", host.lower()).strip("-")[:12]
+    return tag or "host"
+
+
 def new_run_id(argv: list[str] | None = None) -> str:
-    """A unique, human-sortable run id (timestamp + short digest)."""
+    """A unique, human-sortable run id.
+
+    ``<timestamp>-<host>-<digest>``: the timestamp sorts runs, the host
+    tag makes ids from different machines visibly distinct, and the
+    digest mixes in the hostname, pid, nanosecond clock, *and* eight
+    bytes of OS entropy — two shard runs started in the same second on
+    different hosts (or two processes racing on one host) cannot
+    collide. The id is minted once and then lives in the manifest, so
+    resume lookup stays stable across re-invocations.
+    """
     stamp = time.strftime("%Y%m%d-%H%M%S")
-    seed = f"{time.time_ns()}:{os.getpid()}:{argv!r}"
+    seed = (
+        f"{socket.gethostname()!r}:{os.getpid()}:{time.time_ns()}:"
+        f"{os.urandom(8).hex()}:{argv!r}"
+    )
     digest = hashlib.sha256(seed.encode("utf-8")).hexdigest()[:8]
-    return f"{stamp}-{digest}"
+    return f"{stamp}-{host_tag()}-{digest}"
 
 
 def find_manifest(run_id_or_path: str) -> Path:
-    """Resolve a run id or path to an existing manifest file.
+    """Resolve a run id, unique id prefix, or path to a manifest file.
+
+    A full run id (or a path) resolves directly. Otherwise the id is
+    treated as a prefix under the manifest dir: a unique match resolves,
+    an ambiguous one raises listing every candidate — never silently
+    picking one of several colliding runs.
 
     Raises:
-        ConfigError: when nothing matches.
+        ConfigError: when nothing matches, or a prefix matches more
+            than one manifest.
     """
     direct = Path(run_id_or_path)
     if direct.is_file():
@@ -71,6 +103,17 @@ def find_manifest(run_id_or_path: str) -> Path:
     candidate = manifest_dir() / f"{run_id_or_path}.json"
     if candidate.is_file():
         return candidate
+    matches = sorted(
+        manifest_dir().glob(glob.escape(run_id_or_path) + "*.json")
+    )
+    if len(matches) == 1:
+        return matches[0]
+    if len(matches) > 1:
+        names = ", ".join(path.stem for path in matches)
+        raise ConfigError(
+            f"run id prefix {run_id_or_path!r} is ambiguous: "
+            f"matches {names}"
+        )
     raise ConfigError(
         f"no run manifest named {run_id_or_path!r} (looked for a file at "
         f"{direct} and {candidate})"

@@ -165,6 +165,14 @@ class ResultCache:
         """Entry path for a config."""
         return self.root / f"{config_hash(config)}.json"
 
+    def path_for_hash(self, digest: str) -> Path:
+        """Entry path for an already-computed config hash.
+
+        The shard fabric moves entries between caches keyed by the
+        hashes recorded in shard manifests, without rebuilding configs.
+        """
+        return self.root / f"{digest}.json"
+
     def get(self, config: SessionConfig) -> SessionResult | None:
         """Load the cached result for ``config``, or ``None`` on miss.
 

@@ -1,0 +1,636 @@
+"""Shard-aware sweep fabric: plan once, execute anywhere, merge byte-stable.
+
+The supervisor layer (:mod:`repro.pipeline.supervisor`) made one host's
+batches resumable; this module makes a sweep *divisible across hosts*
+with nothing but files and atomic renames as the coordination
+substrate — the same shape as a chunked encode fleet: partition a job
+list deterministically, let independent workers execute their chunks,
+and fold the chunk outputs back together.
+
+Three phases, each a CLI subcommand:
+
+* **plan** — :func:`build_plan` expands a named grid (scenario × seed ×
+  policy) into its deterministic config batch, hashes every cell, and
+  stripes cells over ``K`` shards (cell ``i`` → shard ``i % K``). The
+  resulting :class:`ShardPlan` is a pure function of the grid and
+  ``K`` — the same inputs always serialize to byte-identical plan
+  files, so every host can regenerate the plan locally instead of
+  shipping it around.
+* **run** — :func:`run_shard` executes one shard's cells through the
+  supervised executor, writing a per-shard
+  :class:`~repro.pipeline.manifest.RunManifest` and
+  :class:`~repro.pipeline.parallel.ResultCache` under
+  ``<base>/shard-NNN/``. A killed shard resumes from its own manifest
+  (``repro-rtc resume <shard>/manifest.json``); cells that failed every
+  retry are quarantined, not fatal.
+* **merge** — :func:`merge_shards` folds shard caches and manifests
+  into one merged cache + manifest, and :func:`render_merged` renders
+  the grid's report from them. The report is **byte-identical** to a
+  single-host serial run of the same grid (enforced by the
+  ``sweep-shards`` CI job), quarantined cells survive as
+  ``FAILED(...)`` markers (the CLI exits ``EXIT_PARTIAL``), and the
+  merged cache is a valid warm cache for any future run of those
+  configs.
+
+Merge order cannot matter: shards are disjoint by construction, cache
+entries are keyed by config hash, and candidate directories are
+processed in sorted order — merging shards in any order yields
+byte-identical output (enforced by ``tests/unit/test_shards.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..errors import ConfigError
+from .config import PolicyName, SessionConfig
+from .manifest import RunManifest
+from .parallel import ResultCache, config_hash
+from .supervisor import (
+    FailedSession,
+    SupervisorPlan,
+    SupervisorPolicy,
+    split_failures,
+    supervised_run_many,
+)
+
+#: Plan file layout version.
+PLAN_SCHEMA_VERSION = 1
+
+#: On-disk name of shard ``i`` under a shard base directory.
+SHARD_DIR_FORMAT = "shard-{index:03d}"
+
+
+# ----------------------------------------------------------------------
+# Grid registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GridDef:
+    """One shardable grid: normalize params, enumerate, render.
+
+    ``normalize`` validates raw parameters and fills defaults into a
+    canonical JSON-ready dict (the plan stores exactly this, so two
+    plans of the same logical grid are byte-identical). ``build``
+    deterministically enumerates the session batch. ``render`` folds a
+    full result list (in ``build`` order, quarantined cells as
+    :class:`FailedSession`) into the grid's report text — the *same*
+    bytes the equivalent single-host CLI invocation writes.
+    """
+
+    normalize: Callable[[dict], dict]
+    build: Callable[[dict], list[SessionConfig]]
+    render: Callable[[dict, list[object], str], str]
+    formats: tuple[str, ...]
+
+
+# The grid callables import the experiment drivers lazily: experiments
+# import pipeline submodules, so a module-level import here would tie a
+# knot through the package __init__s.
+def _table1_normalize(params: dict) -> dict:
+    from ..experiments import scenarios
+
+    ratios = [
+        float(r) for r in params.get("ratios")
+        or scenarios.TABLE1_DROP_RATIOS
+    ]
+    seeds = [
+        int(s) for s in params.get("seeds") or scenarios.TABLE1_SEEDS
+    ]
+    baseline = PolicyName(
+        params.get("baseline") or PolicyName.WEBRTC.value
+    ).value
+    if not ratios or not seeds:
+        raise ConfigError("table1 grid needs at least one ratio and seed")
+    return {"baseline": baseline, "ratios": ratios, "seeds": seeds}
+
+
+def _table1_build(params: dict) -> list[SessionConfig]:
+    from ..experiments import table1
+
+    batch, _spans = table1.plan_batch(
+        ratios=tuple(params["ratios"]),
+        seeds=tuple(params["seeds"]),
+        baseline=PolicyName(params["baseline"]),
+    )
+    return batch
+
+
+def _table1_render(params: dict, results: list, fmt: str) -> str:
+    from ..experiments import table1
+
+    _batch, spans = table1.plan_batch(
+        ratios=tuple(params["ratios"]),
+        seeds=tuple(params["seeds"]),
+        baseline=PolicyName(params["baseline"]),
+    )
+    return table1.render(table1.rows_from_results(results, spans), fmt)
+
+
+def _compare_normalize(params: dict) -> dict:
+    from ..experiments import comparison
+
+    drop_ratio = float(params.get("drop_ratio") or 0.2)
+    seeds = [int(s) for s in params.get("seeds") or (1, 2, 3)]
+    policies = [
+        PolicyName(p).value
+        for p in params.get("policies")
+        or [p.value for p in comparison.ALL_POLICIES]
+    ]
+    if not seeds or not policies:
+        raise ConfigError("compare grid needs at least one seed and policy")
+    return {
+        "drop_ratio": drop_ratio,
+        "policies": policies,
+        "seeds": seeds,
+    }
+
+
+def _compare_build(params: dict) -> list[SessionConfig]:
+    from ..experiments import comparison
+
+    return comparison.plan_batch(
+        drop_ratio=params["drop_ratio"],
+        seeds=tuple(params["seeds"]),
+        policies=tuple(PolicyName(p) for p in params["policies"]),
+    )
+
+
+def _compare_render(params: dict, results: list, fmt: str) -> str:
+    from ..experiments import comparison
+
+    rows = comparison.rows_from_results(
+        results,
+        seeds=tuple(params["seeds"]),
+        policies=tuple(PolicyName(p) for p in params["policies"]),
+    )
+    title = comparison.comparison_title(params["drop_ratio"])
+    return comparison.format_comparison(rows, title) + "\n"
+
+
+#: Shardable grids by name. Each renders through the *driver's* own
+#: row-assembly and formatting code, so a merged report and the
+#: equivalent single-host CLI report are the same bytes by
+#: construction.
+GRIDS: dict[str, GridDef] = {
+    "table1": GridDef(
+        normalize=_table1_normalize,
+        build=_table1_build,
+        render=_table1_render,
+        formats=("table", "json", "csv"),
+    ),
+    "compare": GridDef(
+        normalize=_compare_normalize,
+        build=_compare_build,
+        render=_compare_render,
+        formats=("table",),
+    ),
+}
+
+
+def grid_def(kind: str) -> GridDef:
+    """Look up a grid by name.
+
+    Raises:
+        ConfigError: for an unknown grid kind.
+    """
+    try:
+        return GRIDS[kind]
+    except KeyError:
+        raise ConfigError(
+            f"unknown grid {kind!r} (available: {', '.join(sorted(GRIDS))})"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# The plan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of one grid into ``shards`` shards.
+
+    ``hashes`` holds every cell's config hash in grid-enumeration
+    order; cell ``i`` is assigned to shard ``i % shards`` (striping
+    balances cost because neighbouring cells are seed/policy variants
+    of the same scenario point). ``plan_id`` fingerprints the whole
+    partition, so hosts can verify they are executing the same plan.
+    """
+
+    kind: str
+    params: dict
+    shards: int
+    hashes: tuple[str, ...]
+
+    @property
+    def plan_id(self) -> str:
+        """Stable fingerprint of (grid, K, cell hashes)."""
+        payload = json.dumps(
+            {
+                "schema": PLAN_SCHEMA_VERSION,
+                "grid": {"kind": self.kind, "params": self.params},
+                "shards": self.shards,
+                "hashes": list(self.hashes),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+    # ------------------------------------------------------------------
+    def shard_of(self, cell_index: int) -> int:
+        """The shard a cell is assigned to."""
+        return cell_index % self.shards
+
+    def cell_indices(self, shard_index: int) -> list[int]:
+        """Global cell indices belonging to one shard (in grid order)."""
+        if not 0 <= shard_index < self.shards:
+            raise ConfigError(
+                f"shard index {shard_index} out of range "
+                f"(plan has {self.shards} shards)"
+            )
+        return list(range(shard_index, len(self.hashes), self.shards))
+
+    def configs(self) -> list[SessionConfig]:
+        """Re-expand the grid and verify it still matches the plan.
+
+        Raises:
+            ConfigError: when the expansion hashes differently — the
+                plan was built by a different code or cache-schema
+                version, and executing it would corrupt the merge.
+        """
+        batch = grid_def(self.kind).build(self.params)
+        hashes = tuple(config_hash(config) for config in batch)
+        if hashes != self.hashes:
+            raise ConfigError(
+                f"plan {self.plan_id} does not match this build: the "
+                f"{self.kind} grid expands to different config hashes "
+                "(was the plan created by a different code version?)"
+            )
+        return batch
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready payload (pure function of the plan's identity)."""
+        return {
+            "schema": PLAN_SCHEMA_VERSION,
+            "plan_id": self.plan_id,
+            "grid": {"kind": self.kind, "params": self.params},
+            "shards": self.shards,
+            "cells": [
+                {"hash": digest, "shard": index % self.shards}
+                for index, digest in enumerate(self.hashes)
+            ],
+        }
+
+    def save(self, path: Path | str) -> None:
+        """Atomically write the plan (byte-stable: sorted keys, no
+        timestamps — identical plans are identical files)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=target.parent, prefix=".plan-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def load(cls, path: Path | str) -> "ShardPlan":
+        """Load and integrity-check a plan file.
+
+        Raises:
+            ConfigError: unreadable file, wrong schema, or a recorded
+                ``plan_id`` that no longer matches the content.
+        """
+        source = Path(path)
+        try:
+            data = json.loads(source.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise ConfigError(
+                f"cannot load shard plan {source}: {exc}"
+            ) from exc
+        if data.get("schema") != PLAN_SCHEMA_VERSION:
+            raise ConfigError(
+                f"shard plan {source} has schema {data.get('schema')!r}, "
+                f"expected {PLAN_SCHEMA_VERSION}"
+            )
+        grid = data.get("grid") or {}
+        try:
+            plan = cls(
+                kind=grid["kind"],
+                params=dict(grid["params"]),
+                shards=int(data["shards"]),
+                hashes=tuple(cell["hash"] for cell in data["cells"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(
+                f"shard plan {source} is malformed: {exc!r}"
+            ) from exc
+        if data.get("plan_id") != plan.plan_id:
+            raise ConfigError(
+                f"shard plan {source} failed its integrity check "
+                f"(recorded id {data.get('plan_id')!r}, content hashes "
+                f"to {plan.plan_id!r})"
+            )
+        return plan
+
+
+def build_plan(kind: str, params: dict | None, shards: int) -> ShardPlan:
+    """Partition a grid into ``shards`` deterministic shards.
+
+    Raises:
+        ConfigError: unknown grid, bad params, or ``shards < 1``.
+    """
+    if shards < 1:
+        raise ConfigError(f"shards must be >= 1, got {shards!r}")
+    definition = grid_def(kind)
+    canonical = definition.normalize(dict(params or {}))
+    batch = definition.build(canonical)
+    if shards > len(batch):
+        raise ConfigError(
+            f"cannot split {len(batch)} cells into {shards} shards "
+            "(each shard needs at least one cell)"
+        )
+    return ShardPlan(
+        kind=kind,
+        params=canonical,
+        shards=shards,
+        hashes=tuple(config_hash(config) for config in batch),
+    )
+
+
+# ----------------------------------------------------------------------
+# Executing one shard
+# ----------------------------------------------------------------------
+def shard_dir(base: Path | str, index: int) -> Path:
+    """``<base>/shard-NNN`` — one shard's manifest + cache home."""
+    return Path(base) / SHARD_DIR_FORMAT.format(index=index)
+
+
+def run_shard(
+    plan: ShardPlan,
+    index: int,
+    base_dir: Path | str,
+    workers: int = 1,
+    policy: SupervisorPolicy | None = None,
+    argv: list[str] | None = None,
+    manifest_path: Path | str | None = None,
+) -> tuple[list[object], SupervisorPlan]:
+    """Execute one shard under the supervised executor.
+
+    Writes ``<base>/shard-NNN/manifest.json`` and fills
+    ``<base>/shard-NNN/cache/``. Re-invoking on an existing shard
+    directory *resumes*: the manifest's finished cells are served from
+    the shard cache and only unfinished cells execute — which is
+    exactly what ``repro-rtc resume <shard>/manifest.json`` replays
+    after a crash or SIGKILL.
+
+    Returns the shard's results (grid order within the shard;
+    quarantined cells as :class:`FailedSession`) and the supervisor
+    plan, whose stats drive the CLI's exit code.
+    """
+    cells = plan.cell_indices(index)
+    configs = plan.configs()
+    directory = shard_dir(base_dir, index)
+    cache = ResultCache(directory / "cache")
+    cache.ensure_writable()
+    supervisor_policy = policy if policy is not None else SupervisorPolicy()
+    supervisor_policy.validate()
+    manifest = RunManifest.create(
+        Path(manifest_path)
+        if manifest_path is not None
+        else directory / "manifest.json",
+        argv=argv,
+        command="shard",
+        workers=max(1, workers),
+        session_timeout=supervisor_policy.session_timeout,
+        max_retries=supervisor_policy.retry.max_retries,
+    )
+    manifest.save(force=True)
+    supervisor_plan = SupervisorPlan(
+        policy=supervisor_policy, manifest=manifest
+    )
+    results = supervised_run_many(
+        [configs[i] for i in cells],
+        workers=max(1, workers),
+        cache=cache,
+        plan=supervisor_plan,
+    )
+    return results, supervisor_plan
+
+
+# ----------------------------------------------------------------------
+# Merging shards
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MergeSummary:
+    """What one merge folded together."""
+
+    cells: int
+    ok: int
+    quarantined: int
+    shards_seen: int
+
+
+def _copy_entry(source: Path, dest: Path) -> None:
+    """Copy one cache entry byte-for-byte via temp file + rename."""
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    payload = source.read_bytes()
+    fd, tmp_name = tempfile.mkstemp(
+        dir=dest.parent, prefix=".merge-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, dest)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def merge_shards(
+    plan: ShardPlan,
+    shard_dirs: Sequence[Path | str],
+    merged_dir: Path | str,
+) -> tuple[ResultCache, RunManifest, MergeSummary]:
+    """Fold shard caches + manifests into one merged cache + manifest.
+
+    Candidate directories are processed in sorted order, and every
+    plan cell lives in exactly one shard, so the outcome is independent
+    of the order (or grouping) the shards are presented in.
+
+    Per cell: a cache entry anywhere → the cell is ``ok`` and its
+    entry is copied byte-for-byte into the merged cache; otherwise a
+    ``quarantined`` manifest record survives the merge as-is; a cell
+    with neither is *incomplete* and the merge refuses — run or resume
+    the shard it names first.
+
+    Raises:
+        ConfigError: no shard data found, or incomplete cells remain.
+    """
+    ordered = sorted({str(Path(d)) for d in shard_dirs})
+    manifests: list[RunManifest] = []
+    cache_roots: list[Path] = []
+    for name in ordered:
+        directory = Path(name)
+        manifest_file = directory / "manifest.json"
+        if manifest_file.is_file():
+            manifests.append(RunManifest.load(manifest_file))
+        cache_root = directory / "cache"
+        if cache_root.is_dir():
+            cache_roots.append(cache_root)
+    if not manifests and not cache_roots:
+        raise ConfigError(
+            "no shard manifests or caches found under: "
+            + ", ".join(ordered)
+        )
+
+    records_by_hash: dict[str, dict] = {}
+    for manifest in manifests:
+        for digest, record in manifest.records.items():
+            known = records_by_hash.get(digest)
+            # First manifest (sorted order) wins unless a later one is
+            # strictly more final: ok beats everything, quarantined
+            # beats pending/running.
+            rank = {"ok": 2, "quarantined": 1}
+            if known is None or rank.get(record["status"], 0) > rank.get(
+                known["status"], 0
+            ):
+                records_by_hash[digest] = record
+
+    target = Path(merged_dir)
+    merged_cache = ResultCache(target / "cache")
+    merged_cache.ensure_writable()
+
+    ok = 0
+    quarantined = 0
+    incomplete: list[tuple[int, str]] = []
+    merged_records: dict[str, dict] = {}
+    for cell_index, digest in enumerate(plan.hashes):
+        entry_name = f"{digest}.json"
+        source = next(
+            (
+                root / entry_name
+                for root in cache_roots
+                if (root / entry_name).is_file()
+            ),
+            None,
+        )
+        record = records_by_hash.get(digest)
+        if source is not None:
+            dest = merged_cache.path_for_hash(digest)
+            if not dest.is_file():
+                _copy_entry(source, dest)
+            merged = dict(record) if record is not None else {
+                "status": "ok",
+                "attempts": 0,
+                "wall_s": None,
+                "error_class": None,
+                "error": None,
+                "cached": False,
+                "config": None,
+            }
+            merged["status"] = "ok"
+            merged_records[digest] = merged
+            ok += 1
+        elif record is not None and record["status"] == "quarantined":
+            merged_records[digest] = dict(record)
+            quarantined += 1
+        else:
+            incomplete.append((cell_index, digest))
+
+    if incomplete:
+        shards_needed = sorted(
+            {plan.shard_of(index) for index, _digest in incomplete}
+        )
+        raise ConfigError(
+            f"{len(incomplete)} of {len(plan.hashes)} cells have no "
+            f"result yet; run or resume shard(s) "
+            f"{', '.join(str(s) for s in shards_needed)} before merging"
+        )
+
+    manifest = RunManifest(
+        target / "manifest.json",
+        run_id=f"{plan.plan_id}-merged",
+        argv=[],
+        command="shard-merge",
+        workers=max([1] + [m.workers for m in manifests]),
+    )
+    manifest.records = merged_records
+    manifest.finish(
+        "partial" if quarantined else "complete",
+        {
+            "cells": len(plan.hashes),
+            "ok": ok,
+            "quarantined": quarantined,
+            "shards": len(ordered),
+        },
+    )
+    summary = MergeSummary(
+        cells=len(plan.hashes),
+        ok=ok,
+        quarantined=quarantined,
+        shards_seen=len(ordered),
+    )
+    return merged_cache, manifest, summary
+
+
+def render_merged(
+    plan: ShardPlan,
+    cache: ResultCache,
+    manifest: RunManifest,
+    fmt: str,
+) -> tuple[str, int]:
+    """Render the grid's report from a merged cache + manifest.
+
+    Every cell is either served by the merged cache (bit-identical to
+    a fresh run — the cache round trip is lossless by contract) or
+    reconstructed as a :class:`FailedSession` from its quarantined
+    record, then folded through the grid driver's own row assembly and
+    formatting. Returns the report text and the quarantined-cell count
+    (``> 0`` ⇒ the CLI exits ``EXIT_PARTIAL``).
+
+    Raises:
+        ConfigError: a cell has neither a cache entry nor a
+            quarantined record (torn merge directory).
+    """
+    definition = grid_def(plan.kind)
+    if fmt not in definition.formats:
+        raise ConfigError(
+            f"grid {plan.kind!r} cannot render {fmt!r} "
+            f"(formats: {', '.join(definition.formats)})"
+        )
+    configs = plan.configs()
+    results: list[object] = []
+    for config, digest in zip(configs, plan.hashes):
+        hit = cache.get(config)
+        if hit is not None:
+            results.append(hit)
+            continue
+        record = manifest.records.get(digest)
+        if record is not None and record["status"] == "quarantined":
+            results.append(FailedSession.from_record(digest, record))
+            continue
+        raise ConfigError(
+            f"merged cache is missing cell {digest[:12]} and its "
+            "manifest record is not quarantined — re-run the merge"
+        )
+    text = definition.render(plan.params, results, fmt)
+    _ok, failures = split_failures(results)
+    return text, len(failures)

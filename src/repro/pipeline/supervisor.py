@@ -215,6 +215,34 @@ class FailedSession:
         """The ``FAILED(<reason>)`` marker used in report output."""
         return f"FAILED({self.reason})"
 
+    @classmethod
+    def from_record(cls, config_hash: str, record: dict) -> "FailedSession":
+        """Rebuild the placeholder from a manifest's quarantined record.
+
+        Manifests store failures as ``error_class`` plus a single
+        ``"<Type>: <message>"`` string; the round trip preserves
+        :attr:`reason` exactly, so a report rendered from merged shard
+        manifests (:mod:`repro.pipeline.shards`) carries the same
+        ``FAILED(...)`` markers the originating host printed.
+        """
+        error = str(record.get("error") or "")
+        error_type, sep, message = error.partition(": ")
+        if not sep and not error_type:
+            error_type = "UnknownError"
+        try:
+            error_class = ErrorClass(
+                record.get("error_class") or "deterministic"
+            )
+        except ValueError:
+            error_class = ErrorClass.DETERMINISTIC
+        return cls(
+            config_hash=config_hash,
+            error_class=error_class,
+            error_type=error_type,
+            message=message,
+            attempts=int(record.get("attempts") or 0),
+        )
+
 
 def split_failures(
     results: Sequence[object],

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import dataclasses
-
 from repro.pipeline.config import NetworkConfig, PolicyName, SessionConfig
 from repro.pipeline.runner import run_session
 from repro.traces.generators import step_drop

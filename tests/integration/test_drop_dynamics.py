@@ -15,8 +15,6 @@ from __future__ import annotations
 
 import dataclasses
 
-import pytest
-
 from repro.experiments import scenarios
 from repro.pipeline.config import PolicyName
 from repro.pipeline.runner import run_session

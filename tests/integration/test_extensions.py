@@ -8,9 +8,6 @@ from __future__ import annotations
 
 import dataclasses
 
-import pytest
-
-from repro.core.config import AdaptiveConfig
 from repro.experiments import scenarios
 from repro.pipeline.config import (
     NetworkConfig,

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import dataclasses
-
 import pytest
 
 from repro.pipeline.config import NetworkConfig, PolicyName, SessionConfig

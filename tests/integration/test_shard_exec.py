@@ -1,0 +1,112 @@
+"""Shard run + merge equals a single-host serial run, byte for byte.
+
+The shard fabric's headline guarantee: partition a grid into K shards,
+execute them independently (in any order, on any host, with crashes in
+between), merge, and the rendered report is **byte-identical** to
+``run_many`` executing the whole grid serially on one machine. These
+tests drive the library API; the ``sweep-shards`` CI job proves the
+same property through the CLI across real GitHub Actions matrix legs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import table1
+from repro.pipeline import shards
+from repro.pipeline.config import PolicyName
+from repro.pipeline.manifest import RunManifest
+from repro.pipeline.parallel import run_many
+from repro.pipeline.shards import build_plan
+
+GRID = {"ratios": [0.3, 0.2], "seeds": [1, 2]}
+
+
+def _serial_reference(fmt: str) -> str:
+    batch, spans = table1.plan_batch(
+        ratios=(0.3, 0.2), seeds=(1, 2), baseline=PolicyName.WEBRTC
+    )
+    results = run_many(batch, workers=1, cache=None)
+    return table1.render(table1.rows_from_results(results, spans), fmt)
+
+
+def _run_and_merge(plan, tmp_path, indices=None):
+    for index in indices if indices is not None else range(plan.shards):
+        shards.run_shard(plan, index, tmp_path / "shards", workers=2)
+    dirs = [
+        shards.shard_dir(tmp_path / "shards", index)
+        for index in range(plan.shards)
+    ]
+    return shards.merge_shards(plan, dirs, tmp_path / "merged")
+
+
+def test_three_shards_merge_byte_identical_to_serial(tmp_path):
+    plan = build_plan("table1", GRID, 3)
+    assert len(plan.hashes) == 8
+    cache, manifest, summary = _run_and_merge(plan, tmp_path)
+    assert summary.ok == 8
+    assert summary.quarantined == 0
+    assert manifest.status == "complete"
+    for fmt in ("table", "json", "csv"):
+        merged_text, quarantined = shards.render_merged(
+            plan, cache, manifest, fmt
+        )
+        assert quarantined == 0
+        assert merged_text == _serial_reference(fmt)
+
+
+def test_interrupted_shard_resumes_and_merge_still_identical(tmp_path):
+    plan = build_plan("table1", GRID, 3)
+    base = tmp_path / "shards"
+    # Run every shard, then simulate shard 1 having been SIGKILLed
+    # mid-run: drop one finished cell from its cache and wind its
+    # manifest record back to running (what an interrupted process
+    # leaves behind).
+    for index in range(plan.shards):
+        shards.run_shard(plan, index, base, workers=2)
+    victim_dir = shards.shard_dir(base, 1)
+    victim_hash = plan.hashes[plan.cell_indices(1)[-1]]
+    (victim_dir / "cache" / f"{victim_hash}.json").unlink()
+    manifest = RunManifest.load(victim_dir / "manifest.json")
+    manifest.records[victim_hash]["status"] = "running"
+    manifest.save(force=True)
+
+    # Re-invoking the shard resumes it: finished cells come from the
+    # shard cache, only the torn cell re-executes.
+    resumed = RunManifest.create(victim_dir / "manifest.json")
+    assert resumed.records[victim_hash]["status"] == "pending"
+    shards.run_shard(plan, 1, base, workers=2)
+
+    dirs = [shards.shard_dir(base, index) for index in range(plan.shards)]
+    cache, merged_manifest, summary = shards.merge_shards(
+        plan, dirs, tmp_path / "merged"
+    )
+    assert summary.ok == 8
+    merged_text, _ = shards.render_merged(
+        plan, cache, merged_manifest, "json"
+    )
+    assert merged_text == _serial_reference("json")
+
+
+def test_merged_cache_is_a_valid_warm_cache(tmp_path):
+    plan = build_plan("table1", GRID, 2)
+    cache, _manifest, _summary = _run_and_merge(plan, tmp_path)
+    # Every grid config must be served from the merged cache with a
+    # bit-identical payload (to_dict round trip is lossless by
+    # contract), so a future run of the same grid does zero work.
+    serial = run_many(plan.configs(), workers=1, cache=None)
+    for config, fresh in zip(plan.configs(), serial):
+        hit = cache.get(config)
+        assert hit is not None
+        assert json.dumps(hit.to_dict(), sort_keys=True) == json.dumps(
+            fresh.to_dict(), sort_keys=True
+        )
+
+
+def test_shard_execution_order_is_irrelevant(tmp_path):
+    plan = build_plan("table1", GRID, 3)
+    cache, manifest, _summary = _run_and_merge(
+        plan, tmp_path, indices=[2, 0, 1]
+    )
+    merged_text, _ = shards.render_merged(plan, cache, manifest, "csv")
+    assert merged_text == _serial_reference("csv")

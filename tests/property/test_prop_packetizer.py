@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.codec.frames import EncodedFrame, FrameType
-from repro.netsim.packet import Packet
 from repro.rtp.jitterbuffer import FrameAssembler
 from repro.rtp.packetizer import Packetizer
 

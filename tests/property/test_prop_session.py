@@ -3,8 +3,6 @@ across randomly drawn configurations."""
 
 from __future__ import annotations
 
-import dataclasses
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import dataclasses
-
 import pytest
 
 from repro.analysis.aggregate import mean_ci, metric_over_seeds

@@ -252,6 +252,168 @@ def test_interrupt_exits_130_and_seals_manifest(
     assert payload["status"] == "interrupted"
 
 
+def test_shard_flags_parsed():
+    parser = build_parser()
+    args = parser.parse_args(["shard", "plan", "--shards", "3"])
+    assert args.grid == "table1"
+    assert args.shards == 3
+    args = parser.parse_args(
+        ["shard", "run", "plan.json", "--index", "1",
+         "--session-timeout", "30"]
+    )
+    assert args.plan == "plan.json"
+    assert args.index == 1
+    assert args.out == "shards"
+    assert args.session_timeout == 30.0
+    args = parser.parse_args(["shard", "merge", "plan.json"])
+    assert args.dir == "shards"
+    assert args.out == "merged"
+    assert args.format == "table"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["shard"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["shard", "plan", "--shards", "2",
+                           "--grid", "bogus"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["shard", "run", "plan.json"])
+
+
+def test_shard_plan_writes_deterministic_file(tmp_path, capsys):
+    plan_args = [
+        "--no-cache", "shard", "plan", "--grid", "compare",
+        "--shards", "2", "--seeds", "1",
+        "--policy", "webrtc", "--policy", "adaptive",
+    ]
+    code = main([*plan_args, "-o", str(tmp_path / "a.json")])
+    assert code == 0
+    assert "2 cells of grid 'compare' over 2 shards" in (
+        capsys.readouterr().err
+    )
+    code = main([*plan_args, "-o", str(tmp_path / "b.json")])
+    assert code == 0
+    assert (tmp_path / "a.json").read_bytes() == (
+        tmp_path / "b.json"
+    ).read_bytes()
+
+
+def test_shard_plan_defaults_to_stdout(capsys):
+    code = main(
+        ["--no-cache", "shard", "plan", "--grid", "compare",
+         "--shards", "1", "--seeds", "1", "--policy", "adaptive"]
+    )
+    assert code == 0
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["shards"] == 1
+    assert payload["grid"]["kind"] == "compare"
+
+
+def test_shard_run_and_merge_end_to_end(tmp_path, capsys):
+    plan_path = tmp_path / "plan.json"
+    code = main(
+        ["--no-cache", "shard", "plan", "--grid", "compare",
+         "--shards", "2", "--seeds", "1",
+         "--policy", "webrtc", "--policy", "adaptive",
+         "-o", str(plan_path)]
+    )
+    assert code == 0
+    shard_base = tmp_path / "shards"
+    for index in ("0", "1"):
+        code = main(
+            ["--no-cache", "shard", "run", str(plan_path),
+             "--index", index, "--out", str(shard_base)]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert f"shard {index}/2" in err
+        assert "1 ok, 0 from cache, 0 quarantined" in err
+    report = tmp_path / "report.txt"
+    code = main(
+        ["--no-cache", "shard", "merge", str(plan_path),
+         "--dir", str(shard_base), "--out", str(tmp_path / "merged"),
+         "-o", str(report)]
+    )
+    assert code == 0
+    assert "2 cells, 2 ok, 0 quarantined" in capsys.readouterr().err
+    text = report.read_text()
+    assert "webrtc" in text and "adaptive" in text
+
+
+def test_shard_run_bad_index_is_clean_usage_error(tmp_path, capsys):
+    plan_path = tmp_path / "plan.json"
+    assert main(
+        ["--no-cache", "shard", "plan", "--grid", "compare",
+         "--shards", "2", "--seeds", "1",
+         "--policy", "webrtc", "--policy", "adaptive",
+         "-o", str(plan_path)]
+    ) == 0
+    capsys.readouterr()
+    code = main(
+        ["--no-cache", "shard", "run", str(plan_path),
+         "--index", "5", "--out", str(tmp_path / "shards")]
+    )
+    assert code == 2
+    assert "out of range" in capsys.readouterr().err
+
+
+def test_shard_merge_without_shard_dirs_is_clean_usage_error(
+    tmp_path, capsys
+):
+    plan_path = tmp_path / "plan.json"
+    assert main(
+        ["--no-cache", "shard", "plan", "--grid", "compare",
+         "--shards", "2", "--seeds", "1",
+         "--policy", "webrtc", "--policy", "adaptive",
+         "-o", str(plan_path)]
+    ) == 0
+    capsys.readouterr()
+    code = main(
+        ["--no-cache", "shard", "merge", str(plan_path),
+         "--dir", str(tmp_path / "empty")]
+    )
+    assert code == 2
+    assert "no shard directories" in capsys.readouterr().err
+
+
+def test_shard_merge_with_quarantined_cell_exits_partial(
+    tmp_path, capsys
+):
+    from repro.pipeline import shards
+    from repro.pipeline.manifest import RunManifest
+
+    plan = shards.build_plan(
+        "compare",
+        {"drop_ratio": 0.2, "seeds": [1],
+         "policies": ["webrtc", "adaptive"]},
+        2,
+    )
+    plan_path = tmp_path / "plan.json"
+    plan.save(plan_path)
+    base = tmp_path / "shards"
+    shards.run_shard(plan, 0, base, workers=1)
+    sick_dir = shards.shard_dir(base, 1)
+    manifest = RunManifest(
+        sick_dir / "manifest.json", run_id="sick", command="shard"
+    )
+    digest = plan.hashes[plan.cell_indices(1)[0]]
+    manifest.ensure(digest)
+    manifest.mark_quarantined(
+        digest, "deterministic", "SimulationError: boom"
+    )
+    manifest.finish("partial", {})
+
+    report = tmp_path / "report.txt"
+    code = main(
+        ["--no-cache", "shard", "merge", str(plan_path),
+         "--dir", str(base), "--out", str(tmp_path / "merged"),
+         "-o", str(report)]
+    )
+    assert code == 3
+    assert "1 cell(s) quarantined" in capsys.readouterr().err
+    assert "FAILED(SimulationError: boom)" in report.read_text()
+
+
 def test_trace_flags_parsed():
     parser = build_parser()
     args = parser.parse_args(

@@ -115,7 +115,6 @@ def test_resolution_ladder_session_end_to_end():
     """Starving bitrates push the encoder down the resolution ladder."""
     import dataclasses
 
-    from repro.core.config import AdaptiveConfig
     from repro.experiments import scenarios
     from repro.pipeline.config import PolicyName
     from repro.pipeline.session import RtcSession

@@ -9,7 +9,6 @@ from repro.codec.frames import FrameType
 from repro.codec.model import RateDistortionModel
 from repro.codec.source import CapturedFrame
 from repro.errors import ConfigError
-from repro.simcore.rng import RngStreams
 from repro.traces.content import FrameContent
 
 FPS = 30.0

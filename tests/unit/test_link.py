@@ -9,7 +9,6 @@ from repro.netsim.link import Link, service_end_time
 from repro.netsim.loss import IidLoss
 from repro.netsim.packet import Packet
 from repro.traces.bandwidth import BandwidthTrace
-from repro.units import mbps
 
 
 def _make_link(scheduler, trace, delivered, delay=0.01, queue=100_000,

@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import SchedulingError, SimulationError
 from repro.simcore.clock import Clock
-from repro.simcore.scheduler import Scheduler
 
 
 def test_events_fire_in_time_order(scheduler):

@@ -11,7 +11,6 @@ from repro.codec.source import CapturedFrame
 from repro.errors import ConfigError
 from repro.netsim.packet import Packet
 from repro.rtp.jitterbuffer import FrameAssembler
-from repro.simcore.rng import RngStreams
 from repro.traces.content import FrameContent
 
 FPS = 30.0
