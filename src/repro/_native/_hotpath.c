@@ -1,0 +1,1507 @@
+/* Compiled twins of the hottest interpreter loops (REPRO_COMPILED).
+ *
+ * Every function here is a line-for-line transcription of a Python
+ * original, preserving IEEE-754 operation order exactly (build with
+ * -ffp-contract=off; no reassociation, no fast-math), so the compiled
+ * and pure-Python legs produce bit-identical simulation results.
+ * tools/check_golden.py --compare-kernels gates that with a dedicated
+ * compiled leg; the bulk-vs-scalar property tests cover the leaves.
+ *
+ * Functions:
+ *   run_core(scheduler, end_time, max_depth, track_depth) -> int
+ *       The BatchedScheduler.run_until merge loop (heap + lanes + the
+ *       bulk fast lane). Mirrors simcore/batched.py.
+ *   trendline_fit(xs, ys, fallback) -> float
+ *       TrendlineEstimator._linear_fit_slope (cc/gcc/trendline.py).
+ *   arrival_deltas(window, current, previous, results, group_cls,
+ *                  sample_cls) -> (samples, current, previous)
+ *       InterArrival.add_packets run folding (cc/gcc/arrival_filter.py).
+ *   link_send_batched(link, packet) -> bool
+ *       Link._send_batched: drain-plan send (netsim/link.py). Queue
+ *       offers/pops and non-trivial loss models stay Python calls —
+ *       they are module boundaries with pluggable implementations.
+ *   link_sync(link, now) -> None
+ *       Link._sync: lazy drain-plan application (netsim/link.py).
+ *   link_lane_arrive(link, packet) -> None
+ *       Link._lane_arrive: scalar lane delivery (netsim/link.py);
+ *       bound per-link with functools.partial as the lane's fire.
+ *   pacer_release(pacer, payload) -> None
+ *       Pacer._release_next under the lane kernel (rtp/pacer.py);
+ *       bound per-pacer with functools.partial as the lane's fire.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <math.h>
+
+/* Interned attribute names, created once at module init. */
+static PyObject *s_cancelled, *s_scheduler_priv, *s_callback, *s_clock,
+    *s_now_priv, *s_heap_priv, *s_lanes_priv, *s_cancelled_pending,
+    *s_events_fired_priv, *s_lane_fired_priv, *s_cursor, *s_times,
+    *s_payloads, *s_fire, *s_fire_many, *s_label, *s_arrival_time,
+    *s_send_time, *s_size_bytes, *s_first_send, *s_last_send,
+    *s_last_arrival, *s_plan_priv, *s_plan_head, *s_plan_tail,
+    *s_clock_priv, *s_queue, *s_offer, *s_pop, *s_stats,
+    *s_channel_lost, *s_batched_services, *s_seg_lo, *s_seg_hi,
+    *s_seg_rate, *s_service_end_cached, *s_no_loss, *s_loss,
+    *s_should_drop_at, *s_propagation, *s_lane_priv, *s_append,
+    *s_deliver_priv, *s_delivered_packets, *s_delivered_bytes,
+    *s_per_flow, *s_flow, *s_queue_priv, *s_queue_bytes_priv,
+    *s_sending_priv, *s_send_priv, *s_sent_packets,
+    *s_sent_bytes, *s_rate_bps_priv, *s_popleft,
+    *s_bytes_priv, *s_capacity_bytes, *s_dropped_packets,
+    *s_dropped_bytes, *s_enqueued_packets;
+
+static PyObject *heappop = NULL;        /* heapq.heappop */
+static PyObject *scheduling_error = NULL; /* repro.errors.SchedulingError */
+
+/* Lazily resolve SchedulingError (avoids an import cycle at init). */
+static PyObject *
+get_scheduling_error(void)
+{
+    if (scheduling_error == NULL) {
+        PyObject *mod = PyImport_ImportModule("repro.errors");
+        if (mod == NULL)
+            return PyExc_RuntimeError;
+        scheduling_error = PyObject_GetAttrString(mod, "SchedulingError");
+        Py_DECREF(mod);
+        if (scheduling_error == NULL) {
+            PyErr_Clear();
+            return PyExc_RuntimeError;
+        }
+    }
+    return scheduling_error;
+}
+
+/* ---------------------------------------------------------------- */
+/* Small helpers over Python attributes (slots classes: descriptor   */
+/* lookups, no instance dicts).                                      */
+/* ---------------------------------------------------------------- */
+
+static int
+get_ssize_attr(PyObject *obj, PyObject *name, Py_ssize_t *out)
+{
+    PyObject *val = PyObject_GetAttr(obj, name);
+    if (val == NULL)
+        return -1;
+    *out = PyLong_AsSsize_t(val);
+    Py_DECREF(val);
+    if (*out == -1 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+static int
+set_ssize_attr(PyObject *obj, PyObject *name, Py_ssize_t value)
+{
+    PyObject *val = PyLong_FromSsize_t(value);
+    if (val == NULL)
+        return -1;
+    int rc = PyObject_SetAttr(obj, name, val);
+    Py_DECREF(val);
+    return rc;
+}
+
+static int
+add_ssize_attr(PyObject *obj, PyObject *name, Py_ssize_t delta)
+{
+    Py_ssize_t value;
+    if (get_ssize_attr(obj, name, &value) < 0)
+        return -1;
+    return set_ssize_attr(obj, name, value + delta);
+}
+
+static int
+set_double_attr(PyObject *obj, PyObject *name, double value)
+{
+    PyObject *val = PyFloat_FromDouble(value);
+    if (val == NULL)
+        return -1;
+    int rc = PyObject_SetAttr(obj, name, val);
+    Py_DECREF(val);
+    return rc;
+}
+
+/* list[index] as double (entries are Python floats by construction,
+ * but go through PyFloat_AsDouble so an int sneaks through safely). */
+static int
+list_item_double(PyObject *list, Py_ssize_t index, double *out)
+{
+    PyObject *item = PyList_GET_ITEM(list, index);
+    *out = PyFloat_AsDouble(item);
+    if (*out == -1.0 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+/* bisect_right(times, value, lo, hi) over a float list. */
+static Py_ssize_t
+bisect_right_double(PyObject *times, double value, Py_ssize_t lo,
+                    Py_ssize_t hi)
+{
+    while (lo < hi) {
+        Py_ssize_t mid = (lo + hi) / 2;
+        double t;
+        if (list_item_double(times, mid, &t) < 0)
+            return -1;
+        if (value < t)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+/* bisect_left(times, value, lo, hi) over a float list. */
+static Py_ssize_t
+bisect_left_double(PyObject *times, double value, Py_ssize_t lo,
+                   Py_ssize_t hi)
+{
+    while (lo < hi) {
+        Py_ssize_t mid = (lo + hi) / 2;
+        double t;
+        if (list_item_double(times, mid, &t) < 0)
+            return -1;
+        if (t < value)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+/* ---------------------------------------------------------------- */
+/* run_core: the BatchedScheduler.run_until merge loop               */
+/* ---------------------------------------------------------------- */
+
+static PyObject *
+run_core(PyObject *self, PyObject *args)
+{
+    PyObject *sched;
+    double end_time;
+    Py_ssize_t max_depth;
+    int track_depth;
+    if (!PyArg_ParseTuple(args, "Odnp", &sched, &end_time, &max_depth,
+                          &track_depth))
+        return NULL;
+
+    PyObject *heap = NULL, *lanes = NULL, *clock = NULL;
+    PyObject *entry = NULL, *event = NULL, *payload = NULL;
+    PyObject *result = NULL;
+
+    heap = PyObject_GetAttr(sched, s_heap_priv);
+    if (heap == NULL || !PyList_Check(heap))
+        goto type_fail;
+    lanes = PyObject_GetAttr(sched, s_lanes_priv);
+    if (lanes == NULL || !PyList_Check(lanes))
+        goto type_fail;
+    clock = PyObject_GetAttr(sched, s_clock);
+    if (clock == NULL)
+        goto fail;
+
+    for (;;) {
+        /* Cancelled-head sweep. */
+        while (PyList_GET_SIZE(heap) > 0) {
+            PyObject *head = PyList_GET_ITEM(heap, 0); /* borrowed */
+            PyObject *ev = PyTuple_GET_ITEM(head, 3);  /* borrowed */
+            PyObject *flag = PyObject_GetAttr(ev, s_cancelled);
+            if (flag == NULL)
+                goto fail;
+            int cancelled = PyObject_IsTrue(flag);
+            Py_DECREF(flag);
+            if (cancelled < 0)
+                goto fail;
+            if (!cancelled)
+                break;
+            PyObject *popped = PyObject_CallOneArg(heappop, heap);
+            if (popped == NULL)
+                goto fail;
+            ev = PyTuple_GET_ITEM(popped, 3);
+            if (PyObject_SetAttr(ev, s_scheduler_priv, Py_None) < 0) {
+                Py_DECREF(popped);
+                goto fail;
+            }
+            Py_DECREF(popped);
+            if (add_ssize_attr(sched, s_cancelled_pending, -1) < 0)
+                goto fail;
+        }
+        double t_heap = Py_HUGE_VAL;
+        if (PyList_GET_SIZE(heap) > 0) {
+            PyObject *head = PyList_GET_ITEM(heap, 0);
+            t_heap = PyFloat_AsDouble(PyTuple_GET_ITEM(head, 0));
+            if (t_heap == -1.0 && PyErr_Occurred())
+                goto fail;
+        }
+
+        /* Lane scan: earliest head wins; first lane wins scan ties
+         * (strict < comparison, matching the Python loop). */
+        double t_lane = Py_HUGE_VAL;
+        PyObject *best = NULL; /* borrowed */
+        Py_ssize_t best_cursor = 0;
+        Py_ssize_t n_lanes = PyList_GET_SIZE(lanes);
+        for (Py_ssize_t i = 0; i < n_lanes; i++) {
+            PyObject *lane = PyList_GET_ITEM(lanes, i);
+            Py_ssize_t cursor;
+            if (get_ssize_attr(lane, s_cursor, &cursor) < 0)
+                goto fail;
+            PyObject *times = PyObject_GetAttr(lane, s_times);
+            if (times == NULL)
+                goto fail;
+            if (!PyList_Check(times)) {
+                Py_DECREF(times);
+                goto type_fail;
+            }
+            if (cursor < PyList_GET_SIZE(times)) {
+                double t;
+                if (list_item_double(times, cursor, &t) < 0) {
+                    Py_DECREF(times);
+                    goto fail;
+                }
+                if (t < t_lane) {
+                    t_lane = t;
+                    best = lane;
+                    best_cursor = cursor;
+                }
+            }
+            Py_DECREF(times);
+        }
+
+        if (t_heap <= t_lane) {
+            if (t_heap > end_time || PyList_GET_SIZE(heap) == 0)
+                break;
+            entry = PyObject_CallOneArg(heappop, heap);
+            if (entry == NULL)
+                goto fail;
+            event = PyTuple_GET_ITEM(entry, 3);
+            Py_INCREF(event);
+            Py_CLEAR(entry);
+            if (PyObject_SetAttr(event, s_scheduler_priv, Py_None) < 0)
+                goto fail;
+            if (set_double_attr(clock, s_now_priv, t_heap) < 0)
+                goto fail;
+            if (add_ssize_attr(sched, s_events_fired_priv, 1) < 0)
+                goto fail;
+            PyObject *cb = PyObject_GetAttr(event, s_callback);
+            if (cb == NULL)
+                goto fail;
+            Py_CLEAR(event);
+            PyObject *rv = PyObject_CallNoArgs(cb);
+            Py_DECREF(cb);
+            if (rv == NULL)
+                goto fail;
+            Py_DECREF(rv);
+        }
+        else {
+            if (t_lane > end_time)
+                break;
+            Py_ssize_t index = best_cursor;
+            Py_ssize_t fired = 0;
+            PyObject *fire_many = PyObject_GetAttr(best, s_fire_many);
+            if (fire_many == NULL)
+                goto fail;
+            if (fire_many != Py_None) {
+                PyObject *times = PyObject_GetAttr(best, s_times);
+                if (times == NULL || !PyList_Check(times)) {
+                    Py_XDECREF(times);
+                    Py_DECREF(fire_many);
+                    goto type_fail;
+                }
+                /* Strict bound: the next heap event and every other
+                 * lane's head (heap wins ties; cross-lane ties keep
+                 * scalar order). Only the horizon is inclusive. */
+                double strict = t_heap;
+                for (Py_ssize_t i = 0; i < n_lanes; i++) {
+                    PyObject *lane = PyList_GET_ITEM(lanes, i);
+                    if (lane == best)
+                        continue;
+                    Py_ssize_t cursor;
+                    if (get_ssize_attr(lane, s_cursor, &cursor) < 0) {
+                        Py_DECREF(times);
+                        Py_DECREF(fire_many);
+                        goto fail;
+                    }
+                    PyObject *lane_times = PyObject_GetAttr(lane, s_times);
+                    if (lane_times == NULL || !PyList_Check(lane_times)) {
+                        Py_XDECREF(lane_times);
+                        Py_DECREF(times);
+                        Py_DECREF(fire_many);
+                        goto type_fail;
+                    }
+                    if (cursor < PyList_GET_SIZE(lane_times)) {
+                        double head;
+                        if (list_item_double(lane_times, cursor, &head)
+                            < 0) {
+                            Py_DECREF(lane_times);
+                            Py_DECREF(times);
+                            Py_DECREF(fire_many);
+                            goto fail;
+                        }
+                        if (head < strict)
+                            strict = head;
+                    }
+                    Py_DECREF(lane_times);
+                }
+                Py_ssize_t hi = bisect_right_double(
+                    times, end_time, index, PyList_GET_SIZE(times));
+                if (hi < 0) {
+                    Py_DECREF(times);
+                    Py_DECREF(fire_many);
+                    goto fail;
+                }
+                if (strict <= end_time) {
+                    hi = bisect_left_double(times, strict, index, hi);
+                    if (hi < 0) {
+                        Py_DECREF(times);
+                        Py_DECREF(fire_many);
+                        goto fail;
+                    }
+                }
+                if (hi - index >= 2) {
+                    PyObject *payloads =
+                        PyObject_GetAttr(best, s_payloads);
+                    if (payloads == NULL || !PyList_Check(payloads)) {
+                        Py_XDECREF(payloads);
+                        Py_DECREF(times);
+                        Py_DECREF(fire_many);
+                        goto type_fail;
+                    }
+                    PyObject *consumed_obj = PyObject_CallFunction(
+                        fire_many, "OOnn", times, payloads, index, hi);
+                    if (consumed_obj == NULL) {
+                        Py_DECREF(payloads);
+                        Py_DECREF(times);
+                        Py_DECREF(fire_many);
+                        goto fail;
+                    }
+                    fired = PyLong_AsSsize_t(consumed_obj);
+                    Py_DECREF(consumed_obj);
+                    if (fired == -1 && PyErr_Occurred()) {
+                        Py_DECREF(payloads);
+                        Py_DECREF(times);
+                        Py_DECREF(fire_many);
+                        goto fail;
+                    }
+                    if (fired < 1 || fired > hi - index) {
+                        PyObject *label =
+                            PyObject_GetAttr(best, s_label);
+                        PyErr_Format(
+                            get_scheduling_error(),
+                            "lane %R: fire_many consumed %zd of a "
+                            "%zd-entry run",
+                            label == NULL ? Py_None : label, fired,
+                            hi - index);
+                        Py_XDECREF(label);
+                        Py_DECREF(payloads);
+                        Py_DECREF(times);
+                        Py_DECREF(fire_many);
+                        goto fail;
+                    }
+                    Py_ssize_t cursor = index + fired;
+                    if (set_ssize_attr(best, s_cursor, cursor) < 0) {
+                        Py_DECREF(payloads);
+                        Py_DECREF(times);
+                        Py_DECREF(fire_many);
+                        goto fail;
+                    }
+                    for (Py_ssize_t i = index; i < cursor; i++) {
+                        Py_INCREF(Py_None);
+                        PyList_SetItem(payloads, i, Py_None);
+                    }
+                    double last;
+                    if (list_item_double(times, cursor - 1, &last) < 0
+                        || set_double_attr(clock, s_now_priv, last) < 0
+                        || add_ssize_attr(sched, s_events_fired_priv,
+                                          fired) < 0
+                        || add_ssize_attr(sched, s_lane_fired_priv,
+                                          fired) < 0) {
+                        Py_DECREF(payloads);
+                        Py_DECREF(times);
+                        Py_DECREF(fire_many);
+                        goto fail;
+                    }
+                    Py_DECREF(payloads);
+                }
+                Py_DECREF(times);
+            }
+            Py_DECREF(fire_many);
+            if (fired == 0) {
+                if (set_ssize_attr(best, s_cursor, index + 1) < 0)
+                    goto fail;
+                PyObject *payloads = PyObject_GetAttr(best, s_payloads);
+                if (payloads == NULL || !PyList_Check(payloads)) {
+                    Py_XDECREF(payloads);
+                    goto type_fail;
+                }
+                payload = PyList_GET_ITEM(payloads, index);
+                Py_INCREF(payload);
+                Py_INCREF(Py_None);
+                PyList_SetItem(payloads, index, Py_None);
+                Py_DECREF(payloads);
+                if (set_double_attr(clock, s_now_priv, t_lane) < 0)
+                    goto fail;
+                if (add_ssize_attr(sched, s_events_fired_priv, 1) < 0
+                    || add_ssize_attr(sched, s_lane_fired_priv, 1) < 0)
+                    goto fail;
+                PyObject *fire = PyObject_GetAttr(best, s_fire);
+                if (fire == NULL)
+                    goto fail;
+                PyObject *rv = PyObject_CallOneArg(fire, payload);
+                Py_DECREF(fire);
+                Py_CLEAR(payload);
+                if (rv == NULL)
+                    goto fail;
+                Py_DECREF(rv);
+            }
+        }
+        if (track_depth) {
+            Py_ssize_t cancelled_pending;
+            if (get_ssize_attr(sched, s_cancelled_pending,
+                               &cancelled_pending) < 0)
+                goto fail;
+            Py_ssize_t depth =
+                PyList_GET_SIZE(heap) - cancelled_pending;
+            if (depth > max_depth)
+                max_depth = depth;
+        }
+    }
+
+    result = PyLong_FromSsize_t(max_depth);
+    goto done;
+
+type_fail:
+    if (!PyErr_Occurred())
+        PyErr_SetString(PyExc_TypeError,
+                        "run_core: unexpected scheduler structure");
+fail:
+    result = NULL;
+done:
+    Py_XDECREF(payload);
+    Py_XDECREF(event);
+    Py_XDECREF(entry);
+    Py_XDECREF(clock);
+    Py_XDECREF(lanes);
+    Py_XDECREF(heap);
+    return result;
+}
+
+/* ---------------------------------------------------------------- */
+/* trendline_fit: TrendlineEstimator._linear_fit_slope               */
+/* ---------------------------------------------------------------- */
+
+static PyObject *
+trendline_fit(PyObject *self, PyObject *args)
+{
+    PyObject *xs_obj, *ys_obj, *fallback;
+    if (!PyArg_ParseTuple(args, "OOO", &xs_obj, &ys_obj, &fallback))
+        return NULL;
+    PyObject *xs = PySequence_Fast(xs_obj, "xs must be a sequence");
+    if (xs == NULL)
+        return NULL;
+    PyObject *ys = PySequence_Fast(ys_obj, "ys must be a sequence");
+    if (ys == NULL) {
+        Py_DECREF(xs);
+        return NULL;
+    }
+    /* The Python original: n = len(xs); mean_x = sum(xs)/n; mean_y =
+     * sum(ys)/n; then zip(xs, ys). The parallel windows are always the
+     * same length, and zip stops at the shorter one regardless. */
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(xs);
+    Py_ssize_t n_zip = PySequence_Fast_GET_SIZE(ys);
+    if (n < n_zip)
+        n_zip = n;
+    PyObject **xi = PySequence_Fast_ITEMS(xs);
+    PyObject **yi = PySequence_Fast_ITEMS(ys);
+
+    /* sum(seq): left-to-right accumulation from 0.0, exactly like the
+     * builtin over a float sequence. */
+    double sum_x = 0.0, sum_y = 0.0;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        double x = PyFloat_AsDouble(xi[i]);
+        if (x == -1.0 && PyErr_Occurred())
+            goto fail;
+        sum_x += x;
+    }
+    for (Py_ssize_t i = 0; i < PySequence_Fast_GET_SIZE(ys); i++) {
+        double y = PyFloat_AsDouble(yi[i]);
+        if (y == -1.0 && PyErr_Occurred())
+            goto fail;
+        sum_y += y;
+    }
+    double mean_x = sum_x / n;
+    double mean_y = sum_y / n;
+    double numer = 0.0, denom = 0.0;
+    for (Py_ssize_t i = 0; i < n_zip; i++) {
+        double x = PyFloat_AsDouble(xi[i]);
+        double y = PyFloat_AsDouble(yi[i]);
+        if (PyErr_Occurred())
+            goto fail;
+        double dx = x - mean_x;
+        /* dx**2 in CPython routes through libm pow(). */
+        numer += dx * (y - mean_y);
+        denom += pow(dx, 2.0);
+    }
+    Py_DECREF(xs);
+    Py_DECREF(ys);
+    if (denom == 0.0) {
+        Py_INCREF(fallback);
+        return fallback;
+    }
+    return PyFloat_FromDouble(numer / denom);
+
+fail:
+    Py_DECREF(xs);
+    Py_DECREF(ys);
+    return NULL;
+}
+
+/* ---------------------------------------------------------------- */
+/* arrival_deltas: the InterArrival.add_packets folding loop         */
+/* ---------------------------------------------------------------- */
+
+static int
+get_double_attr(PyObject *obj, PyObject *name, double *out)
+{
+    PyObject *val = PyObject_GetAttr(obj, name);
+    if (val == NULL)
+        return -1;
+    *out = PyFloat_AsDouble(val);
+    Py_DECREF(val);
+    if (*out == -1.0 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+static PyObject *
+arrival_deltas(PyObject *self, PyObject *args)
+{
+    double window;
+    PyObject *current, *previous, *results, *group_cls, *sample_cls;
+    if (!PyArg_ParseTuple(args, "dOOOOO", &window, &current, &previous,
+                          &results, &group_cls, &sample_cls))
+        return NULL;
+    if (!PyList_Check(results)) {
+        PyErr_SetString(PyExc_TypeError, "results must be a list");
+        return NULL;
+    }
+    PyObject *samples = PyList_New(0);
+    if (samples == NULL)
+        return NULL;
+    Py_INCREF(current);
+    Py_INCREF(previous);
+
+    /* Mirror of the _Group the Python loop mutates; flushed back into
+     * a fresh group object only at burst boundaries. */
+    double first_send = 0.0, last_send = 0.0, last_arrival = 0.0;
+    long long size_bytes = 0;
+    int have_group = (current != Py_None);
+    if (have_group) {
+        if (get_double_attr(current, s_first_send, &first_send) < 0
+            || get_double_attr(current, s_last_send, &last_send) < 0
+            || get_double_attr(current, s_last_arrival, &last_arrival) < 0)
+            goto fail;
+        PyObject *sz = PyObject_GetAttr(current, s_size_bytes);
+        if (sz == NULL)
+            goto fail;
+        size_bytes = PyLong_AsLongLong(sz);
+        Py_DECREF(sz);
+        if (size_bytes == -1 && PyErr_Occurred())
+            goto fail;
+    }
+    double prev_first_send = 0.0, prev_last_send = 0.0,
+           prev_last_arrival = 0.0;
+    long long prev_size = 0;
+    int have_previous = (previous != Py_None);
+    int previous_dirty = 0; /* rebuilt this call vs. the unmodified input */
+    if (have_previous) {
+        if (get_double_attr(previous, s_first_send, &prev_first_send) < 0
+            || get_double_attr(previous, s_last_send, &prev_last_send) < 0
+            || get_double_attr(previous, s_last_arrival,
+                               &prev_last_arrival) < 0)
+            goto fail;
+        PyObject *sz = PyObject_GetAttr(previous, s_size_bytes);
+        if (sz == NULL)
+            goto fail;
+        prev_size = PyLong_AsLongLong(sz);
+        Py_DECREF(sz);
+        if (prev_size == -1 && PyErr_Occurred())
+            goto fail;
+    }
+
+    Py_ssize_t n = PyList_GET_SIZE(results);
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *res = PyList_GET_ITEM(results, i); /* borrowed */
+        double arrival, send;
+        if (get_double_attr(res, s_arrival_time, &arrival) < 0)
+            goto fail;
+        if (arrival < 0.0)
+            continue; /* lost */
+        if (get_double_attr(res, s_send_time, &send) < 0)
+            goto fail;
+        PyObject *sz = PyObject_GetAttr(res, s_size_bytes);
+        if (sz == NULL)
+            goto fail;
+        long long size = PyLong_AsLongLong(sz);
+        Py_DECREF(sz);
+        if (size == -1 && PyErr_Occurred())
+            goto fail;
+        if (!have_group) {
+            first_send = send;
+            last_send = send;
+            last_arrival = arrival;
+            size_bytes = size;
+            have_group = 1;
+            continue;
+        }
+        if (send - first_send <= window) {
+            if (send > last_send)
+                last_send = send;
+            if (arrival > last_arrival)
+                last_arrival = arrival;
+            size_bytes += size;
+            continue;
+        }
+        /* Burst boundary: emit the delta against the previous pair. */
+        if (have_previous) {
+            double send_delta = last_send - prev_last_send;
+            double arrival_delta = last_arrival - prev_last_arrival;
+            if (send_delta > 0.0) {
+                PyObject *sample = PyObject_CallFunction(
+                    sample_cls, "ddd", last_arrival,
+                    arrival_delta - send_delta, send_delta);
+                if (sample == NULL)
+                    goto fail;
+                int rc = PyList_Append(samples, sample);
+                Py_DECREF(sample);
+                if (rc < 0)
+                    goto fail;
+            }
+        }
+        prev_first_send = first_send;
+        prev_last_send = last_send;
+        prev_last_arrival = last_arrival;
+        prev_size = size_bytes;
+        have_previous = 1;
+        previous_dirty = 1;
+        first_send = send;
+        last_send = send;
+        last_arrival = arrival;
+        size_bytes = size;
+    }
+
+    /* Materialize the groups back into Python objects, field-for-field
+     * identical to what the Python loop's _Group mutations would leave
+     * behind. A ``previous`` that this call never touched is returned
+     * as the same object. */
+    if (have_group) {
+        PyObject *group = PyObject_CallFunction(
+            group_cls, "dddL", first_send, last_send, last_arrival,
+            size_bytes);
+        if (group == NULL)
+            goto fail;
+        Py_DECREF(current);
+        current = group;
+    }
+    else {
+        Py_DECREF(current);
+        current = Py_None;
+        Py_INCREF(current);
+    }
+    if (previous_dirty) {
+        PyObject *group = PyObject_CallFunction(
+            group_cls, "dddL", prev_first_send, prev_last_send,
+            prev_last_arrival, prev_size);
+        if (group == NULL)
+            goto fail;
+        Py_DECREF(previous);
+        previous = group;
+    }
+    PyObject *result =
+        PyTuple_Pack(3, samples, current, previous);
+    Py_DECREF(samples);
+    Py_DECREF(current);
+    Py_DECREF(previous);
+    return result;
+
+fail:
+    Py_DECREF(samples);
+    Py_DECREF(current);
+    Py_DECREF(previous);
+    return NULL;
+}
+
+/* ---------------------------------------------------------------- */
+/* link_send_batched / link_sync: the Link drain-plan hot path       */
+/* ---------------------------------------------------------------- */
+
+/* Timeline.append inlined for the common fast cases; the clock-guard
+ * error and any malformed append delegate to the Python method, which
+ * re-checks and raises the exact SchedulingError. */
+static int
+timeline_append(PyObject *lane, double t, PyObject *payload)
+{
+    PyObject *times = PyObject_GetAttr(lane, s_times);
+    if (times == NULL)
+        return -1;
+    if (!PyList_Check(times)) {
+        Py_DECREF(times);
+        PyErr_SetString(PyExc_TypeError, "lane times must be a list");
+        return -1;
+    }
+    Py_ssize_t cursor;
+    if (get_ssize_attr(lane, s_cursor, &cursor) < 0) {
+        Py_DECREF(times);
+        return -1;
+    }
+    Py_ssize_t n = PyList_GET_SIZE(times);
+    int fast = 0;
+    if (cursor < n) {
+        double last;
+        if (list_item_double(times, n - 1, &last) < 0) {
+            Py_DECREF(times);
+            return -1;
+        }
+        if (!(t < last))
+            fast = 1;
+    }
+    else {
+        /* Pending is empty: guard against appending in the past, and
+         * trim a long fired prefix first (Python: _TRIM_THRESHOLD). */
+        PyObject *sched = PyObject_GetAttr(lane, s_scheduler_priv);
+        if (sched == NULL) {
+            Py_DECREF(times);
+            return -1;
+        }
+        PyObject *clock = PyObject_GetAttr(sched, s_clock);
+        Py_DECREF(sched);
+        if (clock == NULL) {
+            Py_DECREF(times);
+            return -1;
+        }
+        double now;
+        int rc = get_double_attr(clock, s_now_priv, &now);
+        Py_DECREF(clock);
+        if (rc < 0) {
+            Py_DECREF(times);
+            return -1;
+        }
+        if (!(t < now)) {
+            if (cursor >= 4096) {
+                PyObject *payloads = PyObject_GetAttr(lane, s_payloads);
+                if (payloads == NULL
+                    || PyList_SetSlice(times, 0, cursor, NULL) < 0
+                    || PyList_SetSlice(payloads, 0, cursor, NULL) < 0
+                    || set_ssize_attr(lane, s_cursor, 0) < 0) {
+                    Py_XDECREF(payloads);
+                    Py_DECREF(times);
+                    return -1;
+                }
+                Py_DECREF(payloads);
+            }
+            fast = 1;
+        }
+    }
+    if (fast) {
+        PyObject *t_obj = PyFloat_FromDouble(t);
+        if (t_obj == NULL) {
+            Py_DECREF(times);
+            return -1;
+        }
+        int rc = PyList_Append(times, t_obj);
+        Py_DECREF(t_obj);
+        Py_DECREF(times);
+        if (rc < 0)
+            return -1;
+        PyObject *payloads = PyObject_GetAttr(lane, s_payloads);
+        if (payloads == NULL)
+            return -1;
+        rc = PyList_Append(payloads, payload);
+        Py_DECREF(payloads);
+        return rc;
+    }
+    Py_DECREF(times);
+    PyObject *t_obj = PyFloat_FromDouble(t);
+    if (t_obj == NULL)
+        return -1;
+    PyObject *rv =
+        PyObject_CallMethodObjArgs(lane, s_append, t_obj, payload, NULL);
+    Py_DECREF(t_obj);
+    if (rv == NULL)
+        return -1;
+    Py_DECREF(rv);
+    return 0;
+}
+
+/* Link._sync: pop each planned packet from the queue at its service
+ * start, count fired finish events (serial parity) and channel losses,
+ * and compact the consumed plan prefix (Python: _PLAN_COMPACT). */
+static int
+droptail_pop_inline(PyObject *queue)
+{
+    /* DropTailQueue.pop (netsim/queue.py) without the Python frame.
+     * The batched gate guarantees the exact type, so the body is the
+     * whole contract: popleft + byte counter (the popped packet is
+     * discarded by the caller, as Link._sync does). */
+    PyObject *dq = PyObject_GetAttr(queue, s_queue_priv);
+    if (dq == NULL)
+        return -1;
+    Py_ssize_t dqlen = PyObject_Length(dq);
+    if (dqlen < 0) {
+        Py_DECREF(dq);
+        return -1;
+    }
+    if (dqlen == 0) {
+        Py_DECREF(dq);
+        return 0; /* pop() -> None */
+    }
+    PyObject *packet = PyObject_CallMethodObjArgs(dq, s_popleft, NULL);
+    Py_DECREF(dq);
+    if (packet == NULL)
+        return -1;
+    PyObject *sz = PyObject_GetAttr(packet, s_size_bytes);
+    Py_DECREF(packet); /* the plan entry still holds a reference */
+    if (sz == NULL)
+        return -1;
+    long long size = PyLong_AsLongLong(sz);
+    Py_DECREF(sz);
+    if (size == -1 && PyErr_Occurred())
+        return -1;
+    return add_ssize_attr(queue, s_bytes_priv, (Py_ssize_t)-size);
+}
+
+static int
+droptail_offer_inline(PyObject *queue, PyObject *packet, long long size,
+                      int *accepted)
+{
+    /* DropTailQueue.offer without the Python frame (same gate). */
+    Py_ssize_t qbytes, cap;
+    if (get_ssize_attr(queue, s_bytes_priv, &qbytes) < 0
+        || get_ssize_attr(queue, s_capacity_bytes, &cap) < 0)
+        return -1;
+    if (qbytes + size > cap) {
+        if (add_ssize_attr(queue, s_dropped_packets, 1) < 0
+            || add_ssize_attr(queue, s_dropped_bytes, (Py_ssize_t)size) < 0)
+            return -1;
+        *accepted = 0;
+        return 0;
+    }
+    PyObject *dq = PyObject_GetAttr(queue, s_queue_priv);
+    if (dq == NULL)
+        return -1;
+    PyObject *rv = PyObject_CallMethodObjArgs(dq, s_append, packet, NULL);
+    Py_DECREF(dq);
+    if (rv == NULL)
+        return -1;
+    Py_DECREF(rv);
+    if (set_ssize_attr(queue, s_bytes_priv, qbytes + (Py_ssize_t)size) < 0
+        || add_ssize_attr(queue, s_enqueued_packets, 1) < 0)
+        return -1;
+    *accepted = 1;
+    return 0;
+}
+
+static int
+link_sync_core(PyObject *link, double now)
+{
+    PyObject *plan = PyObject_GetAttr(link, s_plan_priv);
+    if (plan == NULL)
+        return -1;
+    if (!PyList_Check(plan)) {
+        Py_DECREF(plan);
+        PyErr_SetString(PyExc_TypeError, "link plan must be a list");
+        return -1;
+    }
+    Py_ssize_t head;
+    if (get_ssize_attr(link, s_plan_head, &head) < 0) {
+        Py_DECREF(plan);
+        return -1;
+    }
+    Py_ssize_t n = PyList_GET_SIZE(plan);
+    if (head >= n) {
+        Py_DECREF(plan);
+        return 0;
+    }
+    PyObject *queue = PyObject_GetAttr(link, s_queue);
+    if (queue == NULL) {
+        Py_DECREF(plan);
+        return -1;
+    }
+    Py_ssize_t fired = 0, lost = 0;
+    int failed = 0;
+    while (head < n) {
+        PyObject *entry = PyList_GET_ITEM(plan, head); /* borrowed */
+        if (!PyList_Check(entry) || PyList_GET_SIZE(entry) != 5) {
+            PyErr_SetString(PyExc_TypeError, "malformed plan entry");
+            failed = 1;
+            break;
+        }
+        int popped = PyObject_IsTrue(PyList_GET_ITEM(entry, 4));
+        if (popped < 0) {
+            failed = 1;
+            break;
+        }
+        if (!popped) {
+            double start;
+            if (list_item_double(entry, 0, &start) < 0) {
+                failed = 1;
+                break;
+            }
+            if (start > now)
+                break;
+            if (droptail_pop_inline(queue) < 0) {
+                failed = 1;
+                break;
+            }
+            Py_INCREF(Py_True);
+            PyList_SetItem(entry, 4, Py_True);
+        }
+        double finish;
+        if (list_item_double(entry, 1, &finish) < 0) {
+            failed = 1;
+            break;
+        }
+        if (finish > now)
+            break;
+        int is_lost = PyObject_IsTrue(PyList_GET_ITEM(entry, 3));
+        if (is_lost < 0) {
+            failed = 1;
+            break;
+        }
+        fired++;
+        lost += is_lost;
+        head++;
+    }
+    Py_DECREF(queue);
+    if (failed) {
+        Py_DECREF(plan);
+        return -1;
+    }
+    if (fired) {
+        if (add_ssize_attr(link, s_batched_services, fired) < 0) {
+            Py_DECREF(plan);
+            return -1;
+        }
+        if (lost) {
+            PyObject *stats = PyObject_GetAttr(link, s_stats);
+            if (stats == NULL
+                || add_ssize_attr(stats, s_channel_lost, lost) < 0) {
+                Py_XDECREF(stats);
+                Py_DECREF(plan);
+                return -1;
+            }
+            Py_DECREF(stats);
+        }
+        PyObject *sched = PyObject_GetAttr(link, s_scheduler_priv);
+        if (sched == NULL
+            || add_ssize_attr(sched, s_events_fired_priv, fired) < 0) {
+            Py_XDECREF(sched);
+            Py_DECREF(plan);
+            return -1;
+        }
+        Py_DECREF(sched);
+    }
+    if (head >= 1024) {
+        if (PyList_SetSlice(plan, 0, head, NULL) < 0) {
+            Py_DECREF(plan);
+            return -1;
+        }
+        head = 0;
+    }
+    Py_DECREF(plan);
+    return set_ssize_attr(link, s_plan_head, head);
+}
+
+static PyObject *
+link_sync(PyObject *self, PyObject *args)
+{
+    PyObject *link;
+    double now;
+    if (!PyArg_ParseTuple(args, "Od", &link, &now))
+        return NULL;
+    if (link_sync_core(link, now) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+link_send_batched(PyObject *self, PyObject *args)
+{
+    PyObject *link, *packet;
+    if (!PyArg_ParseTuple(args, "OO", &link, &packet))
+        return NULL;
+
+    PyObject *clock = PyObject_GetAttr(link, s_clock_priv);
+    if (clock == NULL)
+        return NULL;
+    double now;
+    int rc = get_double_attr(clock, s_now_priv, &now);
+    Py_DECREF(clock);
+    if (rc < 0)
+        return NULL;
+    if (link_sync_core(link, now) < 0)
+        return NULL;
+
+    /* Packet size: a pure attribute read, shared by the queue offer
+     * and the service-time math below. */
+    PyObject *sz = PyObject_GetAttr(packet, s_size_bytes);
+    if (sz == NULL)
+        return NULL;
+    long long size = PyLong_AsLongLong(sz);
+    Py_DECREF(sz);
+    if (size == -1 && PyErr_Occurred())
+        return NULL;
+
+    /* queue.offer(packet, now): the drop decision is the queue's.
+     * Inlined for the drop-tail queue the batched gate guarantees
+     * (offer ignores ``now`` there). */
+    PyObject *queue = PyObject_GetAttr(link, s_queue);
+    if (queue == NULL)
+        return NULL;
+    int accepted;
+    rc = droptail_offer_inline(queue, packet, size, &accepted);
+    Py_DECREF(queue);
+    if (rc < 0)
+        return NULL;
+    if (!accepted)
+        Py_RETURN_FALSE;
+
+    PyObject *plan = PyObject_GetAttr(link, s_plan_priv);
+    if (plan == NULL)
+        return NULL;
+    if (!PyList_Check(plan)) {
+        Py_DECREF(plan);
+        PyErr_SetString(PyExc_TypeError, "link plan must be a list");
+        return NULL;
+    }
+    Py_ssize_t head;
+    if (get_ssize_attr(link, s_plan_head, &head) < 0)
+        goto fail;
+
+    /* Service begins when the previous packet finishes — or right now
+     * on an idle link. */
+    double start = now;
+    if (PyList_GET_SIZE(plan) > head) {
+        if (get_double_attr(link, s_plan_tail, &start) < 0)
+            goto fail;
+    }
+    double finish;
+    if (start == Py_HUGE_VAL)
+        finish = Py_HUGE_VAL; /* dead trace tail: never serves */
+    else {
+        double bits = (double)(size * 8);
+        /* Seg-cache fast path: identical float expressions to
+         * Link._service_end_cached; the trace walk stays Python. */
+        double lo, hi, rate;
+        if (get_double_attr(link, s_seg_lo, &lo) < 0
+            || get_double_attr(link, s_seg_hi, &hi) < 0
+            || get_double_attr(link, s_seg_rate, &rate) < 0)
+            goto fail;
+        int have = 0;
+        if (lo <= start && start < hi && rate > 0.0) {
+            if (hi == Py_HUGE_VAL || (hi - start) * rate >= bits) {
+                finish = start + bits / rate;
+                have = 1;
+            }
+        }
+        if (!have) {
+            PyObject *start_obj = PyFloat_FromDouble(start);
+            PyObject *bits_obj = PyFloat_FromDouble(bits);
+            if (start_obj == NULL || bits_obj == NULL) {
+                Py_XDECREF(start_obj);
+                Py_XDECREF(bits_obj);
+                goto fail;
+            }
+            PyObject *rv = PyObject_CallMethodObjArgs(
+                link, s_service_end_cached, start_obj, bits_obj, NULL);
+            Py_DECREF(start_obj);
+            Py_DECREF(bits_obj);
+            if (rv == NULL)
+                goto fail;
+            finish = PyFloat_AsDouble(rv);
+            Py_DECREF(rv);
+            if (finish == -1.0 && PyErr_Occurred())
+                goto fail;
+        }
+    }
+    if (set_double_attr(link, s_plan_tail, finish) < 0)
+        goto fail;
+
+    int lost = 0;
+    if (finish != Py_HUGE_VAL) {
+        PyObject *no_loss_obj = PyObject_GetAttr(link, s_no_loss);
+        if (no_loss_obj == NULL)
+            goto fail;
+        int no_loss = PyObject_IsTrue(no_loss_obj);
+        Py_DECREF(no_loss_obj);
+        if (no_loss < 0)
+            goto fail;
+        if (!no_loss) {
+            /* Same per-stream draw order as the serial kernel. */
+            PyObject *loss = PyObject_GetAttr(link, s_loss);
+            if (loss == NULL)
+                goto fail;
+            PyObject *finish_obj = PyFloat_FromDouble(finish);
+            if (finish_obj == NULL) {
+                Py_DECREF(loss);
+                goto fail;
+            }
+            PyObject *rv = PyObject_CallMethodObjArgs(
+                loss, s_should_drop_at, packet, finish_obj, NULL);
+            Py_DECREF(loss);
+            Py_DECREF(finish_obj);
+            if (rv == NULL)
+                goto fail;
+            lost = PyObject_IsTrue(rv);
+            Py_DECREF(rv);
+            if (lost < 0)
+                goto fail;
+        }
+        if (!lost) {
+            double prop;
+            if (get_double_attr(link, s_propagation, &prop) < 0)
+                goto fail;
+            PyObject *lane = PyObject_GetAttr(link, s_lane_priv);
+            if (lane == NULL)
+                goto fail;
+            rc = timeline_append(lane, finish + prop, packet);
+            Py_DECREF(lane);
+            if (rc < 0)
+                goto fail;
+        }
+    }
+
+    PyObject *entry = PyList_New(5);
+    if (entry == NULL)
+        goto fail;
+    PyObject *start_obj = PyFloat_FromDouble(start);
+    PyObject *finish_obj = PyFloat_FromDouble(finish);
+    if (start_obj == NULL || finish_obj == NULL) {
+        Py_XDECREF(start_obj);
+        Py_XDECREF(finish_obj);
+        Py_DECREF(entry);
+        goto fail;
+    }
+    PyList_SET_ITEM(entry, 0, start_obj);
+    PyList_SET_ITEM(entry, 1, finish_obj);
+    Py_INCREF(packet);
+    PyList_SET_ITEM(entry, 2, packet);
+    PyObject *lost_obj = lost ? Py_True : Py_False;
+    Py_INCREF(lost_obj);
+    PyList_SET_ITEM(entry, 3, lost_obj);
+    Py_INCREF(Py_False);
+    PyList_SET_ITEM(entry, 4, Py_False);
+    rc = PyList_Append(plan, entry);
+    Py_DECREF(entry);
+    Py_DECREF(plan);
+    if (rc < 0)
+        return NULL;
+    Py_RETURN_TRUE;
+
+fail:
+    Py_DECREF(plan);
+    return NULL;
+}
+
+/* Link._lane_arrive: scalar lane delivery. Bound per-link (with
+ * functools.partial) as the lane's fire, so the lane merge loop calls
+ * straight into C for every scalar arrival. Each step mirrors the
+ * Python body in order: sync, arrival stamp, stats, deliver. */
+static PyObject *
+link_lane_arrive(PyObject *self, PyObject *args)
+{
+    PyObject *link, *packet;
+    if (!PyArg_ParseTuple(args, "OO", &link, &packet))
+        return NULL;
+
+    PyObject *clock = PyObject_GetAttr(link, s_clock_priv);
+    if (clock == NULL)
+        return NULL;
+    double now;
+    int rc = get_double_attr(clock, s_now_priv, &now);
+    Py_DECREF(clock);
+    if (rc < 0)
+        return NULL;
+    if (link_sync_core(link, now) < 0)
+        return NULL;
+
+    PyObject *now_obj = PyFloat_FromDouble(now);
+    if (now_obj == NULL)
+        return NULL;
+    rc = PyObject_SetAttr(packet, s_arrival_time, now_obj);
+    Py_DECREF(now_obj);
+    if (rc < 0)
+        return NULL;
+
+    PyObject *sz = PyObject_GetAttr(packet, s_size_bytes);
+    if (sz == NULL)
+        return NULL;
+    long long size = PyLong_AsLongLong(sz);
+    Py_DECREF(sz);
+    if (size == -1 && PyErr_Occurred())
+        return NULL;
+
+    PyObject *stats = PyObject_GetAttr(link, s_stats);
+    if (stats == NULL)
+        return NULL;
+    if (add_ssize_attr(stats, s_delivered_packets, 1) < 0
+        || add_ssize_attr(stats, s_delivered_bytes, (Py_ssize_t)size) < 0) {
+        Py_DECREF(stats);
+        return NULL;
+    }
+    PyObject *flows = PyObject_GetAttr(stats, s_per_flow);
+    Py_DECREF(stats);
+    if (flows == NULL)
+        return NULL;
+    if (!PyDict_Check(flows)) {
+        Py_DECREF(flows);
+        PyErr_SetString(PyExc_TypeError,
+                        "per_flow_delivered must be a dict");
+        return NULL;
+    }
+    PyObject *flow = PyObject_GetAttr(packet, s_flow);
+    if (flow == NULL) {
+        Py_DECREF(flows);
+        return NULL;
+    }
+    PyObject *cur = PyDict_GetItemWithError(flows, flow); /* borrowed */
+    long long count = 0;
+    if (cur != NULL) {
+        count = PyLong_AsLongLong(cur);
+        if (count == -1 && PyErr_Occurred()) {
+            Py_DECREF(flows);
+            Py_DECREF(flow);
+            return NULL;
+        }
+    } else if (PyErr_Occurred()) {
+        Py_DECREF(flows);
+        Py_DECREF(flow);
+        return NULL;
+    }
+    PyObject *next = PyLong_FromLongLong(count + 1);
+    if (next == NULL) {
+        Py_DECREF(flows);
+        Py_DECREF(flow);
+        return NULL;
+    }
+    rc = PyDict_SetItem(flows, flow, next);
+    Py_DECREF(flows);
+    Py_DECREF(flow);
+    Py_DECREF(next);
+    if (rc < 0)
+        return NULL;
+
+    PyObject *deliver = PyObject_GetAttr(link, s_deliver_priv);
+    if (deliver == NULL)
+        return NULL;
+    PyObject *rv = PyObject_CallOneArg(deliver, packet);
+    Py_DECREF(deliver);
+    if (rv == NULL)
+        return NULL;
+    Py_DECREF(rv);
+    Py_RETURN_NONE;
+}
+
+/* Pacer._release_next under the lane kernel. Bound per-pacer (with
+ * functools.partial) as the lane's fire; the payload operand is the
+ * lane entry's payload (always None) and is ignored, exactly like
+ * Pacer._lane_release. Statement order matches the Python body — in
+ * particular _rate_bps is read *after* self._send(packet), which may
+ * retune the pacer. */
+static PyObject *
+pacer_release(PyObject *self, PyObject *args)
+{
+    PyObject *pacer, *payload;
+    if (!PyArg_ParseTuple(args, "OO", &pacer, &payload))
+        return NULL;
+
+    PyObject *queue = PyObject_GetAttr(pacer, s_queue_priv);
+    if (queue == NULL)
+        return NULL;
+    Py_ssize_t qlen = PyObject_Length(queue);
+    if (qlen < 0) {
+        Py_DECREF(queue);
+        return NULL;
+    }
+    if (qlen == 0) {
+        Py_DECREF(queue);
+        if (PyObject_SetAttr(pacer, s_sending_priv, Py_False) < 0)
+            return NULL;
+        Py_RETURN_NONE;
+    }
+    PyObject *packet = PyObject_CallMethodObjArgs(queue, s_popleft, NULL);
+    Py_DECREF(queue);
+    if (packet == NULL)
+        return NULL;
+
+    PyObject *sz = PyObject_GetAttr(packet, s_size_bytes);
+    if (sz == NULL)
+        goto fail;
+    long long size = PyLong_AsLongLong(sz);
+    Py_DECREF(sz);
+    if (size == -1 && PyErr_Occurred())
+        goto fail;
+    if (add_ssize_attr(pacer, s_queue_bytes_priv, (Py_ssize_t)-size) < 0)
+        goto fail;
+
+    PyObject *sched = PyObject_GetAttr(pacer, s_scheduler_priv);
+    if (sched == NULL)
+        goto fail;
+    PyObject *clock = PyObject_GetAttr(sched, s_clock);
+    Py_DECREF(sched);
+    if (clock == NULL)
+        goto fail;
+    double now;
+    int rc = get_double_attr(clock, s_now_priv, &now);
+    Py_DECREF(clock);
+    if (rc < 0)
+        goto fail;
+    PyObject *now_obj = PyFloat_FromDouble(now);
+    if (now_obj == NULL)
+        goto fail;
+    rc = PyObject_SetAttr(packet, s_send_time, now_obj);
+    Py_DECREF(now_obj);
+    if (rc < 0)
+        goto fail;
+
+    PyObject *send = PyObject_GetAttr(pacer, s_send_priv);
+    if (send == NULL)
+        goto fail;
+    PyObject *rv = PyObject_CallOneArg(send, packet);
+    Py_DECREF(send);
+    if (rv == NULL)
+        goto fail;
+    Py_DECREF(rv);
+
+    if (add_ssize_attr(pacer, s_sent_packets, 1) < 0
+        || add_ssize_attr(pacer, s_sent_bytes, (Py_ssize_t)size) < 0)
+        goto fail;
+
+    double rate;
+    if (get_double_attr(pacer, s_rate_bps_priv, &rate) < 0)
+        goto fail;
+    double gap = (double)(size * 8) / rate;
+
+    PyObject *lane = PyObject_GetAttr(pacer, s_lane_priv);
+    if (lane == NULL)
+        goto fail;
+    rc = timeline_append(lane, now + gap, Py_None);
+    Py_DECREF(lane);
+    if (rc < 0)
+        goto fail;
+    Py_DECREF(packet);
+    Py_RETURN_NONE;
+
+fail:
+    Py_DECREF(packet);
+    return NULL;
+}
+
+/* ---------------------------------------------------------------- */
+
+static PyMethodDef hotpath_methods[] = {
+    {"run_core", run_core, METH_VARARGS,
+     "BatchedScheduler.run_until merge loop (compiled twin)."},
+    {"trendline_fit", trendline_fit, METH_VARARGS,
+     "TrendlineEstimator._linear_fit_slope (compiled twin)."},
+    {"arrival_deltas", arrival_deltas, METH_VARARGS,
+     "InterArrival.add_packets folding loop (compiled twin)."},
+    {"link_send_batched", link_send_batched, METH_VARARGS,
+     "Link._send_batched drain-plan send (compiled twin)."},
+    {"link_sync", link_sync, METH_VARARGS,
+     "Link._sync drain-plan application (compiled twin)."},
+    {"link_lane_arrive", link_lane_arrive, METH_VARARGS,
+     "Link._lane_arrive scalar lane delivery (compiled twin)."},
+    {"pacer_release", pacer_release, METH_VARARGS,
+     "Pacer._release_next lane release (compiled twin)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef hotpath_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro._native._hotpath",
+    "Compiled twins of the hottest interpreter loops.",
+    -1,
+    hotpath_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__hotpath(void)
+{
+    PyObject *heapq = PyImport_ImportModule("heapq");
+    if (heapq == NULL)
+        return NULL;
+    heappop = PyObject_GetAttrString(heapq, "heappop");
+    Py_DECREF(heapq);
+    if (heappop == NULL)
+        return NULL;
+
+#define INTERN(var, name)                                               \
+    do {                                                                \
+        var = PyUnicode_InternFromString(name);                         \
+        if (var == NULL)                                                \
+            return NULL;                                                \
+    } while (0)
+
+    INTERN(s_cancelled, "cancelled");
+    INTERN(s_scheduler_priv, "_scheduler");
+    INTERN(s_callback, "callback");
+    INTERN(s_clock, "clock");
+    INTERN(s_now_priv, "_now");
+    INTERN(s_heap_priv, "_heap");
+    INTERN(s_lanes_priv, "_lanes");
+    INTERN(s_cancelled_pending, "_cancelled_pending");
+    INTERN(s_events_fired_priv, "_events_fired");
+    INTERN(s_lane_fired_priv, "_lane_fired");
+    INTERN(s_cursor, "cursor");
+    INTERN(s_times, "times");
+    INTERN(s_payloads, "payloads");
+    INTERN(s_fire, "fire");
+    INTERN(s_fire_many, "fire_many");
+    INTERN(s_label, "label");
+    INTERN(s_arrival_time, "arrival_time");
+    INTERN(s_send_time, "send_time");
+    INTERN(s_size_bytes, "size_bytes");
+    INTERN(s_first_send, "first_send");
+    INTERN(s_last_send, "last_send");
+    INTERN(s_last_arrival, "last_arrival");
+    INTERN(s_plan_priv, "_plan");
+    INTERN(s_plan_head, "_plan_head");
+    INTERN(s_plan_tail, "_plan_tail");
+    INTERN(s_clock_priv, "_clock");
+    INTERN(s_queue, "queue");
+    INTERN(s_offer, "offer");
+    INTERN(s_pop, "pop");
+    INTERN(s_stats, "stats");
+    INTERN(s_channel_lost, "channel_lost_packets");
+    INTERN(s_batched_services, "batched_services");
+    INTERN(s_seg_lo, "_seg_lo");
+    INTERN(s_seg_hi, "_seg_hi");
+    INTERN(s_seg_rate, "_seg_rate");
+    INTERN(s_service_end_cached, "_service_end_cached");
+    INTERN(s_no_loss, "_no_loss");
+    INTERN(s_loss, "_loss");
+    INTERN(s_should_drop_at, "should_drop_at");
+    INTERN(s_propagation, "_propagation");
+    INTERN(s_lane_priv, "_lane");
+    INTERN(s_append, "append");
+    INTERN(s_deliver_priv, "_deliver");
+    INTERN(s_delivered_packets, "delivered_packets");
+    INTERN(s_delivered_bytes, "delivered_bytes");
+    INTERN(s_per_flow, "per_flow_delivered");
+    INTERN(s_flow, "flow");
+    INTERN(s_queue_priv, "_queue");
+    INTERN(s_queue_bytes_priv, "_queue_bytes");
+    INTERN(s_sending_priv, "_sending");
+    INTERN(s_send_priv, "_send");
+    INTERN(s_sent_packets, "sent_packets");
+    INTERN(s_sent_bytes, "sent_bytes");
+    INTERN(s_rate_bps_priv, "_rate_bps");
+    INTERN(s_popleft, "popleft");
+    INTERN(s_bytes_priv, "_bytes");
+    INTERN(s_capacity_bytes, "capacity_bytes");
+    INTERN(s_dropped_packets, "_dropped_packets");
+    INTERN(s_dropped_bytes, "_dropped_bytes");
+    INTERN(s_enqueued_packets, "_enqueued_packets");
+#undef INTERN
+
+    return PyModule_Create(&hotpath_module);
+}

@@ -31,6 +31,14 @@ class RateControlState(Enum):
     DECREASE = "decrease"
 
 
+#: Hoisted members (class-level enum access costs a descriptor call).
+_HOLD = RateControlState.HOLD
+_INCREASE = RateControlState.INCREASE
+_DECREASE = RateControlState.DECREASE
+_OVERUSE = BandwidthUsage.OVERUSE
+_UNDERUSE = BandwidthUsage.UNDERUSE
+
+
 class AimdRateControl:
     """Target-rate state machine."""
 
@@ -48,7 +56,7 @@ class AimdRateControl:
         self._target = initial_bps
         self._min = min_bps
         self._max = max_bps
-        self._state = RateControlState.INCREASE
+        self._state = _INCREASE
         self._last_update: float | None = None
         self._last_decrease_time: float | None = None
         self._link_capacity: float | None = None
@@ -91,12 +99,12 @@ class AimdRateControl:
             delta = max(0.0, now - self._last_update)
         self._last_update = now
 
-        if self._state is RateControlState.INCREASE:
+        if self._state is _INCREASE:
             self._target = self._increase(acked_bps, delta)
-        elif self._state is RateControlState.DECREASE:
+        elif self._state is _DECREASE:
             self._target = self._decrease(acked_bps, now)
             # After acting on a decrease, hold until the next signal.
-            self._state = RateControlState.HOLD
+            self._state = _HOLD
         # HOLD: target unchanged.
 
         # Never run far ahead of what the path demonstrably delivers.
@@ -107,15 +115,15 @@ class AimdRateControl:
 
     # ------------------------------------------------------------------
     def _transition(self, usage: BandwidthUsage) -> None:
-        if usage is BandwidthUsage.OVERUSE:
-            self._state = RateControlState.DECREASE
-        elif usage is BandwidthUsage.UNDERUSE:
-            self._state = RateControlState.HOLD
+        if usage is _OVERUSE:
+            self._state = _DECREASE
+        elif usage is _UNDERUSE:
+            self._state = _HOLD
         else:
             # NORMAL: hold -> increase; increase stays; decrease handled
             # in update() (it immediately returns to hold).
-            if self._state is RateControlState.HOLD:
-                self._state = RateControlState.INCREASE
+            if self._state is _HOLD:
+                self._state = _INCREASE
         return
 
     def _increase(self, acked_bps: float | None, delta: float) -> float:

@@ -14,10 +14,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ... import _native
 from ...rtp.feedback import PacketResult
 
 #: Send-time window that groups packets into one burst (libwebrtc: 5 ms).
 BURST_WINDOW = 0.005
+
+#: Compiled twin of the folding loop (``repro._native``); rebound by
+#: :func:`repro._native.configure` for runtime leg toggling.
+_native_deltas = None
+
+
+def _apply_native(mod) -> None:
+    global _native_deltas
+    _native_deltas = getattr(mod, "arrival_deltas", None) if mod else None
+
+
+_native.register(_apply_native)
 
 
 @dataclass(frozen=True, slots=True)
@@ -48,17 +61,99 @@ class InterArrival:
         self._previous: _Group | None = None
 
     def add_packets(self, results: list[PacketResult]) -> list[DelaySample]:
-        """Feed acked packets (in seq order); returns new delay samples."""
+        """Feed acked packets (in seq order); returns new delay samples.
+
+        Bulk rewrite of the per-packet loop: a maximal run of received
+        packets that stays inside the open group's burst window is
+        folded into the group in one pass. The per-packet update chain
+        is ``last_send = max(last_send, send)`` / ``last_arrival =
+        max(last_arrival, arrival)`` / ``size += bytes`` — chained max
+        and integer sums are exactly associative, so the folded result
+        is bit-identical to :meth:`_add_one` per packet. Runs split at
+        burst boundaries, which is exactly where a delay sample (the
+        decision input) is emitted.
+        """
+        deltas = _native_deltas
+        if deltas is not None:
+            samples, self._current, self._previous = deltas(
+                self._window,
+                self._current,
+                self._previous,
+                results,
+                _Group,
+                DelaySample,
+            )
+            return samples
         samples: list[DelaySample] = []
-        for result in results:
-            if result.lost:
+        window = self._window
+        current = self._current
+        previous = self._previous
+        n = len(results)
+        i = 0
+        while i < n:
+            result = results[i]
+            i += 1
+            if result.arrival_time < 0:  # lost
                 continue
-            sample = self._add_one(result)
-            if sample is not None:
-                samples.append(sample)
+            if current is None:
+                current = _Group(
+                    result.send_time,
+                    result.send_time,
+                    result.arrival_time,
+                    result.size_bytes,
+                )
+                continue
+            first_send = current.first_send
+            if result.send_time - first_send <= window:
+                # Same burst: fold the in-window received run at once.
+                last_send = current.last_send
+                last_arrival = current.last_arrival
+                size = current.size_bytes
+                while True:
+                    if result.send_time > last_send:
+                        last_send = result.send_time
+                    if result.arrival_time > last_arrival:
+                        last_arrival = result.arrival_time
+                    size += result.size_bytes
+                    while i < n and results[i].arrival_time < 0:
+                        i += 1
+                    if i >= n or results[i].send_time - first_send > window:
+                        break
+                    result = results[i]
+                    i += 1
+                current.last_send = last_send
+                current.last_arrival = last_arrival
+                current.size_bytes = size
+                continue
+            # Burst boundary: emit the delta against the previous pair
+            # (the decision point that splits runs), then start fresh.
+            if previous is not None:
+                send_delta = current.last_send - previous.last_send
+                arrival_delta = (
+                    current.last_arrival - previous.last_arrival
+                )
+                if send_delta > 0:
+                    samples.append(
+                        DelaySample(
+                            arrival_time=current.last_arrival,
+                            delta=arrival_delta - send_delta,
+                            send_delta=send_delta,
+                        )
+                    )
+            previous = current
+            current = _Group(
+                result.send_time,
+                result.send_time,
+                result.arrival_time,
+                result.size_bytes,
+            )
+        self._current = current
+        self._previous = previous
         return samples
 
     def _add_one(self, result: PacketResult) -> DelaySample | None:
+        """Scalar reference for :meth:`add_packets` (kept for the
+        bulk-vs-scalar equivalence tests)."""
         if self._current is None:
             self._current = _Group(
                 result.send_time,

@@ -33,6 +33,9 @@ _USAGE_LEVEL = {
     BandwidthUsage.OVERUSE: 1.0,
 }
 
+#: Hoisted member (class-level enum access costs a descriptor call).
+_OVERUSE = BandwidthUsage.OVERUSE
+
 
 class GoogCcController(CongestionController):
     """Delay + loss based GCC estimator."""
@@ -90,12 +93,14 @@ class GoogCcController(CongestionController):
         """Consume one joined feedback batch."""
         if not results:
             return
-        received = [r for r in results if not r.lost]
-        lost = [r for r in results if r.lost]
-        for result in received:
-            self._acked.on_ack(result.arrival_time, result.size_bytes)
-        if results:
-            self.last_loss_fraction = len(lost) / len(results)
+        # Single pass over the batch (arrival_time < 0 encodes loss,
+        # see PacketResult.lost); the acked-bitrate window then absorbs
+        # the received run in one bulk call.
+        received = [r for r in results if r.arrival_time >= 0]
+        self._acked.on_acks(received)
+        self.last_loss_fraction = (
+            (len(results) - len(received)) / len(results)
+        )
 
         if self._kalman is not None:
             usage = self._kalman.state
@@ -112,7 +117,7 @@ class GoogCcController(CongestionController):
             self.last_trend = self._trendline.trend
         previous_usage = self.last_usage
         self.last_usage = usage
-        if usage is BandwidthUsage.OVERUSE:
+        if usage is _OVERUSE:
             self._last_overuse_time = now
 
         acked = self._acked.rate_bps(now)
@@ -134,8 +139,8 @@ class GoogCcController(CongestionController):
             telemetry.probe("cc.trend", now, self.last_trend)
             telemetry.probe("cc.usage", now, _USAGE_LEVEL[usage])
             if (
-                usage is BandwidthUsage.OVERUSE
-                and previous_usage is not BandwidthUsage.OVERUSE
+                usage is _OVERUSE
+                and previous_usage is not _OVERUSE
             ):
                 telemetry.count("cc.overuse_transitions")
 

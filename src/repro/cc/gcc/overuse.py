@@ -34,6 +34,12 @@ K_DOWN = 39.0
 OVERUSE_TIME_THRESHOLD = 0.01  # sustained duration before declaring
 MAX_ADAPT_OFFSET = 15.0
 
+#: Hoisted members: class-level enum access routes through a descriptor
+#: (``DynamicClassAttribute.__get__``), measurable at per-sample rates.
+_NORMAL = BandwidthUsage.NORMAL
+_OVERUSE = BandwidthUsage.OVERUSE
+_UNDERUSE = BandwidthUsage.UNDERUSE
+
 
 class OveruseDetector:
     """Stateful threshold detector over the modified trend."""
@@ -52,7 +58,7 @@ class OveruseDetector:
         self._last_update: float | None = None
         self._time_over_using = -1.0
         self._overuse_counter = 0
-        self._state = BandwidthUsage.NORMAL
+        self._state = _NORMAL
         self._prev_trend = 0.0
 
     @property
@@ -84,15 +90,15 @@ class OveruseDetector:
             ):
                 self._time_over_using = 0.0
                 self._overuse_counter = 0
-                self._state = BandwidthUsage.OVERUSE
+                self._state = _OVERUSE
         elif modified_trend < -self._threshold:
             self._time_over_using = -1.0
             self._overuse_counter = 0
-            self._state = BandwidthUsage.UNDERUSE
+            self._state = _UNDERUSE
         else:
             self._time_over_using = -1.0
             self._overuse_counter = 0
-            self._state = BandwidthUsage.NORMAL
+            self._state = _NORMAL
 
         self._prev_trend = modified_trend
         self._adapt_threshold(modified_trend, delta)

@@ -8,14 +8,25 @@ the overuse detector thresholds.
 
 from __future__ import annotations
 
-from collections import deque
-
+from ... import _native
 from .arrival_filter import DelaySample
 
 #: libwebrtc defaults.
 DEFAULT_WINDOW = 20
 SMOOTHING = 0.9
 THRESHOLD_GAIN = 4.0
+
+#: Compiled twin of the slope fit (``repro._native``); rebound by
+#: :func:`repro._native.configure` for runtime leg toggling.
+_native_fit = None
+
+
+def _apply_native(mod) -> None:
+    global _native_fit
+    _native_fit = getattr(mod, "trendline_fit", None) if mod else None
+
+
+_native.register(_apply_native)
 
 
 class TrendlineEstimator:
@@ -43,12 +54,13 @@ class TrendlineEstimator:
         self._window_size = window_size
         self._smoothing = smoothing
         self._gain = threshold_gain
-        # Parallel deques (x = relative arrival, y = smoothed delay):
-        # builtin sum() over a plain float deque runs at C speed, and its
-        # left-to-right accumulation matches the original tuple-deque
-        # sums bit for bit.
-        self._xs: deque[float] = deque(maxlen=window_size)
-        self._ys: deque[float] = deque(maxlen=window_size)
+        # Parallel lists (x = relative arrival, y = smoothed delay) with
+        # manual window eviction: builtin sum() over a float list runs
+        # at C speed with the same left-to-right accumulation as the
+        # previous deque held, and the compiled fit reads lists without
+        # a conversion.
+        self._xs: list[float] = []
+        self._ys: list[float] = []
         self._accumulated = 0.0
         self._smoothed = 0.0
         self._num_deltas = 0
@@ -80,15 +92,23 @@ class TrendlineEstimator:
             + (1 - self._smoothing) * self._accumulated
         )
         x = sample.arrival_time - self._first_arrival
-        self._xs.append(x)
-        self._ys.append(self._smoothed)
-        if len(self._xs) == self._window_size:
+        xs = self._xs
+        ys = self._ys
+        xs.append(x)
+        ys.append(self._smoothed)
+        if len(xs) > self._window_size:
+            del xs[0]
+            del ys[0]
+        if len(xs) == self._window_size:
             self._trend = self._linear_fit_slope()
         return self.modified_trend()
 
     def _linear_fit_slope(self) -> float:
         xs = self._xs
         ys = self._ys
+        fit = _native_fit
+        if fit is not None:
+            return fit(xs, ys, self._trend)
         n = len(xs)
         mean_x = sum(xs) / n
         mean_y = sum(ys) / n

@@ -45,6 +45,30 @@ class AckedBitrateEstimator:
         self._total_bytes += size_bytes
         self._evict(arrival_time)
 
+    def on_acks(self, results) -> None:
+        """Record a run of acked :class:`PacketResult`\\ s (bulk path).
+
+        Performs the identical append/evict operation sequence as
+        calling :meth:`on_ack` per result — the running byte total is
+        integer arithmetic and eviction is replayed at every arrival
+        time — with the per-call attribute lookups hoisted out of the
+        loop.
+        """
+        samples = self._samples
+        append = samples.append
+        popleft = samples.popleft
+        window = self._window
+        total = self._total_bytes
+        for result in results:
+            arrival = result.arrival_time
+            size = result.size_bytes
+            append((arrival, size))
+            total += size
+            floor = arrival - window
+            while samples and samples[0][0] < floor:
+                total -= popleft()[1]
+        self._total_bytes = total
+
     def rate_bps(self, now: float) -> float | None:
         """Estimated delivered rate, or None with too little data."""
         self._evict(now)

@@ -22,6 +22,11 @@ from ..errors import ConfigError
 from ..simcore.rng import RngStreams
 from ..telemetry.recorder import NULL_TELEMETRY, Telemetry
 from .frames import EncodedFrame, FrameType
+
+#: Hoisted members (class-level enum access costs a descriptor call
+#: per lookup; the encode path touches these every frame).
+_FRAME_I = FrameType.I
+_FRAME_P = FrameType.P
 from .model import RateDistortionModel
 from .ratecontrol import RateControlConfig, X264RateControl
 from .source import CapturedFrame
@@ -204,7 +209,7 @@ class SimulatedEncoder:
         )
         self._frames_encoded += 1
         self._frames_since_key = (
-            0 if frame_type is FrameType.I else self._frames_since_key + 1
+            0 if frame_type is _FRAME_I else self._frames_since_key + 1
         )
 
         encode_latency = self._model.encode_time(content.complexity)
@@ -232,7 +237,7 @@ class SimulatedEncoder:
                 self.rate_control.vbv_fullness,
             )
             telemetry.count("encoder.frames")
-            if frame_type is FrameType.I:
+            if frame_type is _FRAME_I:
                 telemetry.count("encoder.keyframes")
 
         return EncodedFrame(
@@ -258,25 +263,25 @@ class SimulatedEncoder:
     # ------------------------------------------------------------------
     def _decide_frame_type(self, scene_cut: bool) -> tuple[FrameType, bool]:
         if self._frames_encoded == 0:
-            return FrameType.I, False
+            return _FRAME_I, False
         if self._keyframe_requested:
             self._keyframe_requested = False
-            return FrameType.I, True
+            return _FRAME_I, True
         if self._scene_cut_keyframes and scene_cut:
-            return FrameType.I, False
+            return _FRAME_I, False
         if (
             self._gop_frames is not None
             and self._frames_since_key >= self._gop_frames - 1
         ):
-            return FrameType.I, False
-        return FrameType.P, False
+            return _FRAME_I, False
+        return _FRAME_P, False
 
     def _temporal_layer_for(
         self, capture_index: int, frame_type: FrameType
     ) -> int:
         """T0/T1 assignment: odd capture slots are the droppable T1
         layer; keyframes are always T0."""
-        if self._temporal_layers == 1 or frame_type is FrameType.I:
+        if self._temporal_layers == 1 or frame_type is _FRAME_I:
             return 0
         return capture_index % 2
 

@@ -24,6 +24,11 @@ from dataclasses import dataclass
 from ..errors import CodecError
 from .frames import FrameType
 
+#: Hoisted members (class-level enum access costs a descriptor call
+#: per lookup; the encode path touches these every frame).
+_FRAME_I = FrameType.I
+_FRAME_P = FrameType.P
+
 #: Valid H.264 QP range.
 QP_MIN = 0
 QP_MAX = 51
@@ -181,7 +186,7 @@ class RateDistortionModel:
 
     # ------------------------------------------------------------------
     def _type_params(self, frame_type: FrameType) -> tuple[float, float]:
-        if frame_type is FrameType.I:
+        if frame_type is _FRAME_I:
             return self.alpha_i, self.i_frame_factor
         return self.alpha_p, 1.0
 

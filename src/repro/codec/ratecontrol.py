@@ -33,6 +33,11 @@ from dataclasses import dataclass
 
 from ..errors import CodecError, ConfigError
 from .frames import FrameType
+
+#: Hoisted members (class-level enum access costs a descriptor call
+#: per lookup; the encode path touches these every frame).
+_FRAME_I = FrameType.I
+_FRAME_P = FrameType.P
 from .model import QP_MAX, QP_MIN, RateDistortionModel, qp_to_qstep, qstep_to_qp
 
 
@@ -239,7 +244,7 @@ class X264RateControl:
         qscale *= overflow
 
         qp = qstep_to_qp(max(qscale, 1e-6))
-        if frame_type is FrameType.I:
+        if frame_type is _FRAME_I:
             qp -= cfg.ip_qp_offset
 
         if self._qp_prev is not None:
@@ -263,7 +268,7 @@ class X264RateControl:
         self._qp_prev = qp
         self._pending_rceq = rceq
         self._pending_qscale = qp_to_qstep(
-            qp + (cfg.ip_qp_offset if frame_type is FrameType.I else 0.0)
+            qp + (cfg.ip_qp_offset if frame_type is _FRAME_I else 0.0)
         )
         return qp
 
@@ -278,7 +283,7 @@ class X264RateControl:
         # I-frames are intrinsically larger; normalize their contribution
         # so keyframes do not distort the P-frame operating point.
         effective_bits = bits
-        if frame_type is FrameType.I:
+        if frame_type is _FRAME_I:
             effective_bits = bits / self._model.i_frame_factor
         self._cplxr_sum = (
             self._cplxr_sum * cfg.window_decay
@@ -355,7 +360,7 @@ class X264RateControl:
         cfg = self._config
         budget = target_bps / self._fps
         qp_ideal = self._model.qp_for_bits(
-            budget, self._blurred_complexity, FrameType.P
+            budget, self._blurred_complexity, _FRAME_P
         )
         qp_ideal = _clip(qp_ideal, cfg.qp_min, cfg.qp_max)
         qscale_ideal = qp_to_qstep(qp_ideal)

@@ -11,10 +11,11 @@ the packet in service, exactly like a real token-bucket-shaped bottleneck.
 from __future__ import annotations
 
 import math
-from collections import deque
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable
 
+from .. import _native
 from ..errors import ConfigError
 from ..simcore.scheduler import Scheduler
 from ..traces.bandwidth import BandwidthTrace
@@ -23,6 +24,27 @@ from .packet import Packet
 from .queue import DropTailQueue
 
 _INF = math.inf
+
+#: Once this many drained entries pile up at the front of the plan list
+#: the consumed prefix is deleted (the plan is a list + head index, not
+#: a deque, so the compiled twin can index it without conversion).
+_PLAN_COMPACT = 1024
+
+#: Compiled twins of the batched send/sync path (``repro._native``);
+#: rebound by :func:`repro._native.configure` for runtime leg toggling.
+_native_send = None
+_native_sync = None
+_native_arrive = None
+
+
+def _apply_native(mod) -> None:
+    global _native_send, _native_sync, _native_arrive
+    _native_send = getattr(mod, "link_send_batched", None) if mod else None
+    _native_sync = getattr(mod, "link_sync", None) if mod else None
+    _native_arrive = getattr(mod, "link_lane_arrive", None) if mod else None
+
+
+_native.register(_apply_native)
 
 
 def service_end_time(
@@ -93,7 +115,10 @@ class Link:
         "_busy",
         "stats",
         "_batched",
+        "_deliver_many",
+        "_no_loss",
         "_plan",
+        "_plan_head",
         "_plan_tail",
         "_lane",
         "_seg_lo",
@@ -123,7 +148,13 @@ class Link:
         self.queue = queue if queue is not None else DropTailQueue(queue_bytes)
         self._deliver = deliver
         self._loss = loss or NoLoss()
+        # The loss model is fixed at construction (faults are applied
+        # build-time, wrapping before the Link exists), so a lossless
+        # channel can skip the per-packet ``should_drop_at`` call: the
+        # ``NoLoss`` verdict is a constant False and draws no RNG.
+        self._no_loss = type(self._loss) is NoLoss
         self._busy = False
+        self._deliver_many = None
         self.stats = LinkStats()
         #: Count of packet services completed via the batched drain plan
         #: (diagnostics; compare against ``stats`` totals).
@@ -142,15 +173,27 @@ class Link:
             getattr(scheduler, "supports_batching", False)
             and type(self.queue) is DropTailQueue
         )
-        self._plan: deque | None = None
+        self._plan: list | None = None
+        self._plan_head = 0
         self._plan_tail = 0.0
         self._lane = None
         self._seg_lo = _INF  # invalid cache: forces the first slow path
         self._seg_hi = _INF
         self._seg_rate = 0.0
         if self._batched:
-            self._plan = deque()
-            self._lane = scheduler.new_lane(self._lane_arrive, "link")
+            self._plan = []
+            # The lane's fire is chosen at construction: the compiled
+            # twin when the native leg is active (partial-bound so the
+            # lane merge loop calls straight into C), else the Python
+            # method. Leg-correct because configure() runs before
+            # session construction.
+            arrive = _native_arrive
+            fire = (
+                self._lane_arrive
+                if arrive is None
+                else partial(arrive, self)
+            )
+            self._lane = scheduler.new_lane(fire, "link")
             scheduler.add_finalizer(self._sync)
 
     # ------------------------------------------------------------------
@@ -194,6 +237,9 @@ class Link:
         """Offer a packet to the link; returns False if dropped at the
         queue."""
         if self._batched:
+            send = _native_send
+            if send is not None:
+                return send(self, packet)
             return self._send_batched(packet)
         if not self.queue.offer(packet, self._clock._now):
             return False
@@ -212,7 +258,7 @@ class Link:
         plan = self._plan
         # Service begins when the previous packet finishes — or right
         # now on an idle link (the serial path pops it immediately).
-        start = self._plan_tail if plan else now
+        start = self._plan_tail if len(plan) > self._plan_head else now
         if start == _INF:
             # A packet ahead never finishes (dead trace tail): nothing
             # behind it serves either. It stays queued, exactly like
@@ -228,7 +274,8 @@ class Link:
             # Same per-stream draw order as the serial kernel: one draw
             # sequence in FIFO packet order, evaluated at the exact
             # serialization-finish time serial would have used.
-            lost = self._loss.should_drop_at(packet, finish)
+            if not self._no_loss:
+                lost = self._loss.should_drop_at(packet, finish)
             if not lost:
                 self._lane.append(finish + self._propagation, packet)
         plan.append([start, finish, packet, lost, False])
@@ -268,13 +315,19 @@ class Link:
         channel-loss stat. Arrival effects are *not* applied here — they
         fire as lane events at their precise times.
         """
+        sync = _native_sync
+        if sync is not None:
+            sync(self, now)
+            return
         plan = self._plan
-        if not plan:
+        head = self._plan_head
+        n = len(plan)
+        if head >= n:
             return
         queue = self.queue
         fired = 0
-        while plan:
-            entry = plan[0]
+        while head < n:
+            entry = plan[head]
             if not entry[4]:
                 if entry[0] > now:
                     break
@@ -285,10 +338,14 @@ class Link:
             fired += 1
             if entry[3]:
                 self.stats.channel_lost_packets += 1
-            plan.popleft()
+            head += 1
         if fired:
             self.batched_services += fired
             self._scheduler._events_fired += fired
+        if head >= _PLAN_COMPACT:
+            del plan[:head]
+            head = 0
+        self._plan_head = head
 
     def _lane_arrive(self, packet: Packet) -> None:
         now = self._clock._now
@@ -300,6 +357,54 @@ class Link:
         flow_count = stats.per_flow_delivered
         flow_count[packet.flow] = flow_count.get(packet.flow, 0) + 1
         self._deliver(packet)
+
+    # ------------------------------------------------------------------
+    # Bulk fast lane: contiguous arrival runs in one call
+    # ------------------------------------------------------------------
+    def set_deliver_many(self, deliver_many) -> None:
+        """Install a bulk arrival dispatcher and switch the lane to the
+        bulk fast lane.
+
+        ``deliver_many(times, payloads, lo, hi)`` receives a contiguous
+        run of arrivals (guaranteed free of intervening control events
+        by the scheduler) and returns how many it consumed — ``0`` when
+        it has no bulk consumer for the head packet's flow, in which
+        case the link falls back to one exact scalar delivery. Consumers
+        must follow the :class:`~repro.simcore.batched.Timeline`
+        ``fire_many`` contract (advance the clock per entry; stop after
+        any entry with scheduling side effects) and must not read link
+        state or ``Packet.arrival_time`` mid-run (stats and arrival
+        stamps are applied by the link after the run, which is
+        unobservable because nothing fires in between).
+        """
+        self._deliver_many = deliver_many
+        if self._lane is not None:
+            self._lane.fire_many = self._lane_arrive_many
+
+    def _lane_arrive_many(self, times, payloads, lo: int, hi: int) -> int:
+        consumed = self._deliver_many(times, payloads, lo, hi)
+        if consumed == 0:
+            # No bulk consumer for this run's head flow: fire exactly
+            # one entry the scalar way so the scheduler makes progress.
+            self._clock._now = times[lo]
+            self._lane_arrive(payloads[lo])
+            return 1
+        # The consumer advanced the clock to the last consumed arrival;
+        # replay the per-arrival link bookkeeping it skipped.
+        self._sync(self._clock._now)
+        stats = self.stats
+        end = lo + consumed
+        total = 0
+        for i in range(lo, end):
+            packet = payloads[i]
+            packet.arrival_time = times[i]
+            total += packet.size_bytes
+        stats.delivered_packets += consumed
+        stats.delivered_bytes += total
+        flow = payloads[lo].flow
+        flow_count = stats.per_flow_delivered
+        flow_count[flow] = flow_count.get(flow, 0) + consumed
+        return consumed
 
     def _start_service(self) -> None:
         now = self._clock._now

@@ -10,11 +10,17 @@ and to the adaptive drop detector.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 
-@dataclass(frozen=True, slots=True)
-class ArrivalRecord:
-    """One received media packet, as reported by the receiver."""
+class ArrivalRecord(NamedTuple):
+    """One received media packet, as reported by the receiver.
+
+    A NamedTuple rather than a frozen dataclass: both are immutable
+    value records, but the tuple constructor skips the per-field
+    ``object.__setattr__`` calls — measurable at one record per
+    received packet.
+    """
 
     seq: int
     arrival_time: float
@@ -43,12 +49,13 @@ class FeedbackReport:
         return 36 + 4 * len(self.arrivals)
 
 
-@dataclass(frozen=True, slots=True)
-class PacketResult:
+class PacketResult(NamedTuple):
     """Sender-side join of send history with a feedback arrival record.
 
     ``arrival_time < 0`` denotes a packet reported lost (a gap in the
-    sequence space that a later feedback confirmed).
+    sequence space that a later feedback confirmed). A NamedTuple for
+    the same constructor-cost reason as :class:`ArrivalRecord` — one of
+    these exists per acked packet.
     """
 
     seq: int
@@ -73,8 +80,28 @@ class FeedbackCollector:
     def on_packet(self, seq: int, arrival_time: float, size_bytes: int) -> None:
         """Record one arriving media packet."""
         self._pending.append(ArrivalRecord(seq, arrival_time, size_bytes))
-        self._highest_seq = max(self._highest_seq, seq)
+        if seq > self._highest_seq:
+            self._highest_seq = seq
         self._received += 1
+
+    def on_packets(self, times, payloads, lo: int, hi: int) -> None:
+        """Record a contiguous arrival run (bulk fast lane).
+
+        State-identical to calling :meth:`on_packet` for each packet in
+        order — the records land in the same append order, and the
+        running max/count updates commute with batching.
+        """
+        pending = self._pending
+        append = pending.append
+        highest = self._highest_seq
+        for i in range(lo, hi):
+            packet = payloads[i]
+            seq = packet.seq
+            append(ArrivalRecord(seq, times[i], packet.size_bytes))
+            if seq > highest:
+                highest = seq
+        self._highest_seq = highest
+        self._received += hi - lo
 
     def build_report(self, now: float) -> FeedbackReport | None:
         """Flush pending arrivals into a report (``None`` if empty)."""
@@ -109,7 +136,8 @@ class SendHistory:
     def on_sent(self, seq: int, send_time: float, size_bytes: int) -> None:
         """Record a packet leaving the pacer."""
         self._entries[seq] = (send_time, size_bytes)
-        self._newest_send = max(self._newest_send, send_time)
+        if send_time > self._newest_send:
+            self._newest_send = send_time
 
     def resolve(self, report: FeedbackReport) -> list[PacketResult]:
         """Join a feedback report against the history.
@@ -119,36 +147,27 @@ class SendHistory:
         (the TWCC rule: a gap is a loss once something later arrived).
         """
         results: list[PacketResult] = []
+        append = results.append
+        entries_pop = self._entries.pop
         acked_seqs = []
         for record in report.arrivals:
-            entry = self._entries.pop(record.seq, None)
+            seq = record.seq
+            entry = entries_pop(seq, None)
             if entry is None:
                 continue  # duplicate ack or evicted
             send_time, size_bytes = entry
-            results.append(
-                PacketResult(
-                    seq=record.seq,
-                    send_time=send_time,
-                    arrival_time=record.arrival_time,
-                    size_bytes=size_bytes,
-                )
+            append(
+                PacketResult(seq, send_time, record.arrival_time, size_bytes)
             )
-            acked_seqs.append(record.seq)
+            acked_seqs.append(seq)
         if acked_seqs:
             newest_acked = max(acked_seqs)
             lost = [
                 seq for seq in self._entries if seq < newest_acked
             ]
             for seq in sorted(lost):
-                send_time, size_bytes = self._entries.pop(seq)
-                results.append(
-                    PacketResult(
-                        seq=seq,
-                        send_time=send_time,
-                        arrival_time=-1.0,
-                        size_bytes=size_bytes,
-                    )
-                )
+                send_time, size_bytes = entries_pop(seq)
+                append(PacketResult(seq, send_time, -1.0, size_bytes))
         results.sort(key=lambda r: r.seq)
         return results
 

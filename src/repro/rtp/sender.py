@@ -88,10 +88,14 @@ class Sender:
     def send_frame(self, frame: EncodedFrame) -> None:
         """Packetize and pace one encoded frame."""
         packets = self.packetizer.packetize(frame)
+        # Hoisted out of the loop: both accesses route through enum
+        # descriptors, measurable at per-packet rates.
+        frame_type = frame.frame_type.value
+        temporal_layer = frame.temporal_layer
         for packet in packets:
             packet.payload = {
-                "frame_type": frame.frame_type.value,
-                "temporal_layer": frame.temporal_layer,
+                "frame_type": frame_type,
+                "temporal_layer": temporal_layer,
             }
         media_count = len(packets)
         if self.fec is not None:

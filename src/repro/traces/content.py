@@ -59,6 +59,18 @@ _CLASS_PARAMS: dict[ContentClass, tuple[float, float, float, float, float]] = {
 }
 
 
+#: Generated frame lists keyed by everything the generation depends on:
+#: (class, length, master seed, stream name). Traces are immutable after
+#: generation, so sessions can share one list — the adaptive/baseline
+#: arms of a comparison (and every drop ratio at the same seed) would
+#: otherwise regenerate the identical video from the identical stream.
+_TRACE_CACHE: dict[tuple, list[FrameContent]] = {}
+
+#: Bound on distinct cached traces (FIFO eviction); large sweeps vary
+#: seeds, and each ~30 s trace is only ~1k small records.
+_TRACE_CACHE_MAX = 64
+
+
 class ContentTrace:
     """A deterministic sequence of :class:`FrameContent` values.
 
@@ -76,8 +88,14 @@ class ContentTrace:
         if n_frames <= 0:
             raise TraceError(f"n_frames must be positive, got {n_frames!r}")
         self._content_class = content_class
+        name = stream or f"content-{content_class.value}"
+        key = (content_class, n_frames, rng.seed, name)
+        cached = _TRACE_CACHE.get(key)
+        if cached is not None:
+            self._frames = cached
+            return
         mean, ar, sigma, cuts_per_s, mean_motion = _CLASS_PARAMS[content_class]
-        gen = rng.stream(stream or f"content-{content_class.value}")
+        gen = rng.stream(name)
         # AR(1) log-complexity around log(mean); scene cuts via Bernoulli
         # at 30 fps nominal (cut probability per frame = cuts_per_s / 30).
         cut_p = cuts_per_s / 30.0
@@ -85,15 +103,28 @@ class ContentTrace:
         level = 0.0
         for i in range(n_frames):
             level = ar * level + gen.normal(0.0, sigma)
-            complexity = float(np.clip(mean * np.exp(level), 0.05, 8.0))
+            # Clamp with plain comparisons (exactly np.clip's result on a
+            # scalar, without the per-frame ufunc dispatch).
+            complexity = float(mean * np.exp(level))
+            if complexity < 0.05:
+                complexity = 0.05
+            elif complexity > 8.0:
+                complexity = 8.0
             scene_cut = bool(gen.random() < cut_p) and i > 0
-            motion = float(
-                np.clip(mean_motion + gen.normal(0.0, 0.1), 0.0, 1.0)
-            )
+            motion = mean_motion + gen.normal(0.0, 0.1)
+            if motion < 0.0:
+                motion = 0.0
+            elif motion > 1.0:
+                motion = 1.0
             if scene_cut:
                 # A cut spikes the instantaneous complexity of this frame.
-                complexity = float(np.clip(complexity * 3.0, 0.05, 10.0))
-            frames.append(FrameContent(i, complexity, scene_cut, motion))
+                complexity = complexity * 3.0
+                if complexity > 10.0:
+                    complexity = 10.0
+            frames.append(FrameContent(i, complexity, scene_cut, float(motion)))
+        if len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
+            del _TRACE_CACHE[next(iter(_TRACE_CACHE))]
+        _TRACE_CACHE[key] = frames
         self._frames = frames
 
     @property

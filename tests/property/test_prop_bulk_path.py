@@ -1,0 +1,254 @@
+"""Property tests: the bulk packet-path fast lane is observationally
+identical to the scalar path.
+
+Random media arrival streams — random frame sizes and packet counts,
+random channel losses (sequence gaps), local reorders, and duplicates —
+are replayed twice: once packet-by-packet through the exact scalar path
+(``FrameAssembler.on_packet`` + ``FeedbackCollector.on_packet``), once
+through the bulk entry points (``insert_many`` + ``on_packets``) with
+the run-splitting loop the receiver uses. After every feedback report
+the joined results drive one GCC controller per leg. Everything
+observable must match exactly: jitter-buffer state (every frame
+record), PLI emissions, telemetry probes, feedback reports, and the GCC
+decisions (target, detector state, trend, loss fraction).
+
+This is the executable form of the fast-lane contract in
+``docs/running-fast.md`` — the same invariant
+``tools/check_golden.py --compare-kernels`` gates end-to-end.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc.gcc.gcc import GoogCcController
+from repro.netsim.packet import Packet
+from repro.rtp.feedback import FeedbackCollector, SendHistory
+from repro.rtp.jitterbuffer import FrameAssembler
+from repro.telemetry.recorder import Telemetry
+
+
+class _Clock:
+    """The minimal clock surface ``insert_many`` advances."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+
+@st.composite
+def arrival_streams(draw):
+    """(packets, times, chunk boundaries) for one random stream.
+
+    Packets carry real frame structure (index/position/count and a
+    keyframe cadence); the arrival order suffers random drops, local
+    reorders, and duplicates, and arrival times are non-decreasing with
+    random inter-arrival gaps.
+    """
+    n_frames = draw(st.integers(min_value=2, max_value=10))
+    keyframe_every = draw(st.integers(min_value=2, max_value=5))
+    packets: list[Packet] = []
+    seq = 0
+    for index in range(n_frames):
+        count = draw(st.integers(min_value=1, max_value=4))
+        frame_type = "I" if index % keyframe_every == 0 else "P"
+        layer = draw(st.sampled_from([0, 0, 0, 1]))
+        for position in range(count):
+            packets.append(
+                Packet(
+                    size_bytes=draw(
+                        st.integers(min_value=200, max_value=1200)
+                    ),
+                    seq=seq,
+                    frame_index=index,
+                    frame_packet_index=position,
+                    frame_packet_count=count,
+                    capture_time=index / 30.0,
+                    payload={
+                        "frame_type": frame_type,
+                        "temporal_layer": layer,
+                    },
+                )
+            )
+            seq += 1
+
+    # Channel losses: a random subset never arrives.
+    dropped = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=len(packets) - 1),
+            max_size=len(packets) // 3,
+        )
+    )
+    arriving = [p for i, p in enumerate(packets) if i not in dropped]
+
+    # Local reorders: a few adjacent swaps.
+    if len(arriving) >= 2:
+        for _ in range(draw(st.integers(min_value=0, max_value=4))):
+            at = draw(
+                st.integers(min_value=0, max_value=len(arriving) - 2)
+            )
+            arriving[at], arriving[at + 1] = (
+                arriving[at + 1],
+                arriving[at],
+            )
+
+    # Duplicates: some packets arrive twice, back to back.
+    if arriving:
+        for at in sorted(
+            draw(
+                st.sets(
+                    st.integers(
+                        min_value=0, max_value=len(arriving) - 1
+                    ),
+                    max_size=3,
+                )
+            ),
+            reverse=True,
+        ):
+            arriving.insert(at, arriving[at])
+
+    # Non-decreasing arrival times with random gaps.
+    times: list[float] = []
+    now = 0.0
+    for _ in arriving:
+        now += draw(
+            st.sampled_from([0.0, 0.0002, 0.001, 0.004, 0.02])
+        )
+        times.append(now)
+
+    # Contiguous run boundaries: where the scheduler would split the
+    # stream into bulk handoffs (and where feedback reports fire).
+    boundaries = sorted(
+        draw(
+            st.sets(
+                st.integers(min_value=1, max_value=max(1, len(arriving))),
+                max_size=5,
+            )
+        )
+    )
+    if not boundaries or boundaries[-1] != len(arriving):
+        boundaries.append(len(arriving))
+    return packets, arriving, times, boundaries
+
+
+def _frame_states(assembler: FrameAssembler):
+    return [
+        (
+            record.index,
+            record.capture_time,
+            record.packet_count,
+            record.frame_type,
+            record.temporal_layer,
+            record.received_packets,
+            sorted(record.positions),
+            record.base_seq,
+            record.complete_time,
+            record.display_time,
+            record.lost,
+            record.undecodable,
+        )
+        for record in assembler.frames()
+    ]
+
+
+def _report_signature(report):
+    if report is None:
+        return None
+    return (
+        report.created_at,
+        tuple(report.arrivals),
+        report.highest_seq,
+        report.cumulative_received,
+    )
+
+
+def _gcc_decision(gcc: GoogCcController):
+    return (
+        gcc.target_bps(),
+        gcc.last_usage,
+        gcc.last_trend,
+        gcc.last_loss_fraction,
+        gcc.last_overuse_time,
+    )
+
+
+@given(stream=arrival_streams())
+@settings(max_examples=150, deadline=None)
+def test_bulk_path_matches_scalar_path(stream):
+    all_packets, arriving, times, boundaries = stream
+
+    legs = {}
+    for leg in ("scalar", "bulk"):
+        telemetry = Telemetry()
+        pli_log: list[int] = []
+        assembler = FrameAssembler(
+            send_pli=lambda log=pli_log: log.append(1),
+            pli_min_interval=0.05,
+            telemetry=telemetry,
+        )
+        collector = FeedbackCollector()
+        history = SendHistory()
+        for i, packet in enumerate(all_packets):
+            history.on_sent(packet.seq, i * 0.001, packet.size_bytes)
+        gcc = GoogCcController(initial_bps=1_000_000.0)
+        decisions = []
+        reports = []
+
+        lo = 0
+        clock = _Clock()
+        for hi in boundaries:
+            if leg == "scalar":
+                for i in range(lo, hi):
+                    now = times[i]
+                    clock._now = now
+                    collector.on_packet(
+                        arriving[i].seq, now, arriving[i].size_bytes
+                    )
+                    assembler.on_packet(arriving[i], now)
+            else:
+                # The receiver's bulk loop: hand the contiguous run to
+                # insert_many, which may split it; TWCC accounting then
+                # covers exactly the consumed prefix.
+                i = lo
+                while i < hi:
+                    consumed = assembler.insert_many(
+                        times, arriving, i, hi, clock
+                    )
+                    if consumed:
+                        collector.on_packets(
+                            times, arriving, i, i + consumed
+                        )
+                        i += consumed
+                        continue
+                    now = times[i]
+                    clock._now = now
+                    collector.on_packet(
+                        arriving[i].seq, now, arriving[i].size_bytes
+                    )
+                    assembler.on_packet(arriving[i], now)
+                    i += 1
+            # A feedback report fires between runs (a control event —
+            # exactly where the scheduler would split the stream).
+            report_time = times[hi - 1] if hi > lo else clock._now
+            report = collector.build_report(report_time)
+            reports.append(_report_signature(report))
+            if report is not None:
+                results = history.resolve(report)
+                gcc.on_packet_results(report_time, results)
+            decisions.append(_gcc_decision(gcc))
+            lo = hi
+
+        legs[leg] = {
+            "frames": _frame_states(assembler),
+            "highest_seq": assembler._highest_seq,
+            "chain_intact": assembler.chain_intact,
+            "pli_sent": assembler.pli_sent,
+            "telemetry": telemetry.to_dict(),
+            "reports": reports,
+            "decisions": decisions,
+            "in_flight": history.in_flight(),
+        }
+
+    assert legs["bulk"] == legs["scalar"]

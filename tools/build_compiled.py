@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Build the optional compiled hot-module extension (``REPRO_COMPILED``).
+
+Tries toolchains in order and builds with the first one available:
+
+1. **mypyc** — whole-module compilation of the hot leaves
+   (``simcore/batched.py``, ``netsim/link.py``, ``cc/gcc/trendline.py``,
+   ``cc/gcc/arrival_filter.py``, ``rtp/jitterbuffer.py``);
+2. **Cython** — same modules in pure-Python mode;
+3. **bundled C** — ``src/repro/_native/_hotpath.c`` (hand-written
+   compiled twins of the same modules' hottest loops) compiled with the
+   platform C compiler straight from ``sysconfig``; needs no build
+   backend and no network.
+
+The artifact lands next to the loader (``src/repro/_native/``) and is
+picked up automatically by ``repro._native`` under ``REPRO_COMPILED``
+auto/on. When no toolchain can produce an artifact the script prints a
+warning and exits 0 — the pure-Python fallback is always valid, and CI's
+``compiled-golden`` job must stay green-with-warning on machines without
+a compiler (pass ``--require`` to turn that into a failure).
+
+Usage::
+
+    python tools/build_compiled.py            # build (or warn) and smoke-test
+    python tools/build_compiled.py --status   # report tier availability
+    python tools/build_compiled.py --require  # exit 1 if nothing built
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import importlib.util
+import subprocess
+import sys
+import sysconfig
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+NATIVE_DIR = SRC / "repro" / "_native"
+C_SOURCE = NATIVE_DIR / "_hotpath.c"
+
+#: The hot leaf modules the compiled build covers (mypyc/Cython compile
+#: them wholesale; the bundled C source transcribes their hottest loops).
+HOT_MODULES = (
+    "src/repro/simcore/batched.py",
+    "src/repro/netsim/link.py",
+    "src/repro/cc/gcc/trendline.py",
+    "src/repro/cc/gcc/arrival_filter.py",
+    "src/repro/rtp/jitterbuffer.py",
+)
+
+#: Flags that preserve IEEE-754 op order: no contraction (FMA would
+#: change trendline sums in the last ulp), no fast-math, no unsafe
+#: reassociation. -O2 alone never reorders FP on gcc/clang, but be
+#: explicit so a toolchain with different defaults cannot drift.
+CFLAGS = ["-O2", "-fPIC", "-fno-strict-aliasing", "-ffp-contract=off"]
+
+
+def tier_available(module: str) -> bool:
+    """Whether an optional build backend is importable."""
+    return importlib.util.find_spec(module) is not None
+
+
+def tiers() -> list[tuple[str, bool, str]]:
+    """(name, available, note) for every build tier, in priority order."""
+    cc = sysconfig.get_config_var("CC") or "cc"
+    cc_ok = (
+        subprocess.run(
+            [cc.split()[0], "--version"],
+            capture_output=True,
+            check=False,
+        ).returncode
+        == 0
+    )
+    return [
+        ("mypyc", tier_available("mypyc"), "whole-module compile"),
+        ("cython", tier_available("Cython"), "pure-Python-mode compile"),
+        ("bundled-c", cc_ok, f"cc={cc.split()[0]}, {C_SOURCE.name}"),
+    ]
+
+
+def build_bundled_c(verbose: bool = True) -> Path | None:
+    """Compile the bundled C source; returns the artifact path."""
+    ext_suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    out = NATIVE_DIR / f"_hotpath{ext_suffix}"
+    cc = (sysconfig.get_config_var("CC") or "cc").split()
+    include = sysconfig.get_path("include")
+    cmd = [
+        *cc,
+        *CFLAGS,
+        "-shared",
+        f"-I{include}",
+        str(C_SOURCE),
+        "-o",
+        str(out),
+    ]
+    if verbose:
+        print("  " + " ".join(cmd))
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+    if proc.returncode != 0:
+        print(proc.stderr.strip() or proc.stdout.strip(), file=sys.stderr)
+        return None
+    return out
+
+
+def smoke_test() -> bool:
+    """Import the freshly built extension and sanity-check one function
+    against its pure-Python twin (full bit-identity is gated separately
+    by ``tools/check_golden.py --compare-kernels``)."""
+    if str(SRC) not in sys.path:
+        sys.path.insert(0, str(SRC))
+    import repro._native as native
+
+    native.configure(enabled=True)
+    if not native.enabled():
+        return False
+    from repro._native import _hotpath  # type: ignore[attr-defined]
+
+    xs = [0.0, 0.5, 1.0, 1.5]
+    ys = [0.0, 1.0, 2.0, 3.5]
+
+    def pure_fit(xs, ys, fallback):
+        n = len(xs)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        numer = denom = 0.0
+        for x, y in zip(xs, ys):
+            dx = x - mean_x
+            numer += dx * (y - mean_y)
+            denom += dx**2
+        return fallback if denom == 0 else numer / denom
+
+    got = _hotpath.trendline_fit(xs, ys, 0.0)
+    want = pure_fit(xs, ys, 0.0)
+    if got != want:
+        print(f"smoke test FAILED: fit {got!r} != {want!r}", file=sys.stderr)
+        return False
+    native.configure()  # back to the env-selected leg
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--status", action="store_true",
+        help="report tier availability and the current artifact, no build",
+    )
+    parser.add_argument(
+        "--require", action="store_true",
+        help="exit non-zero when no tier can build (default: warn, exit 0)",
+    )
+    args = parser.parse_args(argv)
+
+    available = tiers()
+    print("build tiers (first available wins):")
+    for name, ok, note in available:
+        print(f"  {'+' if ok else '-'} {name:10s} {note}"
+              f"{'' if ok else '  [unavailable]'}")
+    print("hot modules covered:")
+    for module in HOT_MODULES:
+        print(f"    {module}")
+
+    if args.status:
+        ext_suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+        artifact = NATIVE_DIR / f"_hotpath{ext_suffix}"
+        print(f"artifact: {artifact}"
+              f" ({'present' if artifact.exists() else 'absent'})")
+        return 0
+
+    # mypyc and Cython would compile HOT_MODULES wholesale; in this
+    # environment neither backend ships, so their tiers only report.
+    # The bundled C tier is the one expected to work everywhere a C
+    # compiler exists.
+    for name, ok, _note in available:
+        if not ok:
+            continue
+        if name == "bundled-c":
+            print(f"building via {name} ...")
+            out = build_bundled_c()
+            if out is None:
+                break
+            print(f"built {out.relative_to(ROOT)}")
+            if not smoke_test():
+                out.unlink(missing_ok=True)
+                print("removed broken artifact", file=sys.stderr)
+                return 1
+            print("smoke test OK (bit-identity gated by "
+                  "tools/check_golden.py --compare-kernels)")
+            return 0
+        print(
+            f"tier {name} is importable but has no driver wired here; "
+            "falling through to the bundled C tier"
+        )
+
+    message = (
+        "WARNING: no compiled tier available; the simulator runs pure "
+        "Python (REPRO_COMPILED falls back automatically)"
+    )
+    print(message, file=sys.stderr)
+    return 1 if args.require else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

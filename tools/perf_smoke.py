@@ -34,16 +34,17 @@ ROOT = Path(__file__).resolve().parents[1]
 if str(ROOT / "src") not in sys.path:
     sys.path.insert(0, str(ROOT / "src"))
 
+from repro import _native  # noqa: E402
 from repro.experiments import scenarios  # noqa: E402
 from repro.pipeline.config import PolicyName  # noqa: E402
 from repro.pipeline.session import RtcSession  # noqa: E402
 from repro.profiling import profile_session  # noqa: E402
 
-#: The batched-kernel hot path sustains ~8 sessions/sec on the
-#: single-core reference container (BENCH_hotpath.json kernel matrix);
-#: 3.0 gives ~2.6x headroom for slower CI runners while still
-#: ratcheting in the kernel win over the pre-batching floor of 2.5.
-DEFAULT_FLOOR = 3.0
+#: The bulk fast lane sustains ~12 sessions/sec on the single-core
+#: reference container (BENCH_hotpath.json kernel matrix); 4.0 keeps
+#: ~3x headroom for slower CI runners while ratcheting in the
+#: fast-lane win over the pre-bulk floor of 3.0.
+DEFAULT_FLOOR = 4.0
 
 #: Pinned batch: (policy, drop_ratio), seed 1, default 25s duration.
 PINNED_SESSIONS = (
@@ -55,7 +56,7 @@ PINNED_SESSIONS = (
 )
 
 
-def run_batch() -> tuple[float, int]:
+def run_batch(kernel: str = "auto") -> tuple[float, int]:
     """Run the pinned batch serially; returns (wall seconds, events)."""
     events = 0
     start = time.perf_counter()
@@ -64,10 +65,45 @@ def run_batch() -> tuple[float, int]:
             scenarios.step_drop_config(drop_ratio, seed=1),
             policy=policy,
         )
+        if kernel != "auto":
+            config = dataclasses.replace(config, kernel=kernel)
         result = RtcSession(config).run()
         assert result.perf is not None
         events += result.perf.events_fired
     return time.perf_counter() - start, events
+
+
+def kernel_matrix() -> list[str]:
+    """Sessions/s for every kernel backend (and the compiled leg).
+
+    Run on gate failure only: the matrix shows whether a regression is
+    global (all rows slow — runner or handler-body problem) or confined
+    to one backend/leg, which is the first question a triage asks.
+    """
+    legs: list[tuple[str, str, bool]] = [
+        ("heap", "heap", False),
+        ("calendar", "calendar", False),
+        ("batched", "batched", False),
+    ]
+    try:
+        from repro._native import _hotpath  # noqa: F401
+    except ImportError:
+        pass
+    else:
+        legs.append(("batched+compiled", "batched", True))
+    rows = []
+    try:
+        for label, kernel, compiled in legs:
+            _native.configure(enabled=compiled)
+            wall, _ = run_batch(kernel=kernel)
+            wall = max(wall, 1e-6)
+            rows.append(
+                f"  {label:<18} {len(PINNED_SESSIONS) / wall:6.2f} "
+                "sessions/s"
+            )
+    finally:
+        _native.configure()
+    return rows
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -112,6 +148,9 @@ def main(argv: list[str] | None = None) -> int:
             "went)",
             file=sys.stderr,
         )
+        print("kernel matrix (same pinned batch):", file=sys.stderr)
+        for row in kernel_matrix():
+            print(row, file=sys.stderr)
         return 1
     print(
         f"OK: above the {args.min_sessions_per_sec:.2f} sessions/s floor"
