@@ -14,14 +14,18 @@ Subcommands:
 * ``chaos`` — run the fault-injection robustness matrix and export the
   degradation report as a table, JSON, or CSV (see
   ``docs/robustness.md``).
+* ``fleet`` — run city-scale SFU fleet population scenarios (churn,
+  flash crowds, regional degradation) and export the population QoE
+  report (see ``docs/fleet.md``).
 * ``resume`` — replay an interrupted supervised batch from its run
   manifest; finished cells come from the result cache.
 * ``shard`` — the distributed sweep fabric (see
   ``docs/running-fast.md``): ``shard plan`` partitions a grid into K
   deterministic shards, ``shard run`` executes one shard anywhere with
   the supervised executor (per-shard manifest + cache, resumable via
-  ``repro-rtc resume``), and ``shard merge`` folds shard outputs into
-  one report byte-identical to a single-host serial run.
+  ``repro-rtc resume``), ``shard status`` reports per-shard progress,
+  and ``shard merge`` folds shard outputs into one report
+  byte-identical to a single-host serial run.
 * ``cache`` — inspect or clear the persistent result cache.
 
 Global execution options (before the subcommand): ``--workers N`` fans
@@ -29,7 +33,7 @@ the experiment's sessions out over N processes; results are reused from
 the persistent cache unless ``--no-cache`` is given. Parallel and cached
 results are bit-identical to serial fresh runs.
 
-Supervision options (on ``run``/``table1``/``chaos``):
+Supervision options (on ``run``/``table1``/``chaos``/``fleet``):
 ``--session-timeout``, ``--max-retries``, and ``--manifest`` enable the
 supervised executor — per-session wall-clock timeouts, bounded retries,
 worker-crash recovery, quarantine with ``FAILED(...)`` markers, and a
@@ -58,6 +62,7 @@ from .experiments import (
     ablations,
     comparison,
     figures,
+    fleet,
     robustness,
     scenarios,
     table1,
@@ -328,6 +333,48 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.list_scenarios:
+        for name in sorted(fleet.SCENARIOS):
+            doc = (fleet.SCENARIOS[name].__doc__ or "").strip()
+            summary = doc.splitlines()[0] if doc else ""
+            print(f"{name:<22} {summary}")
+        return 0
+    if args.quick:
+        scenario_names: tuple[str, ...] = (
+            "steady", "regional_degradation"
+        )
+        seeds: tuple[int, ...] = (1,)
+        subscribers = 20
+        duration = 8.0
+    else:
+        scenario_names = tuple(
+            args.scenarios or fleet.DEFAULT_SCENARIOS
+        )
+        seeds = tuple(range(1, args.seeds + 1))
+        subscribers = args.subscribers
+        duration = args.duration
+    report = fleet.run_population(
+        scenario_names=scenario_names,
+        seeds=seeds,
+        subscribers=subscribers,
+        duration=duration,
+    )
+    text = fleet.render(report, args.format)
+    if args.output is None or args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"wrote {len(report.cells)} fleet cells to {args.output}",
+            file=sys.stderr,
+        )
+    if any(cell.failed is not None for cell in report.cells):
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
 def _cmd_shard_plan(args: argparse.Namespace) -> int:
     params: dict = {}
     if args.seeds is not None:
@@ -340,6 +387,12 @@ def _cmd_shard_plan(args: argparse.Namespace) -> int:
         params["drop_ratio"] = args.drop_ratio
     if args.policies:
         params["policies"] = args.policies
+    if args.scenarios:
+        params["scenarios"] = args.scenarios
+    if args.subscribers is not None:
+        params["subscribers"] = args.subscribers
+    if args.duration is not None:
+        params["duration"] = args.duration
     plan = shards.build_plan(args.grid, params, args.shards)
     if args.output is None or args.output == "-":
         import json
@@ -447,6 +500,44 @@ def _cmd_shard_merge(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_shard_status(args: argparse.Namespace) -> int:
+    plan = shards.ShardPlan.load(args.plan)
+    statuses = shards.shard_status(plan, Path(args.dir))
+    header = (
+        f"{'shard':>5} {'cells':>5} {'pending':>7} {'running':>7} "
+        f"{'ok':>5} {'quar':>5}  state"
+    )
+    print(header)
+    print("-" * len(header))
+    for status in statuses:
+        counts = status.counts
+        if not status.started:
+            state = "not started"
+        elif status.done() == status.cells:
+            state = "done"
+        else:
+            state = "in progress"
+        print(
+            f"{status.index:>5} {status.cells:>5} "
+            f"{counts['pending']:>7} {counts['running']:>7} "
+            f"{counts['ok']:>5} {counts['quarantined']:>5}  {state}"
+        )
+    total = len(plan.hashes)
+    done = sum(status.done() for status in statuses)
+    ok = sum(status.counts["ok"] for status in statuses)
+    quarantined = sum(
+        status.counts["quarantined"] for status in statuses
+    )
+    started = sum(1 for status in statuses if status.started)
+    pct = 100.0 * done / total if total else 0.0
+    print(
+        f"plan {plan.plan_id}: {done}/{total} cells done "
+        f"({pct:.1f}%), {ok} ok, {quarantined} quarantined; "
+        f"{started}/{plan.shards} shard(s) started"
+    )
+    return EXIT_OK
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir or ResultCache.default_dir())
     if args.cache_action == "clear":
@@ -459,7 +550,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
-    """Supervised-execution knobs shared by run/table1/chaos."""
+    """Supervised-execution knobs shared by run/table1/chaos/fleet."""
     group = parser.add_argument_group(
         "supervision",
         "passing any of these enables the supervised executor "
@@ -733,6 +824,66 @@ def build_parser() -> argparse.ArgumentParser:
     _add_supervision_flags(chaos_p)
     chaos_p.set_defaults(func=_cmd_chaos)
 
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="run city-scale SFU fleet population scenarios "
+        "(see docs/fleet.md)",
+    )
+    fleet_p.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        choices=sorted(fleet.SCENARIOS),
+        help="population scenario to include (repeatable; default: "
+        f"{', '.join(fleet.DEFAULT_SCENARIOS)})",
+    )
+    fleet_p.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        metavar="N",
+        help="seeds 1..N per scenario (default: 1)",
+    )
+    fleet_p.add_argument(
+        "--subscribers",
+        type=int,
+        default=fleet.SUBSCRIBERS,
+        help="total subscriber population, split across the two "
+        f"regions (default: {fleet.SUBSCRIBERS})",
+    )
+    fleet_p.add_argument(
+        "--duration",
+        type=float,
+        default=fleet.DURATION,
+        help=f"capture duration in seconds (default: {fleet.DURATION:g})",
+    )
+    fleet_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny pinned grid (CI smoke): steady + "
+        "regional_degradation, one seed, 20 subscribers, 8 s",
+    )
+    fleet_p.add_argument(
+        "--format",
+        choices=["table", "json", "csv"],
+        default="table",
+        help="output format (default: table)",
+    )
+    fleet_p.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="output file (default or '-': stdout)",
+    )
+    fleet_p.add_argument(
+        "--list",
+        dest="list_scenarios",
+        action="store_true",
+        help="list the population scenarios instead of running",
+    )
+    _add_supervision_flags(fleet_p)
+    fleet_p.set_defaults(func=_cmd_fleet)
+
     resume_p = sub.add_parser(
         "resume",
         help="continue an interrupted supervised batch from its "
@@ -806,6 +957,28 @@ def build_parser() -> argparse.ArgumentParser:
         "default: all)",
     )
     splan_p.add_argument(
+        "--scenario",
+        dest="scenarios",
+        action="append",
+        choices=sorted(fleet.SCENARIOS),
+        help="fleet grid: population scenario to include (repeatable; "
+        f"default: {', '.join(fleet.DEFAULT_SCENARIOS)})",
+    )
+    splan_p.add_argument(
+        "--subscribers",
+        type=int,
+        default=None,
+        help="fleet grid: total subscriber population "
+        f"(default: {fleet.SUBSCRIBERS})",
+    )
+    splan_p.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="fleet grid: capture duration in seconds "
+        f"(default: {fleet.DURATION:g})",
+    )
+    splan_p.add_argument(
         "--output",
         "-o",
         default=None,
@@ -865,6 +1038,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="report file (default or '-': stdout)",
     )
     smerge_p.set_defaults(func=_cmd_shard_merge)
+
+    sstatus_p = shard_sub.add_parser(
+        "status",
+        help="show per-shard and overall progress of a plan",
+    )
+    sstatus_p.add_argument("plan", metavar="PLAN", help="plan file")
+    sstatus_p.add_argument(
+        "--dir",
+        default="shards",
+        metavar="DIR",
+        help="shard base directory to inspect (default: shards)",
+    )
+    sstatus_p.set_defaults(func=_cmd_shard_status)
 
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache"

@@ -6,6 +6,7 @@ from . import (
     comparison,
     extensions,
     figures,
+    fleet,
     robustness,
     scenarios,
     table1,
@@ -16,6 +17,7 @@ __all__ = [
     "comparison",
     "extensions",
     "figures",
+    "fleet",
     "robustness",
     "scenarios",
     "table1",

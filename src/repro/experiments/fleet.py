@@ -1,0 +1,331 @@
+"""Population scenarios over the SFU fleet: churn, flash crowds, faults.
+
+Each scenario builds one :class:`~repro.fleet.FleetConfig` per seed —
+a two-region fleet with a deliberately tight shared downlink — and the
+whole grid goes through one :func:`~repro.pipeline.parallel.run_many`
+call, so fleet cells cache, parallelize, supervise, and shard exactly
+like single-session cells. The report carries population-level QoE
+(p50/p95/p99 latency, freeze ratio, SSIM) plus the per-region split
+that makes a regional fault's blast radius visible.
+
+Determinism contract: same (scenario, seed, subscribers, duration) ⇒
+byte-identical JSON/CSV report on any backend (enforced by the
+``fleet-smoke`` CI job, serial vs ``--workers 2``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..faults.spec import FaultKind, FaultSchedule, FaultSpec
+from ..fleet import FleetConfig, FleetResult, two_region_fleet
+from ..pipeline.parallel import run_many
+from ..pipeline.supervisor import FailedSession, failure_label
+
+#: Default capture duration for fleet cells (population dynamics —
+#: initial contention, downgrades, probe recovery — play out within a
+#: few seconds at fleet scale; long tails just repeat the equilibrium).
+DURATION = 12.0
+
+#: Default total subscriber population (split over the two regions).
+SUBSCRIBERS = 40
+
+#: Regional-degradation timing, as fractions of the duration.
+DEGRADE_START_FRAC = 0.4
+DEGRADE_LEN_FRAC = 0.3
+
+#: The degraded region's downlink is clamped to this fraction of its
+#: *all-low-layer* aggregate — below what the settled population needs,
+#: so the fault bites even after everyone has downshifted.
+DEGRADE_FLOOR_OF_LOW_AGGREGATE = 0.5
+
+
+def _per_region(subscribers: int) -> int:
+    return max(1, subscribers // 2)
+
+
+def _steady(seed: int, subscribers: int, duration: float) -> FleetConfig:
+    """Full-session membership, tight shared downlinks, no faults."""
+    return two_region_fleet(
+        _per_region(subscribers), duration=duration, seed=seed
+    )
+
+
+def _churn(seed: int, subscribers: int, duration: float) -> FleetConfig:
+    """Deterministic join/leave churn across the population."""
+    return two_region_fleet(
+        _per_region(subscribers), duration=duration, seed=seed, churn=True
+    )
+
+
+def _flash_crowd(
+    seed: int, subscribers: int, duration: float
+) -> FleetConfig:
+    """Half the population joins at once, 40% into the session."""
+    return two_region_fleet(
+        _per_region(subscribers),
+        duration=duration,
+        seed=seed,
+        flash_crowd_at=duration * 0.4,
+        flash_crowd_fraction=0.5,
+    )
+
+
+def _regional_degradation(
+    seed: int, subscribers: int, duration: float
+) -> FleetConfig:
+    """Region ``b``'s shared downlink collapses mid-session.
+
+    The clamp floor sits below the region's all-low-layer aggregate, so
+    even a fully downshifted population overruns the faulted link —
+    region ``b``'s tail latency and freezes move, region ``a``'s do
+    not.
+    """
+    per_region = _per_region(subscribers)
+    base = two_region_fleet(per_region, duration=duration, seed=seed)
+    low_rate = min(layer.target_bps for layer in base.layers)
+    floor = per_region * low_rate * DEGRADE_FLOOR_OF_LOW_AGGREGATE
+    schedule = FaultSchedule.of(
+        FaultSpec(
+            kind=FaultKind.CAPACITY_OUTAGE,
+            start=duration * DEGRADE_START_FRAC,
+            duration=duration * DEGRADE_LEN_FRAC,
+            rate_bps=floor,
+        )
+    )
+    return dataclasses.replace(
+        base, faults=schedule, faulted_region="b"
+    )
+
+
+#: Named scenario builders:
+#: ``name -> f(seed, subscribers, duration) -> FleetConfig``.
+SCENARIOS = {
+    "steady": _steady,
+    "churn": _churn,
+    "flash_crowd": _flash_crowd,
+    "regional_degradation": _regional_degradation,
+}
+
+#: Scenarios exercised when the caller does not pick.
+DEFAULT_SCENARIOS = ("steady", "churn", "regional_degradation")
+
+
+# ----------------------------------------------------------------------
+# Cells and report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetCell:
+    """Population QoE of one (scenario, seed) fleet run.
+
+    ``region_a_*``/``region_b_*`` carry the per-region p95 split (the
+    canonical scenarios are all two-region fleets); ``failed`` marks a
+    quarantined cell, whose metrics are NaN.
+    """
+
+    scenario: str
+    seed: int
+    sessions: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    freeze_ratio: float
+    mean_ssim: float
+    layer_switches: int
+    plis: int
+    region_a_p95_ms: float
+    region_b_p95_ms: float
+    failed: str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload."""
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class FleetReport:
+    """The scenario × seed grid plus the parameters that produced it."""
+
+    scenarios: tuple[str, ...]
+    seeds: tuple[int, ...]
+    subscribers: int
+    duration: float
+    cells: list[FleetCell]
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload."""
+        return {
+            "scenarios": list(self.scenarios),
+            "seeds": [int(s) for s in self.seeds],
+            "subscribers": int(self.subscribers),
+            "duration": float(self.duration),
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON (sorted keys, fixed cell order)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def to_csv(self) -> str:
+        """Deterministic CSV, one row per cell."""
+        columns = [f.name for f in dataclasses.fields(FleetCell)]
+        lines = [",".join(columns)]
+        for cell in self.cells:
+            row = []
+            for name in columns:
+                value = getattr(cell, name)
+                if value is None:
+                    row.append("")
+                elif isinstance(value, float):
+                    row.append(repr(value))
+                else:
+                    row.append(str(value))
+            lines.append(",".join(row))
+        return "\n".join(lines) + "\n"
+
+    def format_table(self) -> str:
+        """Aligned text table, one row per cell."""
+        header = (
+            f"{'scenario':<22} {'seed':>4} {'p50':>8} {'p95':>9} "
+            f"{'p99':>9} {'freeze':>7} {'ssim':>7} {'switch':>6} "
+            f"{'a.p95':>9} {'b.p95':>9}"
+        )
+        lines = [
+            f"fleet: {self.subscribers} subscribers x "
+            f"{self.duration:g}s per cell",
+            header,
+            "-" * len(header),
+        ]
+        for cell in self.cells:
+            if cell.failed is not None:
+                lines.append(
+                    f"{cell.scenario:<22} {cell.seed:>4} {cell.failed}"
+                )
+                continue
+            lines.append(
+                f"{cell.scenario:<22} {cell.seed:>4} "
+                f"{cell.p50_ms:>6.1f}ms {cell.p95_ms:>7.1f}ms "
+                f"{cell.p99_ms:>7.1f}ms {cell.freeze_ratio:>7.3f} "
+                f"{cell.mean_ssim:>7.4f} {cell.layer_switches:>6d} "
+                f"{cell.region_a_p95_ms:>7.1f}ms "
+                f"{cell.region_b_p95_ms:>7.1f}ms"
+            )
+        return "\n".join(lines)
+
+
+def render(report: FleetReport, fmt: str) -> str:
+    """Render the report in one of the CLI formats."""
+    if fmt == "json":
+        return report.to_json() + "\n"
+    if fmt == "csv":
+        return report.to_csv()
+    return report.format_table() + "\n"
+
+
+# ----------------------------------------------------------------------
+# Planning and assembly (split so the shard fabric reuses both halves)
+# ----------------------------------------------------------------------
+def _check_names(scenario_names: tuple[str, ...]) -> None:
+    for name in scenario_names:
+        if name not in SCENARIOS:
+            raise ConfigError(
+                f"unknown fleet scenario {name!r}; "
+                f"known: {sorted(SCENARIOS)}"
+            )
+
+
+def plan_batch(
+    scenario_names: tuple[str, ...] = DEFAULT_SCENARIOS,
+    seeds: tuple[int, ...] = (1,),
+    subscribers: int = SUBSCRIBERS,
+    duration: float = DURATION,
+) -> list[FleetConfig]:
+    """The grid's deterministic config batch, scenario-major."""
+    _check_names(scenario_names)
+    if not seeds:
+        raise ConfigError("need at least one seed")
+    if subscribers < 2:
+        raise ConfigError("fleet grid needs at least two subscribers")
+    if duration <= 0:
+        raise ConfigError("duration must be positive")
+    return [
+        SCENARIOS[name](seed, subscribers, duration)
+        for name in scenario_names
+        for seed in seeds
+    ]
+
+
+def rows_from_results(
+    results: list,
+    scenario_names: tuple[str, ...],
+    seeds: tuple[int, ...],
+) -> list[FleetCell]:
+    """Fold a result list (in :func:`plan_batch` order) into cells."""
+    iterator = iter(results)
+    nan = float("nan")
+    cells: list[FleetCell] = []
+    for name in scenario_names:
+        for seed in seeds:
+            result = next(iterator)
+            if isinstance(result, FailedSession):
+                cells.append(
+                    FleetCell(
+                        scenario=name,
+                        seed=seed,
+                        sessions=0,
+                        p50_ms=nan,
+                        p95_ms=nan,
+                        p99_ms=nan,
+                        freeze_ratio=nan,
+                        mean_ssim=nan,
+                        layer_switches=0,
+                        plis=0,
+                        region_a_p95_ms=nan,
+                        region_b_p95_ms=nan,
+                        failed=failure_label([result]),
+                    )
+                )
+                continue
+            assert isinstance(result, FleetResult)
+            latency = result.population["latency_ms"]
+            cells.append(
+                FleetCell(
+                    scenario=name,
+                    seed=seed,
+                    sessions=result.subscribers,
+                    p50_ms=latency["p50"] if latency["p50"] is not None
+                    else nan,
+                    p95_ms=latency["p95"] if latency["p95"] is not None
+                    else nan,
+                    p99_ms=latency["p99"] if latency["p99"] is not None
+                    else nan,
+                    freeze_ratio=result.population["freeze_ratio"],
+                    mean_ssim=result.population["mean_ssim"],
+                    layer_switches=result.totals["layer_switches"],
+                    plis=result.totals["plis"],
+                    region_a_p95_ms=result.region_latency_ms("a") or nan,
+                    region_b_p95_ms=result.region_latency_ms("b") or nan,
+                )
+            )
+    return cells
+
+
+def run_population(
+    scenario_names: tuple[str, ...] = DEFAULT_SCENARIOS,
+    seeds: tuple[int, ...] = (1,),
+    subscribers: int = SUBSCRIBERS,
+    duration: float = DURATION,
+) -> FleetReport:
+    """Run the scenario × seed fleet grid and assemble the report."""
+    batch = plan_batch(scenario_names, seeds, subscribers, duration)
+    results = run_many(batch)
+    return FleetReport(
+        scenarios=tuple(scenario_names),
+        seeds=tuple(seeds),
+        subscribers=subscribers,
+        duration=duration,
+        cells=rows_from_results(results, tuple(scenario_names), tuple(seeds)),
+    )

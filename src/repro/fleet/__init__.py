@@ -1,0 +1,23 @@
+"""City-scale SFU fleet: coupled multi-session topology simulation."""
+
+from .result import FleetResult, aggregate_rows, percentile_ms
+from .sim import FleetSession
+from .topology import (
+    DEFAULT_FLEET_LAYERS,
+    FleetConfig,
+    InterNodeLink,
+    RegionSpec,
+    two_region_fleet,
+)
+
+__all__ = [
+    "DEFAULT_FLEET_LAYERS",
+    "FleetConfig",
+    "FleetResult",
+    "FleetSession",
+    "InterNodeLink",
+    "RegionSpec",
+    "aggregate_rows",
+    "percentile_ms",
+    "two_region_fleet",
+]

@@ -16,11 +16,13 @@ from .session import RtcSession
 from .shards import (
     MergeSummary,
     ShardPlan,
+    ShardStatus,
     build_plan,
     merge_shards,
     render_merged,
     run_shard,
     shard_dir,
+    shard_status,
 )
 from .supervisor import (
     FailedSession,
@@ -52,6 +54,7 @@ __all__ = [
     "SessionPerf",
     "SessionResult",
     "ShardPlan",
+    "ShardStatus",
     "Supervisor",
     "SupervisorPlan",
     "SupervisorPolicy",
@@ -74,6 +77,7 @@ __all__ = [
     "run_session",
     "run_shard",
     "shard_dir",
+    "shard_status",
     "split_failures",
     "supervised_run_many",
     "sweep",

@@ -61,6 +61,80 @@ CACHE_SCHEMA_VERSION = 5
 
 
 # ----------------------------------------------------------------------
+# Config-type registry
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class ConfigTypeSpec:
+    """How the execution fabric handles one config class.
+
+    The batch machinery — :func:`run_many`, :class:`ResultCache`, the
+    supervised executor, the shard fabric — is generic over *what* a
+    cell runs. Each runnable config class registers how to execute one
+    instance and how to rebuild its result from the serialized dict
+    that crosses worker and cache boundaries.
+
+    Attributes:
+        run: ``config -> result`` (the result must expose a lossless
+            ``to_dict``; the round trip is the determinism contract).
+        from_dict: ``payload -> result`` inverse of ``to_dict``.
+        hash_exclude: field names excluded from the cache key (pure
+            performance knobs that never change results).
+    """
+
+    run: Callable[[object], object]
+    from_dict: Callable[[dict], object]
+    hash_exclude: frozenset[str]
+
+
+_CONFIG_TYPES: dict[type, ConfigTypeSpec] = {}
+
+
+def register_config_type(
+    config_cls: type,
+    run: Callable[[object], object],
+    from_dict: Callable[[dict], object],
+    hash_exclude: Iterable[str] = (),
+) -> None:
+    """Register a runnable config class with the execution fabric.
+
+    Registration lives in the module that defines ``config_cls``, so
+    unpickling a config inside a worker process imports that module and
+    registers the type before the worker entry point dispatches on it.
+    """
+    _CONFIG_TYPES[config_cls] = ConfigTypeSpec(
+        run=run,
+        from_dict=from_dict,
+        hash_exclude=frozenset(hash_exclude),
+    )
+
+
+def config_type_spec(config: object) -> ConfigTypeSpec:
+    """The registered spec for a config instance.
+
+    Raises:
+        ConfigError: for an unregistered config type.
+    """
+    spec = _CONFIG_TYPES.get(type(config))
+    if spec is None:
+        raise ConfigError(
+            f"no registered runner for config type "
+            f"{type(config).__name__!r} (known: "
+            f"{', '.join(sorted(c.__name__ for c in _CONFIG_TYPES))})"
+        )
+    return spec
+
+
+def run_config(config: object) -> object:
+    """Execute one config through its registered runner."""
+    return config_type_spec(config).run(config)
+
+
+def result_from_dict(config: object, payload: dict) -> object:
+    """Rebuild a result dict through the config's registered decoder."""
+    return config_type_spec(config).from_dict(payload)
+
+
+# ----------------------------------------------------------------------
 # Config canonicalization and hashing
 # ----------------------------------------------------------------------
 def config_to_dict(value: object) -> object:
@@ -68,15 +142,18 @@ def config_to_dict(value: object) -> object:
 
     Handles dataclasses, enums, :class:`BandwidthTrace` (encoded as its
     breakpoint list), tuples/lists, and scalars. The output is stable:
-    the same config always maps to the same structure.
+    the same config always maps to the same structure. Registered
+    config types omit their ``hash_exclude`` fields (pure performance
+    knobs — e.g. ``kernel``, where all backends are bit-identical —
+    must not perturb the cache key).
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        # ``kernel`` is a pure performance knob — all backends are
-        # bit-identical — so it must not perturb the cache key.
+        spec = _CONFIG_TYPES.get(type(value))
+        exclude = spec.hash_exclude if spec is not None else frozenset()
         return {
             f.name: config_to_dict(getattr(value, f.name))
             for f in dataclasses.fields(value)
-            if not (isinstance(value, SessionConfig) and f.name == "kernel")
+            if f.name not in exclude
         }
     if isinstance(value, enum.Enum):
         return value.value
@@ -93,7 +170,7 @@ def config_to_dict(value: object) -> object:
     )
 
 
-def canonical_json(config: SessionConfig) -> str:
+def canonical_json(config: object) -> str:
     """The config as deterministic JSON (sorted keys, no whitespace)."""
     return json.dumps(
         config_to_dict(config),
@@ -103,7 +180,7 @@ def canonical_json(config: SessionConfig) -> str:
     )
 
 
-def config_hash(config: SessionConfig) -> str:
+def config_hash(config: object) -> str:
     """Stable sha256 content hash of a session config.
 
     The hash also covers the cache schema version, so serialized-layout
@@ -161,7 +238,7 @@ class ResultCache:
                 f"cache directory {self.root} is not writable: {exc}"
             ) from exc
 
-    def path_for(self, config: SessionConfig) -> Path:
+    def path_for(self, config: object) -> Path:
         """Entry path for a config."""
         return self.root / f"{config_hash(config)}.json"
 
@@ -173,7 +250,7 @@ class ResultCache:
         """
         return self.root / f"{digest}.json"
 
-    def get(self, config: SessionConfig) -> SessionResult | None:
+    def get(self, config: object) -> object | None:
         """Load the cached result for ``config``, or ``None`` on miss.
 
         Schema-mismatched entries (older builds) are plain misses.
@@ -197,7 +274,7 @@ class ResultCache:
         if entry.get("schema") != CACHE_SCHEMA_VERSION:
             return None
         try:
-            return SessionResult.from_dict(entry["result"])
+            return result_from_dict(config, entry["result"])
         except (KeyError, TypeError, ValueError, AttributeError):
             self._quarantine(path, "undeserializable result payload")
             return None
@@ -218,7 +295,7 @@ class ResultCache:
             stacklevel=3,
         )
 
-    def put(self, config: SessionConfig, result: SessionResult) -> Path:
+    def put(self, config: object, result: object) -> Path:
         """Store ``result`` under ``config``'s hash (atomically)."""
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(config)
@@ -264,32 +341,30 @@ class ResultCache:
 # ----------------------------------------------------------------------
 # Executor backends
 # ----------------------------------------------------------------------
-def _run_session_to_dict(config: SessionConfig) -> dict:
-    """Worker entry point: run one session, return its serialized form.
+def _run_session_to_dict(config: object) -> dict:
+    """Worker entry point: run one config, return its serialized form.
 
     Returning plain dicts (not the result object) keeps the
     parent/worker boundary robust: only JSON-ready primitives cross it,
-    and the parent reconstructs through the same
-    :meth:`SessionResult.from_dict` path the cache uses.
+    and the parent reconstructs through the same ``from_dict`` path the
+    cache uses. Dispatch happens through the config-type registry:
+    unpickling the config argument imports its defining module, which
+    registers the type before this function runs.
     """
-    return RtcSession(config).run().to_dict()
+    return run_config(config).to_dict()
 
 
 class Executor(Protocol):
     """Maps a batch of configs to results, preserving input order."""
 
-    def run(
-        self, configs: Sequence[SessionConfig]
-    ) -> list[SessionResult]: ...
+    def run(self, configs: Sequence[object]) -> list[object]: ...
 
 
 class SerialBackend:
     """In-process execution, one config at a time."""
 
-    def run(
-        self, configs: Sequence[SessionConfig]
-    ) -> list[SessionResult]:
-        return [RtcSession(config).run() for config in configs]
+    def run(self, configs: Sequence[object]) -> list[object]:
+        return [run_config(config) for config in configs]
 
 
 class ProcessBackend:
@@ -305,9 +380,7 @@ class ProcessBackend:
             raise ConfigError(f"workers must be >= 1, got {workers!r}")
         self.workers = workers
 
-    def run(
-        self, configs: Sequence[SessionConfig]
-    ) -> list[SessionResult]:
+    def run(self, configs: Sequence[object]) -> list[object]:
         if not configs:
             return []
         chunksize = max(1, len(configs) // (self.workers * 4))
@@ -316,7 +389,10 @@ class ProcessBackend:
             payloads = pool.map(
                 _run_session_to_dict, configs, chunksize=chunksize
             )
-            results = [SessionResult.from_dict(p) for p in payloads]
+            results = [
+                result_from_dict(config, payload)
+                for config, payload in zip(configs, payloads)
+            ]
         except KeyboardInterrupt:
             # Ctrl-C: drop pending work and kill the workers instead of
             # unwinding with a pool-internals traceback. The CLI maps
@@ -387,12 +463,12 @@ def execution_context() -> ExecutionContext:
 
 
 def run_many(
-    configs: Iterable[SessionConfig],
+    configs: Iterable[object],
     workers: int | None = None,
     cache: ResultCache | None | object = _UNSET,
     progress: Callable[[int, int], None] | None = None,
-) -> list[SessionResult]:
-    """Run a batch of session configs; results in input order.
+) -> list[object]:
+    """Run a batch of registered configs; results in input order.
 
     Cached results are loaded first; only misses are executed (serially
     for ``workers <= 1``, in a process pool otherwise) and then stored
@@ -433,7 +509,7 @@ def run_many(
             progress=progress,
         )
 
-    results: list[SessionResult | None] = [None] * len(batch)
+    results: list[object | None] = [None] * len(batch)
     misses: list[int] = []
     if effective_cache is not None:
         for index, config in enumerate(batch):
@@ -460,3 +536,23 @@ def run_many(
         progress(len(batch), len(batch))
 
     return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Built-in config types
+# ----------------------------------------------------------------------
+def _run_rtc_session(config: SessionConfig) -> SessionResult:
+    return RtcSession(config).run()
+
+
+# ``kernel`` is excluded from the hash: every event-kernel backend is
+# bit-identical (enforced by the kernel-equivalence tests), so a result
+# cached under one kernel is valid for all of them. Other runnable
+# config types (e.g. ``repro.fleet.FleetConfig``) register themselves
+# in their defining modules.
+register_config_type(
+    SessionConfig,
+    run=_run_rtc_session,
+    from_dict=SessionResult.from_dict,
+    hash_exclude=("kernel",),
+)

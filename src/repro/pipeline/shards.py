@@ -50,7 +50,7 @@ from typing import Callable, Sequence
 
 from ..errors import ConfigError
 from .config import PolicyName, SessionConfig
-from .manifest import RunManifest
+from .manifest import STATUSES, RunManifest
 from .parallel import ResultCache, config_hash
 from .supervisor import (
     FailedSession,
@@ -84,7 +84,7 @@ class GridDef:
     """
 
     normalize: Callable[[dict], dict]
-    build: Callable[[dict], list[SessionConfig]]
+    build: Callable[[dict], list[object]]
     render: Callable[[dict, list[object], str], str]
     formats: tuple[str, ...]
 
@@ -173,6 +173,66 @@ def _compare_render(params: dict, results: list, fmt: str) -> str:
     return comparison.format_comparison(rows, title) + "\n"
 
 
+def _fleet_normalize(params: dict) -> dict:
+    from ..experiments import fleet
+
+    scenario_names = [
+        str(name)
+        for name in params.get("scenarios") or fleet.DEFAULT_SCENARIOS
+    ]
+    for name in scenario_names:
+        if name not in fleet.SCENARIOS:
+            raise ConfigError(
+                f"unknown fleet scenario {name!r}; "
+                f"known: {sorted(fleet.SCENARIOS)}"
+            )
+    seeds = [int(s) for s in params.get("seeds") or (1,)]
+    subscribers = int(params.get("subscribers") or fleet.SUBSCRIBERS)
+    duration = float(params.get("duration") or fleet.DURATION)
+    if not scenario_names or not seeds:
+        raise ConfigError(
+            "fleet grid needs at least one scenario and seed"
+        )
+    if subscribers < 2:
+        raise ConfigError("fleet grid needs at least two subscribers")
+    if duration <= 0:
+        raise ConfigError("fleet grid duration must be positive")
+    return {
+        "duration": duration,
+        "scenarios": scenario_names,
+        "seeds": seeds,
+        "subscribers": subscribers,
+    }
+
+
+def _fleet_build(params: dict) -> list:
+    from ..experiments import fleet
+
+    return fleet.plan_batch(
+        scenario_names=tuple(params["scenarios"]),
+        seeds=tuple(params["seeds"]),
+        subscribers=params["subscribers"],
+        duration=params["duration"],
+    )
+
+
+def _fleet_render(params: dict, results: list, fmt: str) -> str:
+    from ..experiments import fleet
+
+    report = fleet.FleetReport(
+        scenarios=tuple(params["scenarios"]),
+        seeds=tuple(params["seeds"]),
+        subscribers=params["subscribers"],
+        duration=params["duration"],
+        cells=fleet.rows_from_results(
+            results,
+            tuple(params["scenarios"]),
+            tuple(params["seeds"]),
+        ),
+    )
+    return fleet.render(report, fmt)
+
+
 #: Shardable grids by name. Each renders through the *driver's* own
 #: row-assembly and formatting code, so a merged report and the
 #: equivalent single-host CLI report are the same bytes by
@@ -189,6 +249,12 @@ GRIDS: dict[str, GridDef] = {
         build=_compare_build,
         render=_compare_render,
         formats=("table",),
+    ),
+    "fleet": GridDef(
+        normalize=_fleet_normalize,
+        build=_fleet_build,
+        render=_fleet_render,
+        formats=("table", "json", "csv"),
     ),
 }
 
@@ -255,7 +321,7 @@ class ShardPlan:
             )
         return list(range(shard_index, len(self.hashes), self.shards))
 
-    def configs(self) -> list[SessionConfig]:
+    def configs(self) -> list[object]:
         """Re-expand the grid and verify it still matches the plan.
 
         Raises:
@@ -634,3 +700,58 @@ def render_merged(
     text = definition.render(plan.params, results, fmt)
     _ok, failures = split_failures(results)
     return text, len(failures)
+
+
+# ----------------------------------------------------------------------
+# Fleet-wide progress
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardStatus:
+    """Progress of one shard, read from its on-disk manifest.
+
+    ``counts`` always carries every manifest status key
+    (pending/running/ok/quarantined); cells the shard has not recorded
+    yet — including the whole shard when ``started`` is false — count
+    as ``pending``.
+    """
+
+    index: int
+    cells: int
+    started: bool
+    counts: dict[str, int]
+
+    def done(self) -> int:
+        """Cells with a terminal status (ok or quarantined)."""
+        return self.counts["ok"] + self.counts["quarantined"]
+
+
+def shard_status(
+    plan: ShardPlan, base_dir: Path | str
+) -> list[ShardStatus]:
+    """Per-shard progress of a plan under one shard base directory.
+
+    Purely observational: reads each ``shard-NNN/manifest.json`` that
+    exists and never writes, so it is safe to run while shards are
+    executing elsewhere. Manifest records whose hash is not in the
+    plan are ignored (a foreign run sharing the directory).
+    """
+    plan_hashes = set(plan.hashes)
+    statuses: list[ShardStatus] = []
+    for index in range(plan.shards):
+        cells = len(plan.cell_indices(index))
+        counts = {status: 0 for status in STATUSES}
+        manifest_file = shard_dir(base_dir, index) / "manifest.json"
+        started = manifest_file.is_file()
+        if started:
+            manifest = RunManifest.load(manifest_file)
+            for digest, record in manifest.records.items():
+                if digest in plan_hashes:
+                    counts[record["status"]] += 1
+        recorded = sum(counts.values())
+        counts["pending"] += max(0, cells - recorded)
+        statuses.append(
+            ShardStatus(
+                index=index, cells=cells, started=started, counts=counts
+            )
+        )
+    return statuses

@@ -57,22 +57,26 @@ from . import chaosharness
 from .config import SessionConfig
 from .manifest import RunManifest
 from .results import SessionResult
-from .session import RtcSession
 
 
 # ----------------------------------------------------------------------
 # Worker entry point
 # ----------------------------------------------------------------------
-def _supervised_worker(config: SessionConfig, config_hash: str) -> dict:
-    """Run one session in a worker; serialized dict crosses the boundary.
+def _supervised_worker(config: object, config_hash: str) -> dict:
+    """Run one config in a worker; serialized dict crosses the boundary.
 
     The self-chaos harness hook runs first so tests/CI can sabotage
     exactly this execution (kill, hang, raise) — see
-    :mod:`repro.pipeline.chaosharness`.
+    :mod:`repro.pipeline.chaosharness`. Execution dispatches through
+    the config-type registry (:mod:`repro.pipeline.parallel`), so any
+    registered config class — session or fleet — runs under
+    supervision.
     """
+    from .parallel import run_config
+
     chaosharness.note_execution(config_hash)
     chaosharness.maybe_sabotage(config_hash)
-    return RtcSession(config).run().to_dict()
+    return run_config(config).to_dict()
 
 
 # ----------------------------------------------------------------------
@@ -474,7 +478,9 @@ class Supervisor:
                             cell, exc, now, waiting, seq, outcomes
                         )
                     else:
-                        result = SessionResult.from_dict(payload)
+                        from .parallel import result_from_dict
+
+                        result = result_from_dict(cell.config, payload)
                         outcomes[cell.index] = result
                         self._mark_ok(cell, result)
 
@@ -524,7 +530,7 @@ class Supervisor:
 # Batch API
 # ----------------------------------------------------------------------
 def supervised_run_many(
-    configs: Sequence[SessionConfig],
+    configs: Sequence[object],
     workers: int,
     cache,
     plan: SupervisorPlan,

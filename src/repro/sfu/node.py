@@ -25,6 +25,7 @@ from ..errors import ConfigError
 from ..netsim.packet import Packet
 from ..rtp.feedback import FeedbackReport, SendHistory
 from ..simcore.scheduler import Scheduler
+from ..telemetry.recorder import NULL_TELEMETRY, Telemetry
 
 #: A layer fits when the estimate covers its bitrate (libwebrtc picks
 #: the highest layer with bitrate <= BWE); upgrading additionally needs
@@ -53,6 +54,14 @@ PROBE_BACKOFF = 3.0
 PROBE_BACKLOG_GATE = 0.03
 PROBE_PACKET_BYTES = 1200
 
+#: How long a pending layer switch may wait for its keyframe before the
+#: SFU re-requests one. The original request (or the keyframe itself)
+#: can be lost on a congested uplink; without a re-request the switch —
+#: and :attr:`SfuNode.pending_layer` — would hang forever. Normal
+#: switches complete within one uplink RTT, so this never fires on a
+#: healthy path.
+PENDING_KEYFRAME_TIMEOUT = 1.0
+
 
 class SfuNode:
     """Forwards one of several simulcast layers to one receiver."""
@@ -67,6 +76,7 @@ class SfuNode:
         out_flow: str = "media",
         on_forward: Callable[[str, Packet], None] | None = None,
         downlink_backlog: Callable[[], float] | None = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
         if initial_layer not in layer_rates:
             raise ConfigError(f"unknown initial layer {initial_layer!r}")
@@ -79,8 +89,12 @@ class SfuNode:
         self._out_flow = out_flow
         self._on_forward = on_forward
         self._downlink_backlog = downlink_backlog
+        # Recording never draws RNG or schedules events, so a node with
+        # NULL_TELEMETRY is bit-identical to an instrumented one.
+        self._telemetry = telemetry
         self._current = initial_layer
         self._pending: str | None = None
+        self._pending_since: float = 0.0
         self._out_seq = 0
         self.history = SendHistory()
         # Start with headroom above the initial layer so the warmup
@@ -102,6 +116,14 @@ class SfuNode:
         # max(GCC, probe estimate) and overuse clears the latter.
         self._probe_estimate: float | None = None
         self._overuse_streak = 0
+        # Feedback arrivals are counted so a probe can detect that its
+        # whole span fell inside a feedback blackout (see
+        # :meth:`_complete_probe`).
+        self._feedback_count = 0
+        self._probe_feedback_mark: int | None = None
+        self.probes_validated = 0
+        self.probes_abandoned = 0
+        self.keyframe_rerequests = 0
 
     # ------------------------------------------------------------------
     @property
@@ -123,6 +145,8 @@ class SfuNode:
                 self._current = self._pending
                 self._pending = None
                 self.switches.append((self._scheduler.now, self._current))
+                if self._telemetry.enabled:
+                    self._telemetry.count("sfu.layer_switches")
         if layer != self._current:
             self.dropped_layer_packets += 1
             return
@@ -135,6 +159,7 @@ class SfuNode:
         now = self._scheduler.now
         if self._started_at is None:
             self._started_at = now
+        self._feedback_count += 1
         results = self.history.resolve(report)
         self.gcc.on_packet_results(now, results)
         if self.gcc.last_usage is BandwidthUsage.OVERUSE:
@@ -145,9 +170,14 @@ class SfuNode:
             # Sustained congestion invalidates probe results; a single
             # blip is usually the probe's own transient.
             self._probe_estimate = None
+        if self._telemetry.enabled:
+            self._telemetry.probe(
+                "sfu.selection_estimate", now, self.selection_estimate()
+            )
         if now - self._started_at < WARMUP:
             return
         self._select_layer(now)
+        self._rekey_stalled_switch(now)
         self._maybe_probe(now)
 
     def selection_estimate(self) -> float:
@@ -183,8 +213,27 @@ class SfuNode:
             return  # not enough headroom to upgrade yet
         if self._pending != desired:
             self._pending = desired
+            self._pending_since = now
             # A mid-stream switch needs a fresh keyframe on the target.
             self._request_keyframe(desired)
+
+    def _rekey_stalled_switch(self, now: float) -> None:
+        """Re-request the pending layer's keyframe when a switch hangs.
+
+        The original keyframe request — or the keyframe itself — can be
+        lost (congested uplink, a request issued right before a
+        feedback blackout). Without a re-request the node would hold
+        ``pending_layer`` forever and never complete the switch.
+        """
+        if self._pending is None:
+            return
+        if now - self._pending_since < PENDING_KEYFRAME_TIMEOUT:
+            return
+        self._pending_since = now
+        self.keyframe_rerequests += 1
+        if self._telemetry.enabled:
+            self._telemetry.count("sfu.keyframe_rerequests")
+        self._request_keyframe(self._pending)
 
     def _maybe_probe(self, now: float) -> None:
         """Send a padding burst while parked below the top layer on a
@@ -207,6 +256,9 @@ class SfuNode:
             return
         self._last_probe = now
         self.probes_sent += 1
+        self._probe_feedback_mark = self._feedback_count
+        if self._telemetry.enabled:
+            self._telemetry.count("sfu.probes_started")
         # Pad toward min(2 × estimate, next layer's requirement): the
         # estimate compounds probe over probe until one validates the
         # upgrade.
@@ -235,17 +287,38 @@ class SfuNode:
 
     def _complete_probe(self, probe_start: float) -> None:
         now = self._scheduler.now
+        mark = self._probe_feedback_mark
+        self._probe_feedback_mark = None
+        if mark is not None and self._feedback_count == mark:
+            # No feedback arrived across the whole probe span — the
+            # probe straddled a feedback blackout. Abandon it outright:
+            # the acked-rate window is stale, and validating against it
+            # could park ``pending_layer`` on a switch the path never
+            # acknowledged.
+            self._abandon_probe()
+            return
         if self._overuse_streak >= 2 or (
             self.gcc.last_usage is BandwidthUsage.OVERUSE
         ):
-            return  # the probe congested the link: discard the result
+            # The probe congested the link: discard the result.
+            self._abandon_probe()
+            return
         sample = self.gcc.acked_bps(now)
         if sample is None:
+            self._abandon_probe()
             return
         jumped = 0.95 * sample
         if jumped > self.selection_estimate():
             self._probe_estimate = jumped
+            self.probes_validated += 1
+            if self._telemetry.enabled:
+                self._telemetry.count("sfu.probes_validated")
             self._select_layer(now)
+
+    def _abandon_probe(self) -> None:
+        self.probes_abandoned += 1
+        if self._telemetry.enabled:
+            self._telemetry.count("sfu.probes_abandoned")
 
     def _send_padding_packet(self) -> None:
         padding = Packet(

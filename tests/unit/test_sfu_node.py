@@ -5,9 +5,16 @@ from __future__ import annotations
 import pytest
 
 from repro.cc.gcc.overuse import BandwidthUsage
+from repro.netsim.packet import Packet
 from repro.rtp.feedback import ArrivalRecord, FeedbackReport
-from repro.sfu.node import PROBE_BACKOFF, SfuNode
+from repro.sfu.node import (
+    PENDING_KEYFRAME_TIMEOUT,
+    PROBE_BACKOFF,
+    PROBE_SPAN,
+    SfuNode,
+)
 from repro.simcore.scheduler import Scheduler
+from repro.telemetry.recorder import Telemetry
 
 
 def _node(scheduler, sent=None, keyreqs=None, backlog=lambda: 0.0):
@@ -135,3 +142,118 @@ def test_downswitch_requests_keyframe_once():
     assert keyreqs == ["lo"]
     node._select_layer(2.05)  # stable decision: no duplicate request
     assert keyreqs == ["lo"]
+
+
+def _media_packet(layer: str, frame_type: str, seq: int = 0) -> Packet:
+    return Packet(
+        size_bytes=1200,
+        flow=layer,
+        seq=seq,
+        payload={"frame_type": frame_type},
+    )
+
+
+def test_upgrade_needs_headroom_hysteresis():
+    scheduler = Scheduler()
+    keyreqs = []
+    node = _node(scheduler, keyreqs=keyreqs)
+    node._started_at = 0.0
+    node._current = "lo"
+    scheduler.clock.advance_to(2.0)
+    # The estimate covers hi (1.8M) but not hi × UP_FACTOR: hold lo.
+    node.gcc.force_estimate(1_850_000.0)
+    node._select_layer(2.0)
+    assert node.pending_layer is None
+    assert node.current_layer == "lo"
+    assert keyreqs == []
+    # With headroom the upgrade goes pending and asks for a keyframe.
+    node.gcc.force_estimate(2_100_000.0)
+    node._select_layer(2.1)
+    assert node.pending_layer == "hi"
+    assert keyreqs == ["hi"]
+
+
+def test_switch_completes_only_on_target_keyframe():
+    scheduler = Scheduler()
+    sent = []
+    keyreqs = []
+    node = _node(scheduler, sent=sent, keyreqs=keyreqs)
+    node._started_at = 0.0
+    scheduler.clock.advance_to(2.0)
+    node.gcc.force_estimate(400_000.0)
+    node._select_layer(2.0)
+    assert node.pending_layer == "lo"
+    # Delta frames on the pending layer do not switch; they are dropped
+    # (the receiver could not decode them without the keyframe).
+    node.on_uplink_packet("lo", _media_packet("lo", "P", seq=0))
+    assert node.current_layer == "hi"
+    assert node.dropped_layer_packets == 1
+    # The old layer keeps forwarding while the switch is pending.
+    node.on_uplink_packet("hi", _media_packet("hi", "P", seq=1))
+    assert node.forwarded_packets == 1
+    # The target layer's keyframe completes the switch atomically.
+    node.on_uplink_packet("lo", _media_packet("lo", "I", seq=2))
+    assert node.current_layer == "lo"
+    assert node.pending_layer is None
+    assert [layer for _t, layer in node.switches] == ["lo"]
+
+
+def test_probe_straddling_feedback_blackout_abandons():
+    scheduler = Scheduler()
+    sent = []
+    node = _node(scheduler, sent=sent)
+    node._started_at = 0.0
+    node._current = "lo"
+    scheduler.clock.advance_to(5.0)
+    node._maybe_probe(5.0)
+    assert node.probes_sent == 1
+    # No feedback arrives across the whole probe span (blackout): the
+    # probe must be abandoned, not validated against a stale window.
+    scheduler.run_until(5.0 + PROBE_SPAN + 0.5)
+    assert node.probes_abandoned == 1
+    assert node.probes_validated == 0
+    assert node._probe_estimate is None
+    assert node.pending_layer is None
+
+
+def test_stalled_switch_rerequests_keyframe():
+    scheduler = Scheduler()
+    keyreqs = []
+    node = _node(scheduler, keyreqs=keyreqs)
+    node._started_at = 0.0
+    scheduler.clock.advance_to(2.0)
+    node.gcc.force_estimate(400_000.0)
+    node._select_layer(2.0)
+    assert keyreqs == ["lo"]
+    # Within the timeout the watchdog stays quiet.
+    node._rekey_stalled_switch(2.0 + PENDING_KEYFRAME_TIMEOUT / 2)
+    assert keyreqs == ["lo"]
+    assert node.keyframe_rerequests == 0
+    # Past it, the keyframe is asked for again (request or keyframe
+    # was lost) and the timer re-arms.
+    node._rekey_stalled_switch(2.0 + PENDING_KEYFRAME_TIMEOUT + 0.1)
+    assert keyreqs == ["lo", "lo"]
+    assert node.keyframe_rerequests == 1
+
+
+def test_telemetry_counts_switches_and_probes():
+    scheduler = Scheduler()
+    telemetry = Telemetry()
+    node = SfuNode(
+        scheduler,
+        send_downlink=lambda p: True,
+        request_keyframe=lambda layer: None,
+        layer_rates={"hi": 1_800_000.0, "lo": 300_000.0},
+        initial_layer="hi",
+        telemetry=telemetry,
+    )
+    node._started_at = 0.0
+    scheduler.clock.advance_to(2.0)
+    node.gcc.force_estimate(400_000.0)
+    node._select_layer(2.0)
+    node.on_uplink_packet("lo", _media_packet("lo", "I"))
+    node._maybe_probe(5.0)
+    scheduler.clock.advance_to(8.0)
+    node._rekey_stalled_switch(8.0)  # no pending switch: no-op
+    assert telemetry.counters["sfu.layer_switches"] == 1
+    assert telemetry.counters["sfu.probes_started"] == 1

@@ -1,0 +1,79 @@
+"""shard_status: per-shard progress from on-disk manifests."""
+
+from __future__ import annotations
+
+from repro.pipeline.manifest import RunManifest
+from repro.pipeline.shards import build_plan, shard_dir, shard_status
+
+
+def _fleet_plan(shards: int = 3):
+    # 2 scenarios × 2 seeds = 4 cells over 3 shards (2/1/1).
+    return build_plan(
+        "fleet",
+        {
+            "scenarios": ["steady", "churn"],
+            "seeds": [1, 2],
+            "subscribers": 4,
+            "duration": 2.0,
+        },
+        shards,
+    )
+
+
+def _write_manifest(path, records: dict) -> None:
+    manifest = RunManifest(path, run_id="status-test", workers=1)
+    manifest.records = records
+    manifest.save(force=True)
+
+
+def test_status_before_any_shard_started(tmp_path):
+    plan = _fleet_plan()
+    statuses = shard_status(plan, tmp_path)
+    assert [s.index for s in statuses] == [0, 1, 2]
+    assert [s.cells for s in statuses] == [2, 1, 1]
+    assert all(not s.started for s in statuses)
+    # Everything counts as pending.
+    assert [s.counts["pending"] for s in statuses] == [2, 1, 1]
+    assert all(s.done() == 0 for s in statuses)
+
+
+def test_status_reflects_manifest_records(tmp_path):
+    plan = _fleet_plan()
+    cells0 = plan.cell_indices(0)
+    digests = [plan.hashes[i] for i in cells0]
+    shard0 = shard_dir(tmp_path, 0)
+    shard0.mkdir(parents=True)
+    _write_manifest(
+        shard0 / "manifest.json",
+        {
+            digests[0]: {"status": "ok"},
+            digests[1]: {"status": "quarantined"},
+            # A foreign record sharing the directory must be ignored.
+            "f" * 64: {"status": "ok"},
+        },
+    )
+    statuses = shard_status(plan, tmp_path)
+    assert statuses[0].started
+    assert statuses[0].counts == {
+        "pending": 0, "running": 0, "ok": 1, "quarantined": 1
+    }
+    assert statuses[0].done() == statuses[0].cells == 2
+    assert not statuses[1].started
+    assert statuses[1].counts["pending"] == 1
+
+
+def test_status_counts_unrecorded_cells_as_pending(tmp_path):
+    plan = _fleet_plan(shards=2)
+    cells0 = plan.cell_indices(0)
+    assert len(cells0) == 2
+    shard0 = shard_dir(tmp_path, 0)
+    shard0.mkdir(parents=True)
+    # Only one of the two cells has a record (run in progress).
+    _write_manifest(
+        shard0 / "manifest.json",
+        {plan.hashes[cells0[0]]: {"status": "running"}},
+    )
+    [status0, _status1] = shard_status(plan, tmp_path)
+    assert status0.counts["running"] == 1
+    assert status0.counts["pending"] == 1
+    assert status0.done() == 0
