@@ -84,3 +84,66 @@ class AckedBitrateEstimator:
         floor = now - self._window
         while samples and samples[0][0] < floor:
             self._total_bytes -= samples.popleft()[1]
+
+
+class SpanRateSampler:
+    """Delivered rate over one bounded measurement span (a probe).
+
+    The sliding-window :class:`AckedBitrateEstimator` anchors its rate
+    on ``now``: a burst that occupies only part of the window is
+    *diluted* by the idle tail (a 0.3 s probe burst read through a
+    0.5 s window under-reports by ~0.4×). A probe needs the rate over
+    the burst's **own** inter-arrival span instead: open the sampler
+    when the probe starts, feed it every ack, and close it for
+    ``(bytes after the first arrival) × 8 / (last − first arrival)`` —
+    the libwebrtc probe-estimator convention, where the first packet
+    timestamps the span's start and only subsequent bytes count toward
+    its rate.
+    """
+
+    __slots__ = ("_open_time", "_first", "_last", "_bytes", "_count")
+
+    def __init__(self) -> None:
+        self._open_time: float | None = None
+        self._first: tuple[float, int] | None = None
+        self._last = 0.0
+        self._bytes = 0
+        self._count = 0
+
+    def open(self, now: float) -> None:
+        """Start a measurement span; discards any previous one."""
+        self._open_time = now
+        self._first = None
+        self._last = 0.0
+        self._bytes = 0
+        self._count = 0
+
+    def close(self) -> float | None:
+        """Finish the span: delivered bps, or None with < 2 arrivals."""
+        first = self._first
+        self._open_time = None
+        if first is None or self._count < 2:
+            return None
+        span = self._last - first[0]
+        if span <= 0:
+            return None
+        return (self._bytes - first[1]) * 8 / span
+
+    @property
+    def is_open(self) -> bool:
+        return self._open_time is not None
+
+    def on_acks(self, results) -> None:
+        """Accumulate acked packets that arrived inside the span."""
+        opened = self._open_time
+        if opened is None:
+            return
+        for result in results:
+            arrival = result.arrival_time
+            if arrival < opened:
+                continue
+            if self._first is None:
+                self._first = (arrival, result.size_bytes)
+            self._last = max(self._last, arrival)
+            self._bytes += result.size_bytes
+            self._count += 1

@@ -22,8 +22,10 @@ Subcommands:
 * ``shard`` — the distributed sweep fabric (see
   ``docs/running-fast.md``): ``shard plan`` partitions a grid into K
   deterministic shards, ``shard run`` executes one shard anywhere with
-  the supervised executor (per-shard manifest + cache, resumable via
-  ``repro-rtc resume``), ``shard status`` reports per-shard progress,
+  the supervised executor (per-shard manifest + cache + heartbeat
+  lease, resumable via ``repro-rtc resume``), ``shard steal`` (or
+  ``shard run --steal``) reclaims dead shards' unfinished cells,
+  ``shard status`` reports per-shard progress and lease health,
   and ``shard merge`` folds shard outputs into one report
   byte-identical to a single-host serial run.
 * ``cache`` — inspect or clear the persistent result cache.
@@ -315,12 +317,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         duration=duration,
         fault_at=args.fault_at,
     )
-    if args.format == "json":
-        text = report.to_json() + "\n"
-    elif args.format == "csv":
-        text = report.to_csv()
-    else:
-        text = report.format_table() + "\n"
+    text = robustness.render(report, args.format)
     if args.output is None or args.output == "-":
         sys.stdout.write(text)
     else:
@@ -393,7 +390,13 @@ def _cmd_shard_plan(args: argparse.Namespace) -> int:
         params["subscribers"] = args.subscribers
     if args.duration is not None:
         params["duration"] = args.duration
-    plan = shards.build_plan(args.grid, params, args.shards)
+    if args.faults:
+        params["faults"] = args.faults
+    if args.fault_at is not None:
+        params["fault_at"] = args.fault_at
+    plan = shards.build_plan(
+        args.grid, params, args.shards, striping=args.striping
+    )
     if args.output is None or args.output == "-":
         import json
 
@@ -435,6 +438,7 @@ def _cmd_shard_run(args: argparse.Namespace) -> int:
             policy=policy,
             argv=getattr(args, "raw_argv", None),
             manifest_path=manifest_path,
+            lease_ttl=args.lease_ttl,
         )
     except KeyboardInterrupt:
         print(
@@ -453,7 +457,75 @@ def _cmd_shard_run(args: argparse.Namespace) -> int:
         f"(manifest: {splan.manifest.path})",
         file=sys.stderr,
     )
-    if quarantined:
+    stolen_quarantined = 0
+    if args.steal:
+        summary, _steal_plan = shards.steal_shard(
+            plan,
+            args.index,
+            args.out,
+            workers=max(1, args.workers),
+            policy=policy,
+            argv=getattr(args, "raw_argv", None),
+            lease_ttl=args.lease_ttl,
+        )
+        _print_steal_summary(args.index, summary)
+        stolen_quarantined = summary.quarantined
+    if quarantined or stolen_quarantined:
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
+def _print_steal_summary(
+    index: int, summary: "shards.StealSummary"
+) -> None:
+    for problem in summary.problems:
+        print(f"repro-rtc: warning: {problem}", file=sys.stderr)
+    if summary.skipped_live:
+        live = ", ".join(str(s) for s in summary.skipped_live)
+        print(
+            f"repro-rtc: shard(s) {live} hold live leases; "
+            "left alone",
+            file=sys.stderr,
+        )
+    if summary.claimed == 0:
+        print(
+            f"repro-rtc: shard {index}: nothing to steal",
+            file=sys.stderr,
+        )
+        return
+    victims = ", ".join(str(v) for v in summary.victims)
+    print(
+        f"repro-rtc: shard {index} stole {summary.claimed} cell(s) "
+        f"from shard(s) {victims}: {summary.executed} executed, "
+        f"{summary.quarantined} quarantined",
+        file=sys.stderr,
+    )
+
+
+def _cmd_shard_steal(args: argparse.Namespace) -> int:
+    plan = shards.ShardPlan.load(args.plan)
+    retry = (
+        RetryPolicy()
+        if args.max_retries is None
+        else RetryPolicy(max_retries=args.max_retries)
+    )
+    policy = SupervisorPolicy(
+        session_timeout=args.session_timeout, retry=retry
+    )
+    policy.validate()
+    summary, _splan = shards.steal_shard(
+        plan,
+        args.index,
+        args.dir,
+        workers=max(1, args.workers),
+        policy=policy,
+        argv=getattr(args, "raw_argv", None),
+        victims=args.victims or None,
+        lease_ttl=args.lease_ttl,
+        grace=args.grace,
+    )
+    _print_steal_summary(args.index, summary)
+    if summary.quarantined:
         return EXIT_PARTIAL
     return EXIT_OK
 
@@ -502,10 +574,15 @@ def _cmd_shard_merge(args: argparse.Namespace) -> int:
 
 def _cmd_shard_status(args: argparse.Namespace) -> int:
     plan = shards.ShardPlan.load(args.plan)
-    statuses = shards.shard_status(plan, Path(args.dir))
+    statuses = shards.shard_status(
+        plan, Path(args.dir), strict=args.strict
+    )
+    for status in statuses:
+        for problem in status.problems:
+            print(f"repro-rtc: warning: {problem}", file=sys.stderr)
     header = (
         f"{'shard':>5} {'cells':>5} {'pending':>7} {'running':>7} "
-        f"{'ok':>5} {'quar':>5}  state"
+        f"{'ok':>5} {'quar':>5} {'lease':>7}  state"
     )
     print(header)
     print("-" * len(header))
@@ -515,12 +592,15 @@ def _cmd_shard_status(args: argparse.Namespace) -> int:
             state = "not started"
         elif status.done() == status.cells:
             state = "done"
+        elif status.problems:
+            state = "damaged manifest"
         else:
             state = "in progress"
         print(
             f"{status.index:>5} {status.cells:>5} "
             f"{counts['pending']:>7} {counts['running']:>7} "
-            f"{counts['ok']:>5} {counts['quarantined']:>5}  {state}"
+            f"{counts['ok']:>5} {counts['quarantined']:>5} "
+            f"{status.lease:>7}  {state}"
         )
     total = len(plan.hashes)
     done = sum(status.done() for status in statuses)
@@ -535,6 +615,18 @@ def _cmd_shard_status(args: argparse.Namespace) -> int:
         f"({pct:.1f}%), {ok} ok, {quarantined} quarantined; "
         f"{started}/{plan.shards} shard(s) started"
     )
+    expired = [
+        status.index
+        for status in statuses
+        if status.lease == "expired" and status.done() < status.cells
+    ]
+    if expired:
+        names = ", ".join(str(index) for index in expired)
+        print(
+            f"shard(s) {names} hold expired leases with unfinished "
+            f"cells — reclaim with: repro-rtc shard steal "
+            f"{args.plan} --index I --dir {args.dir}"
+        )
     return EXIT_OK
 
 
@@ -928,12 +1020,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeds 1..N per point (default: the grid's canonical set)",
     )
     splan_p.add_argument(
+        "--striping",
+        choices=list(shards.STRIPING_MODES),
+        default="cost",
+        help="cell -> shard policy: cost-weighted LPT or plain "
+        "round-robin (default: cost)",
+    )
+    splan_p.add_argument(
         "--ratio",
         dest="ratios",
         action="append",
         type=float,
         metavar="R",
-        help="table1 grid: drop ratio to include (repeatable; "
+        help="table1/sweep grids: drop ratio to include (repeatable; "
         "default: the canonical five)",
     )
     splan_p.add_argument(
@@ -953,16 +1052,16 @@ def build_parser() -> argparse.ArgumentParser:
         dest="policies",
         action="append",
         choices=[p.value for p in PolicyName],
-        help="compare grid: policy to include (repeatable; "
-        "default: all)",
+        help="compare/chaos grids: policy to include (repeatable; "
+        "default: all / adaptive+webrtc)",
     )
     splan_p.add_argument(
         "--scenario",
         dest="scenarios",
         action="append",
-        choices=sorted(fleet.SCENARIOS),
-        help="fleet grid: population scenario to include (repeatable; "
-        f"default: {', '.join(fleet.DEFAULT_SCENARIOS)})",
+        choices=sorted(set(fleet.SCENARIOS) | set(robustness.SCENARIOS)),
+        help="fleet/chaos grids: scenario to include (repeatable; "
+        "default: the grid's canonical set)",
     )
     splan_p.add_argument(
         "--subscribers",
@@ -975,8 +1074,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration",
         type=float,
         default=None,
-        help="fleet grid: capture duration in seconds "
-        f"(default: {fleet.DURATION:g})",
+        help="fleet/chaos grids: capture duration in seconds "
+        f"(defaults: {fleet.DURATION:g} / {robustness.DURATION:g})",
+    )
+    splan_p.add_argument(
+        "--fault",
+        dest="faults",
+        action="append",
+        choices=sorted(robustness.FAULT_NAMES),
+        help="chaos grid: fault to include (repeatable; default: all)",
+    )
+    splan_p.add_argument(
+        "--fault-at",
+        type=float,
+        default=None,
+        help="chaos grid: when fault windows open "
+        f"(default: {robustness.FAULT_AT:g})",
     )
     splan_p.add_argument(
         "--output",
@@ -1005,8 +1118,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard base directory; this shard writes "
         "DIR/shard-NNN/{manifest.json,cache} (default: shards)",
     )
+    srun_p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=shards.DEFAULT_LEASE_TTL,
+        metavar="S",
+        help="heartbeat-lease TTL in seconds; a worker silent this "
+        "long is presumed dead and its cells become stealable "
+        f"(default: {shards.DEFAULT_LEASE_TTL:g})",
+    )
+    srun_p.add_argument(
+        "--steal",
+        action="store_true",
+        help="after finishing this shard, claim and execute "
+        "expired-lease cells from dead shards",
+    )
     _add_supervision_flags(srun_p)
     srun_p.set_defaults(func=_cmd_shard_run)
+
+    ssteal_p = shard_sub.add_parser(
+        "steal",
+        help="claim and execute unfinished cells of dead "
+        "(expired-lease) shards",
+    )
+    ssteal_p.add_argument("plan", metavar="PLAN", help="plan file")
+    ssteal_p.add_argument(
+        "--index",
+        type=int,
+        required=True,
+        metavar="I",
+        help="which shard identity to steal as (its manifest and "
+        "cache receive the stolen work)",
+    )
+    ssteal_p.add_argument(
+        "--dir",
+        default="shards",
+        metavar="DIR",
+        help="shard base directory (default: shards)",
+    )
+    ssteal_p.add_argument(
+        "--victim",
+        dest="victims",
+        action="append",
+        type=int,
+        metavar="V",
+        help="steal only from this shard (repeatable; raises if it "
+        "still holds a live lease; default: every reclaimable shard)",
+    )
+    ssteal_p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=shards.DEFAULT_LEASE_TTL,
+        metavar="S",
+        help="heartbeat-lease TTL for the stealer's own manifest "
+        f"(default: {shards.DEFAULT_LEASE_TTL:g})",
+    )
+    ssteal_p.add_argument(
+        "--grace",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="extra seconds a lease must be expired before its cells "
+        "are considered reclaimable (default: 0)",
+    )
+    _add_supervision_flags(ssteal_p)
+    ssteal_p.set_defaults(func=_cmd_shard_steal)
 
     smerge_p = shard_sub.add_parser(
         "merge",
@@ -1049,6 +1225,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="shards",
         metavar="DIR",
         help="shard base directory to inspect (default: shards)",
+    )
+    sstatus_p.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on a corrupt/truncated manifest instead of "
+        "reporting its lost cells as pending",
     )
     sstatus_p.set_defaults(func=_cmd_shard_status)
 

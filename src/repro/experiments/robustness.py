@@ -294,21 +294,18 @@ class RobustnessReport:
         return "\n".join(lines).rstrip("\n")
 
 
-def run_matrix(
-    scenario_names: tuple[str, ...] = DEFAULT_SCENARIOS,
-    fault_names: tuple[str, ...] = DEFAULT_FAULTS,
-    policies: tuple[PolicyName, ...] = DEFAULT_POLICIES,
-    seeds: tuple[int, ...] = (1, 2),
-    duration: float = DURATION,
-    fault_at: float = FAULT_AT,
-) -> RobustnessReport:
-    """Run the scenario × fault grid and aggregate the degradation.
+def validate_grid(
+    scenario_names: tuple[str, ...],
+    fault_names: tuple[str, ...],
+    seeds: tuple[int, ...],
+    duration: float,
+    fault_at: float,
+) -> dict[str, FaultSchedule]:
+    """Validate matrix parameters; returns the fault suite.
 
-    Per (scenario, policy, seed): one clean baseline session plus one
-    session per fault schedule, all batched through a single
-    :func:`run_many` call so caching and worker fan-out apply. The
-    deltas in each cell compare against the *same-seed* baseline, so
-    encoder noise and content draws cancel out exactly.
+    Raises:
+        ConfigError: unknown scenario/fault, empty seeds, or a session
+            too short to contain the fault windows.
     """
     suite = fault_suite(fault_at)
     for name in scenario_names:
@@ -327,9 +324,27 @@ def run_matrix(
         raise ConfigError(
             f"duration {duration!r} must exceed fault_at {fault_at!r}"
         )
+    return suite
 
-    # One flat batch in a fixed order: baseline then each fault, per
-    # (scenario, policy, seed). run_many preserves input order.
+
+def plan_batch(
+    scenario_names: tuple[str, ...],
+    fault_names: tuple[str, ...],
+    policies: tuple[PolicyName, ...],
+    seeds: tuple[int, ...],
+    duration: float = DURATION,
+    fault_at: float = FAULT_AT,
+) -> list[SessionConfig]:
+    """Deterministically enumerate the matrix's session batch.
+
+    One flat batch in a fixed order — baseline then each fault, per
+    (scenario, policy, seed) — so results can be folded back without
+    any side channel. :func:`report_from_results` consumes exactly this
+    order; the shard fabric plans, caches, and merges over it.
+    """
+    suite = validate_grid(
+        scenario_names, fault_names, seeds, duration, fault_at
+    )
     batch: list[SessionConfig] = []
     for scenario in scenario_names:
         build = SCENARIOS[scenario]
@@ -343,7 +358,46 @@ def run_matrix(
                     batch.append(
                         dataclasses.replace(base, faults=suite[fault])
                     )
-    results = iter(run_many(batch))
+    return batch
+
+
+def render(report: RobustnessReport, fmt: str) -> str:
+    """One format dispatch for the CLI *and* the shard-merge path.
+
+    The trailing-newline conventions live here so a merged shard
+    report and ``repro-rtc chaos`` output are the same bytes.
+
+    Raises:
+        ConfigError: on an unknown format.
+    """
+    if fmt == "json":
+        return report.to_json() + "\n"
+    if fmt == "csv":
+        return report.to_csv()
+    if fmt == "table":
+        return report.format_table() + "\n"
+    raise ConfigError(f"unknown chaos format {fmt!r}")
+
+
+def report_from_results(
+    results_list,
+    scenario_names: tuple[str, ...],
+    fault_names: tuple[str, ...],
+    policies: tuple[PolicyName, ...],
+    seeds: tuple[int, ...],
+    duration: float = DURATION,
+    fault_at: float = FAULT_AT,
+) -> RobustnessReport:
+    """Fold a result list (in :func:`plan_batch` order) into the report.
+
+    Quarantined sessions (as
+    :class:`~repro.pipeline.supervisor.FailedSession`) poison only
+    their own cell, which renders a ``FAILED(...)`` marker.
+    """
+    suite = validate_grid(
+        scenario_names, fault_names, seeds, duration, fault_at
+    )
+    results = iter(results_list)
 
     window = (MEASURE_FROM, duration)
     cells: list[RobustnessCell] = []
@@ -465,4 +519,34 @@ def run_matrix(
         fault_at=fault_at,
         measure_from=MEASURE_FROM,
         cells=cells,
+    )
+
+
+def run_matrix(
+    scenario_names: tuple[str, ...] = DEFAULT_SCENARIOS,
+    fault_names: tuple[str, ...] = DEFAULT_FAULTS,
+    policies: tuple[PolicyName, ...] = DEFAULT_POLICIES,
+    seeds: tuple[int, ...] = (1, 2),
+    duration: float = DURATION,
+    fault_at: float = FAULT_AT,
+) -> RobustnessReport:
+    """Run the scenario × fault grid and aggregate the degradation.
+
+    Per (scenario, policy, seed): one clean baseline session plus one
+    session per fault schedule, all batched through a single
+    :func:`run_many` call so caching and worker fan-out apply. The
+    deltas in each cell compare against the *same-seed* baseline, so
+    encoder noise and content draws cancel out exactly.
+    """
+    batch = plan_batch(
+        scenario_names, fault_names, policies, seeds, duration, fault_at
+    )
+    return report_from_results(
+        run_many(batch),
+        scenario_names,
+        fault_names,
+        policies,
+        seeds,
+        duration,
+        fault_at,
     )

@@ -315,9 +315,23 @@ def _fleet_result_from_dict(payload: dict):
 # Registering here (the module that defines FleetConfig) means any
 # process that unpickles a FleetConfig — a worker about to run it —
 # registers the type before the generic worker entry point dispatches.
+def _fleet_cost(config: FleetConfig) -> float:
+    """Fleet cells dwarf single sessions: cost scales with simulated
+    time × population × active fault windows (the shard fabric's
+    cost-weighted striping keeps one 500-subscriber cell from landing
+    on the same shard as another)."""
+    faults = 0 if config.faults is None else len(list(config.faults))
+    return (
+        float(config.duration)
+        * max(1, config.total_subscribers())
+        * (1.0 + faults)
+    )
+
+
 register_config_type(
     FleetConfig,
     run=_run_fleet,
     from_dict=_fleet_result_from_dict,
     hash_exclude=("kernel",),
+    cost=_fleet_cost,
 )

@@ -29,6 +29,7 @@ import re
 import socket
 import tempfile
 import time
+import warnings
 from pathlib import Path
 
 from ..errors import ConfigError
@@ -42,6 +43,41 @@ STATUSES = ("pending", "running", "ok", "quarantined")
 #: Minimum seconds between non-forced saves (big batches would
 #: otherwise rewrite the file once per cell transition).
 SAVE_INTERVAL = 0.5
+
+#: Run id given to a manifest whose file was too damaged to parse at
+#: all; :meth:`RunManifest.create` replaces it with a fresh identity.
+TORN_RUN_ID = "(torn-manifest)"
+
+#: Default heartbeat-lease TTL (s). A worker renews well inside this
+#: (every ``ttl / 3``); a lease older than the TTL marks the worker
+#: dead and its unfinished cells reclaimable (see
+#: :mod:`repro.pipeline.shards`).
+DEFAULT_LEASE_TTL = 30.0
+
+
+def lease_state(
+    lease: dict | None,
+    now: float | None = None,
+    grace: float = 0.0,
+) -> str:
+    """Classify a manifest's lease record: ``none``/``live``/``expired``.
+
+    Leases use wall-clock time because they cross process (and host)
+    boundaries — the reader is never the process that wrote them. A
+    missing or malformed lease is ``none`` (pre-lease manifests, or a
+    sealed run that released it): its unfinished cells are treated as
+    reclaimable, exactly like an expired one.
+    """
+    if not isinstance(lease, dict):
+        return "none"
+    try:
+        renewed = float(lease["renewed"])
+        ttl = float(lease["ttl"])
+    except (KeyError, TypeError, ValueError):
+        return "none"
+    if now is None:
+        now = time.time()
+    return "live" if now <= renewed + ttl + grace else "expired"
 
 
 def manifest_dir() -> Path:
@@ -144,8 +180,10 @@ class RunManifest:
         self.status = "running"
         self.stats: dict[str, int] = {}
         self.records: dict[str, dict] = {}
+        self.lease: dict | None = None
         self._started: dict[str, float] = {}
         self._last_save = 0.0
+        self._last_heartbeat = 0.0
 
     # ------------------------------------------------------------------
     # Construction
@@ -161,10 +199,35 @@ class RunManifest:
         max_retries: int = 2,
     ) -> "RunManifest":
         """A fresh manifest; resumes in place if ``path`` already holds
-        one (running records are reset to pending, ok records kept)."""
+        one (running records are reset to pending, ok records kept).
+
+        A corrupt existing manifest — e.g. the writer was SIGKILLed in
+        the middle of a (non-atomic-filesystem) write — is salvaged,
+        not fatal: whatever records survive are kept, lost ones re-read
+        as pending, and finished cells are still served by the result
+        cache. Crash recovery must not be blocked by the very artifact
+        the crash tore.
+        """
         target = Path(path)
         if target.is_file():
-            manifest = cls.load(target)
+            manifest, problems = cls.load_tolerant(target)
+            for problem in problems:
+                warnings.warn(
+                    f"resuming past a damaged manifest: {problem} "
+                    "(affected cells will re-execute or come from "
+                    "the result cache)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            if manifest.run_id == TORN_RUN_ID:
+                # Nothing salvageable: mint a fresh identity so the
+                # resumed run is distinguishable from the torn one.
+                manifest.run_id = new_run_id(argv)
+                manifest.argv = list(argv) if argv is not None else []
+                manifest.command = command
+                manifest.workers = workers
+                manifest.session_timeout = session_timeout
+                manifest.max_retries = max_retries
             manifest.status = "running"
             for record in manifest.records.values():
                 if record["status"] == "running":
@@ -208,7 +271,54 @@ class RunManifest:
         manifest.status = data.get("status", "running")
         manifest.stats = dict(data.get("stats", {}))
         manifest.records = dict(data.get("records", {}))
+        lease = data.get("lease")
+        manifest.lease = dict(lease) if isinstance(lease, dict) else None
         return manifest
+
+    @classmethod
+    def load_tolerant(
+        cls, path: Path | str
+    ) -> "tuple[RunManifest, list[str]]":
+        """Load a manifest, surviving truncation and corruption.
+
+        A manifest can be torn at **any byte offset** by a SIGKILLed
+        writer on a filesystem without atomic rename, or flat-out
+        garbage. Strict :meth:`load` raises; this variant always
+        returns a usable manifest plus a list of human-readable
+        problems:
+
+        * an unreadable/unparseable/wrong-schema file → an **empty**
+          manifest (run id :data:`TORN_RUN_ID`): every cell reads as
+          pending, which is the safe answer — unfinished work is
+          re-runnable and finished work still lives in the result
+          cache;
+        * individually malformed records (non-dict payload, unknown
+          status) are dropped with a note; intact records survive.
+
+        An empty ``problems`` list means the file was perfectly
+        healthy.
+        """
+        source = Path(path)
+        problems: list[str] = []
+        try:
+            manifest = cls.load(source)
+        except ConfigError as exc:
+            problems.append(str(exc))
+            torn = cls(source, run_id=TORN_RUN_ID)
+            return torn, problems
+        bad = [
+            digest
+            for digest, record in manifest.records.items()
+            if not isinstance(record, dict)
+            or record.get("status") not in STATUSES
+        ]
+        for digest in bad:
+            problems.append(
+                f"manifest {source}: record {digest[:12]} is malformed; "
+                "treating the cell as pending"
+            )
+            del manifest.records[digest]
+        return manifest, problems
 
     # ------------------------------------------------------------------
     # Record transitions
@@ -278,6 +388,53 @@ class RunManifest:
         self._started.pop(config_hash, None)
 
     # ------------------------------------------------------------------
+    # Heartbeat leases
+    # ------------------------------------------------------------------
+    def enable_lease(self, ttl: float = DEFAULT_LEASE_TTL) -> None:
+        """Start advertising liveness in the manifest file.
+
+        Every subsequent :meth:`save` refreshes the lease's ``renewed``
+        wall-clock stamp, and :meth:`heartbeat` forces a refresh even
+        when no record transitions (a long-running cell must not look
+        dead). A reader observing ``renewed + ttl`` in the past may
+        reclaim this run's unfinished cells.
+
+        Raises:
+            ConfigError: on a non-positive TTL.
+        """
+        if ttl <= 0:
+            raise ConfigError(f"lease ttl must be positive, got {ttl!r}")
+        self.lease = {
+            "owner": self.run_id,
+            "host": host_tag(),
+            "pid": os.getpid(),
+            "ttl": float(ttl),
+            "renewed": time.time(),
+        }
+
+    def release_lease(self) -> None:
+        """Stop advertising liveness (clean completion or interrupt)."""
+        if self.lease is not None:
+            self.lease = None
+            self.save(force=True)
+
+    def heartbeat(self) -> None:
+        """Renew the lease if a third of its TTL has passed.
+
+        Called from the supervisor's scheduling loop (every tick, so at
+        least every ~0.5 s): record transitions alone cannot keep a
+        lease fresh while one long cell is executing. No-op without an
+        enabled lease, so non-shard supervised runs pay nothing.
+        """
+        if self.lease is None:
+            return
+        now = time.monotonic()
+        interval = max(SAVE_INTERVAL, self.lease["ttl"] / 3.0)
+        if now - self._last_heartbeat < interval:
+            return
+        self.save(force=True)
+
+    # ------------------------------------------------------------------
     # Summaries
     # ------------------------------------------------------------------
     def counts(self) -> dict[str, int]:
@@ -311,6 +468,7 @@ class RunManifest:
             "max_retries": self.max_retries,
             "status": self.status,
             "stats": self.stats,
+            "lease": self.lease,
             "records": self.records,
         }
 
@@ -320,6 +478,10 @@ class RunManifest:
         if not force and now - self._last_save < SAVE_INTERVAL:
             return
         self._last_save = now
+        if self.lease is not None:
+            # Every write that reaches disk doubles as a lease renewal.
+            self.lease["renewed"] = time.time()
+            self._last_heartbeat = now
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
             dir=self.path.parent, prefix=".manifest-", suffix=".tmp"
@@ -336,7 +498,13 @@ class RunManifest:
             raise
 
     def finish(self, status: str, stats: dict[str, int]) -> None:
-        """Seal the manifest: final status + supervisor counters."""
+        """Seal the manifest: final status + supervisor counters.
+
+        Sealing releases any heartbeat lease — a finished (or
+        interrupted) run has no in-flight work for a lease to protect,
+        and its unfinished cells should be immediately stealable.
+        """
         self.status = status
         self.stats = dict(stats)
+        self.lease = None
         self.save(force=True)

@@ -79,11 +79,16 @@ class ConfigTypeSpec:
         from_dict: ``payload -> result`` inverse of ``to_dict``.
         hash_exclude: field names excluded from the cache key (pure
             performance knobs that never change results).
+        cost: optional ``config -> float`` estimating relative wall
+            cost; the shard fabric's cost-weighted striping balances
+            shards by it. Must be a pure function of the config (the
+            plan records its output). ``None`` means unit cost.
     """
 
     run: Callable[[object], object]
     from_dict: Callable[[dict], object]
     hash_exclude: frozenset[str]
+    cost: Callable[[object], float] | None = None
 
 
 _CONFIG_TYPES: dict[type, ConfigTypeSpec] = {}
@@ -94,6 +99,7 @@ def register_config_type(
     run: Callable[[object], object],
     from_dict: Callable[[dict], object],
     hash_exclude: Iterable[str] = (),
+    cost: Callable[[object], float] | None = None,
 ) -> None:
     """Register a runnable config class with the execution fabric.
 
@@ -105,6 +111,7 @@ def register_config_type(
         run=run,
         from_dict=from_dict,
         hash_exclude=frozenset(hash_exclude),
+        cost=cost,
     )
 
 
@@ -132,6 +139,19 @@ def run_config(config: object) -> object:
 def result_from_dict(config: object, payload: dict) -> object:
     """Rebuild a result dict through the config's registered decoder."""
     return config_type_spec(config).from_dict(payload)
+
+
+def estimate_cost(config: object) -> float:
+    """Relative wall-cost estimate of one config (>= a small epsilon).
+
+    Dispatches to the registered type's ``cost`` estimator; types
+    without one are unit cost. The floor keeps degenerate estimates
+    from producing zero-weight cells that striping cannot order.
+    """
+    estimator = config_type_spec(config).cost
+    if estimator is None:
+        return 1.0
+    return max(float(estimator(config)), 1e-6)
 
 
 # ----------------------------------------------------------------------
@@ -545,6 +565,17 @@ def _run_rtc_session(config: SessionConfig) -> SessionResult:
     return RtcSession(config).run()
 
 
+def _session_cost(config: SessionConfig) -> float:
+    """Wall cost scales with simulated time and active fault windows.
+
+    Faults add events (capacity rewrites, loss bursts, keyframe
+    storms), so a faulted session costs more than its clean twin of
+    the same duration.
+    """
+    faults = 0 if config.faults is None else len(list(config.faults))
+    return float(config.duration) * (1.0 + faults)
+
+
 # ``kernel`` is excluded from the hash: every event-kernel backend is
 # bit-identical (enforced by the kernel-equivalence tests), so a result
 # cached under one kernel is valid for all of them. Other runnable
@@ -555,4 +586,5 @@ register_config_type(
     run=_run_rtc_session,
     from_dict=SessionResult.from_dict,
     hash_exclude=("kernel",),
+    cost=_session_cost,
 )

@@ -32,10 +32,28 @@ Three phases, each a CLI subcommand:
   merged cache is a valid warm cache for any future run of those
   configs.
 
-Merge order cannot matter: shards are disjoint by construction, cache
-entries are keyed by config hash, and candidate directories are
-processed in sorted order — merging shards in any order yields
-byte-identical output (enforced by ``tests/unit/test_shards.py``).
+Merge order cannot matter: every cell is keyed by its config hash,
+cache entries for the same hash are byte-identical wherever they were
+produced, and candidate directories are processed in sorted order —
+merging shards in any order yields byte-identical output (enforced by
+``tests/unit/test_shards.py``).
+
+On top of the three phases sits **crash survival**:
+
+* every running shard holds a *heartbeat lease* in its manifest (see
+  :meth:`~repro.pipeline.manifest.RunManifest.enable_lease`); a lease
+  past its TTL marks the worker dead and its unfinished cells
+  reclaimable;
+* **steal** — :func:`steal_shard` lets a survivor claim expired-lease
+  cells through atomic claim files and execute them under its own
+  manifest + cache, then copy the results into the victim's cache so
+  a later resume of the victim is served entirely from cache. Claim
+  *ordering* is derived from cell hashes, never wall-clock time, and
+  claims are advisory: if two stealers ever execute the same cell the
+  results are bit-identical and cache writes are atomic, so any
+  interleaving of deaths, steals, and resumes merges byte-identically
+  (enforced by ``tools/shard_chaos.py`` and the ``shard-chaos`` CI
+  job).
 """
 
 from __future__ import annotations
@@ -44,14 +62,22 @@ import hashlib
 import json
 import os
 import tempfile
-from dataclasses import dataclass
+import time
+import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
-from ..errors import ConfigError
+from ..errors import ConfigError, LeaseConflictError
 from .config import PolicyName, SessionConfig
-from .manifest import STATUSES, RunManifest
-from .parallel import ResultCache, config_hash
+from .manifest import (
+    DEFAULT_LEASE_TTL,
+    STATUSES,
+    RunManifest,
+    host_tag,
+    lease_state,
+)
+from .parallel import ResultCache, config_hash, estimate_cost
 from .supervisor import (
     FailedSession,
     SupervisorPlan,
@@ -60,11 +86,18 @@ from .supervisor import (
     supervised_run_many,
 )
 
-#: Plan file layout version.
-PLAN_SCHEMA_VERSION = 1
+#: Plan file layout version. v2 added cost-weighted striping: explicit
+#: per-cell shard assignments and cost estimates in the plan file.
+PLAN_SCHEMA_VERSION = 2
 
 #: On-disk name of shard ``i`` under a shard base directory.
 SHARD_DIR_FORMAT = "shard-{index:03d}"
+
+#: Recognized striping modes for :func:`build_plan`.
+STRIPING_MODES = ("cost", "round-robin")
+
+#: Claim-file directory under a shard base directory.
+CLAIMS_DIR = "claims"
 
 
 # ----------------------------------------------------------------------
@@ -233,6 +266,109 @@ def _fleet_render(params: dict, results: list, fmt: str) -> str:
     return fleet.render(report, fmt)
 
 
+def _chaos_normalize(params: dict) -> dict:
+    from ..experiments import robustness
+
+    scenario_names = [
+        str(name)
+        for name in params.get("scenarios") or robustness.DEFAULT_SCENARIOS
+    ]
+    fault_names = [
+        str(name)
+        for name in params.get("faults") or robustness.FAULT_NAMES
+    ]
+    policies = [
+        PolicyName(p).value
+        for p in params.get("policies")
+        or [p.value for p in robustness.DEFAULT_POLICIES]
+    ]
+    seeds = [int(s) for s in params.get("seeds") or (1, 2)]
+    duration = float(params.get("duration") or robustness.DURATION)
+    fault_at = float(params.get("fault_at") or robustness.FAULT_AT)
+    if not policies:
+        raise ConfigError("chaos grid needs at least one policy")
+    robustness.validate_grid(
+        tuple(scenario_names),
+        tuple(fault_names),
+        tuple(seeds),
+        duration,
+        fault_at,
+    )
+    return {
+        "duration": duration,
+        "fault_at": fault_at,
+        "faults": fault_names,
+        "policies": policies,
+        "scenarios": scenario_names,
+        "seeds": seeds,
+    }
+
+
+def _chaos_build(params: dict) -> list[SessionConfig]:
+    from ..experiments import robustness
+
+    return robustness.plan_batch(
+        scenario_names=tuple(params["scenarios"]),
+        fault_names=tuple(params["faults"]),
+        policies=tuple(PolicyName(p) for p in params["policies"]),
+        seeds=tuple(params["seeds"]),
+        duration=params["duration"],
+        fault_at=params["fault_at"],
+    )
+
+
+def _chaos_render(params: dict, results: list, fmt: str) -> str:
+    from ..experiments import robustness
+
+    report = robustness.report_from_results(
+        results,
+        scenario_names=tuple(params["scenarios"]),
+        fault_names=tuple(params["faults"]),
+        policies=tuple(PolicyName(p) for p in params["policies"]),
+        seeds=tuple(params["seeds"]),
+        duration=params["duration"],
+        fault_at=params["fault_at"],
+    )
+    return robustness.render(report, fmt)
+
+
+def _sweep_normalize(params: dict) -> dict:
+    from ..experiments import scenarios
+
+    ratios = [
+        float(r) for r in params.get("ratios")
+        or scenarios.TABLE1_DROP_RATIOS
+    ]
+    seeds = [int(s) for s in params.get("seeds") or (1, 2, 3)]
+    baseline = PolicyName(
+        params.get("baseline") or PolicyName.WEBRTC.value
+    ).value
+    if not ratios or not seeds:
+        raise ConfigError("sweep grid needs at least one ratio and seed")
+    return {"baseline": baseline, "ratios": ratios, "seeds": seeds}
+
+
+def _sweep_build(params: dict) -> list[SessionConfig]:
+    from . import sweeps
+
+    return sweeps.plan_drop_sweep(
+        ratios=tuple(params["ratios"]),
+        seeds=tuple(params["seeds"]),
+        baseline=PolicyName(params["baseline"]),
+    )
+
+
+def _sweep_render(params: dict, results: list, fmt: str) -> str:
+    from . import sweeps
+
+    rows = sweeps.rows_from_drop_sweep(
+        results,
+        ratios=tuple(params["ratios"]),
+        seeds=tuple(params["seeds"]),
+    )
+    return sweeps.render_drop_sweep(rows, fmt)
+
+
 #: Shardable grids by name. Each renders through the *driver's* own
 #: row-assembly and formatting code, so a merged report and the
 #: equivalent single-host CLI report are the same bytes by
@@ -254,6 +390,18 @@ GRIDS: dict[str, GridDef] = {
         normalize=_fleet_normalize,
         build=_fleet_build,
         render=_fleet_render,
+        formats=("table", "json", "csv"),
+    ),
+    "chaos": GridDef(
+        normalize=_chaos_normalize,
+        build=_chaos_build,
+        render=_chaos_render,
+        formats=("table", "json", "csv"),
+    ),
+    "sweep": GridDef(
+        normalize=_sweep_normalize,
+        build=_sweep_build,
+        render=_sweep_render,
         formats=("table", "json", "csv"),
     ),
 }
@@ -281,26 +429,41 @@ class ShardPlan:
     """A deterministic partition of one grid into ``shards`` shards.
 
     ``hashes`` holds every cell's config hash in grid-enumeration
-    order; cell ``i`` is assigned to shard ``i % shards`` (striping
-    balances cost because neighbouring cells are seed/policy variants
-    of the same scenario point). ``plan_id`` fingerprints the whole
-    partition, so hosts can verify they are executing the same plan.
+    order. ``assignments`` records the shard each cell belongs to —
+    computed once at plan time (cost-weighted by default, see
+    :func:`build_plan`) and stored in the plan file, so every host and
+    every merge sees the identical partition regardless of which
+    striping policy produced it. When ``assignments`` is empty (a plan
+    constructed by hand) cells fall back to round-robin
+    (``i % shards``). ``plan_id`` fingerprints the whole partition, so
+    hosts can verify they are executing the same plan.
     """
 
     kind: str
     params: dict
     shards: int
     hashes: tuple[str, ...]
+    costs: tuple[float, ...] = ()
+    assignments: tuple[int, ...] = ()
+    striping: str = "round-robin"
 
     @property
     def plan_id(self) -> str:
-        """Stable fingerprint of (grid, K, cell hashes)."""
+        """Stable fingerprint of (grid, K, striping, cell → shard)."""
         payload = json.dumps(
             {
                 "schema": PLAN_SCHEMA_VERSION,
                 "grid": {"kind": self.kind, "params": self.params},
                 "shards": self.shards,
-                "hashes": list(self.hashes),
+                "striping": self.striping,
+                "cells": [
+                    {
+                        "cost": self.cost_of(index),
+                        "hash": digest,
+                        "shard": self.shard_of(index),
+                    }
+                    for index, digest in enumerate(self.hashes)
+                ],
             },
             sort_keys=True,
             separators=(",", ":"),
@@ -310,7 +473,15 @@ class ShardPlan:
     # ------------------------------------------------------------------
     def shard_of(self, cell_index: int) -> int:
         """The shard a cell is assigned to."""
+        if self.assignments:
+            return self.assignments[cell_index]
         return cell_index % self.shards
+
+    def cost_of(self, cell_index: int) -> float:
+        """The cell's recorded cost estimate (1.0 when unrecorded)."""
+        if self.costs:
+            return self.costs[cell_index]
+        return 1.0
 
     def cell_indices(self, shard_index: int) -> list[int]:
         """Global cell indices belonging to one shard (in grid order)."""
@@ -319,7 +490,18 @@ class ShardPlan:
                 f"shard index {shard_index} out of range "
                 f"(plan has {self.shards} shards)"
             )
-        return list(range(shard_index, len(self.hashes), self.shards))
+        return [
+            index
+            for index in range(len(self.hashes))
+            if self.shard_of(index) == shard_index
+        ]
+
+    def shard_cost(self, shard_index: int) -> float:
+        """Total estimated cost assigned to one shard."""
+        return sum(
+            self.cost_of(index)
+            for index in self.cell_indices(shard_index)
+        )
 
     def configs(self) -> list[object]:
         """Re-expand the grid and verify it still matches the plan.
@@ -347,8 +529,13 @@ class ShardPlan:
             "plan_id": self.plan_id,
             "grid": {"kind": self.kind, "params": self.params},
             "shards": self.shards,
+            "striping": self.striping,
             "cells": [
-                {"hash": digest, "shard": index % self.shards}
+                {
+                    "cost": self.cost_of(index),
+                    "hash": digest,
+                    "shard": self.shard_of(index),
+                }
                 for index, digest in enumerate(self.hashes)
             ],
         }
@@ -400,6 +587,13 @@ class ShardPlan:
                 params=dict(grid["params"]),
                 shards=int(data["shards"]),
                 hashes=tuple(cell["hash"] for cell in data["cells"]),
+                costs=tuple(
+                    float(cell["cost"]) for cell in data["cells"]
+                ),
+                assignments=tuple(
+                    int(cell["shard"]) for cell in data["cells"]
+                ),
+                striping=str(data["striping"]),
             )
         except (KeyError, TypeError) as exc:
             raise ConfigError(
@@ -414,14 +608,65 @@ class ShardPlan:
         return plan
 
 
-def build_plan(kind: str, params: dict | None, shards: int) -> ShardPlan:
+def _stripe_by_cost(
+    hashes: tuple[str, ...],
+    costs: tuple[float, ...],
+    shards: int,
+) -> tuple[int, ...]:
+    """LPT greedy: heaviest cells first, each onto the lightest shard.
+
+    Deterministic end to end: cells are ordered by (descending cost,
+    hash, index) and load ties break to the lowest shard index, so the
+    same grid always stripes identically on every host. With
+    ``len(hashes) >= shards`` and strictly positive costs every shard
+    receives at least one cell (empty shards stay lightest until
+    seeded).
+    """
+    order = sorted(
+        range(len(hashes)),
+        key=lambda i: (-costs[i], hashes[i], i),
+    )
+    loads = [0.0] * shards
+    assignments = [0] * len(hashes)
+    for index in order:
+        target = min(range(shards), key=lambda s: (loads[s], s))
+        assignments[index] = target
+        loads[target] += costs[index]
+    return tuple(assignments)
+
+
+def build_plan(
+    kind: str,
+    params: dict | None,
+    shards: int,
+    striping: str = "cost",
+) -> ShardPlan:
     """Partition a grid into ``shards`` deterministic shards.
 
+    ``striping`` picks the cell → shard policy:
+
+    * ``cost`` (default) — LPT greedy over per-cell cost estimates
+      (:func:`~repro.pipeline.parallel.estimate_cost`: roughly
+      simulated seconds × population × fault windows), so one
+      500-subscriber fleet cell does not land next to another while a
+      third shard idles;
+    * ``round-robin`` — cell ``i`` → shard ``i % shards`` (the v1
+      behavior; fine when cells are near-uniform).
+
+    Either way the assignment is recorded in the plan file, so
+    execution and merge never re-derive it.
+
     Raises:
-        ConfigError: unknown grid, bad params, or ``shards < 1``.
+        ConfigError: unknown grid, bad params, unknown striping, or
+            ``shards < 1``.
     """
     if shards < 1:
         raise ConfigError(f"shards must be >= 1, got {shards!r}")
+    if striping not in STRIPING_MODES:
+        raise ConfigError(
+            f"unknown striping {striping!r} "
+            f"(available: {', '.join(STRIPING_MODES)})"
+        )
     definition = grid_def(kind)
     canonical = definition.normalize(dict(params or {}))
     batch = definition.build(canonical)
@@ -430,11 +675,20 @@ def build_plan(kind: str, params: dict | None, shards: int) -> ShardPlan:
             f"cannot split {len(batch)} cells into {shards} shards "
             "(each shard needs at least one cell)"
         )
+    hashes = tuple(config_hash(config) for config in batch)
+    costs = tuple(estimate_cost(config) for config in batch)
+    if striping == "round-robin":
+        assignments = tuple(i % shards for i in range(len(batch)))
+    else:
+        assignments = _stripe_by_cost(hashes, costs, shards)
     return ShardPlan(
         kind=kind,
         params=canonical,
         shards=shards,
-        hashes=tuple(config_hash(config) for config in batch),
+        hashes=hashes,
+        costs=costs,
+        assignments=assignments,
+        striping=striping,
     )
 
 
@@ -454,6 +708,7 @@ def run_shard(
     policy: SupervisorPolicy | None = None,
     argv: list[str] | None = None,
     manifest_path: Path | str | None = None,
+    lease_ttl: float | None = DEFAULT_LEASE_TTL,
 ) -> tuple[list[object], SupervisorPlan]:
     """Execute one shard under the supervised executor.
 
@@ -462,7 +717,15 @@ def run_shard(
     directory *resumes*: the manifest's finished cells are served from
     the shard cache and only unfinished cells execute — which is
     exactly what ``repro-rtc resume <shard>/manifest.json`` replays
-    after a crash or SIGKILL.
+    after a crash or SIGKILL. Cells another shard stole while this one
+    was dead resume the same way: the stolen results were copied into
+    this shard's cache, so they cache-serve.
+
+    While running, the manifest carries a heartbeat lease renewed at
+    least every ``lease_ttl / 3`` seconds; if this process is
+    SIGKILLed the lease expires and survivors may steal the shard's
+    unfinished cells (:func:`steal_shard`). ``lease_ttl=None``
+    disables the lease.
 
     Returns the shard's results (grid order within the shard;
     quarantined cells as :class:`FailedSession`) and the supervisor
@@ -485,6 +748,8 @@ def run_shard(
         session_timeout=supervisor_policy.session_timeout,
         max_retries=supervisor_policy.retry.max_retries,
     )
+    if lease_ttl is not None:
+        manifest.enable_lease(ttl=lease_ttl)
     manifest.save(force=True)
     supervisor_plan = SupervisorPlan(
         policy=supervisor_policy, manifest=manifest
@@ -496,6 +761,301 @@ def run_shard(
         plan=supervisor_plan,
     )
     return results, supervisor_plan
+
+
+# ----------------------------------------------------------------------
+# Work stealing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReclaimScan:
+    """What a sweep of a shard base directory found.
+
+    ``cells`` maps victim shard index → its reclaimable cell indices
+    (unfinished cells whose shard does not hold a live lease).
+    ``live`` lists shards currently protected by a live lease.
+    ``problems`` collects tolerant-load notes (torn/corrupt manifests
+    encountered along the way — informational, never fatal here).
+    """
+
+    cells: dict[int, list[int]] = field(default_factory=dict)
+    live: tuple[int, ...] = ()
+    problems: tuple[str, ...] = ()
+
+
+def claims_dir(base: Path | str) -> Path:
+    """``<base>/claims`` — one claim file per stolen cell hash."""
+    return Path(base) / CLAIMS_DIR
+
+
+def scan_reclaimable(
+    plan: ShardPlan,
+    base_dir: Path | str,
+    now: float | None = None,
+    grace: float = 0.0,
+) -> ReclaimScan:
+    """Find every cell a survivor may claim right now.
+
+    A cell is reclaimable when it has no terminal result anywhere —
+    no ``ok``/``quarantined`` record in *any* shard manifest and no
+    entry in its own shard's cache (the cache check matters for the
+    torn-manifest case: a SIGKILL mid-write can lose the records of
+    cells whose results already landed) — **and** its owning shard's
+    lease is not live. A missing manifest, a released lease, and a
+    torn lease all read as not-live: the only thing a live lease
+    asserts is "a worker is actively renewing this file".
+
+    Manifests are read tolerantly; corruption is reported in
+    ``problems``, never raised.
+    """
+    base = Path(base_dir)
+    if now is None:
+        now = time.time()
+    finished: set[str] = set()
+    live: list[int] = []
+    problems: list[str] = []
+    for index in range(plan.shards):
+        manifest_file = shard_dir(base, index) / "manifest.json"
+        if not manifest_file.is_file():
+            continue
+        manifest, notes = RunManifest.load_tolerant(manifest_file)
+        problems.extend(notes)
+        if lease_state(manifest.lease, now=now, grace=grace) == "live":
+            live.append(index)
+        for digest, record in manifest.records.items():
+            if record["status"] in ("ok", "quarantined"):
+                finished.add(digest)
+    cells: dict[int, list[int]] = {}
+    for cell_index, digest in enumerate(plan.hashes):
+        owner = plan.shard_of(cell_index)
+        if owner in live or digest in finished:
+            continue
+        if (shard_dir(base, owner) / "cache" / f"{digest}.json").is_file():
+            continue
+        cells.setdefault(owner, []).append(cell_index)
+    return ReclaimScan(
+        cells=cells, live=tuple(live), problems=tuple(problems)
+    )
+
+
+def _claimant_is_live(
+    claim: dict, plan: ShardPlan, base_dir: Path | str, now: float
+) -> bool:
+    """Whether a claim file's owner still holds a live shard lease."""
+    shard_index = claim.get("shard")
+    if not isinstance(shard_index, int):
+        return False
+    if not 0 <= shard_index < plan.shards:
+        return False
+    manifest_file = shard_dir(base_dir, shard_index) / "manifest.json"
+    if not manifest_file.is_file():
+        return False
+    manifest, _notes = RunManifest.load_tolerant(manifest_file)
+    return lease_state(manifest.lease, now=now) == "live"
+
+
+def try_claim(
+    base_dir: Path | str,
+    digest: str,
+    stealer_index: int,
+    plan: ShardPlan,
+    now: float | None = None,
+) -> bool:
+    """Atomically claim one cell for stealing.
+
+    The claim is a file created with ``O_CREAT | O_EXCL`` — exactly one
+    creator wins under any interleaving the filesystem allows. An
+    existing claim whose owner's lease has itself expired (a stealer
+    that died mid-steal) is deleted and re-contested, so claims can
+    never deadlock the fabric.
+
+    Claims are *advisory*: they stop survivors from duplicating work,
+    but correctness never depends on them. If two stealers do execute
+    the same cell, both produce bit-identical results and the cache
+    write is atomic — the merge cannot tell the difference.
+    """
+    if now is None:
+        now = time.time()
+    directory = claims_dir(base_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{digest}.claim"
+    payload = json.dumps(
+        {
+            "hash": digest,
+            "host": host_tag(),
+            "pid": os.getpid(),
+            "shard": stealer_index,
+        },
+        indent=2,
+        sort_keys=True,
+    )
+    for _attempt in range(2):
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                claim = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                claim = {}
+            if not isinstance(claim, dict):
+                claim = {}
+            if claim.get("shard") == stealer_index:
+                # Our own earlier claim (a resumed steal): keep it.
+                return True
+            if _claimant_is_live(claim, plan, base_dir, now):
+                return False
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            continue
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        return True
+    return False
+
+
+@dataclass(frozen=True)
+class StealSummary:
+    """What one :func:`steal_shard` invocation did."""
+
+    claimed: int
+    executed: int
+    quarantined: int
+    victims: tuple[int, ...]
+    skipped_live: tuple[int, ...]
+    problems: tuple[str, ...]
+
+
+def steal_shard(
+    plan: ShardPlan,
+    index: int,
+    base_dir: Path | str,
+    workers: int = 1,
+    policy: SupervisorPolicy | None = None,
+    argv: list[str] | None = None,
+    victims: Sequence[int] | None = None,
+    lease_ttl: float | None = DEFAULT_LEASE_TTL,
+    grace: float = 0.0,
+) -> tuple[StealSummary, SupervisorPlan | None]:
+    """Claim and execute dead shards' unfinished cells as shard ``index``.
+
+    Candidate cells come from :func:`scan_reclaimable`; claim order is
+    the **sorted cell hashes** — a pure function of the plan, never
+    wall-clock time — so however many survivors race, the set of cells
+    each one wins is determined by claim-file atomicity alone and every
+    outcome merges byte-identically.
+
+    Stolen cells execute under the *stealer's* manifest and cache
+    (with its own heartbeat lease, so a stealer that dies mid-steal is
+    itself stealable). Each stolen result is then copied into the
+    victim's cache: if the victim ever resumes, its cells cache-serve
+    and the resume is a cheap no-op.
+
+    ``victims=None`` auto-targets every reclaimable shard. Naming a
+    victim that holds a live lease raises :class:`LeaseConflictError`
+    (classified :data:`~repro.errors.ErrorClass.CONTENTION` — never
+    retried by a supervisor).
+
+    Returns the summary and the stealer's supervisor plan (``None``
+    when there was nothing to steal).
+    """
+    scan = scan_reclaimable(plan, base_dir, grace=grace)
+    if victims is not None:
+        for victim in victims:
+            if not 0 <= victim < plan.shards:
+                raise ConfigError(
+                    f"victim shard {victim} out of range "
+                    f"(plan has {plan.shards} shards)"
+                )
+            if victim == index:
+                raise ConfigError(
+                    f"shard {index} cannot steal from itself; "
+                    "resume it instead"
+                )
+            if victim in scan.live:
+                raise LeaseConflictError(
+                    f"shard {victim} holds a live lease — its worker "
+                    "is renewing heartbeats and its cells are not "
+                    "stealable (wait for the lease to expire)"
+                )
+        targets = {v: scan.cells.get(v, []) for v in victims}
+    else:
+        targets = {
+            victim: cells
+            for victim, cells in scan.cells.items()
+            if victim != index
+        }
+    skipped_live = tuple(sorted(set(scan.live) - {index}))
+    now = time.time()
+    candidates = sorted(
+        (cell for cells in targets.values() for cell in cells),
+        key=lambda cell: plan.hashes[cell],
+    )
+    claimed = [
+        cell
+        for cell in candidates
+        if try_claim(base_dir, plan.hashes[cell], index, plan, now)
+    ]
+    if not claimed:
+        return (
+            StealSummary(
+                claimed=0,
+                executed=0,
+                quarantined=0,
+                victims=(),
+                skipped_live=skipped_live,
+                problems=scan.problems,
+            ),
+            None,
+        )
+    configs = plan.configs()
+    directory = shard_dir(base_dir, index)
+    cache = ResultCache(directory / "cache")
+    cache.ensure_writable()
+    supervisor_policy = policy if policy is not None else SupervisorPolicy()
+    supervisor_policy.validate()
+    manifest = RunManifest.create(
+        directory / "manifest.json",
+        argv=argv,
+        command="shard-steal",
+        workers=max(1, workers),
+        session_timeout=supervisor_policy.session_timeout,
+        max_retries=supervisor_policy.retry.max_retries,
+    )
+    if lease_ttl is not None:
+        manifest.enable_lease(ttl=lease_ttl)
+    manifest.save(force=True)
+    supervisor_plan = SupervisorPlan(
+        policy=supervisor_policy, manifest=manifest
+    )
+    results = supervised_run_many(
+        [configs[cell] for cell in claimed],
+        workers=max(1, workers),
+        cache=cache,
+        plan=supervisor_plan,
+    )
+    for cell in claimed:
+        digest = plan.hashes[cell]
+        source = cache.path_for_hash(digest)
+        if not source.is_file():
+            continue  # quarantined: survives via the manifest record
+        victim_cache = ResultCache(
+            shard_dir(base_dir, plan.shard_of(cell)) / "cache"
+        )
+        victim_cache.ensure_writable()
+        dest = victim_cache.path_for_hash(digest)
+        if not dest.is_file():
+            _copy_entry(source, dest)
+    _ok, failures = split_failures(results)
+    summary = StealSummary(
+        claimed=len(claimed),
+        executed=len(results),
+        quarantined=len(failures),
+        victims=tuple(sorted({plan.shard_of(cell) for cell in claimed})),
+        skipped_live=skipped_live,
+        problems=scan.problems,
+    )
+    return summary, supervisor_plan
 
 
 # ----------------------------------------------------------------------
@@ -557,7 +1117,18 @@ def merge_shards(
         directory = Path(name)
         manifest_file = directory / "manifest.json"
         if manifest_file.is_file():
-            manifests.append(RunManifest.load(manifest_file))
+            # Tolerant: a victim whose manifest was torn mid-write must
+            # not block the merge — its finished cells live in caches
+            # (its own or a stealer's), and anything truly lost shows
+            # up as an incomplete cell below with a clear remedy.
+            manifest, problems = RunManifest.load_tolerant(manifest_file)
+            for problem in problems:
+                warnings.warn(
+                    f"merging past a damaged manifest: {problem}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            manifests.append(manifest)
         cache_root = directory / "cache"
         if cache_root.is_dir():
             cache_roots.append(cache_root)
@@ -705,20 +1276,31 @@ def render_merged(
 # ----------------------------------------------------------------------
 # Fleet-wide progress
 # ----------------------------------------------------------------------
+#: How final each record status is; a cell's effective status is its
+#: best across every shard manifest (a stolen cell is ``ok`` in the
+#: stealer's manifest while still ``pending``/lost in the victim's).
+_STATUS_RANK = {"pending": 0, "running": 1, "quarantined": 2, "ok": 3}
+
+
 @dataclass(frozen=True)
 class ShardStatus:
-    """Progress of one shard, read from its on-disk manifest.
+    """Progress of one shard, read from the on-disk manifests.
 
     ``counts`` always carries every manifest status key
-    (pending/running/ok/quarantined); cells the shard has not recorded
-    yet — including the whole shard when ``started`` is false — count
-    as ``pending``.
+    (pending/running/ok/quarantined) over the shard's *assigned* cells;
+    cells no manifest has recorded yet — including the whole shard when
+    ``started`` is false — count as ``pending``. ``lease`` is the
+    shard's own heartbeat-lease state (``none``/``live``/``expired``)
+    and ``problems`` lists damage found while reading its manifest
+    tolerantly.
     """
 
     index: int
     cells: int
     started: bool
     counts: dict[str, int]
+    lease: str = "none"
+    problems: tuple[str, ...] = ()
 
     def done(self) -> int:
         """Cells with a terminal status (ok or quarantined)."""
@@ -726,32 +1308,72 @@ class ShardStatus:
 
 
 def shard_status(
-    plan: ShardPlan, base_dir: Path | str
+    plan: ShardPlan,
+    base_dir: Path | str,
+    strict: bool = False,
+    now: float | None = None,
 ) -> list[ShardStatus]:
     """Per-shard progress of a plan under one shard base directory.
 
     Purely observational: reads each ``shard-NNN/manifest.json`` that
     exists and never writes, so it is safe to run while shards are
     executing elsewhere. Manifest records whose hash is not in the
-    plan are ignored (a foreign run sharing the directory).
+    plan are ignored (a foreign run sharing the directory). Records are
+    ranked *across* manifests and attributed to the plan's owning
+    shard, so stolen cells show as done on the shard that planned them.
+
+    Manifests are read tolerantly by default: a file truncated at any
+    byte offset — a SIGKILLed writer on a non-atomic filesystem —
+    reports its unrecoverable cells as ``pending`` (the safe answer:
+    unfinished work is re-runnable, finished work still cache-serves)
+    with the damage noted in ``problems``. ``strict=True`` restores
+    the old raise-on-corruption behavior.
+
+    Raises:
+        ConfigError: only with ``strict=True``, on a corrupt manifest.
     """
+    if now is None:
+        now = time.time()
     plan_hashes = set(plan.hashes)
+    best: dict[str, str] = {}
+    started: dict[int, bool] = {}
+    leases: dict[int, str] = {}
+    problems: dict[int, tuple[str, ...]] = {}
+    for index in range(plan.shards):
+        manifest_file = shard_dir(base_dir, index) / "manifest.json"
+        started[index] = manifest_file.is_file()
+        leases[index] = "none"
+        problems[index] = ()
+        if not started[index]:
+            continue
+        if strict:
+            manifest = RunManifest.load(manifest_file)
+        else:
+            manifest, notes = RunManifest.load_tolerant(manifest_file)
+            problems[index] = tuple(notes)
+        leases[index] = lease_state(manifest.lease, now=now)
+        for digest, record in manifest.records.items():
+            if digest not in plan_hashes:
+                continue
+            status = record["status"]
+            if _STATUS_RANK[status] > _STATUS_RANK[
+                best.get(digest, "pending")
+            ]:
+                best[digest] = status
     statuses: list[ShardStatus] = []
     for index in range(plan.shards):
-        cells = len(plan.cell_indices(index))
+        cells = plan.cell_indices(index)
         counts = {status: 0 for status in STATUSES}
-        manifest_file = shard_dir(base_dir, index) / "manifest.json"
-        started = manifest_file.is_file()
-        if started:
-            manifest = RunManifest.load(manifest_file)
-            for digest, record in manifest.records.items():
-                if digest in plan_hashes:
-                    counts[record["status"]] += 1
-        recorded = sum(counts.values())
-        counts["pending"] += max(0, cells - recorded)
+        for cell in cells:
+            counts[best.get(plan.hashes[cell], "pending")] += 1
         statuses.append(
             ShardStatus(
-                index=index, cells=cells, started=started, counts=counts
+                index=index,
+                cells=len(cells),
+                started=started[index],
+                counts=counts,
+                lease=leases[index],
+                problems=problems[index],
             )
         )
     return statuses

@@ -124,7 +124,12 @@ class RetryPolicy:
 
     def allows(self, error_class: ErrorClass, attempts: int) -> bool:
         """Whether a cell with ``attempts`` failures may try again."""
-        if error_class is ErrorClass.DETERMINISTIC:
+        if error_class in (
+            ErrorClass.DETERMINISTIC,
+            ErrorClass.CONTENTION,
+        ):
+            # Deterministic failures recur; contended cells belong to
+            # another live worker — neither improves with retries.
             return False
         return attempts <= self.max_retries
 
@@ -417,6 +422,11 @@ class Supervisor:
         try:
             while ready or waiting or inflight:
                 now = time.monotonic()
+                if self.manifest is not None:
+                    # Renew the heartbeat lease (if one is enabled)
+                    # even when no record transitions: one long cell
+                    # must not make this worker look dead to stealers.
+                    self.manifest.heartbeat()
                 while waiting and waiting[0][0] <= now:
                     ready.append(heapq.heappop(waiting)[2])
 

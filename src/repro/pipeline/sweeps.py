@@ -10,9 +10,11 @@ pool parallelizes across sweep points and policies at once.
 from __future__ import annotations
 
 import dataclasses
+import json
 from dataclasses import dataclass
 from typing import Callable
 
+from ..errors import ConfigError
 from .config import PolicyName, SessionConfig
 from .parallel import run_many
 from .results import SessionResult
@@ -160,3 +162,133 @@ def sweep_metric(
         else float("nan")
         for result in run_many(configs)
     ]
+
+
+# ----------------------------------------------------------------------
+# The canonical drop-severity sweep (shardable: the ``sweep`` grid)
+# ----------------------------------------------------------------------
+def sweep_point_label(ratio: float, seed: int) -> str:
+    """Stable row label for one (drop ratio, seed) sweep point."""
+    return f"drop{int(round(ratio * 100))}%/s{seed}"
+
+
+def plan_drop_sweep(
+    ratios: tuple[float, ...],
+    seeds: tuple[int, ...],
+    baseline: PolicyName = PolicyName.WEBRTC,
+) -> list[SessionConfig]:
+    """Deterministically enumerate the drop-severity sweep batch.
+
+    Per (ratio, seed) point: the baseline policy then ADAPTIVE, in
+    ratio-major order — :func:`rows_from_drop_sweep` folds results back
+    assuming exactly this order, which is what lets the shard fabric
+    plan, stripe, and merge the sweep.
+    """
+    # Lazy import: experiments imports pipeline submodules, so a
+    # module-level import here would tie a knot through the __init__s.
+    from ..experiments import scenarios
+
+    batch: list[SessionConfig] = []
+    for ratio in ratios:
+        for seed in seeds:
+            point = scenarios.step_drop_config(ratio, seed=seed)
+            batch.append(
+                dataclasses.replace(point, policy=baseline)
+            )
+            batch.append(
+                dataclasses.replace(point, policy=PolicyName.ADAPTIVE)
+            )
+    return batch
+
+
+def rows_from_drop_sweep(
+    results: list[object],
+    ratios: tuple[float, ...],
+    seeds: tuple[int, ...],
+) -> list[ComparisonRow]:
+    """Fold a result list (in :func:`plan_drop_sweep` order) into rows."""
+    from ..experiments import scenarios
+
+    window = scenarios.DROP_WINDOW
+    rows: list[ComparisonRow] = []
+    index = 0
+    for ratio in ratios:
+        for seed in seeds:
+            rows.append(
+                _row_from_results(
+                    sweep_point_label(ratio, seed),
+                    results[index],
+                    results[index + 1],
+                    window,
+                )
+            )
+            index += 2
+    return rows
+
+
+def render_drop_sweep(rows: list[ComparisonRow], fmt: str) -> str:
+    """Render sweep rows as a table, JSON, or CSV (deterministic bytes).
+
+    One format dispatch for the CLI and the shard-merge path, so a
+    merged sweep report is byte-identical to a single-host run.
+
+    Raises:
+        ConfigError: on an unknown format.
+    """
+    if fmt == "json":
+        payload = [
+            {
+                "label": row.label,
+                "baseline_latency": row.baseline_latency,
+                "adaptive_latency": row.adaptive_latency,
+                "baseline_p95_latency": row.baseline_p95_latency,
+                "adaptive_p95_latency": row.adaptive_p95_latency,
+                "baseline_ssim": row.baseline_ssim,
+                "adaptive_ssim": row.adaptive_ssim,
+                "failed": row.failed,
+            }
+            for row in rows
+        ]
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if fmt == "csv":
+        columns = (
+            "label",
+            "baseline_latency",
+            "adaptive_latency",
+            "baseline_p95_latency",
+            "adaptive_p95_latency",
+            "baseline_ssim",
+            "adaptive_ssim",
+            "failed",
+        )
+        lines = [",".join(columns)]
+        for row in rows:
+            cells = []
+            for name in columns:
+                value = getattr(row, name)
+                if value is None:
+                    cells.append("")
+                elif isinstance(value, float):
+                    cells.append(repr(value))
+                else:
+                    cells.append(str(value))
+            lines.append(",".join(cells))
+        return "\n".join(lines) + "\n"
+    if fmt == "table":
+        header = (
+            f"{'point':<14} {'lat. red.':>9} {'p95 red.':>9} "
+            f"{'SSIM chg.':>9}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in rows:
+            if row.failed is not None:
+                lines.append(f"{row.label:<14} {row.failed}")
+                continue
+            lines.append(
+                f"{row.label:<14} "
+                f"{row.latency_reduction:>8.1%} "
+                f"{row.p95_latency_reduction:>9.1%} "
+                f"{row.ssim_change:>+9.2%}"
+            )
+        return "\n".join(lines) + "\n"
+    raise ConfigError(f"unknown sweep format {fmt!r}")

@@ -21,6 +21,7 @@ from typing import Callable
 
 from ..cc.gcc.gcc import GoogCcController
 from ..cc.gcc.overuse import BandwidthUsage
+from ..cc.interface import SpanRateSampler
 from ..errors import ConfigError
 from ..netsim.packet import Packet
 from ..rtp.feedback import FeedbackReport, SendHistory
@@ -121,6 +122,11 @@ class SfuNode:
         # :meth:`_complete_probe`).
         self._feedback_count = 0
         self._probe_feedback_mark: int | None = None
+        # Probe validation reads the delivered rate over the probe's
+        # own arrival span: the now-anchored acked-rate window dilutes
+        # a burst that fills only part of it (~0.55× at these spans),
+        # making honest lo→hi upgrades fail validation forever.
+        self._probe_sampler = SpanRateSampler()
         self.probes_validated = 0
         self.probes_abandoned = 0
         self.keyframe_rerequests = 0
@@ -161,6 +167,7 @@ class SfuNode:
             self._started_at = now
         self._feedback_count += 1
         results = self.history.resolve(report)
+        self._probe_sampler.on_acks(results)
         self.gcc.on_packet_results(now, results)
         if self.gcc.last_usage is BandwidthUsage.OVERUSE:
             self._overuse_streak += 1
@@ -257,6 +264,7 @@ class SfuNode:
         self._last_probe = now
         self.probes_sent += 1
         self._probe_feedback_mark = self._feedback_count
+        self._probe_sampler.open(now)
         if self._telemetry.enabled:
             self._telemetry.count("sfu.probes_started")
         # Pad toward min(2 × estimate, next layer's requirement): the
@@ -289,12 +297,15 @@ class SfuNode:
         now = self._scheduler.now
         mark = self._probe_feedback_mark
         self._probe_feedback_mark = None
+        # Close the span sampler unconditionally so an abandoned probe
+        # cannot leak its arrivals into the next one.
+        sample = self._probe_sampler.close()
         if mark is not None and self._feedback_count == mark:
             # No feedback arrived across the whole probe span — the
             # probe straddled a feedback blackout. Abandon it outright:
-            # the acked-rate window is stale, and validating against it
-            # could park ``pending_layer`` on a switch the path never
-            # acknowledged.
+            # the delivered-rate sample is stale, and validating
+            # against it could park ``pending_layer`` on a switch the
+            # path never acknowledged.
             self._abandon_probe()
             return
         if self._overuse_streak >= 2 or (
@@ -303,7 +314,6 @@ class SfuNode:
             # The probe congested the link: discard the result.
             self._abandon_probe()
             return
-        sample = self.gcc.acked_bps(now)
         if sample is None:
             self._abandon_probe()
             return

@@ -43,10 +43,15 @@ def test_shared_downlink_couples_sessions():
 
 
 def test_regional_degradation_moves_only_the_faulted_region():
-    # 10 subscribers per region: enough population that region b's
-    # extra PLIs under the fault do not perturb the shared publishers'
-    # keyframe cadence (at very small scale they can, via the
-    # publisher-side coupling).
+    # Blast-radius contract. Subscribers watch publishers in *both*
+    # regions (gid % n_pubs), so region b's keyframe requests reach
+    # encoders whose streams region a also consumes — and b's request
+    # cadence is fault-dependent (downswitch and probe-upgrade
+    # keyframes move with the outage). Region a therefore sees a small
+    # encode-quality ripple through the shared publishers, but its
+    # *delivery* — every displayed frame, every freeze — must be
+    # untouched, and its tail must stay in place while region b's
+    # blows up.
     base = two_region_fleet(subscribers_per_region=10, duration=10.0, seed=1)
     low_rate = min(layer.target_bps for layer in base.layers)
     schedule = FaultSchedule.of(
@@ -64,10 +69,21 @@ def test_regional_degradation_moves_only_the_faulted_region():
     )
     clean_result = FleetSession(base).run()
     fault_result = FleetSession(faulted).run()
-    # Region a never sees the fault: its slice is bit-identical.
-    assert fault_result.per_region["a"] == clean_result.per_region["a"]
-    # Region b's tail degrades.
-    assert fault_result.region_latency_ms("b") > (
+    clean_a = clean_result.per_region["a"]
+    fault_a = fault_result.per_region["a"]
+    # Region a's delivery is exactly unaffected by region b's fault.
+    assert fault_a["sessions"] == clean_a["sessions"]
+    assert fault_a["slots"] == clean_a["slots"]
+    assert fault_a["displayed"] == clean_a["displayed"]
+    assert fault_a["freeze_ratio"] == clean_a["freeze_ratio"]
+    # The cross-region keyframe ripple is bounded: quality moves by
+    # well under 1% and the tail stays within a quarter of itself...
+    assert abs(fault_a["mean_ssim"] - clean_a["mean_ssim"]) < 0.005
+    clean_a_p95 = clean_result.region_latency_ms("a")
+    fault_a_p95 = fault_result.region_latency_ms("a")
+    assert abs(fault_a_p95 - clean_a_p95) <= 0.25 * clean_a_p95
+    # ...while region b's tail genuinely degrades (>1.5x here).
+    assert fault_result.region_latency_ms("b") > 1.5 * (
         clean_result.region_latency_ms("b")
     )
 

@@ -1,0 +1,139 @@
+"""Work stealing end to end: a dead shard's cells survive its death.
+
+The chaos CI job (``tools/shard_chaos.py``) proves the same guarantees
+with a real SIGKILLed subprocess; these tests drive the library API
+with the cheap fleet grid so the whole crash → steal → resume → merge
+cycle runs in seconds.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LeaseConflictError
+from repro.pipeline import shards
+from repro.pipeline.manifest import RunManifest
+from repro.pipeline.parallel import run_many
+from repro.pipeline.shards import build_plan
+
+GRID = {
+    "scenarios": ["steady", "churn"],
+    "seeds": [1, 2],
+    "subscribers": 4,
+    "duration": 2.0,
+}
+
+
+def _plan(shard_count: int = 3):
+    return build_plan("fleet", GRID, shard_count)
+
+
+def _reference(plan, fmt: str) -> str:
+    definition = shards.grid_def(plan.kind)
+    results = run_many(plan.configs(), workers=2, cache=None)
+    return definition.render(plan.params, results, fmt)
+
+
+def _merge_text(plan, base, out, fmt: str) -> str:
+    dirs = [shards.shard_dir(base, i) for i in range(plan.shards)]
+    cache, manifest, _summary = shards.merge_shards(plan, dirs, out)
+    text, quarantined = shards.render_merged(plan, cache, manifest, fmt)
+    assert quarantined == 0
+    return text
+
+
+def test_dead_shard_stolen_resumed_and_merge_identical(tmp_path):
+    plan = _plan()
+    base = tmp_path / "shards"
+    # Shard 0's host died before its first heartbeat; 1 and 2 finish.
+    shards.run_shard(plan, 1, base, workers=2)
+    shards.run_shard(plan, 2, base, workers=2)
+
+    summary, splan = shards.steal_shard(plan, 1, base, workers=2)
+    lost = plan.cell_indices(0)
+    assert summary.claimed == len(lost)
+    assert summary.executed == len(lost)
+    assert summary.quarantined == 0
+    assert summary.victims == (0,)
+    assert splan is not None
+
+    # Stolen results were double-written into the victim's cache, so
+    # the victim's resurrection re-executes nothing.
+    victim_cache = shards.shard_dir(base, 0) / "cache"
+    for cell in lost:
+        assert (victim_cache / f"{plan.hashes[cell]}.json").is_file()
+    _results, resumed_plan = shards.run_shard(plan, 0, base, workers=2)
+    assert resumed_plan.stats.cached == len(lost)
+
+    for fmt in ("table", "json", "csv"):
+        assert _merge_text(
+            plan, base, tmp_path / f"merged-{fmt}", fmt
+        ) == _reference(plan, fmt)
+
+
+def test_steal_past_a_torn_manifest_merge_identical(tmp_path):
+    plan = _plan()
+    base = tmp_path / "shards"
+    for index in range(plan.shards):
+        shards.run_shard(plan, index, base, workers=2)
+
+    # Shard 0 was SIGKILLed mid-write: one cell loses its cache entry
+    # and the manifest is torn at an arbitrary byte offset.
+    victim_dir = shards.shard_dir(base, 0)
+    lost_cell = plan.cell_indices(0)[-1]
+    digest = plan.hashes[lost_cell]
+    (victim_dir / "cache" / f"{digest}.json").unlink()
+    manifest_file = victim_dir / "manifest.json"
+    manifest_file.write_bytes(manifest_file.read_bytes()[:97])
+
+    scan = shards.scan_reclaimable(plan, base)
+    assert scan.problems
+    assert scan.cells == {0: [lost_cell]}
+
+    summary, _splan = shards.steal_shard(plan, 2, base, workers=1)
+    assert summary.claimed == 1
+    assert summary.problems  # the tear is reported, not fatal
+
+    assert _merge_text(
+        plan, base, tmp_path / "merged", "json"
+    ) == _reference(plan, "json")
+
+
+def test_live_lease_protects_a_running_shard(tmp_path):
+    plan = _plan()
+    base = tmp_path / "shards"
+    shards.run_shard(plan, 1, base, workers=2)
+    shards.run_shard(plan, 2, base, workers=2)
+    # Shard 0 is mid-run on another host: manifest exists, lease fresh.
+    victim_dir = shards.shard_dir(base, 0)
+    victim_dir.mkdir(parents=True)
+    manifest = RunManifest(
+        victim_dir / "manifest.json", run_id="alive", command="shard"
+    )
+    manifest.enable_lease(ttl=1000.0)
+    manifest.save(force=True)
+
+    scan = shards.scan_reclaimable(plan, base)
+    assert scan.live == (0,)
+    assert scan.cells == {}
+
+    # Auto-targeting leaves it alone; naming it explicitly is an error.
+    summary, splan = shards.steal_shard(plan, 1, base)
+    assert summary.claimed == 0
+    assert summary.skipped_live == (0,)
+    assert splan is None
+    try:
+        shards.steal_shard(plan, 1, base, victims=[0])
+    except LeaseConflictError:
+        pass
+    else:
+        raise AssertionError("expected LeaseConflictError")
+
+
+def test_finished_shards_have_nothing_to_steal(tmp_path):
+    plan = _plan(2)
+    base = tmp_path / "shards"
+    for index in range(plan.shards):
+        shards.run_shard(plan, index, base, workers=2)
+    summary, splan = shards.steal_shard(plan, 0, base)
+    assert summary.claimed == 0
+    assert summary.victims == ()
+    assert splan is None

@@ -1,0 +1,142 @@
+"""Determinism of work-steal claims under arbitrary interleavings.
+
+The fabric's guarantee is not "stealers take turns" — it is that **any**
+interleaving of claim attempts partitions the reclaimable cells, every
+cell is won exactly once, and whichever survivor ends up executing a
+cell the merged report is byte-identical. These tests shuffle the
+attempt order with pinned seeds to walk many interleavings.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.pipeline import shards
+from repro.pipeline.manifest import RunManifest
+from repro.pipeline.parallel import run_many
+from repro.pipeline.shards import build_plan, claims_dir, try_claim
+
+GRID = {
+    "scenarios": ["steady", "churn"],
+    "seeds": [1, 2],
+    "subscribers": 4,
+    "duration": 2.0,
+}
+
+
+def _plan(shard_count: int = 4):
+    return build_plan("fleet", GRID, shard_count)
+
+
+def _go_live(base, index: int, ttl: float = 1000.0) -> None:
+    """Give shard ``index`` a live heartbeat lease on disk."""
+    directory = shards.shard_dir(base, index)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "manifest.json"
+    if path.is_file():
+        manifest = RunManifest.load(path)
+    else:
+        manifest = RunManifest(path, run_id=f"live-{index}", command="shard")
+    manifest.enable_lease(ttl=ttl)
+    manifest.save(force=True)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_interleaved_claims_partition_cells_exactly_once(tmp_path, seed):
+    # Three live survivors race for every cell of a dead plan; attempts
+    # are interleaved in a seed-shuffled order. O_CREAT|O_EXCL must
+    # hand each cell to exactly one winner, under every interleaving.
+    # (The stealers hold live leases — a claim whose owner has itself
+    # died is deliberately contestable, tested separately below.)
+    plan = _plan()
+    stealers = (1, 2, 3)
+    for stealer in stealers:
+        _go_live(tmp_path, stealer)
+    attempts = [
+        (digest, stealer)
+        for digest in plan.hashes
+        for stealer in stealers
+    ]
+    random.Random(seed).shuffle(attempts)
+
+    wins: dict[str, list[int]] = {digest: [] for digest in plan.hashes}
+    for digest, stealer in attempts:
+        if try_claim(tmp_path, digest, stealer, plan):
+            wins[digest].append(stealer)
+
+    for digest, winners in wins.items():
+        assert len(set(winners)) == 1, digest
+    claim_files = sorted(p.name for p in claims_dir(tmp_path).iterdir())
+    assert claim_files == sorted(f"{d}.claim" for d in plan.hashes)
+
+
+def test_reclaiming_ones_own_claim_is_idempotent(tmp_path):
+    plan = _plan()
+    digest = plan.hashes[0]
+    assert try_claim(tmp_path, digest, 1, plan)
+    # A resumed steal re-claims what it already owns...
+    assert try_claim(tmp_path, digest, 1, plan)
+    # ...while a competitor whose rival left no live lease contests the
+    # stale claim and wins it.
+    assert try_claim(tmp_path, digest, 2, plan)
+    claim = json.loads(
+        (claims_dir(tmp_path) / f"{digest}.claim").read_text()
+    )
+    assert claim["shard"] == 2
+
+
+def test_claim_survives_while_claimant_lease_is_live(tmp_path):
+    plan = _plan()
+    digest = plan.hashes[0]
+    assert try_claim(tmp_path, digest, 1, plan)
+    stealer_dir = shards.shard_dir(tmp_path, 1)
+    stealer_dir.mkdir(parents=True)
+    manifest = RunManifest(
+        stealer_dir / "manifest.json", run_id="stealing", command="shard"
+    )
+    manifest.enable_lease(ttl=1000.0)
+    manifest.save(force=True)
+    # The claimant is alive and heartbeating: its claim is inviolable.
+    assert not try_claim(tmp_path, digest, 2, plan)
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_split_steals_merge_byte_identical(tmp_path, seed):
+    # Shard 0 dies before starting; its cells are split between the two
+    # survivors in a seed-shuffled pre-claim order. However the split
+    # lands, the merged report must equal the undisturbed run.
+    plan = _plan(3)
+    base = tmp_path / "shards"
+    shards.run_shard(plan, 1, base, workers=2)
+    shards.run_shard(plan, 2, base, workers=2)
+
+    # Both survivors are live (their leases protect their pre-claims
+    # from being contested as stale by the other).
+    _go_live(base, 1)
+    _go_live(base, 2)
+    lost = plan.cell_indices(0)
+    order = list(lost)
+    random.Random(seed).shuffle(order)
+    for position, cell in enumerate(order):
+        stealer = 1 if position % 2 == 0 else 2
+        assert try_claim(base, plan.hashes[cell], stealer, plan)
+
+    total = 0
+    for stealer in (1, 2):
+        summary, _splan = shards.steal_shard(plan, stealer, base)
+        total += summary.executed
+        assert summary.quarantined == 0
+    assert total == len(lost)
+
+    dirs = [shards.shard_dir(base, i) for i in range(plan.shards)]
+    cache, manifest, _summary = shards.merge_shards(
+        plan, dirs, tmp_path / "merged"
+    )
+    merged, quarantined = shards.render_merged(plan, cache, manifest, "json")
+    assert quarantined == 0
+    definition = shards.grid_def(plan.kind)
+    reference = run_many(plan.configs(), workers=2, cache=None)
+    assert merged == definition.render(plan.params, reference, "json")

@@ -236,6 +236,94 @@ def test_stalled_switch_rerequests_keyframe():
     assert node.keyframe_rerequests == 1
 
 
+def test_probe_validates_on_its_own_span_not_a_diluted_window():
+    # The probe burst occupies only a slice of wall clock; measuring it
+    # through the 0.5 s now-anchored ack window dilutes the rate by the
+    # idle tail (~0.55× of goal) and lo→hi upgrades starve. The span
+    # sampler must rate the burst over its own inter-arrival span.
+    scheduler = Scheduler()
+    sent = []
+    keyreqs = []
+    node = _node(scheduler, sent=sent, keyreqs=keyreqs)
+    node._started_at = 0.0
+    node._current = "lo"
+    node.gcc.force_estimate(600_000.0)
+    scheduler.clock.advance_to(5.0)
+    node._maybe_probe(5.0)
+    assert node.probes_sent == 1
+    scheduler.run_until(5.0 + PROBE_SPAN)
+
+    padding = [
+        p for p in sent
+        if isinstance(p.payload, dict) and p.payload.get("padding")
+    ]
+    assert len(padding) >= 20
+    # Acks: 20 probe packets land 2 ms apart — 4.8 Mbit/s across their
+    # own 38 ms span, far less through a 750 ms window.
+    _feed_feedback(
+        node,
+        scheduler,
+        [(p.seq, 5.1 + 0.002 * i) for i, p in enumerate(padding[:20])],
+    )
+    scheduler.run_until(5.0 + PROBE_SPAN + 0.3)
+    assert node.probes_validated == 1
+    assert node.probes_abandoned == 0
+    assert node._probe_estimate == pytest.approx(0.95 * 4_800_000.0)
+    # The validated estimate clears hi × UP_FACTOR: the upgrade goes
+    # pending and asks for its keyframe.
+    assert node.pending_layer == "hi"
+    assert keyreqs == ["hi"]
+
+
+def test_probe_with_too_few_probe_acks_is_abandoned():
+    scheduler = Scheduler()
+    sent = []
+    node = _node(scheduler, sent=sent)
+    node._started_at = 0.0
+    node._current = "lo"
+    scheduler.clock.advance_to(5.0)
+    node._maybe_probe(5.0)
+    scheduler.run_until(5.0 + PROBE_SPAN)
+    padding = [
+        p for p in sent
+        if isinstance(p.payload, dict) and p.payload.get("padding")
+    ]
+    # One ack keeps the feedback channel alive (not a blackout) but a
+    # single arrival spans nothing: the sampler yields None → abandon.
+    _feed_feedback(node, scheduler, [(padding[0].seq, 5.1)])
+    scheduler.run_until(5.0 + PROBE_SPAN + 0.3)
+    assert node.probes_abandoned == 1
+    assert node.probes_validated == 0
+    assert node._probe_estimate is None
+
+
+def test_pre_probe_arrivals_do_not_leak_into_the_sample():
+    from repro.cc.interface import SpanRateSampler
+    from repro.rtp.feedback import ArrivalRecord
+
+    sampler = SpanRateSampler()
+    # Acks before open() (sampler closed) are ignored entirely.
+    sampler.on_acks([ArrivalRecord(seq=0, arrival_time=1.0, size_bytes=1200)])
+    assert sampler.close() is None
+    sampler.open(5.0)
+    # Acks that arrived before the span opened are media feedback still
+    # in flight from before the probe: they must not count.
+    sampler.on_acks(
+        [
+            ArrivalRecord(seq=1, arrival_time=4.9, size_bytes=1200),
+            ArrivalRecord(seq=2, arrival_time=5.1, size_bytes=1000),
+            ArrivalRecord(seq=3, arrival_time=5.2, size_bytes=1000),
+        ]
+    )
+    # (2000 - 1000) × 8 / (5.2 - 5.1): the first in-span packet stamps
+    # the start and only later bytes count (probe-estimator convention).
+    assert sampler.close() == pytest.approx(1000 * 8 / 0.1)
+    # close() ends the span: a new probe starts from a clean slate.
+    assert not sampler.is_open
+    sampler.open(6.0)
+    assert sampler.close() is None
+
+
 def test_telemetry_counts_switches_and_probes():
     scheduler = Scheduler()
     telemetry = Telemetry()

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import pytest
+
+from repro.errors import ConfigError
 from repro.pipeline.manifest import RunManifest
 from repro.pipeline.shards import build_plan, shard_dir, shard_status
 
@@ -77,3 +80,94 @@ def test_status_counts_unrecorded_cells_as_pending(tmp_path):
     assert status0.counts["running"] == 1
     assert status0.counts["pending"] == 1
     assert status0.done() == 0
+
+
+def test_stolen_cells_count_for_the_planning_shard(tmp_path):
+    # A survivor's manifest carries ok records for cells *planned* on
+    # the dead shard; status must attribute them to the planning shard.
+    plan = _fleet_plan(shards=2)
+    victim_digest = plan.hashes[plan.cell_indices(0)[0]]
+    stealer = shard_dir(tmp_path, 1)
+    stealer.mkdir(parents=True)
+    _write_manifest(
+        stealer / "manifest.json", {victim_digest: {"status": "ok"}}
+    )
+    [status0, status1] = shard_status(plan, tmp_path)
+    assert status0.counts["ok"] == 1
+    assert not status0.started
+    assert status1.counts["ok"] == 0
+
+
+# ----------------------------------------------------------------------
+# Corrupt-manifest recovery
+# ----------------------------------------------------------------------
+def _torn_shard0(tmp_path, plan, fraction: float):
+    shard0 = shard_dir(tmp_path, 0)
+    shard0.mkdir(parents=True)
+    path = shard0 / "manifest.json"
+    _write_manifest(
+        path, {plan.hashes[i]: {"status": "ok"} for i in plan.cell_indices(0)}
+    )
+    data = path.read_bytes()
+    path.write_bytes(data[: max(1, int(len(data) * fraction))])
+    return path
+
+
+@pytest.mark.parametrize("fraction", [0.05, 0.5, 0.95])
+def test_torn_manifest_reports_cells_pending_with_problems(
+    tmp_path, fraction
+):
+    plan = _fleet_plan()
+    _torn_shard0(tmp_path, plan, fraction)
+    [status0, *rest] = shard_status(plan, tmp_path)
+    assert status0.started
+    assert status0.problems
+    assert status0.lease == "none"
+    # The torn records are unrecoverable: the safe reading is pending.
+    assert status0.counts["pending"] == status0.cells
+    assert status0.done() == 0
+    assert all(not s.problems for s in rest)
+
+
+def test_strict_mode_raises_on_torn_manifest(tmp_path):
+    plan = _fleet_plan()
+    _torn_shard0(tmp_path, plan, 0.5)
+    with pytest.raises(ConfigError):
+        shard_status(plan, tmp_path, strict=True)
+
+
+def test_torn_manifest_does_not_mask_other_shards_records(tmp_path):
+    plan = _fleet_plan()
+    _torn_shard0(tmp_path, plan, 0.5)
+    shard1 = shard_dir(tmp_path, 1)
+    shard1.mkdir(parents=True)
+    digest = plan.hashes[plan.cell_indices(1)[0]]
+    _write_manifest(shard1 / "manifest.json", {digest: {"status": "ok"}})
+    statuses = shard_status(plan, tmp_path)
+    assert statuses[1].counts["ok"] == 1
+    assert not statuses[1].problems
+
+
+# ----------------------------------------------------------------------
+# Lease reporting
+# ----------------------------------------------------------------------
+def _leased_manifest(path, ttl: float) -> RunManifest:
+    manifest = RunManifest(path, run_id="leased", workers=1)
+    manifest.enable_lease(ttl=ttl)
+    manifest.save(force=True)
+    return manifest
+
+
+def test_live_and_expired_leases_reported(tmp_path):
+    plan = _fleet_plan()
+    shard0 = shard_dir(tmp_path, 0)
+    shard0.mkdir(parents=True)
+    manifest = _leased_manifest(shard0 / "manifest.json", ttl=30.0)
+    renewed = manifest.lease["renewed"]
+
+    statuses = shard_status(plan, tmp_path, now=renewed + 1.0)
+    assert statuses[0].lease == "live"
+    assert statuses[1].lease == "none"
+
+    statuses = shard_status(plan, tmp_path, now=renewed + 31.0)
+    assert statuses[0].lease == "expired"

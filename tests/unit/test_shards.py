@@ -59,11 +59,47 @@ def test_shards_are_disjoint_and_exhaustive(shard_count):
     assert len(seen) == len(set(seen))
 
 
-def test_cells_stripe_round_robin():
-    plan = build_plan("table1", SMALL_TABLE1, 3)
+def test_round_robin_striping_assigns_by_index():
+    plan = build_plan("table1", SMALL_TABLE1, 3, striping="round-robin")
     for cell_index in range(len(plan.hashes)):
         assert plan.shard_of(cell_index) == cell_index % 3
         assert cell_index in plan.cell_indices(cell_index % 3)
+
+
+def test_cost_striping_is_deterministic_and_balanced():
+    first = build_plan("table1", SMALL_TABLE1, 3)
+    second = build_plan("table1", SMALL_TABLE1, 3)
+    assert first.striping == "cost"
+    assert first.assignments == second.assignments
+    # Every shard got at least one cell, and with uniform costs LPT
+    # cannot leave the loads more than one cell apart.
+    loads = [first.shard_cost(i) for i in range(3)]
+    assert all(load > 0 for load in loads)
+    assert max(loads) - min(loads) <= max(first.costs)
+
+
+def test_cost_striping_separates_heavy_cells():
+    # fleet cells scale with subscribers: a 2-seed fleet grid on two
+    # shards must put one heavy cell on each shard, never both on one.
+    plan = build_plan(
+        "fleet",
+        {"scenarios": ["steady"], "seeds": [1, 2], "subscribers": 8},
+        2,
+    )
+    assert sorted(plan.assignments) == [0, 1]
+
+
+def test_unknown_striping_rejected():
+    with pytest.raises(ConfigError, match="striping"):
+        build_plan("table1", SMALL_TABLE1, 3, striping="random")
+
+
+def test_striping_mode_changes_plan_id():
+    cost = build_plan("table1", SMALL_TABLE1, 3)
+    round_robin = build_plan(
+        "table1", SMALL_TABLE1, 3, striping="round-robin"
+    )
+    assert cost.plan_id != round_robin.plan_id
 
 
 def test_plan_matches_grid_enumeration():
@@ -75,6 +111,42 @@ def test_plan_matches_grid_enumeration():
     )
     assert plan.hashes == tuple(config_hash(c) for c in batch)
     assert [config_hash(c) for c in plan.configs()] == list(plan.hashes)
+
+
+def test_sweep_grid_matches_driver_enumeration():
+    from repro.pipeline import sweeps
+
+    plan = build_plan(
+        "sweep", {"ratios": [0.3, 0.2], "seeds": [1]}, 2
+    )
+    batch = sweeps.plan_drop_sweep(
+        ratios=(0.3, 0.2), seeds=(1,), baseline=PolicyName.WEBRTC
+    )
+    # Two policies per (ratio, seed) point.
+    assert len(plan.hashes) == 4
+    assert plan.hashes == tuple(config_hash(c) for c in batch)
+
+
+def test_chaos_grid_matches_driver_enumeration():
+    from repro.experiments import robustness
+
+    params = {
+        "scenarios": ["steady"],
+        "faults": [robustness.FAULT_NAMES[0]],
+        "seeds": [1, 2],
+    }
+    plan = build_plan("chaos", params, 2)
+    batch = robustness.plan_batch(
+        scenario_names=("steady",),
+        fault_names=(robustness.FAULT_NAMES[0],),
+        policies=robustness.DEFAULT_POLICIES,
+        seeds=(1, 2),
+    )
+    assert plan.hashes == tuple(config_hash(c) for c in batch)
+    # Fault-injected cells are costed heavier than fault-free ones, so
+    # cost striping spreads them instead of stacking one shard.
+    assert len(set(plan.costs)) >= 1
+    assert all(cost > 0 for cost in plan.costs)
 
 
 # ----------------------------------------------------------------------
